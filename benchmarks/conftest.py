@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the paper benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper,
+prints it, saves it under ``benchmarks/results/`` and asserts the
+paper's qualitative findings (orderings, gaps, crossovers).
+
+Heavy sweeps are session-scoped fixtures so several benchmark tests can
+share one set of measurements.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.characterization import characterize
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a figure/table and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def fig2_grid():
+    """The full Fig. 2 measurement grid: 7 workloads x 3 sizes x 4 tiers."""
+    return characterize()
+
+
+@pytest.fixture(scope="session")
+def local_tier_runs(fig2_grid):
+    """Local-tier (Tier 0) results across sizes — input to Fig. 5."""
+    return [r for r in fig2_grid.results if r.config.tier == 0]

@@ -1,0 +1,117 @@
+"""Model ablations and the tier-placement advisor (extensions).
+
+DESIGN.md attributes the NVM-tier degradation to distinct mechanisms —
+Optane's read/write asymmetry and controller-queue contention.  Each
+ablation disables one mechanism and quantifies its share, validating the
+model's causal structure (not just its end-to-end numbers).
+
+Also exercises the Sec. IV-G extension: the placement advisor that picks
+the most aggressive tier within a slowdown budget.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.ablation import run_ablation
+from repro.core.placement import recommend_tier
+
+CASES = (
+    ("sort", "small", 1),
+    ("lda", "small", 1),
+    ("sort", "small", 8),
+)
+
+
+@pytest.fixture(scope="module")
+def ablations():
+    return {
+        (workload, size, executors): run_ablation(
+            workload, size, tier_id=2, executors=executors
+        )
+        for workload, size, executors in CASES
+    }
+
+
+def test_ablation_report(ablations, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for (workload, size, executors), result in sorted(ablations.items()):
+        rows.append(
+            [
+                f"{workload}-{size}",
+                executors,
+                result.times["baseline"] * 1e3,
+                f"{result.contribution('no_write_asymmetry'):.1%}",
+                f"{result.contribution('dram_class_latency'):.1%}",
+                f"{result.contribution('no_media_amplification'):.1%}",
+            ]
+        )
+    save_report(
+        "ablations",
+        format_table(
+            ["case", "executors", "baseline (ms)", "write asym.",
+             "latency", "media granule"],
+            rows,
+            title="Ablations: mechanism contributions to NVM-tier slowdown",
+        ),
+    )
+
+
+def test_write_asymmetry_contributes_for_lda(ablations):
+    """lda's write-heavy Gibbs updates make asymmetry its top cost."""
+    result = ablations[("lda", "small", 1)]
+    assert result.contribution("no_write_asymmetry") > 0.1
+
+
+def test_write_asymmetry_hits_lda_harder_than_sort(ablations):
+    lda = ablations[("lda", "small", 1)].contribution("no_write_asymmetry")
+    sort = ablations[("sort", "small", 1)].contribution("no_write_asymmetry")
+    assert lda > sort
+
+
+def test_latency_is_the_dominant_mechanism(ablations):
+    """Takeaway 4 from the causal side: DRAM-class latency recovers the
+    largest share of the NVM gap for single-executor runs."""
+    result = ablations[("sort", "small", 1)]
+    assert result.contribution("dram_class_latency") >= result.contribution(
+        "no_media_amplification"
+    )
+    assert result.contribution("dram_class_latency") > 0.15
+
+
+def test_media_amplification_matters_under_contention(ablations):
+    single = ablations[("sort", "small", 1)].contribution("no_media_amplification")
+    many = ablations[("sort", "small", 8)].contribution("no_media_amplification")
+    assert many >= single
+    assert many > 0.05
+
+
+def test_ablations_never_slow_things_down(ablations):
+    for result in ablations.values():
+        for name in ("no_write_asymmetry", "dram_class_latency",
+                     "no_media_amplification"):
+            assert result.times[name] <= result.times["baseline"] * 1.001
+
+
+# ----------------------------------------------------------------- placement
+def test_placement_advisor_report(benchmark):
+    recommendations = [
+        recommend_tier(workload, "small", slowdown_budget=2.0)
+        for workload in ("sort", "als", "lda")
+    ]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_report(
+        "placement_advisor",
+        "Tier placement advisor (budget 2.0x):\n"
+        + "\n".join(r.describe() for r in recommendations),
+    )
+    for rec in recommendations:
+        assert 0 <= rec.recommended_tier <= 3
+        # Predicted slowdown of the chosen tier respects the budget.
+        assert rec.predicted_slowdowns[rec.recommended_tier] <= rec.budget
+
+
+def test_tight_budget_prefers_local_tier():
+    rec = recommend_tier("lda", "tiny", slowdown_budget=1.0)
+    assert rec.recommended_tier == 0

@@ -1,0 +1,209 @@
+"""Extensions beyond the paper: interleave, aging, unified shuffle, traces.
+
+Not reproductions of paper figures — these quantify the additional
+deployment options the library models, continuing the paper's
+"discussion and future perspectives" agenda with runnable numbers.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.substitution import run_with_technology
+from repro.memory.cxl import CXL_EXPANDER, cxl_technology_with_latency
+from repro.memory.faults import age_device
+from repro.memory.interleave import InterleavePolicy, interleaved_technology
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads import get_workload
+from repro.workloads.trace_replay import StageSpec, TraceReplayWorkload, TraceSpec
+
+WORKLOAD, SIZE = "bayes", "small"
+
+
+def run_on_technology(tech, workload=WORKLOAD, size=SIZE):
+    """Run a workload with the NVM pools replaced by ``tech``."""
+    outcome = run_with_technology(tech, workload, size)
+    assert outcome.verified
+    return outcome.execution_time
+
+
+# ------------------------------------------------------------------ interleave
+@pytest.fixture(scope="module")
+def interleave_times():
+    fractions = (0.0, 0.25, 0.5, 0.75, 1.0)
+    return {
+        f: run_on_technology(interleaved_technology(InterleavePolicy(f)))
+        for f in fractions
+    }
+
+
+def test_interleave_report(interleave_times, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [f"{f:.0%} DRAM pages", t * 1e3] for f, t in sorted(interleave_times.items())
+    ]
+    save_report(
+        "ext_interleave",
+        format_table(
+            ["interleave policy", "time (ms)"],
+            rows,
+            title=f"{WORKLOAD}-{SIZE}: numactl --interleave DRAM fractions",
+        ),
+    )
+
+
+def test_interleave_monotone_in_dram_fraction(interleave_times):
+    ordered = [t for _, t in sorted(interleave_times.items())]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_half_interleave_beats_midpoint(interleave_times):
+    """Parallel controllers: 50/50 interleave beats the halfway point of
+    the pure endpoints (the bandwidth-additivity payoff)."""
+    midpoint = (interleave_times[0.0] + interleave_times[1.0]) / 2
+    assert interleave_times[0.5] < midpoint
+
+
+# ----------------------------------------------------------------------- aging
+@pytest.fixture(scope="module")
+def aging_times():
+    out = {}
+    for wear in (0.0, 0.5, 1.0):
+        sc = SparkContext(conf=SparkConf(memory_tier=2))
+        device = sc.executors[0].memory.device
+        with age_device(device, wear):
+            outcome = get_workload(WORKLOAD).run(sc, SIZE)
+        assert outcome.verified
+        out[wear] = outcome.execution_time
+        sc.stop()
+    return out
+
+
+def test_aging_report(aging_times, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [[f"{w:.0%} endurance used", t * 1e3] for w, t in sorted(aging_times.items())]
+    save_report(
+        "ext_nvm_aging",
+        format_table(
+            ["wear level", "time (ms)"],
+            rows,
+            title=f"{WORKLOAD}-{SIZE}: performance of aged NVDIMMs (Takeaway 3)",
+        ),
+    )
+
+
+def test_aging_degrades_monotonically(aging_times):
+    assert aging_times[0.0] < aging_times[0.5] < aging_times[1.0]
+
+
+def test_end_of_life_meaningfully_slower(aging_times):
+    assert aging_times[1.0] > aging_times[0.0] * 1.2
+
+
+# ------------------------------------------------------------- unified shuffle
+def test_unified_shuffle_report(benchmark):
+    def run(unified):
+        sc = SparkContext(
+            conf=SparkConf(memory_tier=2, num_executors=4, default_parallelism=8,
+                           unified_shuffle=unified)
+        )
+        outcome = get_workload("repartition").run(sc, "small")
+        assert outcome.verified
+        return outcome.execution_time
+
+    stock = run(False)
+    unified = run(True)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_report(
+        "ext_unified_shuffle",
+        format_table(
+            ["shuffle mode", "time (ms)"],
+            [["stock (block transfer)", stock * 1e3],
+             ["unified memory (zero copy)", unified * 1e3]],
+            title="repartition-small, 4 executors on NVM: shuffle modes",
+        ),
+    )
+    assert unified < stock
+
+
+# ----------------------------------------------------------------- trace replay
+def test_trace_replay_across_tiers(benchmark):
+    spec = TraceSpec(
+        name="bench-etl",
+        stages=(
+            StageSpec("scan", records=5_000, record_bytes=200,
+                      cost=CostSpec(ops_per_record=120, random_reads_per_record=6)),
+            StageSpec("join", records=5_000, shuffle=True,
+                      cost=CostSpec(ops_per_record=350, random_reads_per_record=18,
+                                    random_writes_per_record=5)),
+        ),
+        partitions=8,
+    )
+    times = {}
+    for tier in (0, 2):
+        sc = SparkContext(conf=SparkConf(memory_tier=tier))
+        outcome = TraceReplayWorkload.from_spec(spec).run(sc, "small")
+        assert outcome.verified
+        times[tier] = outcome.execution_time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_report(
+        "ext_trace_replay",
+        format_table(
+            ["tier", "time (ms)", "vs T0"],
+            [[f"Tier {t}", v * 1e3, f"{v / times[0]:.2f}x"] for t, v in sorted(times.items())],
+            title="trace-replay ETL pipeline across tiers",
+        ),
+    )
+    assert times[2] > times[0]
+
+
+# ------------------------------------------------------------------- CXL tier
+@pytest.fixture(scope="module")
+def cxl_comparison():
+    from repro.core.experiment import ExperimentConfig, run_experiment
+
+    return {
+        "dram (Tier 0)": run_experiment(
+            ExperimentConfig(workload=WORKLOAD, size=SIZE, tier=0)
+        ).execution_time,
+        "optane (Tier 2)": run_experiment(
+            ExperimentConfig(workload=WORKLOAD, size=SIZE, tier=2)
+        ).execution_time,
+        "cxl expander": run_on_technology(CXL_EXPANDER),
+        "cxl fast link (60ns)": run_on_technology(cxl_technology_with_latency(60.0)),
+        "cxl slow link (300ns)": run_on_technology(cxl_technology_with_latency(300.0)),
+    }
+
+
+def test_cxl_report(cxl_comparison, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [[name, t * 1e3] for name, t in cxl_comparison.items()]
+    save_report(
+        "ext_cxl_tier",
+        format_table(
+            ["capacity tier", "time (ms)"],
+            rows,
+            title=f"{WORKLOAD}-{SIZE}: a hypothetical CXL capacity tier "
+                  f"(the intro's forward look)",
+        ),
+    )
+
+
+def test_cxl_sits_between_dram_and_optane(cxl_comparison):
+    assert (
+        cxl_comparison["dram (Tier 0)"]
+        < cxl_comparison["cxl expander"]
+        < cxl_comparison["optane (Tier 2)"]
+    )
+
+
+def test_cxl_link_latency_governs(cxl_comparison):
+    """Takeaway 4, forward-applied: the link latency — not the healthy
+    DRAM-class bandwidth — decides where CXL lands."""
+    assert (
+        cxl_comparison["cxl fast link (60ns)"]
+        < cxl_comparison["cxl expander"]
+        < cxl_comparison["cxl slow link (300ns)"]
+    )

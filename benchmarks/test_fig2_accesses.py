@@ -1,0 +1,109 @@
+"""Fig. 2 (middle) — NVDIMM media reads/writes per workload and size.
+
+Paper findings: bayes, lda and pagerank generate an order of magnitude
+more accesses than the other workloads; performance degrades with access
+count; a growing write share degrades performance *non-linearly*
+(Takeaway 3), with lda-large the canonical write-heavy case.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.correlation import pearson
+from repro.workloads.base import SIZE_ORDER
+
+HEAVY = ("bayes", "lda", "pagerank")
+LIGHT = ("sort", "als", "rf")
+
+
+@pytest.fixture(scope="module")
+def nvm_runs(fig2_grid):
+    """Tier-2 (socket-attached NVM) runs, where ipmctl counters apply."""
+    return {
+        (r.config.workload, r.config.size): r
+        for r in fig2_grid.results
+        if r.config.tier == 2
+    }
+
+
+def test_fig2_accesses_report(nvm_runs, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for (workload, size), result in sorted(nvm_runs.items()):
+        rows.append(
+            [
+                workload,
+                size,
+                result.nvm_reads,
+                result.nvm_writes,
+                round(result.telemetry.nvm_write_ratio, 3),
+                round(result.execution_time * 1e3, 1),
+            ]
+        )
+    save_report(
+        "fig2_accesses",
+        format_table(
+            ["workload", "size", "media reads", "media writes", "write ratio", "time (ms)"],
+            rows,
+            title="Fig 2 (middle): NVDIMM accesses on Tier 2 (ipmctl)",
+        ),
+    )
+
+
+def test_heavy_workloads_access_order_of_magnitude_more(nvm_runs):
+    heavy = min(nvm_runs[(w, "large")].nvm_reads + nvm_runs[(w, "large")].nvm_writes
+                for w in HEAVY)
+    light = max(nvm_runs[(w, "large")].nvm_reads + nvm_runs[(w, "large")].nvm_writes
+                for w in LIGHT)
+    assert heavy > light
+
+
+def test_accesses_grow_with_size(nvm_runs, fig2_grid):
+    for workload in fig2_grid.workloads():
+        totals = [
+            nvm_runs[(workload, size)].nvm_reads
+            + nvm_runs[(workload, size)].nvm_writes
+            for size in SIZE_ORDER
+        ]
+        assert totals[0] < totals[2], workload
+
+
+def test_time_correlates_with_access_count(nvm_runs):
+    accesses = []
+    times = []
+    for result in nvm_runs.values():
+        accesses.append(result.nvm_reads + result.nvm_writes)
+        times.append(result.execution_time)
+    assert pearson(accesses, times) > 0.8
+
+
+def test_lda_is_the_write_heaviest_app(nvm_runs, fig2_grid):
+    ratios = {
+        w: nvm_runs[(w, "large")].telemetry.nvm_write_ratio
+        for w in fig2_grid.workloads()
+    }
+    assert max(ratios, key=ratios.get) == "lda"
+
+
+def test_write_share_degrades_nonlinearly(nvm_runs, fig2_grid):
+    """NVM degradation grows with write share (Takeaway 3)."""
+    ratios, degradations = [], []
+    for (workload, size), result in nvm_runs.items():
+        base = fig2_grid.time(workload, size, 0)
+        ratios.append(result.telemetry.nvm_write_ratio)
+        degradations.append(result.execution_time / base)
+    assert pearson(ratios, degradations) > 0.3
+
+
+def test_lda_large_skyrockets_with_writes(nvm_runs, fig2_grid):
+    """The paper's marquee case: lda-large degradation tracks its writes."""
+    sizes = ("tiny", "small", "large")
+    write_ratios = [nvm_runs[("lda", s)].telemetry.nvm_write_ratio for s in sizes]
+    degradations = [
+        nvm_runs[("lda", s)].execution_time / fig2_grid.time("lda", s, 0)
+        for s in sizes
+    ]
+    assert write_ratios == sorted(write_ratios)
+    assert degradations == sorted(degradations)
+    assert degradations[-1] > 1.5 * degradations[0]

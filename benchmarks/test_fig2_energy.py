@@ -1,0 +1,94 @@
+"""Fig. 2 (bottom) — DRAM vs Optane DCPM per-DIMM energy.
+
+Paper findings: despite lower dynamic power per access, Optane DIMMs
+consume *more total energy* because executions run longer; DRAM uses
+63.9 % less energy on average; energy tracks execution time (Takeaway 5),
+and sort/als scale to larger inputs without a disproportionate energy
+penalty.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.characterization import (
+    DRAM_DEVICE,
+    NVM_DEVICE,
+    dram_energy_advantage,
+)
+from repro.core.correlation import pearson
+from repro.workloads.base import SIZE_ORDER
+
+PAPER_ENERGY_ADVANTAGE = 63.9
+
+
+def per_dimm_energy(result, device_name):
+    report = result.telemetry.energy.get(device_name)
+    return report.per_dimm_joules if report else 0.0
+
+
+def test_fig2_energy_report(fig2_grid, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            dram_run = fig2_grid.get(workload, size, 0)
+            nvm_run = fig2_grid.get(workload, size, 2)
+            rows.append(
+                [
+                    workload,
+                    size,
+                    per_dimm_energy(dram_run, DRAM_DEVICE),
+                    per_dimm_energy(nvm_run, NVM_DEVICE),
+                ]
+            )
+    advantage = dram_energy_advantage(fig2_grid)
+    save_report(
+        "fig2_energy",
+        format_table(
+            ["workload", "size", "DRAM J/DIMM (T0)", "DCPM J/DIMM (T2)"],
+            rows,
+            title="Fig 2 (bottom): per-DIMM energy, DRAM vs Optane DCPM",
+            float_format="{:.4g}",
+        )
+        + f"\nDRAM energy advantage: paper {PAPER_ENERGY_ADVANTAGE}% | "
+        f"measured {advantage:.1f}%",
+    )
+
+
+def test_dram_advantage_near_paper(fig2_grid):
+    advantage = dram_energy_advantage(fig2_grid)
+    assert advantage == pytest.approx(PAPER_ENERGY_ADVANTAGE, abs=15.0)
+
+
+def test_nvm_total_energy_higher_everywhere(fig2_grid):
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            dram = per_dimm_energy(fig2_grid.get(workload, size, 0), DRAM_DEVICE)
+            nvm = per_dimm_energy(fig2_grid.get(workload, size, 2), NVM_DEVICE)
+            assert nvm > dram, (workload, size)
+
+
+def test_energy_tracks_execution_time(fig2_grid):
+    """Takeaway 5: energy is in line with execution time."""
+    times, energies = [], []
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            run = fig2_grid.get(workload, size, 2)
+            times.append(run.execution_time)
+            energies.append(per_dimm_energy(run, NVM_DEVICE))
+    assert pearson(times, energies) > 0.95
+
+
+def test_sort_and_als_scale_without_energy_blowup(fig2_grid):
+    """sort/als grow to large inputs with below-median energy growth."""
+    def growth(workload):
+        tiny = per_dimm_energy(fig2_grid.get(workload, "tiny", 2), NVM_DEVICE)
+        large = per_dimm_energy(fig2_grid.get(workload, "large", 2), NVM_DEVICE)
+        return large / tiny
+
+    growths = {w: growth(w) for w in fig2_grid.workloads()}
+    ordered = sorted(growths.values())
+    median = ordered[len(ordered) // 2]
+    assert growths["als"] <= median
+    assert growths["sort"] <= max(ordered) * 0.8

@@ -1,0 +1,117 @@
+"""Fig. 2 (top) — execution time across tiers, workloads and sizes.
+
+Paper findings reproduced here:
+
+- Tier 0 achieves ~44.2 % / 66.4 % / 90.1 % better execution time on
+  average than Tiers 1 / 2 / 3 (computed as mean((T_r − T_0)/T_r)).
+- NVM-bound executions need substantially more time than DRAM-bound.
+- Certain workload/size combinations tolerate remote memory (Takeaway 1).
+- ``als`` shows an almost flat profile across sizes.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.characterization import (
+    technology_gap_summary,
+    tier_gap_summary,
+)
+from repro.workloads.base import SIZE_ORDER
+
+PAPER_TIER_GAPS = {1: 44.2, 2: 66.4, 3: 90.1}
+
+
+def test_fig2_execution_time_report(fig2_grid, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            base = fig2_grid.time(workload, size, 0)
+            rows.append(
+                [
+                    workload,
+                    size,
+                    base * 1e3,
+                    fig2_grid.time(workload, size, 1) * 1e3,
+                    fig2_grid.time(workload, size, 2) * 1e3,
+                    fig2_grid.time(workload, size, 3) * 1e3,
+                ]
+            )
+    gaps = tier_gap_summary(fig2_grid)
+    footer = "\n".join(
+        f"Tier 0 beats Tier {tier}: paper {PAPER_TIER_GAPS[tier]:.1f}% | "
+        f"measured {gap:.1f}%"
+        for tier, gap in sorted(gaps.items())
+    )
+    save_report(
+        "fig2_execution_time",
+        format_table(
+            ["workload", "size", "T0 (ms)", "T1 (ms)", "T2 (ms)", "T3 (ms)"],
+            rows,
+            title="Fig 2 (top): execution time per tier",
+        )
+        + "\n" + footer,
+    )
+
+
+def test_all_runs_verified(fig2_grid):
+    assert fig2_grid.all_verified()
+
+
+def test_tier_ordering_holds_for_every_cell(fig2_grid):
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            times = [fig2_grid.time(workload, size, t) for t in (0, 1, 2, 3)]
+            assert times[0] == min(times), (workload, size)
+            assert times[3] == max(times), (workload, size)
+
+
+def test_average_tier_gaps_near_paper(fig2_grid):
+    gaps = tier_gap_summary(fig2_grid)
+    for tier, paper in PAPER_TIER_GAPS.items():
+        assert gaps[tier] == pytest.approx(paper, abs=15.0), (
+            f"tier {tier}: measured {gaps[tier]:.1f}% vs paper {paper}%"
+        )
+    assert gaps[1] < gaps[2] < gaps[3]
+
+
+def test_nvm_needs_more_time_than_dram(fig2_grid):
+    assert technology_gap_summary(fig2_grid) > 50.0
+
+
+def test_some_combinations_tolerate_remote_memory(fig2_grid):
+    """Takeaway 1: tolerance exists and varies across combinations."""
+    ratios = []
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            ratios.append(
+                fig2_grid.time(workload, size, 1) / fig2_grid.time(workload, size, 0)
+            )
+    assert min(ratios) < 1.5  # someone tolerates remote DRAM
+    assert max(ratios) - min(ratios) > 0.2  # and it is workload-dependent
+
+
+def test_als_flattest_across_sizes(fig2_grid):
+    """The paper singles out als as nearly size-invariant."""
+    def growth(workload):
+        tiny = fig2_grid.time(workload, "tiny", 0)
+        large = fig2_grid.time(workload, "large", 0)
+        return large / tiny
+
+    growths = {w: growth(w) for w in fig2_grid.workloads()}
+    assert growths["als"] <= sorted(growths.values())[1]  # among the two flattest
+
+
+def test_gap_widens_with_execution_scale(fig2_grid):
+    """Takeaway 2: longer executions → larger NVM/DRAM gap."""
+    pairs = []
+    for workload in fig2_grid.workloads():
+        for size in SIZE_ORDER:
+            dram = fig2_grid.time(workload, size, 0)
+            pairs.append((dram, fig2_grid.time(workload, size, 2) / dram))
+    pairs.sort()
+    half = len(pairs) // 2
+    short_gap = sum(g for _, g in pairs[:half]) / half
+    long_gap = sum(g for _, g in pairs[half:]) / (len(pairs) - half)
+    assert long_gap > short_gap

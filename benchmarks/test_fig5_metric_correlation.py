@@ -1,0 +1,75 @@
+"""Fig. 5 — Pearson correlation of system-level metrics with exec time.
+
+Paper findings: ``bayes`` shows near-linear correlation with almost all
+system-level events (so linear models will predict it well); ``pagerank``
+correlates weakly (needs richer models).  We reproduce the correlation
+matrix over the local-tier runs across input sizes.
+"""
+
+import math
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.heatmap import format_heatmap
+from repro.core.correlation import (
+    average_abs_correlation,
+    metric_time_correlation,
+)
+from repro.telemetry.events import SYSTEM_EVENTS
+
+
+@pytest.fixture(scope="module")
+def matrix(local_tier_runs):
+    return metric_time_correlation(local_tier_runs)
+
+
+def test_fig5_report(matrix, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    workloads = sorted(matrix)
+    values = {
+        (workload, event): matrix[workload][event]
+        for workload in workloads
+        for event in SYSTEM_EVENTS
+    }
+    save_report(
+        "fig5_metric_correlation",
+        format_heatmap(
+            workloads,
+            [e[:10] for e in SYSTEM_EVENTS],
+            {(w, e[:10]): values[(w, e)] for w, e in values},
+            title="Fig 5: Pearson r of system-level events vs execution time",
+            value_format="{:5.2f}",
+        ),
+    )
+
+
+def test_matrix_covers_all_workloads_and_events(matrix):
+    assert len(matrix) == 7
+    for row in matrix.values():
+        assert set(row) == set(SYSTEM_EVENTS)
+
+
+def test_correlations_are_valid_coefficients(matrix):
+    for row in matrix.values():
+        for value in row.values():
+            assert math.isnan(value) or -1.0 <= value <= 1.0
+
+
+def test_bayes_nearly_linear(matrix):
+    """bayes is the paper's best-correlated application."""
+    avg = average_abs_correlation(matrix)
+    assert avg["bayes"] > 0.9
+
+
+def test_bayes_among_top_correlated(matrix):
+    avg = average_abs_correlation(matrix)
+    ordered = sorted(avg, key=avg.get, reverse=True)
+    assert "bayes" in ordered[:3]
+
+
+def test_workloads_differ_in_predictability(matrix):
+    """The spread across workloads is the figure's whole point."""
+    avg = average_abs_correlation(matrix)
+    finite = [v for v in avg.values() if not math.isnan(v)]
+    assert max(finite) - min(finite) > 0.02

@@ -1,0 +1,66 @@
+"""Fig. 6 — correlation of hardware specs with execution time.
+
+Paper finding (Takeaway 8): across tiers, execution time converges to
+near-perfect **positive** correlation with idle latency and **negative**
+correlation with bandwidth for every application and workload size —
+hence linear models predict cross-tier performance well.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.correlation import hardware_spec_correlation
+from repro.core.prediction import predict_cross_tier
+
+
+@pytest.fixture(scope="module")
+def hw_matrix(fig2_grid):
+    return hardware_spec_correlation(fig2_grid.results)
+
+
+def test_fig6_report(hw_matrix, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [workload, size, row["latency"], row["bandwidth"]]
+        for (workload, size), row in sorted(hw_matrix.items())
+    ]
+    mean_latency = statistics.mean(r["latency"] for r in hw_matrix.values())
+    mean_bandwidth = statistics.mean(r["bandwidth"] for r in hw_matrix.values())
+    save_report(
+        "fig6_hw_correlation",
+        format_table(
+            ["workload", "size", "r(latency, time)", "r(bandwidth, time)"],
+            rows,
+            title="Fig 6: correlation of tier specs with execution time",
+            float_format="{:+.3f}",
+        )
+        + f"\nmeans: latency {mean_latency:+.3f} (paper → +1), "
+        f"bandwidth {mean_bandwidth:+.3f} (paper → −1)",
+    )
+
+
+def test_latency_correlation_near_plus_one(hw_matrix):
+    for (workload, size), row in hw_matrix.items():
+        assert row["latency"] > 0.85, (workload, size, row)
+
+
+def test_bandwidth_correlation_strongly_negative(hw_matrix):
+    for (workload, size), row in hw_matrix.items():
+        assert row["bandwidth"] < -0.75, (workload, size, row)
+
+
+def test_every_combination_present(hw_matrix):
+    assert len(hw_matrix) == 7 * 3
+
+
+def test_linear_cross_tier_prediction_works(fig2_grid):
+    """The figure's consequence: hold out a tier, predict it linearly."""
+    for held_out in (1, 2):
+        predictions = predict_cross_tier(fig2_grid.results, held_out_tier=held_out)
+        errors = [p.relative_error for p in predictions]
+        assert statistics.median(errors) < 0.5, (
+            f"tier {held_out}: median relative error {statistics.median(errors):.2f}"
+        )

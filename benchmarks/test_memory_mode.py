@@ -1,0 +1,81 @@
+"""Extension — App Direct vs Memory Mode (the paper's open question).
+
+The paper runs DCPM in App Direct mode only; providers' other option is
+Memory Mode (DRAM as a hardware cache in front of Optane).  This
+benchmark sweeps DRAM-cache hit rates and compares against App Direct
+Tier 0/Tier 2, locating the crossover where Memory Mode stops paying
+off — evidence for the discussion section's "optimal tier per access
+type" direction.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.memory_mode_experiment import memory_mode_sweep
+from repro.memory.memory_mode import crossover_hit_rate
+
+HIT_RATES = (0.1, 0.3, 0.6, 0.8, 0.95)
+WORKLOAD, SIZE = "bayes", "small"
+
+
+@pytest.fixture(scope="module")
+def app_direct_times():
+    return {
+        tier: run_experiment(
+            ExperimentConfig(workload=WORKLOAD, size=SIZE, tier=tier)
+        ).execution_time
+        for tier in (0, 2)
+    }
+
+
+@pytest.fixture(scope="module")
+def mode_results():
+    return memory_mode_sweep(WORKLOAD, SIZE, hit_rates=HIT_RATES)
+
+
+def test_memory_mode_report(app_direct_times, mode_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        ["App Direct DRAM (Tier 0)", "-", app_direct_times[0] * 1e3],
+        ["App Direct NVM (Tier 2)", "-", app_direct_times[2] * 1e3],
+    ] + [
+        ["Memory Mode", f"{r.hit_rate:.0%}", r.execution_time * 1e3]
+        for r in mode_results
+    ]
+    save_report(
+        "memory_mode",
+        format_table(
+            ["configuration", "hit rate", "time (ms)"],
+            rows,
+            title=f"{WORKLOAD}-{SIZE}: App Direct vs Memory Mode",
+        )
+        + f"\nlatency crossover hit rate (analytical): {crossover_hit_rate():.1%}",
+    )
+
+
+def test_all_mode_runs_verified(mode_results):
+    assert all(r.verified for r in mode_results)
+
+
+def test_time_decreases_with_hit_rate(mode_results):
+    times = [r.execution_time for r in mode_results]
+    assert times == sorted(times, reverse=True)
+
+
+def test_high_hit_rate_beats_app_direct_nvm(app_direct_times, mode_results):
+    best = min(r.execution_time for r in mode_results)
+    assert best < app_direct_times[2]
+
+
+def test_memory_mode_never_beats_pure_dram(app_direct_times, mode_results):
+    best = min(r.execution_time for r in mode_results)
+    assert best > app_direct_times[0] * 0.95
+
+
+def test_below_crossover_no_better_than_app_direct(app_direct_times, mode_results):
+    """Below the analytical crossover (~21 %), the DRAM cache mostly adds
+    miss overhead — Memory Mode stops paying off against App Direct."""
+    below = next(r for r in mode_results if r.hit_rate == 0.1)
+    assert below.execution_time > app_direct_times[2] * 0.9

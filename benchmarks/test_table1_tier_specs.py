@@ -1,0 +1,83 @@
+"""Table I — idle access latency and memory bandwidth per tier.
+
+Paper values (measured on the real testbed with MLC-style tools):
+
+======  ==================  =================
+Tier    Idle latency (ns)   Bandwidth (GB/s)
+======  ==================  =================
+0               77.8              39.3
+1              130.9              31.6
+2              172.1              10.7
+3              231.3               0.47
+======  ==================  =================
+
+The benchmark runs a dependent-load pointer chase and a single-stream
+copy through the full discrete-event simulator and checks the model
+lands on the paper's numbers.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.core.microbench import measure_tier_specs
+
+PAPER_TABLE_1 = {
+    0: (77.8, 39.3),
+    1: (130.9, 31.6),
+    2: (172.1, 10.7),
+    3: (231.3, 0.47),
+}
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return measure_tier_specs()
+
+
+def test_table1_report(measurements, benchmark):
+    benchmark.pedantic(measure_tier_specs, rounds=1, iterations=1)
+    rows = []
+    for m in measurements:
+        paper_lat, paper_bw = PAPER_TABLE_1[m.tier_id]
+        rows.append(
+            [
+                f"Tier {m.tier_id}",
+                paper_lat,
+                round(m.idle_latency_ns, 1),
+                paper_bw,
+                round(m.read_bandwidth_gbps, 2),
+                round(m.write_bandwidth_gbps, 2),
+            ]
+        )
+    save_report(
+        "table1_tier_specs",
+        format_table(
+            ["tier", "paper lat (ns)", "measured lat (ns)",
+             "paper bw (GB/s)", "measured bw (GB/s)", "write bw (GB/s)"],
+            rows,
+            title="Table I: idle latency and bandwidth per tier",
+        ),
+    )
+
+
+@pytest.mark.parametrize("tier_id", [0, 1, 2, 3])
+def test_latency_matches_paper(measurements, tier_id):
+    measured = next(m for m in measurements if m.tier_id == tier_id)
+    assert measured.idle_latency_ns == pytest.approx(
+        PAPER_TABLE_1[tier_id][0], rel=0.02
+    )
+
+
+@pytest.mark.parametrize("tier_id", [0, 1, 2, 3])
+def test_bandwidth_matches_paper(measurements, tier_id):
+    measured = next(m for m in measurements if m.tier_id == tier_id)
+    assert measured.read_bandwidth_gbps == pytest.approx(
+        PAPER_TABLE_1[tier_id][1], rel=0.02
+    )
+
+
+def test_nvm_write_bandwidth_below_read(measurements):
+    for m in measurements:
+        if m.tier_id >= 2:
+            assert m.write_bandwidth_gbps < m.read_bandwidth_gbps

@@ -1,0 +1,79 @@
+"""Table II — the examined Spark applications and dataset sizes.
+
+Regenerates the workload inventory: every application of the paper's
+suite with its scaled tiny/small/large dataset parameters, verifying the
+generators produce the declared volumes.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analysis.tables import format_table
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.base import SIZE_ORDER
+
+PAPER_CATEGORIES = {
+    "sort": "micro",
+    "repartition": "micro",
+    "als": "ml",
+    "bayes": "ml",
+    "rf": "ml",
+    "lda": "ml",
+    "pagerank": "websearch",
+}
+
+
+def stage_all():
+    """Stage every workload/size input and collect its HDFS volume."""
+    rows = []
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name)
+        for size in SIZE_ORDER:
+            sc = SparkContext(conf=SparkConf())
+            workload.prepare(sc, size)
+            status = sc.hdfs.status(workload.input_path(size))
+            profile = workload.profile(size)
+            rows.append(
+                [
+                    name,
+                    workload.category,
+                    size,
+                    ", ".join(f"{k}={v}" for k, v in sorted(profile.params.items())),
+                    status.nbytes,
+                    profile.partitions,
+                ]
+            )
+            sc.stop()
+    return rows
+
+
+def test_table2_report(benchmark):
+    rows = benchmark.pedantic(stage_all, rounds=1, iterations=1)
+    save_report(
+        "table2_workloads",
+        format_table(
+            ["app", "category", "size", "parameters", "input bytes", "partitions"],
+            rows,
+            title="Table II: examined applications and dataset sizes (scaled)",
+        ),
+    )
+    assert len(rows) == len(WORKLOAD_NAMES) * len(SIZE_ORDER)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_categories_match_paper(name):
+    assert get_workload(name).category == PAPER_CATEGORIES[name]
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_sizes_grow_monotonically(name):
+    workload = get_workload(name)
+    volumes = []
+    for size in SIZE_ORDER:
+        sc = SparkContext(conf=SparkConf())
+        workload.prepare(sc, size)
+        volumes.append(sc.hdfs.status(workload.input_path(size)).nbytes)
+        sc.stop()
+    assert volumes[0] < volumes[1] < volumes[2]

@@ -1,0 +1,67 @@
+"""The paper's eight takeaways as machine-checked findings.
+
+Runs the guideline checkers of :mod:`repro.core.guidelines` against
+fresh measurements and asserts every takeaway holds in the reproduction.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.core.characterization import characterize
+from repro.core.guidelines import (
+    takeaway1_remote_tolerance,
+    takeaway2_nvm_gap_grows,
+    takeaway3_write_sensitivity,
+    takeaway4_latency_bound,
+    takeaway5_energy_follows_time,
+    takeaway6_executor_contention,
+    takeaway7_large_workloads_scale,
+    takeaway8_predictability,
+)
+from repro.core.sweeps import executor_core_sweep, mba_sweep
+
+
+@pytest.fixture(scope="module")
+def findings(fig2_grid):
+    mba = [
+        mba_sweep(workload, "small", tier=2, levels=(10, 50, 100))
+        for workload in ("sort", "lda", "bayes")
+    ]
+    sort_small = executor_core_sweep(
+        "sort", "small", tier=2, executors=(1, 2, 4, 8), cores=(40,)
+    )
+    pagerank_small = executor_core_sweep(
+        "pagerank", "small", tier=2, executors=(1, 8), cores=(40,)
+    )
+    pagerank_large = executor_core_sweep(
+        "pagerank", "large", tier=2, executors=(1, 8), cores=(40,)
+    )
+    return [
+        takeaway1_remote_tolerance(fig2_grid),
+        takeaway2_nvm_gap_grows(fig2_grid),
+        takeaway3_write_sensitivity(fig2_grid),
+        takeaway4_latency_bound(mba, threshold=0.3),
+        takeaway5_energy_follows_time(fig2_grid),
+        takeaway6_executor_contention(sort_small),
+        takeaway7_large_workloads_scale(pagerank_small, pagerank_large),
+        takeaway8_predictability(fig2_grid.results),
+    ]
+
+
+def test_takeaways_report(findings, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_report(
+        "takeaways",
+        "Paper takeaways, re-verified on the simulated testbed:\n"
+        + "\n".join(finding.describe() for finding in findings),
+    )
+
+
+@pytest.mark.parametrize("index", range(8))
+def test_each_takeaway_holds(findings, index):
+    finding = findings[index]
+    assert finding.holds, finding.describe()
+
+
+def test_takeaways_numbered_one_to_eight(findings):
+    assert [f.takeaway for f in findings] == list(range(1, 9))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Energy and endurance analysis of DRAM vs Optane deployments.
+
+Compares per-DIMM energy (the paper's Fig. 2 bottom), shows that total
+NVM energy exceeds DRAM despite lower access energy, and projects
+NVDIMM wear from the measured write traffic (the long-term concern of
+Takeaway 3).
+
+Run:  python examples/energy_analysis.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.analysis.tables import format_table
+from repro.cluster.topology import paper_testbed
+from repro.memory.wear import WearTracker
+from repro.sim import Environment
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.units import fmt_time
+from repro.workloads import get_workload
+
+WORKLOADS = ("sort", "lda")
+
+
+def energy_comparison() -> None:
+    rows = []
+    for workload in WORKLOADS:
+        for size in ("small", "large"):
+            dram = run_experiment(ExperimentConfig(workload=workload, size=size, tier=0))
+            nvm = run_experiment(ExperimentConfig(workload=workload, size=size, tier=2))
+            dram_j = dram.telemetry.energy["numa1-dram"].per_dimm_joules
+            nvm_j = nvm.telemetry.energy["numa2-nvm4"].per_dimm_joules
+            rows.append(
+                [
+                    workload,
+                    size,
+                    fmt_time(dram.execution_time),
+                    fmt_time(nvm.execution_time),
+                    f"{dram_j:.3f}",
+                    f"{nvm_j:.3f}",
+                    f"{(nvm_j - dram_j) / nvm_j:.0%}",
+                ]
+            )
+    print(
+        format_table(
+            ["workload", "size", "T0 time", "T2 time",
+             "DRAM J/DIMM", "DCPM J/DIMM", "DRAM saves"],
+            rows,
+            title="Per-DIMM energy: DRAM (Tier 0) vs Optane DCPM (Tier 2)",
+        )
+    )
+
+
+def wear_projection() -> None:
+    """Run lda (write-heavy) on NVM and extrapolate DIMM lifetime."""
+    env = Environment()
+    machine = paper_testbed(env)
+    sc = SparkContext(env=env, machine=machine, conf=SparkConf(memory_tier=2))
+    get_workload("lda").run(sc, "small")
+    elapsed = env.now
+
+    tracker = WearTracker(machine.devices_of_kind("nvm"))
+    worst = tracker.worst(elapsed)
+    print("\nNVDIMM endurance projection (continuous lda-small workload):")
+    print(f"  media writes so far : {tracker.total_media_writes():,}")
+    print(f"  most-worn DIMM      : {worst.dimm_id}")
+    print(f"  wear fraction       : {worst.wear_fraction:.3e}")
+    years = worst.projected_lifetime_years
+    print(f"  projected lifetime  : {years:,.0f} years at this (scaled) rate")
+    print(
+        "  (paper-scale workloads run ~1000x more traffic: sustained "
+        "write-heavy analytics measurably shortens DCPM life — Takeaway 3.)"
+    )
+    sc.stop()
+
+
+if __name__ == "__main__":
+    energy_comparison()
+    wear_projection()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Executor tuning: the "fat vs skinny" trade-off on an NVM tier.
+
+Reproduces a slice of the paper's Fig. 4: sweeps executor count × cores
+per executor for a workload bound to the socket-attached Optane tier,
+renders the speedup heatmap, and prints a tuning recommendation.
+
+Run:  python examples/executor_tuning.py [workload] [size]
+      (defaults: sort small)
+"""
+
+import sys
+
+from repro.analysis.heatmap import format_heatmap
+from repro.core.sweeps import executor_core_sweep
+from repro.units import fmt_time
+
+
+def tune(workload: str, size: str) -> None:
+    executors = (1, 2, 4, 8)
+    cores = (5, 10, 20, 40)
+    print(
+        f"Sweeping {workload}-{size} on Tier 2 (Optane) over "
+        f"executors {executors} x cores {cores}...\n"
+    )
+    grid = executor_core_sweep(
+        workload, size, tier=2, executors=executors, cores=cores
+    )
+
+    values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}
+    print(
+        format_heatmap(
+            list(executors),
+            list(cores),
+            values,
+            title="speedup vs 1 executor x 40 cores (rows=executors, cols=cores)",
+        )
+    )
+
+    best = max(values, key=values.get)
+    worst = min(values, key=values.get)
+    print(f"\nbaseline (1x40): {fmt_time(grid.baseline_time)}")
+    print(
+        f"best   : {best[0]} executor(s) x {best[1]} cores "
+        f"({values[best]:.2f}x speedup)"
+    )
+    print(
+        f"worst  : {worst[0]} executor(s) x {worst[1]} cores "
+        f"({1 / values[worst]:.2f}x slowdown)"
+    )
+    if values[best] < 1.1:
+        print(
+            "\nRecommendation: keep the paper's default single fat executor — "
+            "extra executors only add co-operation traffic on the NVM tier "
+            "(Takeaway 6)."
+        )
+    else:
+        print(
+            "\nRecommendation: this workload benefits from more executors — "
+            "its task volume amortizes the per-executor overheads (Takeaway 7)."
+        )
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "sort"
+    size = sys.argv[2] if len(sys.argv) > 2 else "small"
+    tune(workload, size)

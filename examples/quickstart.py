@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: run a Spark job on the simulated tiered-memory testbed.
+
+Builds the paper's 2-socket DRAM/Optane machine, binds one executor to
+the local-DRAM tier, runs a small word-count, then repeats the same job
+membind-ed to the socket-attached Optane tier and compares.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SparkConf, SparkContext
+from repro.telemetry import TelemetryCollector
+from repro.units import fmt_time
+
+WORDS = ("spark", "memory", "tier", "dram", "nvm", "optane", "numa") * 2000
+
+
+def word_count(tier: int) -> None:
+    conf = SparkConf(memory_tier=tier, default_parallelism=8)
+    sc = SparkContext(conf=conf)
+    collector = TelemetryCollector(sc.env, sc.machine)
+    collector.start(sc)
+
+    counts = (
+        sc.parallelize(WORDS, 8)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+
+    sample = collector.stop(sc)
+    tier_name = sc.executors[0].memory.tier.name
+    print(f"\n--- {tier_name} ---")
+    print(f"  distinct words      : {len(counts)}")
+    print(f"  total counted       : {sum(c for _, c in counts)}")
+    print(f"  simulated exec time : {fmt_time(sample.elapsed)}")
+    print(f"  NVDIMM media reads  : {sample.nvm_media_reads:,}")
+    print(f"  NVDIMM media writes : {sample.nvm_media_writes:,}")
+    for name, report in sorted(sample.energy.items()):
+        if report.total_joules > 0:
+            print(f"  energy {name:12s} : {report.total_joules:.3f} J")
+    sc.stop()
+
+
+def main() -> None:
+    print("Quickstart: the same word-count on two memory tiers")
+    word_count(tier=0)  # local DRAM
+    word_count(tier=2)  # socket-attached Optane DCPM
+    print(
+        "\nThe NVM-bound run is slower and burns more DIMM energy despite "
+        "identical results — the paper's headline observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

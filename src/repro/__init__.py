@@ -1,0 +1,43 @@
+"""repro — reproduction of *On the Implications of Heterogeneous Memory
+Tiering on Spark In-Memory Analytics* (IPPS 2023).
+
+A simulation-based reproduction: a discrete-event model of a 2-socket
+DRAM/Optane tiered-memory server, a Spark-like in-memory analytics engine
+running real HiBench-style workloads on top of it, and the paper's full
+characterization pipeline (tier sweeps, ipmctl/RAPL/MBA emulation,
+Pearson analyses, executor/core tuning grids, prediction models).
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(workload="sort", size="small", tier=2))
+    print(result.execution_time, result.nvm_reads, result.nvm_writes)
+
+Subpackages
+-----------
+``repro.sim``         discrete-event simulation kernel
+``repro.memory``      DRAM/NVM technologies, NUMA pools, tiers (Table I)
+``repro.cluster``     CPUs, sockets, UPI, the testbed machine, numactl
+``repro.hdfs``        single-node HDFS model
+``repro.spark``       RDD engine, DAG scheduler, executors, shuffle
+``repro.workloads``   the 7 HiBench-style applications (Table II)
+``repro.telemetry``   ipmctl / RAPL / perf-event emulation
+``repro.core``        characterization, sweeps, correlation, prediction
+``repro.analysis``    stats, tables, text figures, result stores
+"""
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SparkConf",
+    "SparkContext",
+    "__version__",
+    "run_experiment",
+]

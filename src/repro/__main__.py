@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Run the Table I microbenchmarks (idle latency / bandwidth per tier).
+``run WORKLOAD``
+    Run one workload/size/tier configuration and print telemetry.
+``tiers WORKLOAD``
+    Sweep one workload across all four tiers (mini Fig. 2).
+``grid WORKLOAD``
+    Sweep executors × cores on a tier (mini Fig. 4) and print a heatmap.
+``mba WORKLOAD``
+    Sweep Intel MBA levels (mini Fig. 3).
+``list``
+    List the registered workloads and their size profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.heatmap import format_heatmap
+from repro.analysis.tables import format_table
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.microbench import measure_tier_specs
+from repro.core.sweeps import executor_core_sweep, mba_sweep
+from repro.units import fmt_time
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.base import SIZE_ORDER
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = [
+        [f"Tier {m.tier_id}", round(m.idle_latency_ns, 1),
+         round(m.read_bandwidth_gbps, 2), round(m.write_bandwidth_gbps, 2)]
+        for m in measure_tier_specs()
+    ]
+    print(format_table(
+        ["tier", "idle latency (ns)", "read BW (GB/s)", "write BW (GB/s)"],
+        rows, title="Table I (measured through the simulator)",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        workload=args.workload,
+        size=args.size,
+        tier=args.tier,
+        num_executors=args.executors,
+        executor_cores=args.cores,
+        mba_percent=args.mba,
+    )
+    result = run_experiment(config)
+    print(f"configuration : {config.describe()}")
+    print(f"verified      : {result.verified}")
+    print(f"execution time: {fmt_time(result.execution_time)}")
+    print(f"records       : {result.records_processed:,}")
+    print(f"NVM reads     : {result.nvm_reads:,}")
+    print(f"NVM writes    : {result.nvm_writes:,}")
+    for name, report in sorted(result.telemetry.energy.items()):
+        print(f"energy {name:14s}: {report.total_joules:.3f} J")
+    return 0 if result.verified else 1
+
+
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    rows = []
+    base = None
+    for tier in range(4):
+        result = run_experiment(
+            ExperimentConfig(workload=args.workload, size=args.size, tier=tier)
+        )
+        base = base or result.execution_time
+        rows.append([
+            f"Tier {tier}", fmt_time(result.execution_time),
+            f"{result.execution_time / base:.2f}x",
+            f"{result.nvm_reads + result.nvm_writes:,}",
+        ])
+    print(format_table(
+        ["tier", "time", "vs T0", "NVM accesses"],
+        rows, title=f"{args.workload}-{args.size} across tiers",
+    ))
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    executors = (1, 2, 4, 8)
+    cores = (5, 10, 20, 40)
+    grid = executor_core_sweep(
+        args.workload, args.size, tier=args.tier, executors=executors, cores=cores
+    )
+    values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}
+    print(format_heatmap(
+        list(executors), list(cores), values,
+        title=(f"{args.workload}-{args.size} tier {args.tier}: speedup vs 1x40 "
+               f"(rows=executors, cols=cores)"),
+    ))
+    return 0
+
+
+def _cmd_mba(args: argparse.Namespace) -> int:
+    sweep = mba_sweep(args.workload, args.size, tier=args.tier)
+    rows = [[f"{level}%", fmt_time(time)] for level, time in sorted(sweep.times.items())]
+    print(format_table(
+        ["MBA level", "time"], rows,
+        title=f"{args.workload}-{args.size} tier {args.tier} under MBA caps",
+    ))
+    print(f"relative spread: {sweep.spread():.2%} "
+          f"({'latency-bound' if sweep.spread() < 0.3 else 'bandwidth-sensitive'})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import characterization_report
+    from repro.core.characterization import characterize
+    from repro.core.sweeps import executor_core_sweep, mba_sweep
+
+    workloads = tuple(args.workloads) if args.workloads else ("sort", "lda")
+    sizes = ("tiny", "small")
+    print(f"characterizing {workloads} x {sizes} x 4 tiers...", file=sys.stderr)
+    run = characterize(workloads=workloads, sizes=sizes)
+    sweeps = [mba_sweep(w, "small", tier=2, levels=(10, 50, 100)) for w in workloads]
+    grids = [
+        executor_core_sweep(w, "small", tier=2, executors=(1, 4, 8), cores=(40,))
+        for w in workloads
+    ]
+    report = characterization_report(run, mba_sweeps=sweeps, grids=grids)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_selfcheck(_args: argparse.Namespace) -> int:
+    from repro.core.selfcheck import run_selfcheck
+
+    results = run_selfcheck()
+    for result in results:
+        print(result.describe())
+    failed = [r for r in results if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")
+    return 1 if failed else 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name)
+        for size in SIZE_ORDER:
+            profile = workload.profile(size)
+            rows.append([
+                name, workload.category, size,
+                ", ".join(f"{k}={v}" for k, v in sorted(profile.params.items())),
+            ])
+    print(format_table(["workload", "category", "size", "parameters"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Spark-on-tiered-memory characterization (IPPS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I microbenchmarks").set_defaults(fn=_cmd_table1)
+    sub.add_parser("list", help="list workloads").set_defaults(fn=_cmd_list)
+    sub.add_parser(
+        "selfcheck", help="validate model calibration and invariants"
+    ).set_defaults(fn=_cmd_selfcheck)
+
+    def with_workload(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
+        p.add_argument("workload", choices=WORKLOAD_NAMES)
+        p.add_argument("--size", default="small", choices=SIZE_ORDER)
+        p.add_argument("--tier", type=int, default=0, choices=(0, 1, 2, 3))
+        return p
+
+    run_parser = with_workload(sub.add_parser("run", help="run one configuration"))
+    run_parser.add_argument("--executors", type=int, default=1)
+    run_parser.add_argument("--cores", type=int, default=40)
+    run_parser.add_argument("--mba", type=int, default=100)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    with_workload(sub.add_parser("tiers", help="sweep all tiers")).set_defaults(
+        fn=_cmd_tiers
+    )
+    with_workload(sub.add_parser("grid", help="executors x cores grid")).set_defaults(
+        fn=_cmd_grid
+    )
+    with_workload(sub.add_parser("mba", help="MBA bandwidth sweep")).set_defaults(
+        fn=_cmd_mba
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="generate a markdown characterization report"
+    )
+    report_parser.add_argument(
+        "workloads", nargs="*", choices=WORKLOAD_NAMES, metavar="workload"
+    )
+    report_parser.add_argument("-o", "--output", default=None)
+    report_parser.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

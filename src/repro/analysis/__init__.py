@@ -1,0 +1,23 @@
+"""Analysis and reporting utilities: stats, tables, text figures, stores."""
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    describe,
+    geometric_mean,
+    percentile,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.heatmap import format_heatmap
+from repro.analysis.violin import format_violin_row
+from repro.analysis.resultstore import ResultStore
+
+__all__ = [
+    "DistributionSummary",
+    "ResultStore",
+    "describe",
+    "format_heatmap",
+    "format_table",
+    "format_violin_row",
+    "geometric_mean",
+    "percentile",
+]

@@ -1,0 +1,61 @@
+"""ASCII heatmaps (the Fig. 4 / Fig. 5 text rendering)."""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+#: Shading ramp from cold to hot.
+_RAMP = " .:-=+*#%@"
+
+
+def _shade(value: float, low: float, high: float) -> str:
+    if math.isnan(value):
+        return "?"
+    if high <= low:
+        return _RAMP[len(_RAMP) // 2]
+    fraction = (value - low) / (high - low)
+    index = min(len(_RAMP) - 1, max(0, int(fraction * (len(_RAMP) - 1))))
+    return _RAMP[index]
+
+
+def format_heatmap(
+    row_labels: t.Sequence[t.Any],
+    col_labels: t.Sequence[t.Any],
+    values: dict[tuple[t.Any, t.Any], float],
+    title: str = "",
+    value_format: str = "{:5.2f}",
+) -> str:
+    """Render a labeled grid of numbers with shading glyphs.
+
+    ``values`` maps ``(row_label, col_label)`` to a float; missing cells
+    render as blanks.
+    """
+    finite = [v for v in values.values() if not math.isnan(v)]
+    low = min(finite) if finite else 0.0
+    high = max(finite) if finite else 1.0
+
+    col_width = max(
+        [len(value_format.format(0.0)) + 2]
+        + [len(str(c)) + 2 for c in col_labels]
+    )
+    label_width = max([len(str(r)) for r in row_labels] + [4])
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + "".join(
+        str(c).rjust(col_width) for c in col_labels
+    )
+    lines.append(header)
+    for row in row_labels:
+        cells = []
+        for col in col_labels:
+            value = values.get((row, col), math.nan)
+            if math.isnan(value):
+                cells.append(" " * (col_width - 1) + "?")
+            else:
+                rendered = value_format.format(value) + _shade(value, low, high)
+                cells.append(rendered.rjust(col_width))
+        lines.append(str(row).rjust(label_width) + "".join(cells))
+    return "\n".join(lines)

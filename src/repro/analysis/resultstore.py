@@ -1,0 +1,71 @@
+"""JSON persistence for experiment results."""
+
+from __future__ import annotations
+
+import json
+import typing as t
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, t.Any]:
+    """Serialize one result (telemetry reduced to scalars)."""
+    config = result.config
+    return {
+        "config": {
+            "workload": config.workload,
+            "size": config.size,
+            "tier": config.tier,
+            "num_executors": config.num_executors,
+            "executor_cores": config.executor_cores,
+            "mba_percent": config.mba_percent,
+        },
+        "execution_time": result.execution_time,
+        "verified": result.verified,
+        "records_processed": result.records_processed,
+        "events": dict(result.events),
+        "nvm_reads": result.nvm_reads,
+        "nvm_writes": result.nvm_writes,
+        "energy": {
+            name: report.total_joules
+            for name, report in result.telemetry.energy.items()
+        },
+    }
+
+
+class ResultStore:
+    """Append-only JSON-lines store of experiment outcomes.
+
+    Benchmarks write their raw measurements here so EXPERIMENTS.md
+    comparisons are re-derivable without re-running sweeps.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, result: ExperimentResult) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(result_to_dict(result)) + "\n")
+
+    def append_row(self, row: dict[str, t.Any]) -> None:
+        """Store an arbitrary pre-serialized record."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(row) + "\n")
+
+    def load(self) -> list[dict[str, t.Any]]:
+        if not self.path.exists():
+            return []
+        rows: list[dict[str, t.Any]] = []
+        with self.path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        return rows
+
+    def clear(self) -> None:
+        if self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,80 @@
+"""Statistical helpers for experiment analysis."""
+
+from __future__ import annotations
+
+import math
+import typing as t
+from dataclasses import dataclass
+
+
+def percentile(values: t.Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high or ordered[low] == ordered[high]:
+        # Second condition avoids rounding a hair outside the sample
+        # range when interpolating between equal values.
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def geometric_mean(values: t.Sequence[float]) -> float:
+    """Geometric mean (all values must be positive)."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-plus summary of a sample (violin-plot backing data)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    @property
+    def relative_spread(self) -> float:
+        """(max − min) / median — the Fig. 3 insensitivity measure."""
+        if self.median == 0:
+            return math.inf if self.maximum > self.minimum else 0.0
+        return (self.maximum - self.minimum) / self.median
+
+
+def describe(values: t.Sequence[float]) -> DistributionSummary:
+    """Summarize a sample."""
+    if not values:
+        raise ValueError("describe of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return DistributionSummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        p25=percentile(values, 25),
+        median=percentile(values, 50),
+        p75=percentile(values, 75),
+        maximum=max(values),
+    )

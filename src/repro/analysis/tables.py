@@ -1,0 +1,43 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+import typing as t
+
+
+def format_table(
+    headers: t.Sequence[str],
+    rows: t.Sequence[t.Sequence[t.Any]],
+    title: str = "",
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats use ``float_format``; everything else uses ``str``.
+    """
+    def cell(value: t.Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: t.Sequence[str]) -> str:
+        return " | ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(separator)
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)

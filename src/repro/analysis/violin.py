@@ -1,0 +1,52 @@
+"""Text "violin" rows: distribution glyphs for the Fig. 3 rendering."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.analysis.stats import DistributionSummary, describe
+
+
+def format_violin_row(
+    label: str,
+    values: t.Sequence[float],
+    width: int = 40,
+    domain: tuple[float, float] | None = None,
+) -> str:
+    """One text row: label, min/median/max markers on a scaled axis.
+
+    Renders ``|--[=M=]--|`` style: whiskers at min/max, box at the
+    quartiles, ``M`` at the median.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    summary = describe(values)
+    low, high = domain if domain is not None else (summary.minimum, summary.maximum)
+    span = high - low
+
+    def position(value: float) -> int:
+        if span <= 0:
+            return width // 2
+        return min(width - 1, max(0, int((value - low) / span * (width - 1))))
+
+    row = [" "] * width
+    lo_i, hi_i = position(summary.minimum), position(summary.maximum)
+    for i in range(lo_i, hi_i + 1):
+        row[i] = "-"
+    for i in range(position(summary.p25), position(summary.p75) + 1):
+        row[i] = "="
+    row[lo_i] = "|"
+    row[hi_i] = "|"
+    row[position(summary.median)] = "M"
+    axis = "".join(row)
+    return (
+        f"{label:24s} [{axis}] "
+        f"med={summary.median:.4g} spread={summary.relative_spread:.2%}"
+    )
+
+
+def violin_summaries(
+    groups: dict[str, t.Sequence[float]]
+) -> dict[str, DistributionSummary]:
+    """Describe each labeled sample group."""
+    return {label: describe(values) for label, values in groups.items()}

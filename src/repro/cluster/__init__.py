@@ -1,0 +1,27 @@
+"""Compute-side substrate: cores, sockets, interconnect, whole machine.
+
+Models the paper's testbed server — a 2-socket Intel Xeon Gold 5218R
+(20 cores / 40 hyperthreads per socket, 2.10 GHz) with 2×32 GB DDR4 DIMMs
+per socket and an asymmetric Optane population (4 NVDIMMs on socket 1,
+2 NVDIMMs on socket 0) — and the ``numactl`` binding mechanism used to
+pin Spark executors to compute and memory tiers.
+"""
+
+from repro.cluster.cpu import CpuSpec, XEON_GOLD_5218R
+from repro.cluster.interconnect import UpiLink
+from repro.cluster.node import BoundMemory, Machine, NumaNode
+from repro.cluster.numactl import NumactlBinding
+from repro.cluster.socket import Socket
+from repro.cluster.topology import paper_testbed
+
+__all__ = [
+    "BoundMemory",
+    "CpuSpec",
+    "Machine",
+    "NumaNode",
+    "NumactlBinding",
+    "Socket",
+    "UpiLink",
+    "XEON_GOLD_5218R",
+    "paper_testbed",
+]

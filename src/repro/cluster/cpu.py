@@ -1,0 +1,100 @@
+"""CPU specifications and compute-time modeling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import gbps_to_bps
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Per-socket CPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    physical_cores:
+        Cores per socket.
+    threads_per_core:
+        SMT width (2 for HyperThreading).
+    clock_hz:
+        Base clock.
+    effective_ipc:
+        Average retired "abstract operations" per cycle for analytics
+        code on a single thread.  One abstract op ≈ one element-level unit
+        of work in the workload cost models.
+    smt_efficiency:
+        Throughput multiplier per thread when both SMT siblings are busy
+        (two threads on one core deliver ``2 × smt_efficiency`` of one
+        thread's rate).
+    core_stream_bandwidth:
+        Sequential bytes/s one thread can demand from memory
+        (prefetcher-limited).
+    """
+
+    name: str
+    physical_cores: int
+    threads_per_core: int
+    clock_hz: float
+    effective_ipc: float
+    smt_efficiency: float
+    core_stream_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.physical_cores < 1:
+            raise ValueError("physical_cores must be >= 1")
+        if self.threads_per_core < 1:
+            raise ValueError("threads_per_core must be >= 1")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.effective_ipc <= 0:
+            raise ValueError("effective_ipc must be positive")
+        if not 0 < self.smt_efficiency <= 1:
+            raise ValueError("smt_efficiency must be in (0, 1]")
+        if self.core_stream_bandwidth <= 0:
+            raise ValueError("core_stream_bandwidth must be positive")
+
+    @property
+    def hyperthreads(self) -> int:
+        """Logical CPUs per socket."""
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def thread_ops_per_second(self) -> float:
+        """Abstract op throughput of one thread running alone on a core."""
+        return self.clock_hz * self.effective_ipc
+
+    def throughput_factor(self, busy_threads: int) -> float:
+        """Per-thread throughput multiplier at a given occupancy.
+
+        With at most one thread per physical core every thread runs at
+        full rate; beyond that, SMT sharing reduces per-thread throughput.
+        """
+        if busy_threads <= 0:
+            return 1.0
+        if busy_threads <= self.physical_cores:
+            return 1.0
+        return self.smt_efficiency
+
+    def compute_seconds(self, ops: float, busy_threads: int = 1) -> float:
+        """Time one thread needs for ``ops`` abstract operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        rate = self.thread_ops_per_second * self.throughput_factor(busy_threads)
+        return ops / rate
+
+
+#: The paper's CPU: Intel Xeon Gold 5218R, 20 cores / 40 threads per
+#: socket @ 2.10 GHz.  ``effective_ipc`` is calibrated so the simulated
+#: HiBench-style workloads land in a realistic seconds-scale range.
+XEON_GOLD_5218R = CpuSpec(
+    name="Intel Xeon Gold 5218R",
+    physical_cores=20,
+    threads_per_core=2,
+    clock_hz=2.10e9,
+    effective_ipc=1.2,
+    smt_efficiency=0.62,
+    core_stream_bandwidth=gbps_to_bps(12.0),
+)

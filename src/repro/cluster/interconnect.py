@@ -1,0 +1,34 @@
+"""Inter-socket interconnect (Intel UPI) model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.tiers import UPI_BANDWIDTH_CAP, UPI_HOP_LATENCY
+
+
+@dataclass(frozen=True)
+class UpiLink:
+    """One Ultra Path Interconnect link between two sockets.
+
+    Remote NUMA accesses pay ``hop_latency`` per transaction and cannot
+    stream faster than ``bandwidth``; both values are the Table I-derived
+    calibration shared with :mod:`repro.memory.tiers`.
+    """
+
+    socket_a: int
+    socket_b: int
+    hop_latency: float = UPI_HOP_LATENCY
+    bandwidth: float = UPI_BANDWIDTH_CAP
+
+    def __post_init__(self) -> None:
+        if self.socket_a == self.socket_b:
+            raise ValueError("a UPI link connects two distinct sockets")
+        if self.hop_latency < 0:
+            raise ValueError("hop_latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def connects(self, socket_x: int, socket_y: int) -> bool:
+        """Whether this link joins the two given sockets (order-free)."""
+        return {socket_x, socket_y} == {self.socket_a, self.socket_b}

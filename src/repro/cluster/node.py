@@ -1,0 +1,171 @@
+"""The whole machine: sockets, NUMA nodes, devices, tier resolution."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.cluster.cpu import CpuSpec
+from repro.cluster.interconnect import UpiLink
+from repro.cluster.socket import Socket
+from repro.memory.device import LOCAL_PATH, MemoryDevice, PathCharacteristics
+from repro.memory.tiers import TierSpec
+from repro.sim import Environment
+
+
+@dataclass
+class NumaNode:
+    """An OS-visible NUMA node: a memory pool attached to one socket.
+
+    ``attached_socket`` is the socket whose memory controller hosts the
+    DIMMs; accesses from other sockets cross UPI.
+    """
+
+    node_id: int
+    device: MemoryDevice
+    attached_socket: int
+
+    @property
+    def kind(self) -> str:
+        return self.device.technology.kind
+
+
+@dataclass(frozen=True)
+class BoundMemory:
+    """A resolved memory binding: device plus path from the CPU socket."""
+
+    device: MemoryDevice
+    path: PathCharacteristics
+    tier: TierSpec
+    numa_node: int
+
+
+class Machine:
+    """Multi-socket server with heterogeneous NUMA memory pools.
+
+    The central runtime object: executors obtain compute from a
+    :class:`~repro.cluster.socket.Socket` and memory service from a
+    :class:`BoundMemory` resolved through :meth:`resolve_tier`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: CpuSpec,
+        sockets: int = 2,
+    ) -> None:
+        if sockets < 1:
+            raise ValueError("sockets must be >= 1")
+        self.env = env
+        self.cpu = cpu
+        self.sockets = [Socket(env, i, cpu) for i in range(sockets)]
+        self.numa_nodes: list[NumaNode] = []
+        self.links: list[UpiLink] = [
+            UpiLink(a, b)
+            for a in range(sockets)
+            for b in range(a + 1, sockets)
+        ]
+
+    # -- construction -----------------------------------------------------------
+    def add_numa_node(self, device: MemoryDevice, attached_socket: int) -> NumaNode:
+        """Register a memory pool as the next NUMA node."""
+        if not 0 <= attached_socket < len(self.sockets):
+            raise ValueError(f"no socket {attached_socket}")
+        node = NumaNode(len(self.numa_nodes), device, attached_socket)
+        self.numa_nodes.append(node)
+        return node
+
+    # -- lookup -----------------------------------------------------------------
+    def socket(self, socket_id: int) -> Socket:
+        return self.sockets[socket_id]
+
+    def node(self, node_id: int) -> NumaNode:
+        return self.numa_nodes[node_id]
+
+    def devices(self) -> list[MemoryDevice]:
+        return [n.device for n in self.numa_nodes]
+
+    def devices_of_kind(self, kind: str) -> list[MemoryDevice]:
+        return [n.device for n in self.numa_nodes if n.kind == kind]
+
+    def link_between(self, socket_a: int, socket_b: int) -> UpiLink:
+        for link in self.links:
+            if link.connects(socket_a, socket_b):
+                return link
+        raise LookupError(f"no UPI link between sockets {socket_a} and {socket_b}")
+
+    # -- tier resolution -----------------------------------------------------------
+    def resolve_tier(self, cpu_socket: int, tier: TierSpec) -> BoundMemory:
+        """Find the NUMA node realizing ``tier`` for cores on ``cpu_socket``.
+
+        Tier semantics (matching the paper's Fig. 1):
+
+        - DRAM tiers: tier 0 is the DRAM node attached to ``cpu_socket``;
+          tier 1 the DRAM node on the other socket.
+        - NVM tiers: tier 2 is the *large* (4-DIMM) NVM pool, tier 3 the
+          *small* (2-DIMM) pool; whether each crosses UPI depends on which
+          socket the executor runs on.  The paper's Table I numbers are
+          measured from the socket adjacent to the 4-DIMM pool, which is
+          where the default experiment configuration binds executors.
+        """
+        if not 0 <= cpu_socket < len(self.sockets):
+            raise ValueError(f"no socket {cpu_socket}")
+
+        if tier.technology.kind == "dram":
+            wanted_socket = (
+                cpu_socket if tier.tier_id == 0 else self._other_socket(cpu_socket)
+            )
+            node = self._find_node("dram", attached_socket=wanted_socket)
+        else:
+            node = self._find_node("nvm", dimm_count=tier.dimm_count)
+
+        # The tier *is* the access mode: its path characteristics (hop
+        # latency, UPI ceiling, protocol efficiency) are definitional, and
+        # resolution only locates the physical pool.  The default
+        # experiment binding (socket adjacent to the 4-DIMM NVM pool)
+        # makes the tier definitions physically consistent with Fig. 1.
+        return BoundMemory(
+            device=node.device, path=tier.path(), tier=tier, numa_node=node.node_id
+        )
+
+    def _other_socket(self, socket_id: int) -> int:
+        if len(self.sockets) < 2:
+            raise ValueError("machine has a single socket; no remote DRAM tier")
+        return (socket_id + 1) % len(self.sockets)
+
+    def _find_node(
+        self,
+        kind: str,
+        attached_socket: int | None = None,
+        dimm_count: int | None = None,
+    ) -> NumaNode:
+        for node in self.numa_nodes:
+            if node.kind != kind:
+                continue
+            if attached_socket is not None and node.attached_socket != attached_socket:
+                continue
+            if dimm_count is not None and node.device.dimm_count != dimm_count:
+                continue
+            return node
+        raise LookupError(
+            f"no NUMA node with kind={kind} socket={attached_socket} "
+            f"dimms={dimm_count}"
+        )
+
+    # -- summary ----------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable topology dump (like ``numactl --hardware``)."""
+        lines = [f"machine: {len(self.sockets)} x {self.cpu.name}"]
+        for socket in self.sockets:
+            lines.append(
+                f"  socket {socket.socket_id}: {self.cpu.physical_cores} cores / "
+                f"{self.cpu.hyperthreads} threads"
+            )
+        for node in self.numa_nodes:
+            device = node.device
+            lines.append(
+                f"  numa {node.node_id}: {device.technology.name} x"
+                f"{device.dimm_count} ({device.capacity >> 30} GiB) "
+                f"attached to socket {node.attached_socket}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""``numactl`` emulation: CPU and memory binding for executors.
+
+The paper pins each Spark executor with::
+
+    numactl --cpunodebind=<numa> --membind=<numa> ...
+
+Here a :class:`NumactlBinding` couples a CPU socket with a memory tier and
+resolves against a :class:`~repro.cluster.node.Machine` to produce the
+socket + bound memory an executor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import BoundMemory, Machine
+from repro.cluster.socket import Socket
+from repro.memory.tiers import TierSpec, tier_by_id
+
+
+@dataclass(frozen=True)
+class NumactlBinding:
+    """One executor's placement: compute socket + memory tier."""
+
+    cpu_socket: int
+    tier: TierSpec
+
+    @classmethod
+    def from_ids(cls, cpu_socket: int, tier_id: int) -> "NumactlBinding":
+        """Build a binding from raw ids (tier 0-3)."""
+        return cls(cpu_socket=cpu_socket, tier=tier_by_id(tier_id))
+
+    def resolve(self, machine: Machine) -> tuple[Socket, BoundMemory]:
+        """Resolve to the concrete socket and memory pool on ``machine``."""
+        socket = machine.socket(self.cpu_socket)
+        memory = machine.resolve_tier(self.cpu_socket, self.tier)
+        return socket, memory
+
+    def cmdline(self) -> str:
+        """The equivalent real-world numactl invocation (for reports)."""
+        return (
+            f"numactl --cpunodebind={self.cpu_socket} "
+            f"--membind=<node-of:{self.tier.name}>"
+        )

@@ -1,0 +1,55 @@
+"""Physical CPU socket: a pool of hyperthreads with SMT contention."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cluster.cpu import CpuSpec
+from repro.sim import Environment, Resource
+
+
+class Socket:
+    """One CPU package: scheduling pool of hyperthreads.
+
+    Tasks claim a hyperthread slot (a DES :class:`Resource`) for their
+    lifetime and run compute phases at a rate that reflects SMT sharing:
+    the per-thread throughput drops once more threads are busy than
+    physical cores.
+    """
+
+    def __init__(self, env: Environment, socket_id: int, cpu: CpuSpec) -> None:
+        self.env = env
+        self.socket_id = socket_id
+        self.cpu = cpu
+        self.threads = Resource(
+            env, capacity=cpu.hyperthreads, name=f"socket{socket_id}-threads"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Socket {self.socket_id} {self.cpu.name} busy={self.busy_threads}>"
+
+    @property
+    def busy_threads(self) -> int:
+        return self.threads.count
+
+    @property
+    def hyperthreads(self) -> int:
+        return self.cpu.hyperthreads
+
+    def compute(self, ops: float) -> t.Generator:
+        """Simulation process: execute ``ops`` on the *calling* thread.
+
+        The caller must already hold a thread slot; the rate is sampled at
+        the current occupancy (deterministic, first-order SMT model).
+        """
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        if ops == 0:
+            return 0.0
+        duration = self.cpu.compute_seconds(ops, busy_threads=self.busy_threads)
+        yield self.env.timeout(duration)
+        return duration
+
+    def utilization(self) -> float:
+        """Average busy fraction of the thread pool so far."""
+        return self.threads.utilization()

@@ -1,0 +1,42 @@
+"""Builders for concrete machine topologies."""
+
+from __future__ import annotations
+
+from repro.cluster.cpu import XEON_GOLD_5218R, CpuSpec
+from repro.cluster.node import Machine
+from repro.memory.device import MemoryDevice
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+from repro.sim import Environment
+
+#: Default socket Spark executors are pinned to in experiments.  Socket 1
+#: hosts the 4-DIMM Optane pool, so tiers measured from it match Table I.
+DEFAULT_EXECUTOR_SOCKET = 1
+
+
+def paper_testbed(env: Environment, cpu: CpuSpec = XEON_GOLD_5218R) -> Machine:
+    """Build the paper's testbed server (Sec. III-A / Fig. 1).
+
+    - 2 × Xeon Gold 5218R (20 cores / 40 threads each)
+    - NUMA 0: 2 × 32 GB DDR4 attached to socket 0
+    - NUMA 1: 2 × 32 GB DDR4 attached to socket 1
+    - NUMA 2: 4 × 256 GB Optane DCPM attached to socket 1
+    - NUMA 3: 2 × 256 GB Optane DCPM attached to socket 0
+
+    The paper exposes both Optane pools as a single OS NUMA node ("NUMA 2");
+    we keep them as two pools because the asymmetric DIMM population is what
+    creates the distinct Tier 2 / Tier 3 behaviour.
+    """
+    machine = Machine(env, cpu=cpu, sockets=2)
+    machine.add_numa_node(
+        MemoryDevice(env, "numa0-dram", DDR4_DRAM, dimm_count=2), attached_socket=0
+    )
+    machine.add_numa_node(
+        MemoryDevice(env, "numa1-dram", DDR4_DRAM, dimm_count=2), attached_socket=1
+    )
+    machine.add_numa_node(
+        MemoryDevice(env, "numa2-nvm4", OPTANE_DCPM, dimm_count=4), attached_socket=1
+    )
+    machine.add_numa_node(
+        MemoryDevice(env, "numa3-nvm2", OPTANE_DCPM, dimm_count=2), attached_socket=0
+    )
+    return machine

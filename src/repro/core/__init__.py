@@ -1,0 +1,66 @@
+"""The paper's contribution: characterization of Spark on memory tiers.
+
+- :mod:`repro.core.experiment` — single-configuration experiment runner
+  (workload × size × tier × executors × cores × MBA level) with full
+  telemetry.
+- :mod:`repro.core.characterization` — the Fig. 2 sweeps (execution time,
+  NVDIMM accesses, energy) and their summary statistics.
+- :mod:`repro.core.sweeps` — Fig. 3 (MBA) and Fig. 4 (executors × cores)
+  parameter sweeps.
+- :mod:`repro.core.correlation` — Pearson analysis of system-level
+  events vs. execution time (Fig. 5) and of hardware specs vs. execution
+  time (Fig. 6).
+- :mod:`repro.core.prediction` — cross-tier performance prediction
+  (Takeaway 8): analytical and linear models.
+- :mod:`repro.core.guidelines` — machine-checkable forms of the paper's
+  eight takeaways.
+- :mod:`repro.core.microbench` — Table I idle latency / bandwidth
+  microbenchmarks executed through the simulator.
+- :mod:`repro.core.placement` — tier-placement advisor (the discussion
+  section's "optimal memory tier per access type" direction).
+- :mod:`repro.core.ablation` — model ablations (write asymmetry,
+  contention, remote penalty) quantifying each mechanism's contribution.
+"""
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.characterization import (
+    CharacterizationRun,
+    characterize,
+    tier_gap_summary,
+)
+from repro.core.correlation import (
+    hardware_spec_correlation,
+    metric_time_correlation,
+    pearson,
+)
+from repro.core.capacity import CapacityPlanner, NodeConfig
+from repro.core.memory_mode_experiment import memory_mode_sweep, run_memory_mode
+from repro.core.microbench import measure_tier_specs
+from repro.core.prediction import LinearTierPredictor, predict_cross_tier
+from repro.core.selfcheck import run_selfcheck
+from repro.core.substitution import run_with_technology
+
+__all__ = [
+    "CapacityPlanner",
+    "CharacterizationRun",
+    "NodeConfig",
+    "memory_mode_sweep",
+    "run_memory_mode",
+    "run_selfcheck",
+    "run_with_technology",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LinearTierPredictor",
+    "characterize",
+    "hardware_spec_correlation",
+    "measure_tier_specs",
+    "metric_time_correlation",
+    "pearson",
+    "predict_cross_tier",
+    "run_experiment",
+    "tier_gap_summary",
+]

@@ -1,0 +1,123 @@
+"""Model ablations: which mechanism causes how much NVM degradation?
+
+The design (DESIGN.md §4) attributes NVM-tier slowdown to three
+mechanisms: the medium's read/write latency asymmetry, controller-queue
+contention, and the remote-access (UPI/DDRT) penalty.  Each ablation
+disables one mechanism by synthesizing a modified technology/tier and
+re-running a workload, quantifying that mechanism's contribution.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.core.substitution import (
+    build_substituted_machine,
+    run_with_technology,
+)
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM, MemoryTechnology
+
+
+def _no_write_asymmetry(tech: MemoryTechnology) -> MemoryTechnology:
+    """NVM variant whose writes cost the same as reads."""
+    return dc_replace(
+        tech,
+        name=tech.name + " (no write asymmetry)",
+        write_latency=tech.read_latency,
+        dimm_write_bandwidth=tech.dimm_read_bandwidth,
+        mlp_write=tech.mlp_read,
+        write_energy_per_line=tech.read_energy_per_line,
+    )
+
+
+def _dram_class_latency(tech: MemoryTechnology) -> MemoryTechnology:
+    """NVM variant with DRAM's access latency and miss overlap.
+
+    Isolates Takeaway 4's claim: if latency is the dominant bottleneck,
+    giving Optane DRAM-class latency (while keeping its bandwidth and
+    granule) should recover most of the gap.
+    """
+    return dc_replace(
+        tech,
+        name=tech.name + " (DRAM-class latency)",
+        read_latency=DDR4_DRAM.read_latency,
+        write_latency=DDR4_DRAM.write_latency,
+        mlp_read=DDR4_DRAM.mlp_read,
+        mlp_write=DDR4_DRAM.mlp_write,
+    )
+
+
+def _no_media_amplification(tech: MemoryTechnology) -> MemoryTechnology:
+    """NVM variant with cache-line (64 B) media granularity.
+
+    Removes 3D-XPoint's 256 B read-modify-write amplification — the
+    mechanism that turns random-access storms into media-bandwidth
+    saturation under executor contention.
+    """
+    return dc_replace(
+        tech,
+        name=tech.name + " (64B granule)",
+        access_granularity=64,
+    )
+
+
+ABLATIONS: dict[str, t.Callable[[MemoryTechnology], MemoryTechnology]] = {
+    "baseline": lambda tech: tech,
+    "no_write_asymmetry": _no_write_asymmetry,
+    "dram_class_latency": _dram_class_latency,
+    "no_media_amplification": _no_media_amplification,
+}
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Execution times of one workload under each model variant."""
+
+    workload: str
+    size: str
+    tier: int
+    times: dict[str, float]
+
+    def contribution(self, ablation: str) -> float:
+        """Fractional speedup from removing one mechanism."""
+        base = self.times["baseline"]
+        return (base - self.times[ablation]) / base if base > 0 else 0.0
+
+
+# Re-exported for studies that need the raw machine (benchmarks, tests).
+_build_machine = build_substituted_machine
+
+
+def run_ablation(
+    workload_name: str,
+    size: str = "small",
+    tier_id: int = 2,
+    executors: int = 4,
+    cores: int = 40,
+) -> AblationResult:
+    """Run one workload under each model variant on an NVM tier.
+
+    Uses several executors so the contention-related ablations have
+    contention to remove.
+    """
+    if tier_id not in (2, 3):
+        raise ValueError("ablations target the NVM tiers (2 or 3)")
+    times: dict[str, float] = {}
+    for name, transform in ABLATIONS.items():
+        outcome = run_with_technology(
+            transform(OPTANE_DCPM),
+            workload_name,
+            size,
+            tier_id=tier_id,
+            num_executors=executors,
+            executor_cores=cores,
+        )
+        if not outcome.verified:
+            raise AssertionError(
+                f"{workload_name}-{size} failed verification under {name}"
+            )
+        times[name] = outcome.execution_time
+    return AblationResult(
+        workload=workload_name, size=size, tier=tier_id, times=times
+    )

@@ -1,0 +1,172 @@
+"""Capacity planning: turning the guidelines into a purchasing decision.
+
+The paper's motivation — providers chasing "infinite memory at analogous
+performance while reducing operational cost" — ultimately lands on a
+procurement question: *given my workload mix and capacity need, what
+DRAM/NVM blend should a node carry?*  The :class:`CapacityPlanner`
+answers it with the same analytical model Takeaway 8 justifies:
+
+1. profile each workload on the local tier (one simulation),
+2. predict per-tier slowdowns analytically,
+3. score candidate configurations by cost and expected slowdown,
+4. recommend the cheapest configuration meeting the slowdown budget.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.placement import _result_summary, predict_slowdown
+from repro.memory.tiers import (
+    TIER_LOCAL_DRAM,
+    TIER_LOCAL_NVM,
+    TierSpec,
+    table1_tiers,
+)
+from repro.units import gib
+
+#: Street prices per GiB (order-of-magnitude; configurable).
+DEFAULT_DRAM_COST_PER_GIB = 8.0
+DEFAULT_NVM_COST_PER_GIB = 3.0
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """A candidate memory configuration for one server."""
+
+    name: str
+    dram_gib: int
+    nvm_gib: int
+
+    def __post_init__(self) -> None:
+        if self.dram_gib < 0 or self.nvm_gib < 0:
+            raise ValueError("capacities must be non-negative")
+        if self.dram_gib + self.nvm_gib == 0:
+            raise ValueError("a node needs some memory")
+
+    @property
+    def total_gib(self) -> int:
+        return self.dram_gib + self.nvm_gib
+
+    def cost(
+        self,
+        dram_per_gib: float = DEFAULT_DRAM_COST_PER_GIB,
+        nvm_per_gib: float = DEFAULT_NVM_COST_PER_GIB,
+    ) -> float:
+        return self.dram_gib * dram_per_gib + self.nvm_gib * nvm_per_gib
+
+
+#: A standard candidate menu (can be replaced by the caller).
+DEFAULT_CANDIDATES: tuple[NodeConfig, ...] = (
+    NodeConfig("dram-only-256", dram_gib=256, nvm_gib=0),
+    NodeConfig("dram-only-512", dram_gib=512, nvm_gib=0),
+    NodeConfig("hybrid-128+512", dram_gib=128, nvm_gib=512),
+    NodeConfig("hybrid-128+1024", dram_gib=128, nvm_gib=1024),
+    NodeConfig("hybrid-64+1024", dram_gib=64, nvm_gib=1024),
+    NodeConfig("nvm-heavy-32+1536", dram_gib=32, nvm_gib=1536),
+)
+
+
+@dataclass
+class CapacityPlan:
+    """Outcome of one planning call."""
+
+    working_set_gib: float
+    slowdown_budget: float
+    recommended: NodeConfig | None
+    #: name → (cost, expected slowdown, feasible)
+    evaluations: dict[str, tuple[float, float, bool]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"working set {self.working_set_gib:.0f} GiB, "
+            f"slowdown budget {self.slowdown_budget:.2f}x"
+        ]
+        for name, (cost, slowdown, feasible) in sorted(
+            self.evaluations.items(), key=lambda kv: kv[1][0]
+        ):
+            marker = "ok " if feasible else "-- "
+            lines.append(
+                f"  {marker}{name:20s} ${cost:8,.0f}  "
+                f"expected slowdown {slowdown:.2f}x"
+            )
+        if self.recommended is not None:
+            lines.append(f"recommended: {self.recommended.name}")
+        else:
+            lines.append("recommended: none feasible — raise budget or capacity")
+        return "\n".join(lines)
+
+
+class CapacityPlanner:
+    """Analytical tier-mix planner for a workload profile."""
+
+    def __init__(
+        self,
+        workload: str,
+        size: str = "small",
+        dram_cost_per_gib: float = DEFAULT_DRAM_COST_PER_GIB,
+        nvm_cost_per_gib: float = DEFAULT_NVM_COST_PER_GIB,
+    ) -> None:
+        self.workload = workload
+        self.size = size
+        self.dram_cost_per_gib = dram_cost_per_gib
+        self.nvm_cost_per_gib = nvm_cost_per_gib
+        self._profile_summary: dict[str, float] | None = None
+
+    def _summary(self) -> dict[str, float]:
+        if self._profile_summary is None:
+            result = run_experiment(
+                ExperimentConfig(workload=self.workload, size=self.size, tier=0)
+            )
+            self._profile_summary = _result_summary(result)
+        return self._profile_summary
+
+    def expected_slowdown(self, config: NodeConfig, working_set_gib: float) -> float:
+        """Slowdown of ``config`` for this workload at the working set.
+
+        The DRAM-resident fraction of the working set runs at Tier 0
+        cost; the overflow runs at socket-attached NVM (Tier 2) cost —
+        the best-case placement an ideal hot/cold split achieves.
+        Pure-DRAM configs that cannot hold the set at all are infeasible
+        (``inf``).
+        """
+        if working_set_gib <= 0:
+            raise ValueError("working_set_gib must be positive")
+        summary = self._summary()
+        nvm_slowdown = predict_slowdown(summary, TIER_LOCAL_NVM, TIER_LOCAL_DRAM)
+        if working_set_gib <= config.dram_gib:
+            return 1.0
+        if config.nvm_gib == 0:
+            return float("inf")
+        if working_set_gib > config.total_gib:
+            return float("inf")
+        dram_fraction = config.dram_gib / working_set_gib
+        return dram_fraction * 1.0 + (1.0 - dram_fraction) * nvm_slowdown
+
+    def plan(
+        self,
+        working_set_gib: float,
+        slowdown_budget: float = 1.5,
+        candidates: t.Sequence[NodeConfig] = DEFAULT_CANDIDATES,
+    ) -> CapacityPlan:
+        """Cheapest feasible configuration within the slowdown budget."""
+        if slowdown_budget < 1.0:
+            raise ValueError("slowdown_budget must be >= 1.0")
+        evaluations: dict[str, tuple[float, float, bool]] = {}
+        best: NodeConfig | None = None
+        best_cost = float("inf")
+        for config in candidates:
+            cost = config.cost(self.dram_cost_per_gib, self.nvm_cost_per_gib)
+            slowdown = self.expected_slowdown(config, working_set_gib)
+            feasible = slowdown <= slowdown_budget
+            evaluations[config.name] = (cost, slowdown, feasible)
+            if feasible and cost < best_cost:
+                best, best_cost = config, cost
+        return CapacityPlan(
+            working_set_gib=working_set_gib,
+            slowdown_budget=slowdown_budget,
+            recommended=best,
+            evaluations=evaluations,
+        )

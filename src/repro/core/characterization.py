@@ -1,0 +1,148 @@
+"""The Fig. 2 characterization: time / accesses / energy across tiers."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.workloads.base import SIZE_ORDER
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: NUMA device names of the testbed (see repro.cluster.topology).
+DRAM_DEVICE = "numa1-dram"
+NVM_DEVICE = "numa2-nvm4"
+
+
+@dataclass
+class CharacterizationRun:
+    """Results of a (workloads × sizes × tiers) sweep, indexed for lookup."""
+
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    def add(self, result: ExperimentResult) -> None:
+        self.results.append(result)
+
+    def get(self, workload: str, size: str, tier: int) -> ExperimentResult:
+        for result in self.results:
+            config = result.config
+            if (
+                config.workload == workload
+                and config.size == size
+                and config.tier == tier
+            ):
+                return result
+        raise KeyError(f"no result for {workload}-{size} tier{tier}")
+
+    def time(self, workload: str, size: str, tier: int) -> float:
+        return self.get(workload, size, tier).execution_time
+
+    def workloads(self) -> list[str]:
+        seen: list[str] = []
+        for result in self.results:
+            if result.config.workload not in seen:
+                seen.append(result.config.workload)
+        return seen
+
+    def sizes(self) -> list[str]:
+        present = {r.config.size for r in self.results}
+        return [s for s in SIZE_ORDER if s in present]
+
+    def tiers(self) -> list[int]:
+        return sorted({r.config.tier for r in self.results})
+
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.results)
+
+
+def characterize(
+    workloads: t.Sequence[str] = WORKLOAD_NAMES,
+    sizes: t.Sequence[str] = SIZE_ORDER,
+    tiers: t.Sequence[int] = (0, 1, 2, 3),
+    progress: t.Callable[[ExperimentConfig], None] | None = None,
+) -> CharacterizationRun:
+    """Run the full Fig. 2 grid with the paper's default Spark config."""
+    run = CharacterizationRun()
+    for workload in workloads:
+        for size in sizes:
+            for tier in tiers:
+                config = ExperimentConfig(workload=workload, size=size, tier=tier)
+                if progress is not None:
+                    progress(config)
+                run.add(run_experiment(config))
+    return run
+
+
+def tier_gap_summary(run: CharacterizationRun) -> dict[int, float]:
+    """Average % by which Tier 0 beats each remote tier.
+
+    The paper reports Tier 0 achieving "44.2 %, 66.4 % and 90.1 % better
+    execution time on average" vs Tiers 1-3 — computed here as
+    ``mean((T_r - T_0) / T_r)`` over every workload × size.
+    """
+    gaps: dict[int, list[float]] = {tier: [] for tier in run.tiers() if tier != 0}
+    for workload in run.workloads():
+        for size in run.sizes():
+            base = run.time(workload, size, 0)
+            for tier in gaps:
+                remote = run.time(workload, size, tier)
+                if remote > 0:
+                    gaps[tier].append((remote - base) / remote)
+    return {
+        tier: 100.0 * sum(values) / len(values) if values else 0.0
+        for tier, values in gaps.items()
+    }
+
+
+def technology_gap_summary(run: CharacterizationRun) -> float:
+    """Average extra time of NVM tiers (2,3) over DRAM tiers (0,1), %.
+
+    The paper's "executions bound to Optane DCPM require 76.7 % more
+    execution time compared to executions bound with DRAM DIMMs".
+    """
+    increases: list[float] = []
+    for workload in run.workloads():
+        for size in run.sizes():
+            dram = [
+                run.time(workload, size, tier)
+                for tier in (0, 1)
+                if tier in run.tiers()
+            ]
+            nvm = [
+                run.time(workload, size, tier)
+                for tier in (2, 3)
+                if tier in run.tiers()
+            ]
+            if dram and nvm:
+                dram_mean = sum(dram) / len(dram)
+                nvm_mean = sum(nvm) / len(nvm)
+                increases.append(100.0 * (nvm_mean - dram_mean) / dram_mean)
+    return sum(increases) / len(increases) if increases else 0.0
+
+
+def dram_energy_advantage(run: CharacterizationRun) -> float:
+    """Average % less DIMM energy for DRAM (Tier 0) vs DCPM (Tier 2).
+
+    Fig. 2 (bottom): the paper reports DRAM consuming 63.9 % less energy
+    on average.  Compared as per-pool energy of the bound device during
+    each run.
+    """
+    savings: list[float] = []
+    for workload in run.workloads():
+        for size in run.sizes():
+            dram_run = run.get(workload, size, 0)
+            nvm_run = run.get(workload, size, 2)
+            dram_report = dram_run.telemetry.energy.get(DRAM_DEVICE)
+            nvm_report = nvm_run.telemetry.energy.get(NVM_DEVICE)
+            if dram_report is None or nvm_report is None:
+                continue
+            # Fig. 2 (bottom) compares energy *per DIMM*.
+            dram_energy = dram_report.per_dimm_joules
+            nvm_energy = nvm_report.per_dimm_joules
+            if nvm_energy > 0:
+                savings.append(100.0 * (nvm_energy - dram_energy) / nvm_energy)
+    return sum(savings) / len(savings) if savings else 0.0

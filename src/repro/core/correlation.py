@@ -1,0 +1,95 @@
+"""Pearson correlation analyses (Figs. 5 and 6)."""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+from repro.core.experiment import ExperimentResult
+from repro.memory.tiers import tier_by_id
+from repro.telemetry.events import SYSTEM_EVENTS
+
+
+def pearson(xs: t.Sequence[float], ys: t.Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Returns ``nan`` for degenerate inputs (length < 2 or zero variance),
+    matching the convention of ``scipy.stats.pearsonr`` warnings.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError(f"length mismatch: {n} vs {len(ys)}")
+    if n < 2:
+        return math.nan
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    dx = [x - mean_x for x in xs]
+    dy = [y - mean_y for y in ys]
+    var_x = sum(d * d for d in dx)
+    var_y = sum(d * d for d in dy)
+    if var_x <= 0 or var_y <= 0:
+        return math.nan
+    cov = sum(a * b for a, b in zip(dx, dy))
+    # Clamp: floating-point rounding can land a hair outside [-1, 1].
+    return max(-1.0, min(1.0, cov / math.sqrt(var_x * var_y)))
+
+
+def metric_time_correlation(
+    results: t.Sequence[ExperimentResult],
+    events: t.Sequence[str] = SYSTEM_EVENTS,
+) -> dict[str, dict[str, float]]:
+    """Fig. 5: per-workload Pearson correlation of events vs. exec time.
+
+    ``results`` should span multiple operating points per workload (the
+    paper varies the input size on the local tier); the correlation is
+    computed within each workload across its points.
+    """
+    by_workload: dict[str, list[ExperimentResult]] = {}
+    for result in results:
+        by_workload.setdefault(result.config.workload, []).append(result)
+
+    matrix: dict[str, dict[str, float]] = {}
+    for workload, group in by_workload.items():
+        times = [r.execution_time for r in group]
+        row: dict[str, float] = {}
+        for event in events:
+            values = [r.events.get(event, math.nan) for r in group]
+            row[event] = pearson(values, times)
+        matrix[workload] = row
+    return matrix
+
+
+def hardware_spec_correlation(
+    results: t.Sequence[ExperimentResult],
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Fig. 6: correlation of exec time with tier latency and bandwidth.
+
+    For each (workload, size), correlates execution time across tiers with
+    the tier's idle latency (expected → +1) and peak bandwidth
+    (expected → −1).
+    """
+    groups: dict[tuple[str, str], list[ExperimentResult]] = {}
+    for result in results:
+        key = (result.config.workload, result.config.size)
+        groups.setdefault(key, []).append(result)
+
+    out: dict[tuple[str, str], dict[str, float]] = {}
+    for key, group in groups.items():
+        group = sorted(group, key=lambda r: r.config.tier)
+        times = [r.execution_time for r in group]
+        latencies = [tier_by_id(r.config.tier).idle_read_latency for r in group]
+        bandwidths = [tier_by_id(r.config.tier).read_bandwidth for r in group]
+        out[key] = {
+            "latency": pearson(latencies, times),
+            "bandwidth": pearson(bandwidths, times),
+        }
+    return out
+
+
+def average_abs_correlation(matrix: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Mean |r| per workload over all (finite) events — a Fig. 5 summary."""
+    out: dict[str, float] = {}
+    for workload, row in matrix.items():
+        finite = [abs(v) for v in row.values() if not math.isnan(v)]
+        out[workload] = sum(finite) / len(finite) if finite else math.nan
+    return out

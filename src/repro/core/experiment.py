@@ -1,0 +1,143 @@
+"""Single-configuration experiment execution with full telemetry."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.topology import DEFAULT_EXECUTOR_SOCKET, paper_testbed
+from repro.memory.mba import BandwidthAllocator
+from repro.sim import Environment
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.telemetry.collector import TelemetryCollector, TelemetrySample
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One point of the exploration space (Sec. III / IV)."""
+
+    workload: str
+    size: str = "small"
+    tier: int = 0
+    num_executors: int = 1
+    executor_cores: int = 40
+    mba_percent: int = 100
+    cpu_socket: int = DEFAULT_EXECUTOR_SOCKET
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tier <= 3:
+            raise ValueError("tier must be a Table I id (0-3)")
+        if self.num_executors < 1 or self.executor_cores < 1:
+            raise ValueError("executors and cores must be >= 1")
+        if not 0 < self.mba_percent <= 100:
+            raise ValueError("mba_percent must be in (0, 100]")
+
+    def spark_conf(self) -> SparkConf:
+        return SparkConf(
+            num_executors=self.num_executors,
+            executor_cores=self.executor_cores,
+            memory_tier=self.tier,
+            cpu_socket=self.cpu_socket,
+        )
+
+    def with_options(self, **kwargs: t.Any) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+    def key(self) -> tuple:
+        return (
+            self.workload,
+            self.size,
+            self.tier,
+            self.num_executors,
+            self.executor_cores,
+            self.mba_percent,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}-{self.size} tier{self.tier} "
+            f"E{self.num_executors}xC{self.executor_cores} "
+            f"MBA{self.mba_percent}%"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one experiment."""
+
+    config: ExperimentConfig
+    execution_time: float
+    verified: bool
+    telemetry: TelemetrySample
+    records_processed: int = 0
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def events(self) -> dict[str, float]:
+        return self.telemetry.events
+
+    @property
+    def nvm_reads(self) -> int:
+        return self.telemetry.nvm_media_reads
+
+    @property
+    def nvm_writes(self) -> int:
+        return self.telemetry.nvm_media_writes
+
+    def energy_joules(self, device_name: str) -> float:
+        return self.telemetry.energy_of(device_name)
+
+    def summary_row(self) -> dict[str, float | str]:
+        return {
+            "experiment": self.config.describe(),
+            "time_s": self.execution_time,
+            "verified": self.verified,
+            "nvm_reads": self.nvm_reads,
+            "nvm_writes": self.nvm_writes,
+        }
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one configuration on a fresh simulated testbed.
+
+    Every experiment gets its own environment, machine and Spark context
+    so results are independent and bit-reproducible.
+    """
+    env = Environment()
+    machine = paper_testbed(env)
+    sc = SparkContext(env=env, machine=machine, conf=config.spark_conf())
+    workload = get_workload(config.workload)
+
+    # Stage input before the measured window (HiBench prepare phase).
+    workload.prepare(sc, config.size)
+
+    collector = TelemetryCollector(env, machine)
+    with BandwidthAllocator(machine.devices(), percent=config.mba_percent):
+        collector.start(sc)
+        outcome = workload.run(sc, config.size)
+        sample = collector.stop(sc)
+
+    sc.stop()
+    return ExperimentResult(
+        config=config,
+        execution_time=outcome.execution_time,
+        verified=outcome.verified,
+        telemetry=sample,
+        records_processed=outcome.records_processed,
+    )
+
+
+def run_experiments(
+    configs: t.Iterable[ExperimentConfig],
+    progress: t.Callable[[ExperimentConfig], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run a batch of configurations sequentially."""
+    results = []
+    for config in configs:
+        if progress is not None:
+            progress(config)
+        results.append(run_experiment(config))
+    return results

@@ -1,0 +1,216 @@
+"""Machine-checkable forms of the paper's eight takeaways.
+
+Each guideline consumes experiment results and returns a
+:class:`GuidelineFinding` with a boolean verdict and evidence values, so
+the reproduction can *demonstrate* rather than assert the paper's
+conclusions.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.core.characterization import (
+    CharacterizationRun,
+    dram_energy_advantage,
+    technology_gap_summary,
+    tier_gap_summary,
+)
+from repro.core.correlation import (
+    hardware_spec_correlation,
+    metric_time_correlation,
+)
+from repro.core.experiment import ExperimentResult
+from repro.core.sweeps import ExecutorCoreGrid, MbaSweep
+
+
+@dataclass
+class GuidelineFinding:
+    """Verdict for one takeaway."""
+
+    takeaway: int
+    title: str
+    holds: bool
+    evidence: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def describe(self) -> str:
+        status = "HOLDS" if self.holds else "VIOLATED"
+        evidence = ", ".join(f"{k}={v:.3g}" for k, v in self.evidence.items())
+        return f"Takeaway {self.takeaway} [{status}] {self.title} ({evidence})"
+
+
+def takeaway1_remote_tolerance(run: CharacterizationRun) -> GuidelineFinding:
+    """T1: remote-tier degradation is application/workload dependent,
+    with some combinations tolerating remote memory."""
+    ratios: list[float] = []
+    tolerant = 0
+    total = 0
+    for workload in run.workloads():
+        for size in run.sizes():
+            base = run.time(workload, size, 0)
+            worst_dram_remote = run.time(workload, size, 1)
+            ratio = worst_dram_remote / base if base > 0 else math.nan
+            ratios.append(ratio)
+            total += 1
+            if ratio < 1.15:  # within 15% of local
+                tolerant += 1
+    spread = max(ratios) - min(ratios)
+    return GuidelineFinding(
+        takeaway=1,
+        title="remote-memory tolerance is workload dependent",
+        holds=tolerant >= 1 and spread > 0.10,
+        evidence={
+            "tolerant_combinations": float(tolerant),
+            "total_combinations": float(total),
+            "degradation_spread": spread,
+        },
+    )
+
+
+def takeaway2_nvm_gap_grows(run: CharacterizationRun) -> GuidelineFinding:
+    """T2: the DRAM↔NVM gap widens as execution time grows."""
+    gaps: list[tuple[float, float]] = []  # (base time, nvm/dram ratio)
+    for workload in run.workloads():
+        for size in run.sizes():
+            dram = run.time(workload, size, 0)
+            nvm = run.time(workload, size, 2)
+            if dram > 0:
+                gaps.append((dram, nvm / dram))
+    gaps.sort()
+    half = len(gaps) // 2
+    short_mean = sum(g for _, g in gaps[:half]) / max(1, half)
+    long_mean = sum(g for _, g in gaps[half:]) / max(1, len(gaps) - half)
+    return GuidelineFinding(
+        takeaway=2,
+        title="NVM/DRAM gap grows with execution scale",
+        holds=long_mean > short_mean,
+        evidence={
+            "gap_short_runs": short_mean,
+            "gap_long_runs": long_mean,
+            "nvm_overhead_pct": technology_gap_summary(run),
+        },
+    )
+
+
+def takeaway3_write_sensitivity(run: CharacterizationRun) -> GuidelineFinding:
+    """T3: performance degrades with NVM accesses, writes worse by design.
+
+    Checked two ways: (i) across workload/size combinations, the NVM-tier
+    degradation factor (T2/T0) correlates positively with the measured
+    media write ratio — write-heavy runs (lda-large being the canonical
+    case) degrade disproportionally; (ii) the medium itself is asymmetric
+    (write latency exceeds read latency by construction, as on real
+    Optane).
+    """
+    from repro.core.correlation import pearson
+    from repro.memory.technology import OPTANE_DCPM
+
+    write_ratios: list[float] = []
+    degradations: list[float] = []
+    for workload in run.workloads():
+        for size in run.sizes():
+            nvm = run.get(workload, size, 2)
+            base = run.time(workload, size, 0)
+            if base > 0:
+                write_ratios.append(nvm.telemetry.nvm_write_ratio)
+                degradations.append(nvm.execution_time / base)
+    correlation = pearson(write_ratios, degradations)
+    asymmetric = OPTANE_DCPM.write_latency > OPTANE_DCPM.read_latency
+    holds = asymmetric and (math.isnan(correlation) or correlation > 0.3)
+    return GuidelineFinding(
+        takeaway=3,
+        title="NVM writes hurt more than reads",
+        holds=holds and not math.isnan(correlation),
+        evidence={
+            "write_ratio_degradation_correlation": correlation,
+            "device_write_read_latency_ratio": OPTANE_DCPM.write_read_latency_ratio,
+        },
+    )
+
+
+def takeaway4_latency_bound(
+    sweeps: t.Sequence[MbaSweep], threshold: float = 0.15
+) -> GuidelineFinding:
+    """T4: bandwidth caps barely move execution time ⇒ latency-bound."""
+    spreads = {f"{s.workload}-{s.size}": s.spread() for s in sweeps}
+    worst = max(spreads.values()) if spreads else math.nan
+    return GuidelineFinding(
+        takeaway=4,
+        title="latency, not bandwidth, dominates",
+        holds=bool(spreads) and worst < threshold,
+        evidence={"worst_mba_spread": worst},
+    )
+
+
+def takeaway5_energy_follows_time(run: CharacterizationRun) -> GuidelineFinding:
+    """T5: energy tracks execution time; DRAM wins overall."""
+    advantage = dram_energy_advantage(run)
+    return GuidelineFinding(
+        takeaway=5,
+        title="energy is in line with execution time (DRAM wins)",
+        holds=advantage > 0,
+        evidence={"dram_energy_advantage_pct": advantage},
+    )
+
+
+def takeaway6_executor_contention(
+    grid: ExecutorCoreGrid,
+) -> GuidelineFinding:
+    """T6: more executors on NVM degrade performance (contention)."""
+    base = grid.times[(1, 40)]
+    many = grid.times[(max(e for e, _ in grid.times), 40)]
+    return GuidelineFinding(
+        takeaway=6,
+        title="executor contention degrades NVM performance",
+        holds=many > base,
+        evidence={
+            "slowdown_at_max_executors": many / base,
+            "worst_slowdown": grid.worst_slowdown(),
+        },
+    )
+
+
+def takeaway7_large_workloads_scale(
+    small_grid: ExecutorCoreGrid, large_grid: ExecutorCoreGrid
+) -> GuidelineFinding:
+    """T7: some benchmarks handle executor scaling better at large sizes."""
+    executors = max(e for e, _ in small_grid.times)
+    small_ratio = small_grid.times[(executors, 40)] / small_grid.times[(1, 40)]
+    large_ratio = large_grid.times[(executors, 40)] / large_grid.times[(1, 40)]
+    return GuidelineFinding(
+        takeaway=7,
+        title="large workloads benefit more from executor scaling",
+        holds=large_ratio < small_ratio,
+        evidence={
+            "small_scaling_ratio": small_ratio,
+            "large_scaling_ratio": large_ratio,
+        },
+    )
+
+
+def takeaway8_predictability(
+    results: t.Sequence[ExperimentResult],
+) -> GuidelineFinding:
+    """T8: latency/bandwidth & events correlate strongly with time."""
+    hw = hardware_spec_correlation(results)
+    latency_rs = [row["latency"] for row in hw.values() if not math.isnan(row["latency"])]
+    bandwidth_rs = [
+        row["bandwidth"] for row in hw.values() if not math.isnan(row["bandwidth"])
+    ]
+    mean_latency_r = sum(latency_rs) / len(latency_rs) if latency_rs else math.nan
+    mean_bandwidth_r = (
+        sum(bandwidth_rs) / len(bandwidth_rs) if bandwidth_rs else math.nan
+    )
+    holds = mean_latency_r > 0.8 and mean_bandwidth_r < -0.3
+    return GuidelineFinding(
+        takeaway=8,
+        title="hardware specs predict cross-tier performance",
+        holds=holds,
+        evidence={
+            "mean_latency_correlation": mean_latency_r,
+            "mean_bandwidth_correlation": mean_bandwidth_r,
+        },
+    )

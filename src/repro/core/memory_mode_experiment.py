@@ -1,0 +1,47 @@
+"""Memory Mode vs App Direct experiments (extension).
+
+Builds the paper testbed with its NVM pools running the blended
+Memory Mode technology and runs workloads against it, reusing the whole
+characterization stack via :mod:`repro.core.substitution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.substitution import run_with_technology
+from repro.memory.memory_mode import memory_mode_technology
+
+
+@dataclass(frozen=True)
+class MemoryModeResult:
+    """Outcome of one Memory Mode run."""
+
+    workload: str
+    size: str
+    hit_rate: float
+    execution_time: float
+    verified: bool
+
+
+def run_memory_mode(
+    workload_name: str, size: str, hit_rate: float
+) -> MemoryModeResult:
+    """Run one workload on the Memory Mode pool (Tier 2 position)."""
+    outcome = run_with_technology(
+        memory_mode_technology(hit_rate), workload_name, size, tier_id=2
+    )
+    return MemoryModeResult(
+        workload=workload_name,
+        size=size,
+        hit_rate=hit_rate,
+        execution_time=outcome.execution_time,
+        verified=outcome.verified,
+    )
+
+
+def memory_mode_sweep(
+    workload_name: str, size: str, hit_rates: tuple[float, ...] = (0.5, 0.8, 0.95)
+) -> list[MemoryModeResult]:
+    """Sweep hit rates for one workload."""
+    return [run_memory_mode(workload_name, size, h) for h in hit_rates]

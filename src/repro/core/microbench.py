@@ -1,0 +1,106 @@
+"""Table I microbenchmarks: idle latency and streaming bandwidth per tier.
+
+These measure the *simulated hardware* the same way Intel MLC measures
+real hardware: a dependent-load pointer chase (memory-level parallelism 1)
+for idle latency, and a single-stream sequential copy for bandwidth.
+Running them through the full DES validates that the device service model
+reproduces the specs the tiers were calibrated to.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.cluster.topology import DEFAULT_EXECUTOR_SOCKET, paper_testbed
+from repro.memory.device import AccessProfile
+from repro.memory.tiers import TierSpec, table1_tiers
+from repro.sim import Environment
+from repro.units import bps_to_gbps, s_to_ns
+
+
+@dataclass(frozen=True)
+class TierMeasurement:
+    """Measured characteristics of one tier (cf. Table I)."""
+
+    tier_id: int
+    name: str
+    idle_latency_ns: float
+    read_bandwidth_gbps: float
+    write_bandwidth_gbps: float
+
+
+def measure_idle_latency(
+    tier: TierSpec, chase_length: int = 10_000
+) -> float:
+    """Dependent-load pointer chase through the DES; returns seconds/load."""
+    env = Environment()
+    machine = paper_testbed(env)
+    bound = machine.resolve_tier(DEFAULT_EXECUTOR_SOCKET, tier)
+
+    elapsed: list[float] = []
+
+    def chase() -> t.Generator:
+        profile = AccessProfile(random_reads=chase_length)
+        start = env.now
+        # MLP 1: each load depends on the previous one.
+        yield from bound.device.access(
+            profile, path=bound.path, mlp_read=1.0, mlp_write=1.0
+        )
+        elapsed.append(env.now - start)
+
+    env.process(chase())
+    env.run()
+    return elapsed[0] / chase_length
+
+
+def measure_stream_bandwidth(
+    tier: TierSpec, nbytes: int = 64 * 1024 * 1024, write: bool = False
+) -> float:
+    """Single-stream sequential transfer; returns bytes/second.
+
+    Uses an unbounded per-core streaming ability so the measurement
+    reflects the *device/path* ceiling, as a multi-threaded MLC bandwidth
+    scan does.
+    """
+    env = Environment()
+    machine = paper_testbed(env)
+    bound = machine.resolve_tier(DEFAULT_EXECUTOR_SOCKET, tier)
+
+    elapsed: list[float] = []
+
+    def stream() -> t.Generator:
+        profile = (
+            AccessProfile(bytes_written=nbytes)
+            if write
+            else AccessProfile(bytes_read=nbytes)
+        )
+        start = env.now
+        yield from bound.device.access(
+            profile, path=bound.path, core_stream_bw=float("inf")
+        )
+        elapsed.append(env.now - start)
+
+    env.process(stream())
+    env.run()
+    return nbytes / elapsed[0]
+
+
+def measure_tier_specs(
+    tiers: t.Sequence[TierSpec] | None = None,
+) -> list[TierMeasurement]:
+    """Measure every tier; the Table I reproduction."""
+    out: list[TierMeasurement] = []
+    for tier in tiers if tiers is not None else table1_tiers():
+        out.append(
+            TierMeasurement(
+                tier_id=tier.tier_id,
+                name=tier.name,
+                idle_latency_ns=s_to_ns(measure_idle_latency(tier)),
+                read_bandwidth_gbps=bps_to_gbps(measure_stream_bandwidth(tier)),
+                write_bandwidth_gbps=bps_to_gbps(
+                    measure_stream_bandwidth(tier, write=True)
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,136 @@
+"""Tier-placement advisor (the discussion section's open direction).
+
+The paper's Sec. IV-G suggests "determining the optimal memory tier per
+access type" as future work.  This module implements a first version:
+given a workload's measured access profile on the local tier, recommend
+the cheapest tier whose predicted degradation stays within a budget, and
+rank data categories (cached blocks vs. shuffle vs. control) by tier
+affinity.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.memory.tiers import TierSpec, table1_tiers
+
+
+@dataclass(frozen=True)
+class PlacementRecommendation:
+    """Advice for one workload/size."""
+
+    workload: str
+    size: str
+    recommended_tier: int
+    predicted_slowdowns: dict[int, float]
+    budget: float
+
+    def describe(self) -> str:
+        slowdowns = ", ".join(
+            f"T{tier}:{s:.2f}x" for tier, s in sorted(self.predicted_slowdowns.items())
+        )
+        return (
+            f"{self.workload}-{self.size}: tier {self.recommended_tier} "
+            f"(budget {self.budget:.2f}x; predictions {slowdowns})"
+        )
+
+
+def predict_slowdown(
+    profile_summary: dict[str, float], tier: TierSpec, baseline: TierSpec
+) -> float:
+    """Analytical slowdown estimate from the measured access mix.
+
+    Decomposes measured demand into latency-bound and bandwidth-bound
+    components and rescales each by the tier's specs relative to the
+    baseline tier — the "analytical models" direction of Takeaway 8.
+    """
+    random_accesses = profile_summary.get("random_reads", 0.0) + profile_summary.get(
+        "random_writes", 0.0
+    )
+    streamed = profile_summary.get("bytes_read", 0.0) + profile_summary.get(
+        "bytes_written", 0.0
+    )
+    compute = profile_summary.get("compute_ops", 0.0)
+
+    # Abstract cost units on each tier (constants cancel in the ratio).
+    def cost(spec: TierSpec) -> float:
+        latency_cost = random_accesses * spec.idle_read_latency
+        bandwidth_cost = streamed / spec.read_bandwidth
+        compute_cost = compute / 2.5e9
+        return latency_cost + bandwidth_cost + compute_cost
+
+    base = cost(baseline)
+    return cost(tier) / base if base > 0 else 1.0
+
+
+def recommend_tier(
+    workload: str,
+    size: str,
+    slowdown_budget: float = 1.5,
+    tiers: t.Sequence[TierSpec] | None = None,
+) -> PlacementRecommendation:
+    """Profile on Tier 0, then pick the *cheapest* tier within budget.
+
+    "Cheapest" prefers the highest tier id (NVM is the cheapest capacity;
+    remote pools free local DRAM), so the advisor recommends the most
+    aggressive placement whose predicted slowdown stays under
+    ``slowdown_budget``.
+    """
+    tier_list = list(tiers) if tiers is not None else list(table1_tiers())
+    baseline_result = run_experiment(
+        ExperimentConfig(workload=workload, size=size, tier=0)
+    )
+    summary = _result_summary(baseline_result)
+    baseline = tier_list[0]
+    predictions = {
+        tier.tier_id: predict_slowdown(summary, tier, baseline)
+        for tier in tier_list
+    }
+    within_budget = [
+        tier_id for tier_id, s in predictions.items() if s <= slowdown_budget
+    ]
+    recommended = max(within_budget) if within_budget else 0
+    return PlacementRecommendation(
+        workload=workload,
+        size=size,
+        recommended_tier=recommended,
+        predicted_slowdowns=predictions,
+        budget=slowdown_budget,
+    )
+
+
+def _result_summary(result: ExperimentResult) -> dict[str, float]:
+    """Demand summary from a result's telemetry events."""
+    events = result.events
+    return {
+        "random_reads": events.get("llc_load_misses", 0.0),
+        "random_writes": events.get("llc_store_misses", 0.0),
+        "bytes_read": events.get("mem_loads", 0.0) * 64.0,
+        "bytes_written": events.get("mem_stores", 0.0) * 64.0,
+        "compute_ops": events.get("instructions", 0.0) / 2.2,
+    }
+
+
+@dataclass(frozen=True)
+class CategoryAffinity:
+    """Tier affinity of one data category (Sec. IV-G exploration)."""
+
+    category: str
+    write_intensity: float
+    latency_sensitivity: float
+    preferred_kind: str  # "dram" or "nvm"
+
+
+#: Static affinity table derived from the engine's traffic decomposition:
+#: write-hot, latency-critical categories want DRAM; cold streamed data
+#: tolerates NVM.
+DATA_CATEGORY_AFFINITIES: tuple[CategoryAffinity, ...] = (
+    CategoryAffinity("shuffle_buffers", write_intensity=0.9, latency_sensitivity=0.7, preferred_kind="dram"),
+    CategoryAffinity("task_control_state", write_intensity=0.95, latency_sensitivity=0.9, preferred_kind="dram"),
+    CategoryAffinity("cached_rdd_blocks_hot", write_intensity=0.2, latency_sensitivity=0.8, preferred_kind="dram"),
+    CategoryAffinity("cached_rdd_blocks_cold", write_intensity=0.1, latency_sensitivity=0.3, preferred_kind="nvm"),
+    CategoryAffinity("broadcast_variables", write_intensity=0.05, latency_sensitivity=0.4, preferred_kind="nvm"),
+    CategoryAffinity("job_output_staging", write_intensity=0.5, latency_sensitivity=0.2, preferred_kind="nvm"),
+)

@@ -1,0 +1,161 @@
+"""Cross-tier performance prediction (Takeaway 8).
+
+The paper observes that execution time correlates near-perfectly with
+tier latency (+) and bandwidth (−), and that system-level events add
+app-specific signal — so "analytical models and/or ML techniques" can
+predict degradation on unseen tiers.  Two predictors are provided:
+
+- :class:`LinearTierPredictor` — ridge-regularized linear regression on
+  hardware specs (latency, 1/bandwidth) and optional system-level events.
+- :func:`predict_cross_tier` — leave-one-tier-out evaluation: fit on all
+  tiers but one, predict the held-out tier, report relative error.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult
+from repro.memory.tiers import tier_by_id
+
+
+def _feature_vector(
+    tier_id: int, events: dict[str, float] | None, event_names: t.Sequence[str]
+) -> list[float]:
+    tier = tier_by_id(tier_id)
+    features = [
+        tier.idle_read_latency * 1e9,  # ns — keeps magnitudes O(100)
+        1.0 / (tier.read_bandwidth / 1e9),  # s/GB
+    ]
+    if events is not None:
+        features.extend(events.get(name, 0.0) for name in event_names)
+    return features
+
+
+@dataclass
+class LinearTierPredictor:
+    """Ridge regression: execution time from tier specs (+ events).
+
+    Features are standardized internally; ``alpha`` is the ridge
+    strength (small, to stabilize the tiny design matrices these
+    experiments produce).
+    """
+
+    event_names: tuple[str, ...] = ()
+    alpha: float = 1e-6
+
+    def __post_init__(self) -> None:
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def fit(self, results: t.Sequence[ExperimentResult]) -> "LinearTierPredictor":
+        if len(results) < 2:
+            raise ValueError("need at least two results to fit")
+        x = np.array(
+            [
+                _feature_vector(
+                    r.config.tier,
+                    r.events if self.event_names else None,
+                    self.event_names,
+                )
+                for r in results
+            ],
+            dtype=float,
+        )
+        y = np.array([r.execution_time for r in results], dtype=float)
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        xs = (x - self._mean) / self._scale
+        # Bias column + ridge-regularized normal equations.
+        design = np.hstack([np.ones((len(xs), 1)), xs])
+        gram = design.T @ design + self.alpha * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ y)
+        return self
+
+    def predict(
+        self, tier_id: int, events: dict[str, float] | None = None
+    ) -> float:
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
+        assert self._weights is not None
+        x = np.array(
+            _feature_vector(
+                tier_id, events if self.event_names else None, self.event_names
+            ),
+            dtype=float,
+        )
+        xs = (x - self._mean) / self._scale
+        return float(self._weights[0] + xs @ self._weights[1:])
+
+    def score(self, results: t.Sequence[ExperimentResult]) -> float:
+        """Coefficient of determination (R²) on ``results``."""
+        y = np.array([r.execution_time for r in results], dtype=float)
+        predictions = np.array(
+            [self.predict(r.config.tier, r.events) for r in results]
+        )
+        ss_res = float(np.sum((y - predictions) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class CrossTierPrediction:
+    """Outcome of one leave-one-tier-out prediction."""
+
+    workload: str
+    size: str
+    held_out_tier: int
+    actual: float
+    predicted: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.actual == 0:
+            return float("inf")
+        return abs(self.predicted - self.actual) / self.actual
+
+
+def predict_cross_tier(
+    results: t.Sequence[ExperimentResult],
+    held_out_tier: int,
+) -> list[CrossTierPrediction]:
+    """Leave-one-tier-out evaluation per (workload, size) group.
+
+    Fits a hardware-spec linear model on every tier except
+    ``held_out_tier`` and predicts the held-out point.
+    """
+    groups: dict[tuple[str, str], list[ExperimentResult]] = {}
+    for result in results:
+        key = (result.config.workload, result.config.size)
+        groups.setdefault(key, []).append(result)
+
+    predictions: list[CrossTierPrediction] = []
+    for (workload, size), group in sorted(groups.items()):
+        train = [r for r in group if r.config.tier != held_out_tier]
+        test = [r for r in group if r.config.tier == held_out_tier]
+        if len(train) < 2 or not test:
+            continue
+        model = LinearTierPredictor().fit(train)
+        for held in test:
+            predictions.append(
+                CrossTierPrediction(
+                    workload=workload,
+                    size=size,
+                    held_out_tier=held_out_tier,
+                    actual=held.execution_time,
+                    predicted=model.predict(held.config.tier),
+                )
+            )
+    return predictions

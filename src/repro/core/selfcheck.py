@@ -1,0 +1,137 @@
+"""Model self-validation: fast invariant checks for a fresh install.
+
+``python -m repro selfcheck`` runs these after installation (or after
+model changes) to confirm the simulator still honours its calibration
+and physical invariants, without running the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.microbench import measure_tier_specs
+
+#: The paper's Table I, the calibration contract.
+TABLE_1 = {0: (77.8, 39.3), 1: (130.9, 31.6), 2: (172.1, 10.7), 3: (231.3, 0.47)}
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+    def describe(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.name}: {self.detail}"
+
+
+def check_table1() -> CheckResult:
+    """Idle latency and bandwidth per tier match Table I within 2 %."""
+    worst = 0.0
+    for m in measure_tier_specs():
+        latency, bandwidth = TABLE_1[m.tier_id]
+        worst = max(
+            worst,
+            abs(m.idle_latency_ns - latency) / latency,
+            abs(m.read_bandwidth_gbps - bandwidth) / bandwidth,
+        )
+    return CheckResult(
+        "table1-calibration",
+        worst < 0.02,
+        f"worst relative deviation {worst:.2%}",
+    )
+
+
+def check_tier_monotonicity(workload: str = "repartition") -> CheckResult:
+    """T0 < T1 < T2 < T3 for a quick workload."""
+    times = [
+        run_experiment(
+            ExperimentConfig(workload=workload, size="tiny", tier=tier)
+        ).execution_time
+        for tier in range(4)
+    ]
+    ordered = all(a < b for a, b in zip(times, times[1:]))
+    return CheckResult(
+        "tier-monotonicity",
+        ordered,
+        "T0..T3 = " + ", ".join(f"{t * 1e3:.1f}ms" for t in times),
+    )
+
+
+def check_determinism(workload: str = "repartition") -> CheckResult:
+    """Identical configurations produce bit-identical results."""
+    config = ExperimentConfig(workload=workload, size="tiny", tier=2)
+    a = run_experiment(config)
+    b = run_experiment(config)
+    same = (
+        a.execution_time == b.execution_time
+        and a.nvm_reads == b.nvm_reads
+        and a.nvm_writes == b.nvm_writes
+    )
+    return CheckResult(
+        "determinism",
+        same,
+        f"run A {a.execution_time:.9f}s vs run B {b.execution_time:.9f}s",
+    )
+
+
+def check_functional_correctness() -> CheckResult:
+    """Every paper workload verifies its own output at tiny size."""
+    from repro.workloads import all_workloads
+    from repro.spark.conf import SparkConf
+    from repro.spark.context import SparkContext
+
+    failures = []
+    for workload in all_workloads():
+        sc = SparkContext(conf=SparkConf())
+        result = workload.run(sc, "tiny")
+        if not result.verified:
+            failures.append(workload.name)
+        sc.stop()
+    return CheckResult(
+        "functional-correctness",
+        not failures,
+        "all verified" if not failures else f"failed: {failures}",
+    )
+
+
+def check_write_asymmetry() -> CheckResult:
+    """NVM random writes cost more than reads; DRAM symmetric."""
+    from repro.memory.device import AccessProfile, MemoryDevice
+    from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+    from repro.sim import Environment
+
+    env = Environment()
+    nvm = MemoryDevice(env, "nvm", OPTANE_DCPM, 4)
+    dram = MemoryDevice(env, "dram", DDR4_DRAM, 2)
+    reads = AccessProfile(random_reads=10_000)
+    writes = AccessProfile(random_writes=10_000)
+    nvm_ok = nvm.service_time(writes, mlp_read=1.0, mlp_write=1.0) > nvm.service_time(
+        reads, mlp_read=1.0, mlp_write=1.0
+    )
+    dram_same = abs(
+        dram.service_time(writes, mlp_read=1.0, mlp_write=1.0)
+        - dram.service_time(reads, mlp_read=1.0, mlp_write=1.0)
+    ) < 1e-12
+    return CheckResult(
+        "write-asymmetry",
+        nvm_ok and dram_same,
+        f"nvm asymmetric={nvm_ok}, dram symmetric={dram_same}",
+    )
+
+
+ALL_CHECKS: tuple[t.Callable[[], CheckResult], ...] = (
+    check_table1,
+    check_write_asymmetry,
+    check_tier_monotonicity,
+    check_determinism,
+    check_functional_correctness,
+)
+
+
+def run_selfcheck() -> list[CheckResult]:
+    """Run every check; returns the results (callers decide on exit code)."""
+    return [check() for check in ALL_CHECKS]

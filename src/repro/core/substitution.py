@@ -1,0 +1,85 @@
+"""Run workloads on a testbed with a substituted capacity-tier technology.
+
+Several studies in this library swap the Optane pools for an alternative
+medium — ablated Optane variants, Memory Mode blends, interleave blends,
+CXL expanders, aged NVM.  :func:`run_with_technology` centralizes the
+machine construction and tier re-binding they all need.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import replace as dc_replace
+
+from repro.cluster.cpu import XEON_GOLD_5218R
+from repro.cluster.node import Machine
+from repro.cluster.topology import DEFAULT_EXECUTOR_SOCKET
+from repro.memory.device import MemoryDevice
+from repro.memory.technology import DDR4_DRAM, MemoryTechnology
+from repro.memory.tiers import TIER_LOCAL_NVM, TIER_REMOTE_NVM
+from repro.sim import Environment
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.registry import get_workload
+
+
+def build_substituted_machine(
+    env: Environment, capacity_tech: MemoryTechnology
+) -> Machine:
+    """The paper testbed with both NVM pools running ``capacity_tech``."""
+    machine = Machine(env, cpu=XEON_GOLD_5218R, sockets=2)
+    machine.add_numa_node(
+        MemoryDevice(env, "numa0-dram", DDR4_DRAM, dimm_count=2), attached_socket=0
+    )
+    machine.add_numa_node(
+        MemoryDevice(env, "numa1-dram", DDR4_DRAM, dimm_count=2), attached_socket=1
+    )
+    machine.add_numa_node(
+        MemoryDevice(env, "numa2-nvm4", capacity_tech, dimm_count=4),
+        attached_socket=1,
+    )
+    machine.add_numa_node(
+        MemoryDevice(env, "numa3-nvm2", capacity_tech, dimm_count=2),
+        attached_socket=0,
+    )
+    return machine
+
+
+def substituted_context(
+    capacity_tech: MemoryTechnology,
+    tier_id: int = 2,
+    **conf_overrides: t.Any,
+) -> SparkContext:
+    """A SparkContext whose executors bind a substituted capacity tier."""
+    if tier_id not in (2, 3):
+        raise ValueError("substitution targets the capacity tiers (2 or 3)")
+    env = Environment()
+    machine = build_substituted_machine(env, capacity_tech)
+    conf = SparkConf(
+        memory_tier=tier_id,
+        cpu_socket=conf_overrides.pop("cpu_socket", DEFAULT_EXECUTOR_SOCKET),
+        **conf_overrides,
+    )
+    sc = SparkContext(env=env, machine=machine, conf=conf)
+    base_tier = TIER_LOCAL_NVM if tier_id == 2 else TIER_REMOTE_NVM
+    tier = dc_replace(base_tier, technology=capacity_tech)
+    bound = machine.resolve_tier(conf.cpu_socket, tier)
+    for executor in sc.executors:
+        executor.memory = bound
+    return sc
+
+
+def run_with_technology(
+    capacity_tech: MemoryTechnology,
+    workload: str | Workload,
+    size: str = "small",
+    tier_id: int = 2,
+    **conf_overrides: t.Any,
+) -> WorkloadResult:
+    """Run one workload on the substituted capacity tier."""
+    sc = substituted_context(capacity_tech, tier_id=tier_id, **conf_overrides)
+    instance = get_workload(workload) if isinstance(workload, str) else workload
+    outcome = instance.run(sc, size)
+    sc.stop()
+    return outcome

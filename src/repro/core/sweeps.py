@@ -1,0 +1,116 @@
+"""Parameter sweeps: MBA throttling (Fig. 3), executors × cores (Fig. 4)."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+#: The MBA levels the paper sweeps (Intel hardware steps).
+MBA_LEVELS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+#: The Fig. 4 grid.
+EXECUTOR_GRID = (1, 2, 4, 8)
+CORE_GRID = (5, 10, 20, 40)
+#: Fig. 4's representative subset.
+FIG4_WORKLOADS = ("sort", "rf", "lda", "pagerank")
+
+
+@dataclass
+class MbaSweep:
+    """Execution times across MBA levels for one workload/size/tier."""
+
+    workload: str
+    size: str
+    tier: int
+    times: dict[int, float] = field(default_factory=dict)
+
+    def spread(self) -> float:
+        """(max − min) / min across levels — Fig. 3's 'insensitivity'."""
+        values = list(self.times.values())
+        low = min(values)
+        return (max(values) - low) / low if low > 0 else 0.0
+
+
+def mba_sweep(
+    workload: str,
+    size: str,
+    tier: int = 2,
+    levels: t.Sequence[int] = MBA_LEVELS,
+) -> MbaSweep:
+    """Fig. 3: run one workload under each bandwidth cap."""
+    sweep = MbaSweep(workload=workload, size=size, tier=tier)
+    for level in levels:
+        result = run_experiment(
+            ExperimentConfig(
+                workload=workload, size=size, tier=tier, mba_percent=level
+            )
+        )
+        sweep.times[level] = result.execution_time
+    return sweep
+
+
+@dataclass
+class ExecutorCoreGrid:
+    """Fig. 4 heatmap data for one workload/size/tier.
+
+    ``speedup[(executors, cores)]`` is baseline_time / cell_time, with
+    the paper's baseline of 1 executor × 40 cores (values < 1 are
+    slowdowns).
+    """
+
+    workload: str
+    size: str
+    tier: int
+    times: dict[tuple[int, int], float] = field(default_factory=dict)
+    baseline: tuple[int, int] = (1, 40)
+
+    @property
+    def baseline_time(self) -> float:
+        return self.times[self.baseline]
+
+    def speedup(self, executors: int, cores: int) -> float:
+        return self.baseline_time / self.times[(executors, cores)]
+
+    def speedup_grid(self) -> dict[tuple[int, int], float]:
+        return {cell: self.baseline_time / time for cell, time in self.times.items()}
+
+    def worst_slowdown(self) -> float:
+        """Largest slowdown factor across the grid (≥ 1)."""
+        return max(
+            time / self.baseline_time for time in self.times.values()
+        )
+
+    def best_speedup(self) -> float:
+        return max(self.speedup_grid().values())
+
+
+def executor_core_sweep(
+    workload: str,
+    size: str,
+    tier: int = 2,
+    executors: t.Sequence[int] = EXECUTOR_GRID,
+    cores: t.Sequence[int] = CORE_GRID,
+    progress: t.Callable[[ExperimentConfig], None] | None = None,
+) -> ExecutorCoreGrid:
+    """Fig. 4: sweep the executors × cores grid on one tier."""
+    grid = ExecutorCoreGrid(workload=workload, size=size, tier=tier)
+    cells = {(e, c) for e in executors for c in cores}
+    cells.add(grid.baseline)
+    for n_executors, n_cores in sorted(cells):
+        config = ExperimentConfig(
+            workload=workload,
+            size=size,
+            tier=tier,
+            num_executors=n_executors,
+            executor_cores=n_cores,
+        )
+        if progress is not None:
+            progress(config)
+        result = run_experiment(config)
+        grid.times[(n_executors, n_cores)] = result.execution_time
+    return grid

@@ -1,0 +1,28 @@
+"""Hadoop Distributed File System substrate (pseudo-distributed, 1 node).
+
+The paper stores Spark input/output on HDFS rather than the local file
+system.  In a single-node standalone deployment HDFS contributes block
+management plus disk-speed streaming at job edges; this package models
+exactly that:
+
+- :mod:`repro.hdfs.blocks` — fixed-size block splitting.
+- :mod:`repro.hdfs.namenode` — file → block metadata.
+- :mod:`repro.hdfs.datanode` — disk service model (shared streams).
+- :mod:`repro.hdfs.filesystem` — the client facade used by the Spark
+  context (``put``/``open``/``write``).
+"""
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, Block, split_into_blocks
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HdfsClient, HdfsFileStatus
+from repro.hdfs.namenode import NameNode
+
+__all__ = [
+    "Block",
+    "DEFAULT_BLOCK_SIZE",
+    "DataNode",
+    "HdfsClient",
+    "HdfsFileStatus",
+    "NameNode",
+    "split_into_blocks",
+]

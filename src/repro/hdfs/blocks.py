@@ -1,0 +1,52 @@
+"""HDFS block splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MB
+
+#: HDFS default block size (128 MiB).  Scaled-down experiment datasets
+#: typically occupy a single block, as tiny HiBench inputs do in reality.
+DEFAULT_BLOCK_SIZE = 128 * MB
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block of a file."""
+
+    block_id: int
+    path: str
+    index: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+
+
+def split_into_blocks(
+    path: str, nbytes: int, block_size: int = DEFAULT_BLOCK_SIZE, first_id: int = 0
+) -> list[Block]:
+    """Split a file of ``nbytes`` into sequential blocks.
+
+    A zero-byte file still occupies one (empty) block so that metadata
+    exists for it.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    blocks: list[Block] = []
+    remaining = nbytes
+    index = 0
+    while True:
+        size = min(block_size, remaining)
+        blocks.append(Block(first_id + index, path, index, size))
+        remaining -= size
+        index += 1
+        if remaining <= 0:
+            break
+    return blocks

@@ -1,0 +1,67 @@
+"""HDFS datanode: the disk service model."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.sim import Environment, Resource
+from repro.units import MB, gbps_to_bps
+
+#: SATA-SSD class local storage, as on the paper's testbed node.
+DEFAULT_DISK_BANDWIDTH = gbps_to_bps(0.5)
+#: Fixed per-request overhead (open + seek + datanode protocol).
+DEFAULT_REQUEST_OVERHEAD = 0.5e-3
+#: Concurrent transfer streams one datanode serves at full aggregate rate.
+DEFAULT_MAX_STREAMS = 4
+
+
+class DataNode:
+    """Serves block reads/writes at disk speed with bounded concurrency."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "datanode0",
+        bandwidth: float = DEFAULT_DISK_BANDWIDTH,
+        request_overhead: float = DEFAULT_REQUEST_OVERHEAD,
+        max_streams: int = DEFAULT_MAX_STREAMS,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if request_overhead < 0:
+            raise ValueError("request_overhead must be non-negative")
+        self.env = env
+        self.name = name
+        self.bandwidth = bandwidth
+        self.request_overhead = request_overhead
+        self.streams = Resource(env, capacity=max_streams, name=f"{name}-streams")
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def transfer(self, nbytes: int, write: bool) -> t.Generator:
+        """Simulation process: move ``nbytes`` to/from disk.
+
+        Returns elapsed time.  The aggregate disk rate is shared equally
+        among granted streams (sampled at admission).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.env.now
+        with self.streams.request() as req:
+            yield req
+            share = self.bandwidth / max(1, self.streams.count)
+            duration = self.request_overhead + nbytes / share
+            yield self.env.timeout(duration)
+        if write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        return self.env.now - start
+
+    def read(self, nbytes: int) -> t.Generator:
+        """Read ``nbytes`` from disk (simulation process)."""
+        return self.transfer(nbytes, write=False)
+
+    def write(self, nbytes: int) -> t.Generator:
+        """Write ``nbytes`` to disk (simulation process)."""
+        return self.transfer(nbytes, write=True)

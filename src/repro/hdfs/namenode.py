@@ -1,0 +1,60 @@
+"""HDFS namenode: file metadata and block mapping."""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, Block, split_into_blocks
+
+
+class FileExistsOnHdfs(FileExistsError):
+    """Raised on create over an existing path (HDFS is write-once)."""
+
+
+class FileNotFoundOnHdfs(FileNotFoundError):
+    """Raised when a path has no metadata entry."""
+
+
+class NameNode:
+    """Metadata server: path → ordered list of blocks."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self._files: dict[str, list[Block]] = {}
+        self._next_block = count()
+
+    def create(self, path: str, nbytes: int) -> list[Block]:
+        """Register a new file and allocate its block list."""
+        if path in self._files:
+            raise FileExistsOnHdfs(f"HDFS path exists: {path}")
+        blocks = split_into_blocks(
+            path, nbytes, self.block_size, first_id=next(self._next_block)
+        )
+        # Burn ids so they stay globally unique.
+        for _ in range(len(blocks) - 1):
+            next(self._next_block)
+        self._files[path] = blocks
+        return blocks
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFoundOnHdfs(f"no such HDFS path: {path}")
+        del self._files[path]
+
+    def blocks(self, path: str) -> list[Block]:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundOnHdfs(f"no such HDFS path: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def file_size(self, path: str) -> int:
+        return sum(b.nbytes for b in self.blocks(path))
+
+    def listdir(self, prefix: str = "/") -> list[str]:
+        """Paths under a prefix (flat namespace, lexicographically sorted)."""
+        return sorted(p for p in self._files if p.startswith(prefix))

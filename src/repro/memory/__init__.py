@@ -1,0 +1,76 @@
+"""Heterogeneous memory substrate: technologies, DIMMs, NUMA pools, tiers.
+
+This package models the paper's testbed memory system:
+
+- :mod:`repro.memory.technology` — DRAM (DDR4) and Intel Optane DCPM
+  parameter sets (latency, bandwidth, energy, endurance), calibrated so the
+  four-tier microbenchmarks land on the paper's Table I.
+- :mod:`repro.memory.dimm` — an individual memory module with media-level
+  access counters (the quantity ``ipmctl`` reports) and wear tracking.
+- :mod:`repro.memory.device` — a NUMA memory pool behind a controller with
+  bounded concurrency; the discrete-event service model that produces
+  latency, queueing and bandwidth behaviour.
+- :mod:`repro.memory.tiers` — the Tier 0-3 access-mode definitions.
+- :mod:`repro.memory.mba` — Intel Memory Bandwidth Allocation emulation.
+- :mod:`repro.memory.energy` — DIMM energy accounting (RAPL-like).
+- :mod:`repro.memory.allocator` — ``numactl --membind`` style allocation.
+- :mod:`repro.memory.wear` — NVM endurance/lifetime estimation.
+"""
+
+from repro.memory.allocator import Allocation, InterleavedAllocator, MembindAllocator
+from repro.memory.counters import AccessCounters
+from repro.memory.device import AccessProfile, MemoryDevice
+from repro.memory.dimm import Dimm
+from repro.memory.energy import DimmEnergyModel, EnergyReport
+from repro.memory.faults import age_device, aged_technology
+from repro.memory.interleave import InterleavePolicy, interleaved_technology
+from repro.memory.mba import BandwidthAllocator
+from repro.memory.memory_mode import (
+    MemoryModeConfig,
+    estimate_hit_rate,
+    memory_mode_technology,
+)
+from repro.memory.technology import (
+    DDR4_DRAM,
+    OPTANE_DCPM,
+    MemoryTechnology,
+)
+from repro.memory.tiers import (
+    TIER_LOCAL_DRAM,
+    TIER_REMOTE_DRAM,
+    TIER_LOCAL_NVM,
+    TIER_REMOTE_NVM,
+    TierSpec,
+    table1_tiers,
+)
+from repro.memory.wear import WearTracker
+
+__all__ = [
+    "AccessCounters",
+    "InterleavePolicy",
+    "InterleavedAllocator",
+    "MemoryModeConfig",
+    "age_device",
+    "aged_technology",
+    "estimate_hit_rate",
+    "interleaved_technology",
+    "memory_mode_technology",
+    "AccessProfile",
+    "Allocation",
+    "BandwidthAllocator",
+    "DDR4_DRAM",
+    "Dimm",
+    "DimmEnergyModel",
+    "EnergyReport",
+    "MembindAllocator",
+    "MemoryDevice",
+    "MemoryTechnology",
+    "OPTANE_DCPM",
+    "TIER_LOCAL_DRAM",
+    "TIER_LOCAL_NVM",
+    "TIER_REMOTE_DRAM",
+    "TIER_REMOTE_NVM",
+    "TierSpec",
+    "WearTracker",
+    "table1_tiers",
+]

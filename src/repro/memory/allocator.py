@@ -1,0 +1,145 @@
+"""Memory allocation with ``numactl --membind`` semantics.
+
+Spark executors in the paper are pinned to a memory tier with
+``numactl --membind=<node>``; every heap/off-heap allocation then comes
+from that NUMA node and the process OOMs rather than falling back.  The
+:class:`MembindAllocator` reproduces this: it tracks capacity per device
+and either satisfies an allocation fully from the bound device or raises.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+from itertools import count
+
+from repro.memory.device import MemoryDevice
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when a bound device cannot satisfy an allocation."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A granted region of memory on a specific device."""
+
+    allocation_id: int
+    device: MemoryDevice
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+class MembindAllocator:
+    """Strict-bind allocator over one memory device.
+
+    Mirrors ``numactl --membind``: no fallback to other nodes.  Capacity
+    accounting lives on the *device*, so several allocators bound to the
+    same NUMA node (one per executor) contend for one pool — exactly how
+    multiple membind-ed processes share a node.
+    """
+
+    def __init__(self, device: MemoryDevice) -> None:
+        self.device = device
+        self._live: dict[int, Allocation] = {}
+        self._ids = count()
+        #: High-water mark of bytes simultaneously allocated *here*.
+        self.peak_usage = 0
+
+    @property
+    def free_bytes(self) -> int:
+        """Free bytes on the bound device (shared across allocators)."""
+        return self.device.free_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes live through *this* allocator."""
+        return sum(a.nbytes for a in self._live.values())
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def allocate(self, nbytes: int) -> Allocation:
+        """Reserve ``nbytes`` on the bound device or raise OOM."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        try:
+            self.device.reserve(nbytes)
+        except MemoryError as exc:
+            raise OutOfMemoryError(
+                f"membind to {self.device.name}: {exc} (strict bind, no fallback)"
+            ) from None
+        alloc = Allocation(next(self._ids), self.device, nbytes)
+        self._live[alloc.allocation_id] = alloc
+        self.peak_usage = max(self.peak_usage, self.used_bytes)
+        return alloc
+
+    def free(self, allocation: Allocation) -> None:
+        """Release a previously granted allocation."""
+        stored = self._live.pop(allocation.allocation_id, None)
+        if stored is None:
+            raise ValueError(
+                f"allocation {allocation.allocation_id} is not live on "
+                f"{self.device.name}"
+            )
+        self.device.release_reservation(stored.nbytes)
+
+    def free_all(self) -> int:
+        """Release every live allocation; returns bytes reclaimed."""
+        reclaimed = 0
+        for allocation in list(self._live.values()):
+            reclaimed += allocation.nbytes
+            self.free(allocation)
+        return reclaimed
+
+    def can_allocate(self, nbytes: int) -> bool:
+        return 0 <= nbytes <= self.free_bytes
+
+
+class InterleavedAllocator:
+    """``numactl --interleave`` style round-robin across several devices.
+
+    Provided for the placement-policy extension (DESIGN.md §3 ablations);
+    the paper's main experiments always use strict binds.
+    """
+
+    def __init__(self, devices: t.Sequence[MemoryDevice]) -> None:
+        if not devices:
+            raise ValueError("at least one device required")
+        self._allocators = [MembindAllocator(d) for d in devices]
+        self._next = 0
+
+    @property
+    def devices(self) -> list[MemoryDevice]:
+        return [a.device for a in self._allocators]
+
+    def allocate(self, nbytes: int) -> list[Allocation]:
+        """Split an allocation evenly (page-interleaved) across devices."""
+        n = len(self._allocators)
+        share, remainder = divmod(int(nbytes), n)
+        grants: list[Allocation] = []
+        try:
+            for i in range(n):
+                extra = 1 if i < remainder else 0
+                allocator = self._allocators[(self._next + i) % n]
+                grants.append(allocator.allocate(share + extra))
+        except OutOfMemoryError:
+            for grant in grants:
+                self._find(grant.device).free(grant)
+            raise
+        self._next = (self._next + 1) % n
+        return grants
+
+    def free(self, grants: t.Iterable[Allocation]) -> None:
+        for grant in grants:
+            self._find(grant.device).free(grant)
+
+    def _find(self, device: MemoryDevice) -> MembindAllocator:
+        for allocator in self._allocators:
+            if allocator.device is device:
+                return allocator
+        raise ValueError(f"{device.name} is not managed by this allocator")

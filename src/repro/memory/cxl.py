@@ -1,0 +1,90 @@
+"""CXL-attached memory expander modeling (the intro's forward look).
+
+The paper's introduction points at Samsung's Memory Expander and Compute
+Express Link as the technologies that will "further bridge existing
+performance gaps ... with the cost of more complex hierarchies".  A CXL
+Type-3 expander is DDR memory behind a serial link: **NVM-class access
+latency** (one link traversal ≈ 170-250 ns loaded) but **DRAM-class
+bandwidth and symmetry** — the exact opposite trade-off to Optane, which
+pairs NVM latency with collapsed bandwidth and write asymmetry.
+
+Studying a hypothetical "Tier C" against Table I answers the question
+the paper leaves open: which of Optane's two handicaps (latency or
+bandwidth/asymmetry) matters for Spark?  Since the paper's own Takeaway
+4 says latency dominates, the model predicts CXL will land much closer
+to Optane than its healthy bandwidth suggests — which is exactly what
+the benchmark shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.memory.technology import DDR4_DRAM, MemoryTechnology
+from repro.memory.tiers import TierSpec
+from repro.units import gbps_to_bps, gib, ns_to_s
+
+#: CXL 2.0 x8 link: one traversal adds ~110 ns over local DRAM.
+CXL_LINK_LATENCY = ns_to_s(110.0)
+#: Deliverable bandwidth of a x8 CXL 2.0 port (after protocol overhead).
+CXL_PORT_BANDWIDTH = gbps_to_bps(22.0)
+
+#: A DDR5-backed Type-3 expander: DRAM medium behind the link.
+CXL_EXPANDER = MemoryTechnology(
+    name="CXL Type-3 Memory Expander",
+    kind="nvm",  # occupies the capacity-tier slot of the topology
+    read_latency=DDR4_DRAM.read_latency + CXL_LINK_LATENCY,
+    write_latency=DDR4_DRAM.write_latency + CXL_LINK_LATENCY,
+    # Per-"DIMM" share of the port (4-device pool saturates the port).
+    dimm_read_bandwidth=CXL_PORT_BANDWIDTH / 4,
+    dimm_write_bandwidth=CXL_PORT_BANDWIDTH / 4,
+    dimm_capacity=gib(128),
+    static_power=4.5,  # DRAM device + controller/port share
+    read_energy_per_line=9.5e-9,  # DRAM access + SerDes transfer
+    write_energy_per_line=9.5e-9,
+    access_granularity=64,  # cache-line protocol, no RMW amplification
+    endurance_writes_per_cell=float("inf"),
+    queue_depth_per_dimm=12,  # deep request queues, minus link credits
+    mlp_read=6.0,  # link serialization trims overlap slightly
+    mlp_write=6.0,
+    persistent=False,
+)
+
+
+def cxl_tier(dimm_count: int = 4) -> TierSpec:
+    """A "Tier C" spec: socket-attached CXL expander pool."""
+    return TierSpec(
+        tier_id=2,  # occupies the Tier-2 (capacity) position
+        name=f"Tier C (CXL expander, {dimm_count} devices)",
+        technology=CXL_EXPANDER,
+        dimm_count=dimm_count,
+    )
+
+
+def optane_vs_cxl_specs() -> dict[str, tuple[float, float]]:
+    """(idle latency ns, read bandwidth GB/s) for the two capacity tiers."""
+    from repro.memory.technology import OPTANE_DCPM
+    from repro.units import bps_to_gbps, s_to_ns
+
+    optane = (
+        s_to_ns(OPTANE_DCPM.read_latency),
+        bps_to_gbps(4 * OPTANE_DCPM.dimm_read_bandwidth),
+    )
+    cxl = (
+        s_to_ns(CXL_EXPANDER.read_latency),
+        bps_to_gbps(4 * CXL_EXPANDER.dimm_read_bandwidth),
+    )
+    return {"optane": optane, "cxl": cxl}
+
+
+def cxl_technology_with_latency(extra_ns: float) -> MemoryTechnology:
+    """CXL variant with a different link latency (topology studies)."""
+    if extra_ns < 0:
+        raise ValueError("extra_ns must be non-negative")
+    delta = ns_to_s(extra_ns) - CXL_LINK_LATENCY
+    return dc_replace(
+        CXL_EXPANDER,
+        name=f"CXL expander ({extra_ns:.0f} ns link)",
+        read_latency=CXL_EXPANDER.read_latency + delta,
+        write_latency=CXL_EXPANDER.write_latency + delta,
+    )

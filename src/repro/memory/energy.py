@@ -1,0 +1,98 @@
+"""DIMM energy accounting.
+
+First-order model (validates the paper's Fig. 2 bottom / Takeaway 5):
+
+    E = P_static × T_wall × n_dimms
+        + E_read_line × lines_read + E_write_line × lines_written
+
+Optane draws less dynamic energy per *read* than DRAM but far more per
+write, and its higher static draw over much longer executions is what
+makes total NVM energy exceed DRAM despite the "low-power memory" pitch.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.memory.counters import AccessCounters
+from repro.memory.technology import MemoryTechnology
+from repro.units import CACHE_LINE
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.device import MemoryDevice
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy consumed by one memory pool over a run."""
+
+    device_name: str
+    technology: str
+    static_joules: float
+    read_joules: float
+    write_joules: float
+    elapsed: float
+    dimm_count: int
+
+    @property
+    def dynamic_joules(self) -> float:
+        return self.read_joules + self.write_joules
+
+    @property
+    def total_joules(self) -> float:
+        return self.static_joules + self.dynamic_joules
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the interval, watts."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_joules / self.elapsed
+
+    @property
+    def per_dimm_joules(self) -> float:
+        """Energy per DIMM — the quantity Fig. 2 (bottom) compares."""
+        if self.dimm_count <= 0:
+            return 0.0
+        return self.total_joules / self.dimm_count
+
+
+class DimmEnergyModel:
+    """Computes energy from counters + elapsed time for a technology."""
+
+    def __init__(self, technology: MemoryTechnology) -> None:
+        self.technology = technology
+
+    def energy(
+        self, counters: AccessCounters, elapsed: float, dimm_count: int = 1
+    ) -> tuple[float, float, float]:
+        """Return ``(static, read, write)`` joules for a pool of DIMMs."""
+        if elapsed < 0:
+            raise ValueError("elapsed must be non-negative")
+        if dimm_count < 1:
+            raise ValueError("dimm_count must be >= 1")
+        tech = self.technology
+        static = tech.static_power * elapsed * dimm_count
+        lines_read = counters.bytes_read / CACHE_LINE
+        lines_written = counters.bytes_written / CACHE_LINE
+        read = tech.read_energy_per_line * lines_read
+        write = tech.write_energy_per_line * lines_written
+        return static, read, write
+
+
+def device_energy_report(device: "MemoryDevice", elapsed: float) -> EnergyReport:
+    """Full :class:`EnergyReport` for a device over ``elapsed`` seconds."""
+    model = DimmEnergyModel(device.technology)
+    static, read, write = model.energy(
+        device.counters, elapsed, dimm_count=device.dimm_count
+    )
+    return EnergyReport(
+        device_name=device.name,
+        technology=device.technology.name,
+        static_joules=static,
+        read_joules=read,
+        write_joules=write,
+        elapsed=elapsed,
+        dimm_count=device.dimm_count,
+    )

@@ -1,0 +1,75 @@
+"""NVM aging and fault injection (Takeaway 3's long-term consequence).
+
+The paper warns that sustained write traffic shortens persistent-memory
+lifetime, with "further performance degradation ... due to potential
+hardware failures".  Aged 3D-XPoint media exhibits exactly that before
+failing outright: cell-level retries raise effective access latency and
+drop deliverable bandwidth.
+
+:func:`age_device` applies a degradation factor derived from consumed
+write endurance, so experiments can ask "what does year-5 performance
+look like for this workload mix?".
+"""
+
+from __future__ import annotations
+
+import typing as t
+from contextlib import contextmanager
+from dataclasses import replace as dc_replace
+
+from repro.memory.device import MemoryDevice
+from repro.memory.technology import MemoryTechnology
+
+#: Media-retry latency multiplier at 100 % consumed endurance.
+END_OF_LIFE_LATENCY_FACTOR = 3.0
+#: Deliverable bandwidth fraction at 100 % consumed endurance.
+END_OF_LIFE_BANDWIDTH_FACTOR = 0.4
+
+
+def degradation_factors(wear_fraction: float) -> tuple[float, float]:
+    """(latency multiplier, bandwidth multiplier) at a wear level.
+
+    Linear interpolation from fresh (1.0, 1.0) to end-of-life; wear
+    beyond 1.0 is clamped (the module would be failing ECC by then).
+    """
+    if wear_fraction < 0:
+        raise ValueError("wear_fraction must be non-negative")
+    w = min(1.0, wear_fraction)
+    latency = 1.0 + (END_OF_LIFE_LATENCY_FACTOR - 1.0) * w
+    bandwidth = 1.0 - (1.0 - END_OF_LIFE_BANDWIDTH_FACTOR) * w
+    return latency, bandwidth
+
+
+def aged_technology(
+    tech: MemoryTechnology, wear_fraction: float
+) -> MemoryTechnology:
+    """A technology as it performs at ``wear_fraction`` consumed endurance."""
+    latency_factor, bandwidth_factor = degradation_factors(wear_fraction)
+    return dc_replace(
+        tech,
+        name=f"{tech.name} (worn {min(1.0, wear_fraction):.0%})",
+        read_latency=tech.read_latency * latency_factor,
+        write_latency=tech.write_latency * latency_factor,
+        dimm_read_bandwidth=tech.dimm_read_bandwidth * bandwidth_factor,
+        dimm_write_bandwidth=tech.dimm_write_bandwidth * bandwidth_factor,
+    )
+
+
+@contextmanager
+def age_device(device: MemoryDevice, wear_fraction: float) -> t.Iterator[None]:
+    """Temporarily run ``device`` (and its DIMMs) at an aged performance level.
+
+    Restores the original technology on exit, so sweeps can compare fresh
+    vs. aged behaviour on one machine instance.
+    """
+    original = device.technology
+    aged = aged_technology(original, wear_fraction)
+    device.technology = aged
+    for dimm in device.dimms:
+        dimm.technology = aged
+    try:
+        yield
+    finally:
+        device.technology = original
+        for dimm in device.dimms:
+            dimm.technology = original

@@ -1,0 +1,81 @@
+"""``numactl --interleave`` across DRAM and NVM pools (extension).
+
+A third deployment option between "all DRAM" and "all NVM": page-
+interleave allocations across both technologies.  Reads/writes then
+split between the pools in proportion to the interleave ratio —
+latency averages out, while *bandwidth adds up* (both controllers serve
+in parallel), which is why interleaving is attractive for streaming-
+heavy workloads and mediocre for latency-bound ones.
+
+As with Memory Mode, the blend is expressed as a synthetic
+:class:`MemoryTechnology` so the whole characterization stack applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM, MemoryTechnology
+
+
+@dataclass(frozen=True)
+class InterleavePolicy:
+    """Fraction of pages landing on DRAM (the rest on NVM)."""
+
+    dram_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dram_fraction <= 1.0:
+            raise ValueError("dram_fraction must be in [0, 1]")
+
+
+def interleaved_technology(
+    policy: InterleavePolicy,
+    dram: MemoryTechnology = DDR4_DRAM,
+    nvm: MemoryTechnology = OPTANE_DCPM,
+) -> MemoryTechnology:
+    """Blended technology for a page-interleaved DRAM+NVM pool.
+
+    - latency: access-weighted mean (a page is on one pool or the other);
+    - bandwidth: **sum-weighted** — a stream touching both pools drives
+      both controllers concurrently, so per-"DIMM" bandwidth is the
+      weighted sum (unlike Memory Mode's serializing harmonic blend);
+    - persistence is lost (DRAM pages are volatile).
+    """
+    f = policy.dram_fraction
+
+    def mean(a: float, b: float) -> float:
+        return f * a + (1 - f) * b
+
+    return MemoryTechnology(
+        name=f"DRAM/NVM interleave ({f:.0%} DRAM)",
+        # A hybrid pool sits in the capacity-tier slot of the topology
+        # regardless of its blend, so it keeps the "nvm" kind.
+        kind="nvm",
+        read_latency=mean(dram.read_latency, nvm.read_latency),
+        write_latency=mean(dram.write_latency, nvm.write_latency),
+        dimm_read_bandwidth=(
+            f * dram.dimm_read_bandwidth + (1 - f) * nvm.dimm_read_bandwidth
+            + min(f, 1 - f) * nvm.dimm_read_bandwidth  # parallel overlap bonus
+        ),
+        dimm_write_bandwidth=(
+            f * dram.dimm_write_bandwidth + (1 - f) * nvm.dimm_write_bandwidth
+            + min(f, 1 - f) * nvm.dimm_write_bandwidth
+        ),
+        dimm_capacity=int(mean(dram.dimm_capacity, nvm.dimm_capacity)),
+        static_power=dram.static_power + nvm.static_power,
+        read_energy_per_line=mean(
+            dram.read_energy_per_line, nvm.read_energy_per_line
+        ),
+        write_energy_per_line=mean(
+            dram.write_energy_per_line, nvm.write_energy_per_line
+        ),
+        access_granularity=nvm.access_granularity if f < 0.5 else dram.access_granularity,
+        endurance_writes_per_cell=nvm.endurance_writes_per_cell,
+        queue_depth_per_dimm=round(
+            mean(dram.queue_depth_per_dimm, nvm.queue_depth_per_dimm)
+        ),
+        mlp_read=mean(dram.mlp_read, nvm.mlp_read),
+        mlp_write=mean(dram.mlp_write, nvm.mlp_write),
+        persistent=False,
+    )

@@ -1,0 +1,62 @@
+"""Intel Memory Bandwidth Allocation (MBA) emulation.
+
+Real MBA throttles the request rate between core and memory controller
+in steps of 10 % per class of service.  The paper uses it to cap deliverable
+bandwidth and show that the examined Spark applications are *latency*-bound
+(Fig. 3): execution time barely moves as the cap shrinks.
+
+Here a :class:`BandwidthAllocator` applies the cap to one or more
+:class:`~repro.memory.device.MemoryDevice` pools and restores them on exit.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.memory.device import MemoryDevice
+
+#: The hardware exposes 10%..100% in steps of 10.
+VALID_LEVELS = tuple(range(10, 101, 10))
+
+
+class BandwidthAllocator:
+    """Applies MBA-style throttle levels to memory devices.
+
+    Usable as a context manager so sweeps restore full bandwidth::
+
+        with BandwidthAllocator(devices, percent=30):
+            run_workload(...)
+    """
+
+    def __init__(
+        self, devices: t.Iterable[MemoryDevice], percent: int = 100
+    ) -> None:
+        self.devices = list(devices)
+        if not self.devices:
+            raise ValueError("at least one device is required")
+        self._saved: dict[MemoryDevice, float] = {}
+        self._percent = 100
+        self.set_level(percent)
+
+    @property
+    def percent(self) -> int:
+        return self._percent
+
+    def set_level(self, percent: int) -> None:
+        """Set the throttle level (must be one of the hardware steps)."""
+        if percent not in VALID_LEVELS:
+            raise ValueError(
+                f"MBA level must be one of {VALID_LEVELS}, got {percent}"
+            )
+        self._percent = percent
+
+    def __enter__(self) -> "BandwidthAllocator":
+        for device in self.devices:
+            self._saved[device] = device.mba_fraction
+            device.set_bandwidth_cap(self._percent / 100.0)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        for device, fraction in self._saved.items():
+            device.set_bandwidth_cap(fraction)
+        self._saved.clear()

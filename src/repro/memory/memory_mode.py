@@ -1,0 +1,145 @@
+"""Intel Optane *Memory Mode* modeling (extension beyond the paper).
+
+The paper configures its DCPM in **App Direct** mode (byte-addressable,
+OS-visible NUMA node).  The other production configuration is **Memory
+Mode**: the DRAM DIMMs become a direct-mapped, hardware-managed cache in
+front of the Optane capacity — software sees one big volatile pool whose
+performance depends entirely on the DRAM-cache hit rate.
+
+This module synthesizes a *blended* :class:`MemoryTechnology` for a given
+hit rate, plus a working-set-based hit-rate estimator, so Memory Mode
+deployments can be compared against the paper's App Direct tiers with
+the same machinery (see ``benchmarks/test_memory_mode.py``).
+
+First-order blend (h = hit rate):
+
+- latency:  ``h × DRAM + (1−h) × (Optane + miss_overhead)`` — a miss
+  pays the Optane access plus the cache-fill/tag-check overhead.
+- bandwidth: harmonic blend — sustained streams are limited by the miss
+  stream's Optane bandwidth share.
+- energy/static power: both DIMM populations stay powered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM, MemoryTechnology
+from repro.units import ns_to_s
+
+#: Tag check + fill overhead per DRAM-cache miss.
+MISS_OVERHEAD = ns_to_s(25.0)
+
+
+@dataclass(frozen=True)
+class MemoryModeConfig:
+    """Capacity layout of a Memory Mode socket."""
+
+    dram_cache_bytes: int
+    nvm_capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.dram_cache_bytes <= 0 or self.nvm_capacity_bytes <= 0:
+            raise ValueError("capacities must be positive")
+        if self.dram_cache_bytes >= self.nvm_capacity_bytes:
+            raise ValueError(
+                "Memory Mode requires NVM capacity larger than the DRAM cache"
+            )
+
+    @property
+    def visible_capacity(self) -> int:
+        """Software sees only the Optane capacity (DRAM is hidden cache)."""
+        return self.nvm_capacity_bytes
+
+
+def estimate_hit_rate(working_set_bytes: float, dram_cache_bytes: float) -> float:
+    """Direct-mapped-cache hit-rate estimate for a uniform working set.
+
+    A working set within the cache hits (almost) always; beyond it, the
+    hit probability decays with the over-subscription ratio, floored at
+    a 5 % conflict/cold-miss residue.
+    """
+    if working_set_bytes <= 0:
+        return 1.0
+    if dram_cache_bytes <= 0:
+        return 0.0
+    ratio = dram_cache_bytes / working_set_bytes
+    if ratio >= 1.0:
+        return 0.95  # conflict misses keep it off 100 %
+    return max(0.05, 0.95 * ratio)
+
+
+def _blend(h: float, dram_value: float, nvm_value: float) -> float:
+    return h * dram_value + (1.0 - h) * nvm_value
+
+
+def _harmonic_blend(h: float, dram_bw: float, nvm_bw: float) -> float:
+    """Sustained bandwidth of an h-hit stream (misses serialize on NVM)."""
+    if dram_bw <= 0 or nvm_bw <= 0:
+        raise ValueError("bandwidths must be positive")
+    return 1.0 / (h / dram_bw + (1.0 - h) / nvm_bw)
+
+
+def memory_mode_technology(hit_rate: float) -> MemoryTechnology:
+    """Blended technology for a Memory Mode pool at ``hit_rate``."""
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    h = hit_rate
+    dram, nvm = DDR4_DRAM, OPTANE_DCPM
+    return MemoryTechnology(
+        name=f"Optane Memory Mode (hit rate {h:.0%})",
+        kind="nvm",
+        read_latency=_blend(h, dram.read_latency, nvm.read_latency + MISS_OVERHEAD),
+        write_latency=_blend(h, dram.write_latency, nvm.write_latency + MISS_OVERHEAD),
+        dimm_read_bandwidth=_harmonic_blend(
+            h, dram.dimm_read_bandwidth, nvm.dimm_read_bandwidth
+        ),
+        dimm_write_bandwidth=_harmonic_blend(
+            h, dram.dimm_write_bandwidth, nvm.dimm_write_bandwidth
+        ),
+        dimm_capacity=nvm.dimm_capacity,
+        # Both populations draw power; attribute the pair to the pool.
+        static_power=dram.static_power + nvm.static_power,
+        read_energy_per_line=_blend(
+            h, dram.read_energy_per_line, nvm.read_energy_per_line
+        ),
+        write_energy_per_line=_blend(
+            h, dram.write_energy_per_line, nvm.write_energy_per_line
+        ),
+        # Misses move NVM granules; hits move cache lines.
+        access_granularity=(
+            dram.access_granularity if h >= 0.5 else nvm.access_granularity
+        ),
+        endurance_writes_per_cell=nvm.endurance_writes_per_cell,
+        queue_depth_per_dimm=round(
+            _blend(h, dram.queue_depth_per_dimm, nvm.queue_depth_per_dimm)
+        ),
+        mlp_read=_blend(h, dram.mlp_read, nvm.mlp_read),
+        mlp_write=_blend(h, dram.mlp_write, nvm.mlp_write),
+        persistent=False,  # Memory Mode is volatile by design
+    )
+
+
+def app_direct_vs_memory_mode_latency(hit_rate: float) -> tuple[float, float]:
+    """(App Direct read latency, Memory Mode read latency) in seconds.
+
+    The crossover question providers actually face: below some hit rate
+    Memory Mode is *worse* than just running on App Direct NVM, because
+    every miss pays both the cache check and the Optane access.
+    """
+    return (
+        OPTANE_DCPM.read_latency,
+        memory_mode_technology(hit_rate).read_latency,
+    )
+
+
+def crossover_hit_rate(tolerance: float = 1e-4) -> float:
+    """Hit rate below which Memory Mode reads are slower than App Direct.
+
+    Closed form from the latency blend: solve
+    ``h·L_dram + (1−h)(L_nvm + miss) = L_nvm``.
+    """
+    dram, nvm = DDR4_DRAM.read_latency, OPTANE_DCPM.read_latency
+    miss = MISS_OVERHEAD
+    h = miss / (nvm + miss - dram)
+    return min(1.0, max(0.0, h + tolerance))

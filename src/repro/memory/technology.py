@@ -1,0 +1,203 @@
+"""Memory technology parameter sets.
+
+The two technologies of the paper's testbed are modeled as first-order
+parameter sets.  Values are calibrated such that the Table I microbenchmarks
+(idle pointer-chase latency, streaming bandwidth per tier) reproduce the
+paper's measurements:
+
+========  ================  =================
+Tier      Idle latency (ns)  Bandwidth (GB/s)
+========  ================  =================
+Tier 0            77.8              39.3
+Tier 1           130.9              31.6
+Tier 2           172.1              10.7
+Tier 3           231.3               0.47
+========  ================  =================
+
+Decomposition used here (documented in DESIGN.md §4):
+
+- DRAM idle read latency 77.8 ns; 19.65 GB/s per DIMM × 2 DIMMs/socket.
+- A UPI hop adds 53.1 ns and caps cross-socket bandwidth at 31.6 GB/s.
+- Optane DCPM idle read latency 172.1 ns; 2.675 GB/s read per DIMM
+  (× 4 DIMMs on the big socket → 10.7 GB/s).
+- Remote NVM (Tier 3) additionally pays a DDRT-over-UPI protocol penalty:
+  +6.1 ns latency and a throughput-efficiency collapse to 8.79 % —
+  consistent with published measurements of cross-socket Optane streaming,
+  which lands the 2-DIMM far pool at 0.47 GB/s.
+
+Optane's read/write asymmetry (Takeaway 3) is modeled with a higher write
+latency and a much lower per-DIMM write bandwidth, matching public
+characterizations (e.g. Izraelevitz et al., "Basic Performance Measurements
+of the Intel Optane DC Persistent Memory Module").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import CACHE_LINE, NVM_MEDIA_GRANULE, gbps_to_bps, gib, ns_to_s
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """First-order performance/energy/endurance model of a memory medium.
+
+    Attributes
+    ----------
+    name:
+        Human-readable technology name.
+    kind:
+        ``"dram"`` or ``"nvm"`` — used by placement policies and reports.
+    read_latency:
+        Idle (unloaded) random read latency in **seconds**.
+    write_latency:
+        Idle random write latency in seconds.  For Optane this is the
+        effective media-write cost, not the ADR-buffer ack.
+    dimm_read_bandwidth / dimm_write_bandwidth:
+        Peak sequential bandwidth per DIMM, bytes/s.
+    dimm_capacity:
+        Capacity of one DIMM, bytes.
+    static_power:
+        Per-DIMM background (active-idle) power draw, watts.
+    read_energy_per_line / write_energy_per_line:
+        Dynamic energy per 64 B cache-line access, joules.
+    access_granularity:
+        Media access granularity, bytes (64 B DRAM, 256 B Optane — small
+        writes to Optane cause write amplification).
+    endurance_writes_per_cell:
+        Write-cycle endurance of the medium (``inf`` for DRAM).
+    queue_depth_per_dimm:
+        Number of in-flight requests a DIMM sustains before queueing —
+        NVM's small buffers make it far more contention-sensitive
+        (Takeaway 6).
+    mlp_read / mlp_write:
+        Memory-level parallelism a single core sustains against this
+        medium: how many outstanding misses overlap.  Dependent-load
+        pointer chases have MLP 1; typical analytics code overlaps several
+        requests.  Optane sustains markedly less overlap, especially for
+        writes (its small write-pending queue), which produces the
+        non-linear degradation with write ratio (Takeaway 3).
+    persistent:
+        Whether data survives power loss.
+    """
+
+    name: str
+    kind: str
+    read_latency: float
+    write_latency: float
+    dimm_read_bandwidth: float
+    dimm_write_bandwidth: float
+    dimm_capacity: int
+    static_power: float
+    read_energy_per_line: float
+    write_energy_per_line: float
+    access_granularity: int = CACHE_LINE
+    endurance_writes_per_cell: float = float("inf")
+    queue_depth_per_dimm: int = 16
+    mlp_read: float = 8.0
+    mlp_write: float = 8.0
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dram", "nvm"):
+            raise ValueError(f"kind must be 'dram' or 'nvm', got {self.kind!r}")
+        for field in (
+            "read_latency",
+            "write_latency",
+            "dimm_read_bandwidth",
+            "dimm_write_bandwidth",
+            "static_power",
+            "read_energy_per_line",
+            "write_energy_per_line",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        if self.dimm_capacity <= 0:
+            raise ValueError("dimm_capacity must be positive")
+        if self.queue_depth_per_dimm < 1:
+            raise ValueError("queue_depth_per_dimm must be >= 1")
+
+    @property
+    def write_read_latency_ratio(self) -> float:
+        """How much slower a random write is than a random read."""
+        if self.read_latency == 0:
+            return 1.0
+        return self.write_latency / self.read_latency
+
+    def write_amplification(self, access_bytes: int = CACHE_LINE) -> float:
+        """Media bytes written per requested byte for small writes.
+
+        Optane media works in 256 B granules, so a 64 B store rewrites
+        4× the data at the media level.
+        """
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        if access_bytes >= self.access_granularity:
+            return 1.0
+        return self.access_granularity / access_bytes
+
+
+#: DDR4-2666 DRAM, 32 GB RDIMM.  Latency/bandwidth calibrated to Table I
+#: Tier 0 (2 DIMMs per socket: 2 × 19.65 GB/s = 39.3 GB/s).
+DDR4_DRAM = MemoryTechnology(
+    name="DDR4-2666 DRAM",
+    kind="dram",
+    read_latency=ns_to_s(77.8),
+    write_latency=ns_to_s(77.8),
+    dimm_read_bandwidth=gbps_to_bps(19.65),
+    dimm_write_bandwidth=gbps_to_bps(19.65),
+    dimm_capacity=gib(32),
+    static_power=3.5,
+    # ~15 pJ/bit access energy → ~7.7 nJ per 64 B line; DRAM reads and
+    # writes cost about the same dynamically.
+    read_energy_per_line=7.7e-9,
+    write_energy_per_line=7.7e-9,
+    access_granularity=CACHE_LINE,
+    endurance_writes_per_cell=float("inf"),
+    queue_depth_per_dimm=16,
+    mlp_read=8.0,
+    mlp_write=8.0,
+    persistent=False,
+)
+
+#: Intel Optane DC Persistent Memory 256 GB (first gen, App Direct mode).
+#: Read latency calibrated to Table I Tier 2 (172.1 ns); per-DIMM read
+#: bandwidth 2.675 GB/s (× 4 DIMMs = 10.7 GB/s).  Write bandwidth per DIMM
+#: ≈ 0.35× read; media write latency ≈ 1.8× read.  Dynamic energy per line
+#: is *lower* than DRAM for reads but much higher for writes — yet total
+#: energy ends up higher because executions run longer (Takeaway 5).
+OPTANE_DCPM = MemoryTechnology(
+    name="Intel Optane DCPM 256GB",
+    kind="nvm",
+    read_latency=ns_to_s(172.1),
+    write_latency=ns_to_s(309.8),
+    dimm_read_bandwidth=gbps_to_bps(2.675),
+    dimm_write_bandwidth=gbps_to_bps(0.94),
+    dimm_capacity=gib(256),
+    static_power=5.0,
+    read_energy_per_line=5.3e-9,
+    write_energy_per_line=33.6e-9,
+    access_granularity=NVM_MEDIA_GRANULE,
+    endurance_writes_per_cell=1.0e6,
+    queue_depth_per_dimm=4,
+    mlp_read=4.0,
+    mlp_write=2.0,
+    persistent=True,
+)
+
+
+def technology_by_name(name: str) -> MemoryTechnology:
+    """Look up one of the built-in technologies by short name."""
+    table = {
+        "dram": DDR4_DRAM,
+        "ddr4": DDR4_DRAM,
+        "nvm": OPTANE_DCPM,
+        "optane": OPTANE_DCPM,
+        "dcpm": OPTANE_DCPM,
+    }
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology {name!r}; expected one of {sorted(table)}"
+        ) from None

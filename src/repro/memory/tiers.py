@@ -1,0 +1,175 @@
+"""Memory-tier definitions (the paper's Tier 0-3, Table I).
+
+A *tier* is an access mode: which memory pool an executor's allocations
+come from, seen from the socket its cores are bound to.  The paper defines
+four:
+
+- **Tier 0** — local DRAM: memory on the executor's own socket.
+- **Tier 1** — remote DRAM: DRAM on the other socket, one UPI hop away.
+- **Tier 2** — NVM attached to the executor's socket (the 4-DIMM Optane
+  pool; a distinct NUMA node, hence "remote" in NUMA terms, but no UPI
+  hop).
+- **Tier 3** — NVM attached to the *other* socket (the 2-DIMM pool),
+  paying both the UPI hop and the DDRT-over-UPI protocol collapse.
+
+:func:`table1_tiers` returns specs whose derived idle latency / peak
+bandwidth reproduce Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.device import PathCharacteristics
+from repro.memory.technology import (
+    DDR4_DRAM,
+    OPTANE_DCPM,
+    MemoryTechnology,
+)
+from repro.units import bps_to_gbps, gbps_to_bps, ns_to_s, s_to_ns
+
+#: One UPI (inter-socket) hop: extra latency and the cross-socket ceiling.
+UPI_HOP_LATENCY = ns_to_s(53.1)
+UPI_BANDWIDTH_CAP = gbps_to_bps(31.6)
+
+#: Extra latency of the DDRT protocol crossing UPI (remote Optane).
+REMOTE_NVM_EXTRA_LATENCY = ns_to_s(6.1)
+#: Throughput efficiency of remote Optane streaming (protocol collapse).
+#: Calibrated so 2 DIMMs × 2.675 GB/s × eff = 0.47 GB/s (Table I Tier 3).
+REMOTE_NVM_EFFICIENCY = 0.47 / (2 * 2.675)
+#: Memory-level-parallelism derating of cross-socket accesses: remote
+#: misses overlap poorly (directory round trips, limited remote-tracking
+#: queue entries).  Calibrated against the paper's ~44 % Tier-1 gap.
+REMOTE_MLP_FACTOR = 0.35
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Static description of one memory access tier.
+
+    The runtime machine model resolves a ``TierSpec`` to a concrete
+    :class:`~repro.memory.device.MemoryDevice` plus
+    :class:`~repro.memory.device.PathCharacteristics`; this class also
+    offers closed-form idle latency / peak bandwidth for Table I checks
+    and for the Fig. 6 hardware-spec correlations.
+    """
+
+    tier_id: int
+    name: str
+    technology: MemoryTechnology
+    dimm_count: int
+    upi_hops: int = 0
+    extra_latency: float = 0.0
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tier_id < 0:
+            raise ValueError("tier_id must be >= 0")
+        if self.dimm_count < 1:
+            raise ValueError("dimm_count must be >= 1")
+        if self.upi_hops < 0:
+            raise ValueError("upi_hops must be >= 0")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    # -- derived hardware specs (Table I) ----------------------------------------
+    @property
+    def hop_latency(self) -> float:
+        """Total per-access path latency beyond the medium itself."""
+        return self.upi_hops * UPI_HOP_LATENCY + self.extra_latency
+
+    @property
+    def idle_read_latency(self) -> float:
+        """Unloaded dependent-load latency, seconds."""
+        return self.technology.read_latency + self.hop_latency
+
+    @property
+    def idle_write_latency(self) -> float:
+        return self.technology.write_latency + self.hop_latency
+
+    @property
+    def idle_read_latency_ns(self) -> float:
+        return s_to_ns(self.idle_read_latency)
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Peak deliverable read bandwidth, bytes/s."""
+        raw = self.dimm_count * self.technology.dimm_read_bandwidth * self.efficiency
+        if self.upi_hops > 0:
+            raw = min(raw, UPI_BANDWIDTH_CAP)
+        return raw
+
+    @property
+    def write_bandwidth(self) -> float:
+        raw = self.dimm_count * self.technology.dimm_write_bandwidth * self.efficiency
+        if self.upi_hops > 0:
+            raw = min(raw, UPI_BANDWIDTH_CAP)
+        return raw
+
+    @property
+    def read_bandwidth_gbps(self) -> float:
+        return bps_to_gbps(self.read_bandwidth)
+
+    @property
+    def is_remote(self) -> bool:
+        """The paper counts every non-Tier-0 mode as remote."""
+        return self.tier_id != 0
+
+    @property
+    def is_nvm(self) -> bool:
+        return self.technology.kind == "nvm"
+
+    def path(self) -> PathCharacteristics:
+        """Path characteristics a burst pays to reach this tier."""
+        return PathCharacteristics(
+            hop_latency=self.hop_latency,
+            bandwidth_cap=UPI_BANDWIDTH_CAP if self.upi_hops > 0 else float("inf"),
+            efficiency=self.efficiency,
+            mlp_factor=REMOTE_MLP_FACTOR if self.upi_hops > 0 else 1.0,
+        )
+
+
+TIER_LOCAL_DRAM = TierSpec(
+    tier_id=0,
+    name="Tier 0 (local DRAM)",
+    technology=DDR4_DRAM,
+    dimm_count=2,
+)
+
+TIER_REMOTE_DRAM = TierSpec(
+    tier_id=1,
+    name="Tier 1 (remote DRAM)",
+    technology=DDR4_DRAM,
+    dimm_count=2,
+    upi_hops=1,
+)
+
+TIER_LOCAL_NVM = TierSpec(
+    tier_id=2,
+    name="Tier 2 (socket-attached NVM, 4 DIMMs)",
+    technology=OPTANE_DCPM,
+    dimm_count=4,
+)
+
+TIER_REMOTE_NVM = TierSpec(
+    tier_id=3,
+    name="Tier 3 (cross-socket NVM, 2 DIMMs)",
+    technology=OPTANE_DCPM,
+    dimm_count=2,
+    upi_hops=1,
+    extra_latency=REMOTE_NVM_EXTRA_LATENCY,
+    efficiency=REMOTE_NVM_EFFICIENCY,
+)
+
+
+def table1_tiers() -> tuple[TierSpec, TierSpec, TierSpec, TierSpec]:
+    """The paper's four tiers, in tier-id order."""
+    return (TIER_LOCAL_DRAM, TIER_REMOTE_DRAM, TIER_LOCAL_NVM, TIER_REMOTE_NVM)
+
+
+def tier_by_id(tier_id: int) -> TierSpec:
+    """Look up a Table I tier by its integer id (0-3)."""
+    tiers = table1_tiers()
+    if not 0 <= tier_id < len(tiers):
+        raise KeyError(f"tier_id must be in 0..3, got {tier_id}")
+    return tiers[tier_id]

@@ -1,0 +1,69 @@
+"""NVM endurance tracking (Takeaway 3's long-term consequence).
+
+The paper notes that heavy write traffic shortens persistent-memory
+lifetime.  :class:`WearTracker` aggregates per-DIMM wear and projects
+remaining lifetime at the observed write rate.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+from dataclasses import dataclass
+
+from repro.memory.device import MemoryDevice
+
+
+@dataclass(frozen=True)
+class WearRecord:
+    """Wear state of one DIMM at a point in time."""
+
+    dimm_id: str
+    media_writes: int
+    wear_fraction: float
+    projected_lifetime_seconds: float
+
+    @property
+    def projected_lifetime_years(self) -> float:
+        if math.isinf(self.projected_lifetime_seconds):
+            return float("inf")
+        return self.projected_lifetime_seconds / (365.25 * 24 * 3600)
+
+
+class WearTracker:
+    """Summarizes endurance consumption across one or more devices."""
+
+    def __init__(self, devices: t.Iterable[MemoryDevice]) -> None:
+        self.devices = list(devices)
+        if not self.devices:
+            raise ValueError("at least one device required")
+
+    def records(self, elapsed: float) -> list[WearRecord]:
+        """Per-DIMM wear records after ``elapsed`` seconds of activity."""
+        if elapsed < 0:
+            raise ValueError("elapsed must be non-negative")
+        out: list[WearRecord] = []
+        for device in self.devices:
+            for dimm in device.dimms:
+                out.append(
+                    WearRecord(
+                        dimm_id=dimm.dimm_id,
+                        media_writes=dimm.media_writes,
+                        wear_fraction=dimm.wear_fraction(),
+                        projected_lifetime_seconds=dimm.estimated_lifetime_seconds(
+                            elapsed
+                        ),
+                    )
+                )
+        return out
+
+    def worst(self, elapsed: float) -> WearRecord:
+        """The most-worn DIMM (shortest projected lifetime)."""
+        return min(
+            self.records(elapsed), key=lambda r: r.projected_lifetime_seconds
+        )
+
+    def total_media_writes(self) -> int:
+        return sum(
+            dimm.media_writes for device in self.devices for dimm in device.dimms
+        )

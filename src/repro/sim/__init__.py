@@ -1,0 +1,56 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch, generator-based DES core in the style of SimPy, built for
+deterministic simulation of the tiered-memory Spark testbed.  Processes are
+Python generators that yield *events*; the :class:`~repro.sim.core.Environment`
+drives a time-ordered event queue.
+
+Public API::
+
+    env = Environment()
+    def proc(env):
+        yield env.timeout(5.0)
+        return "done"
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "done"
+
+Components:
+
+- :mod:`repro.sim.core` — the :class:`Environment` event loop.
+- :mod:`repro.sim.events` — :class:`Event`, :class:`Timeout`,
+  :class:`Condition` (``AllOf``/``AnyOf``).
+- :mod:`repro.sim.process` — generator-backed :class:`Process`.
+- :mod:`repro.sim.resources` — :class:`Resource` (mutex/server pool) and
+  :class:`Container` (continuous quantity, e.g. bandwidth tokens).
+- :mod:`repro.sim.store` — :class:`Store` / :class:`FilterStore` queues.
+- :mod:`repro.sim.monitor` — time-weighted statistics collectors.
+"""
+
+from repro.sim.core import Environment
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.monitor import Monitor, UtilizationMonitor
+from repro.sim.process import Process
+from repro.sim.resources import Container, Preempted, Request, Resource
+from repro.sim.store import FilterStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Monitor",
+    "Preempted",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "UtilizationMonitor",
+]

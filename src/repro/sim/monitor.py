@@ -1,0 +1,119 @@
+"""Time-series statistics collectors for simulations."""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class Monitor:
+    """Records ``(time, value)`` samples and computes summary statistics.
+
+    Supports both event-weighted statistics (plain mean over samples) and
+    time-weighted statistics (each sample weighted by how long it remained
+    the current value — the right average for levels such as queue length).
+    """
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name or f"monitor-{id(self):#x}"
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Record ``value`` at the current simulation time."""
+        self.times.append(self.env.now)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # -- event-weighted -------------------------------------------------------
+    def mean(self) -> float:
+        """Plain mean over recorded samples (NaN when empty)."""
+        if not self.values:
+            return math.nan
+        return sum(self.values) / len(self.values)
+
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def std(self) -> float:
+        """Population standard deviation of samples."""
+        n = len(self.values)
+        if n == 0:
+            return math.nan
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / n)
+
+    # -- time-weighted ---------------------------------------------------------
+    def time_weighted_mean(self, until: float | None = None) -> float:
+        """Mean where each sample persists until the next one.
+
+        ``until`` closes the final interval (defaults to ``env.now``).
+        """
+        if not self.values:
+            return math.nan
+        end = self.env.now if until is None else until
+        total = 0.0
+        duration = 0.0
+        for i, (start, value) in enumerate(zip(self.times, self.values)):
+            stop = self.times[i + 1] if i + 1 < len(self.times) else end
+            dt = max(0.0, stop - start)
+            total += value * dt
+            duration += dt
+        if duration <= 0:
+            return self.values[-1]
+        return total / duration
+
+
+class UtilizationMonitor:
+    """Tracks the busy fraction of a multi-server resource over time."""
+
+    def __init__(self, env: "Environment", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or f"util-{id(self):#x}"
+        self._in_use = 0
+        self._busy_area = 0.0
+        self._last = env.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def _advance(self) -> None:
+        now = self.env.now
+        self._busy_area += self._in_use * (now - self._last)
+        self._last = now
+
+    def acquire(self, n: int = 1) -> None:
+        """Mark ``n`` more servers busy."""
+        self._advance()
+        self._in_use += n
+        if self._in_use > self.capacity:
+            raise ValueError(
+                f"{self.name}: in_use {self._in_use} exceeds capacity {self.capacity}"
+            )
+
+    def release(self, n: int = 1) -> None:
+        """Mark ``n`` servers idle again."""
+        self._advance()
+        self._in_use -= n
+        if self._in_use < 0:
+            raise ValueError(f"{self.name}: released more than acquired")
+
+    def utilization(self) -> float:
+        """Busy fraction of total capacity since construction."""
+        self._advance()
+        if self.env.now <= 0:
+            return 0.0
+        return self._busy_area / (self.env.now * self.capacity)

@@ -1,0 +1,118 @@
+"""Generator-backed simulation processes."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import PENDING, URGENT, Event, Initialize
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+ProcessGenerator = t.Generator[Event, t.Any, t.Any]
+
+
+class Process(Event):
+    """A process wraps a generator that yields events.
+
+    The process itself is an event that triggers when the generator
+    terminates: its value is the generator's return value, or the exception
+    it raised (the process *fails* in that case).
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: Event the process is currently waiting on (``None`` when running
+        #: or finished).
+        self._target: Event | None = Initialize(env, self)
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped generator function."""
+        return self._generator.__name__  # type: ignore[union-attr]
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the generator has terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process currently waits for."""
+        return self._target
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process receives the interrupt the next time it would be
+        resumed; whatever event it waited on is abandoned (the event stays
+        valid and may still trigger, but no longer resumes this process).
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+        # Detach from the event we were waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed: re-raise inside the process.
+                    event._defused = True
+                    exc = t.cast(BaseException, event._value)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Process finished successfully.
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                # Process died; the process event fails with the exception.
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            # The generator yielded a new event to wait on.
+            if not isinstance(next_event, Event):
+                fail = RuntimeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                self._ok = False
+                self._value = fail
+                self.env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop immediately with its outcome.
+            event = next_event
+
+        self.env._active_proc = None

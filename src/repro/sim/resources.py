@@ -1,0 +1,241 @@
+"""Shared resources for simulation processes.
+
+Two primitives cover everything the testbed model needs:
+
+- :class:`Resource` — a pool of ``capacity`` identical servers (CPU cores,
+  memory-device queue slots).  Processes ``yield resource.request()`` and
+  later ``resource.release(req)``; requests queue FIFO (optionally by
+  priority).
+- :class:`Container` — a continuous quantity (bandwidth tokens, bytes of
+  memory capacity) supporting ``put``/``get`` of float amounts.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from heapq import heappop, heappush
+from itertools import count
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class Preempted(Exception):
+    """Cause object delivered when a request loses its slot (reserved)."""
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # hold the slot
+        # released automatically
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.time_requested = resource.env.now
+        #: Simulation time the request was granted (``None`` while queued).
+        self.time_granted: float | None = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a queued request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A pool of ``capacity`` interchangeable servers.
+
+    Grants are FIFO among equal priorities; lower ``priority`` values are
+    served first.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name or f"resource-{id(self):#x}"
+        self._capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: list[tuple[int, int, Request]] = []
+        self._tiebreak = count()
+        #: Cumulative (time-weighted) busy server-time, for utilization stats.
+        self._busy_time = 0.0
+        self._last_change = env.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name!r} capacity={self._capacity} "
+            f"users={len(self._users)} queued={len(self._queue)}>"
+        )
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        """Average fraction of capacity in use since construction."""
+        self._accumulate()
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (elapsed * self._capacity)
+
+    def _accumulate(self) -> None:
+        now = self.env.now
+        self._busy_time += len(self._users) * (now - self._last_change)
+        self._last_change = now
+
+    # -- request / release -----------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        """Claim one slot; the returned event triggers when granted."""
+        return Request(self, priority)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self._users) < self._capacity:
+            self._grant(req)
+        else:
+            heappush(self._queue, (req.priority, next(self._tiebreak), req))
+
+    def _grant(self, req: Request) -> None:
+        self._accumulate()
+        self._users.add(req)
+        req.time_granted = self.env.now
+        req.succeed(self)
+
+    def release(self, req: Request) -> None:
+        """Return a granted slot to the pool, waking the next waiter."""
+        if req not in self._users:
+            # Releasing an ungranted/cancelled request is a silent no-op so
+            # that ``with`` blocks unwind cleanly after interrupts.
+            self._cancel(req)
+            return
+        self._accumulate()
+        self._users.discard(req)
+        while self._queue and len(self._users) < self._capacity:
+            _, _, nxt = heappop(self._queue)
+            if nxt._value is not _PENDING:  # cancelled or failed
+                continue
+            self._grant(nxt)
+
+    def _cancel(self, req: Request) -> None:
+        # Lazy deletion: mark by failing silently if still pending.
+        for i, (_, _, queued) in enumerate(self._queue):
+            if queued is req:
+                del self._queue[i]
+                self._queue.sort()  # restore heap invariant cheaply (small queues)
+                break
+
+
+class Container:
+    """A continuous stock of some quantity between 0 and ``capacity``.
+
+    ``get(amount)`` blocks until the amount is available; ``put(amount)``
+    blocks until it fits.  Waiters are served FIFO.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.name = name or f"container-{id(self):#x}"
+        self._capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[int, Event, float]] = []
+        self._putters: list[tuple[int, Event, float]] = []
+        self._order = count()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; event triggers once it fits under capacity."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        ev = Event(self.env)
+        self._putters.append((next(self._order), ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; event triggers once the level covers it."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        if amount > self._capacity:
+            raise SimulationError(
+                f"get({amount}) can never succeed: capacity is {self._capacity}"
+            )
+        ev = Event(self.env)
+        self._getters.append((next(self._order), ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        """Grant queued puts/gets in FIFO order while they fit.
+
+        Comparisons carry a relative epsilon: accumulated floating-point
+        drift must not starve a get/put of an amount that is equal up to
+        rounding (a 1-ULP shortfall would otherwise deadlock the queue).
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                _, ev, amount = self._putters[0]
+                slack = 1e-9 * max(1.0, self._capacity)
+                if self._level + amount <= self._capacity + slack:
+                    self._putters.pop(0)
+                    self._level = min(self._capacity, self._level + amount)
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                _, ev, amount = self._getters[0]
+                slack = 1e-9 * max(1.0, amount)
+                if amount <= self._level + slack:
+                    self._getters.pop(0)
+                    self._level = max(0.0, self._level - amount)
+                    ev.succeed(amount)
+                    progressed = True
+
+
+# Sentinel import kept at bottom to avoid cycle noise at module top.
+from repro.sim.events import PENDING as _PENDING  # noqa: E402

@@ -1,0 +1,109 @@
+"""Object queues (stores) for producer/consumer process patterns."""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class Store:
+    """A FIFO queue of arbitrary items with blocking put/get.
+
+    ``capacity`` bounds the number of stored items; ``put`` blocks while the
+    store is full, ``get`` blocks while it is empty.
+    """
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf"), name: str = ""
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.name = name or f"store-{id(self):#x}"
+        self._capacity = capacity
+        self.items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: object) -> Event:
+        """Append ``item``; the event triggers once there is room."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the oldest item; the event's value is the item."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _accept(self, getter: Event) -> bool:
+        """Hand the head item to ``getter`` if one matches.  FIFO variant."""
+        if not self.items:
+            return False
+        getter.succeed(self.items.popleft())
+        return True
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self._capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(item)
+                progressed = True
+            if self._getters and self._accept(self._getters[0]):
+                self._getters.popleft()
+                progressed = True
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose ``get`` can select items by predicate."""
+
+    def get(self, filter: t.Callable[[object], bool] | None = None) -> Event:  # noqa: A002
+        ev = Event(self.env)
+        ev._filter = filter or (lambda item: True)  # type: ignore[attr-defined]
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _accept(self, getter: Event) -> bool:
+        predicate = getattr(getter, "_filter", lambda item: True)
+        for i, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[i]
+                getter.succeed(item)
+                return True
+        return False
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self._capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(item)
+                progressed = True
+            # Unlike the FIFO store a blocked head getter must not starve
+            # later getters whose predicate can be satisfied.
+            for getter in list(self._getters):
+                if self._accept(getter):
+                    self._getters.remove(getter)
+                    progressed = True
+                    break

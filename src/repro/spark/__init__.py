@@ -1,0 +1,47 @@
+"""A Spark-like in-memory analytics engine over the simulated testbed.
+
+Implements the subset of Apache Spark semantics the paper's
+characterization depends on:
+
+- **RDDs** with lineage, lazy transformations, narrow vs. shuffle
+  dependencies, and in-memory persistence (:mod:`repro.spark.rdd`).
+- A **DAG scheduler** that splits jobs into stages at shuffle boundaries
+  (:mod:`repro.spark.dag`).
+- **Executors** pinned to CPU sockets and memory tiers via ``numactl``
+  semantics, with bounded task slots, a task-dispatch critical section and
+  a unified storage/execution memory manager
+  (:mod:`repro.spark.executor`, :mod:`repro.spark.memory_manager`).
+- A **shuffle** subsystem with map-side buckets and reduce-side fetches
+  whose memory traffic lands on the executors' bound tiers
+  (:mod:`repro.spark.shuffle`).
+
+Every transformation both *computes real results* and *charges costs*
+(abstract compute ops + an :class:`~repro.memory.device.AccessProfile`)
+that the discrete-event simulation turns into time on the tiered-memory
+machine model.
+"""
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.spark.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.spark.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.spark.rdd import RDD
+from repro.spark.storage_level import StorageLevel
+from repro.spark.timeline import export_timeline, timeline_summary
+
+__all__ = [
+    "CostSpec",
+    "HashPartitioner",
+    "JobMetrics",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+    "SparkConf",
+    "SparkContext",
+    "StageMetrics",
+    "StorageLevel",
+    "TaskMetrics",
+    "export_timeline",
+    "timeline_summary",
+]

@@ -1,0 +1,103 @@
+"""Block manager: cached RDD partitions on an executor's bound tier."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.spark.memory_manager import BlockId, UnifiedMemoryManager
+from repro.spark.serializer import deserialization_ops, serialization_ops
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.rdd import RDD
+    from repro.spark.task import TaskContext
+
+
+class BlockManager:
+    """Stores cached partition data and charges the traffic it causes.
+
+    A cache **hit** streams the block from the bound memory tier; a
+    **miss** computes the partition, then streams the new block into the
+    tier (evicting LRU victims if the storage pool is tight).  Serialized
+    storage levels additionally pay ser/deser compute.
+    """
+
+    def __init__(self, memory_manager: UnifiedMemoryManager) -> None:
+        self.memory = memory_manager
+        self._data: dict[BlockId, list[t.Any]] = {}
+        #: Disk-resident blocks: block → (records, serialized bytes).
+        self._disk: dict[BlockId, tuple[list[t.Any], float]] = {}
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def get_or_compute(
+        self, rdd: "RDD", split: int, ctx: "TaskContext"
+    ) -> list[t.Any]:
+        block = BlockId(rdd.rdd_id, split)
+        if self.memory.contains(block) and block in self._data:
+            self.hits += 1
+            ctx.metrics.cache_hits += 1
+            self.memory.touch(block)
+            data = self._data[block]
+            nbytes = self.memory.block_size(block)
+            ctx.charge_stream_read(nbytes, records=len(data))
+            if not rdd.storage_level.deserialized:
+                ctx.charge(ops=deserialization_ops(nbytes))
+            return data
+
+        if block in self._disk:
+            # Disk-resident hit: timed datanode read + deserialization.
+            self.disk_hits += 1
+            ctx.metrics.cache_hits += 1
+            data, nbytes = self._disk[block]
+            ctx.pending_disk_reads.append(nbytes)
+            ctx.charge(ops=deserialization_ops(nbytes))
+            ctx.charge_stream_write(nbytes, records=len(data))  # into heap
+            return data
+
+        self.misses += 1
+        ctx.metrics.cache_misses += 1
+        data = rdd.compute(split, ctx)
+        rdd._observe(data)
+        nbytes = rdd.partition_nbytes(data)
+        stored_in_memory = False
+        if rdd.storage_level.use_memory:
+            try:
+                evicted = self.memory.acquire_storage(block, nbytes)
+            except MemoryError:
+                evicted = None  # does not fit; maybe disk below
+            if evicted is not None:
+                for victim in evicted:
+                    self._spill_or_drop(victim, rdd.storage_level.use_disk)
+                self._data[block] = data
+                ctx.charge_stream_write(nbytes, records=len(data))
+                if not rdd.storage_level.deserialized:
+                    ctx.charge(ops=serialization_ops(nbytes))
+                stored_in_memory = True
+        if not stored_in_memory and rdd.storage_level.use_disk:
+            # MEMORY_AND_DISK overflow or DISK_ONLY: serialize to disk.
+            self._disk[block] = (data, nbytes)
+            ctx.pending_disk_writes.append(nbytes)
+            ctx.charge(ops=serialization_ops(nbytes))
+        return data
+
+    def _spill_or_drop(self, victim: BlockId, spill_to_disk: bool) -> None:
+        """Evicted memory block: spill to disk when the level allows."""
+        data = self._data.pop(victim, None)
+        if spill_to_disk and data is not None and victim not in self._disk:
+            from repro.spark.serializer import estimate_record_bytes
+
+            self._disk[victim] = (data, len(data) * estimate_record_bytes(data))
+
+    def evict_rdd(self, rdd_id: int) -> float:
+        """Unpersist support: drop all blocks of one RDD (memory + disk)."""
+        freed = self.memory.release_rdd(rdd_id)
+        for block in [b for b in self._data if b.rdd_id == rdd_id]:
+            del self._data[block]
+        for block in [b for b in self._disk if b.rdd_id == rdd_id]:
+            del self._disk[block]
+        return freed
+
+    @property
+    def cached_bytes(self) -> float:
+        return self.memory.storage_used

@@ -1,0 +1,130 @@
+"""Spark configuration (the tunables of Sec. III-B and Fig. 4)."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field, replace
+
+from repro.units import MB, gib
+
+
+@dataclass(frozen=True)
+class SparkConf:
+    """Engine configuration for one deployment.
+
+    The paper's default configuration is standalone mode with **one
+    executor using all 40 hyperthreads** of its bound NUMA node; Fig. 4
+    sweeps ``num_executors`` × ``executor_cores``.
+
+    Attributes
+    ----------
+    num_executors:
+        Executor instances (all on the same machine, pseudo-distributed).
+    executor_cores:
+        Task slots per executor.  Slots beyond the socket's hyperthreads
+        oversubscribe and contend for CPU.
+    executor_memory:
+        Heap per executor, bytes (Spark standalone default: 1 GiB).
+    memory_fraction / storage_fraction:
+        Spark's unified-memory-manager split: ``memory_fraction`` of the
+        heap is unified storage+execution; ``storage_fraction`` of that is
+        the eviction-protected storage region.
+    cpu_socket:
+        Socket executors are ``--cpunodebind``-ed to.
+    memory_tier:
+        Tier id (0-3) executors are ``--membind``-ed to.
+    default_parallelism:
+        Partition count for inputs when the workload does not override.
+    shuffle_partitions:
+        Reducer-side partition count for wide operations.
+    task_dispatch_overhead:
+        Driver↔executor per-task launch + result-handling time spent in
+        the executor's single dispatcher thread (serializes task starts
+        within one executor — the reason many small executors can beat
+        one fat executor on task-storms).
+    task_control_writes:
+        Random control-plane writes each task start/stop performs on the
+        executor's bound tier (task state, metrics, heartbeats); the
+        "executor co-operation" traffic the paper blames for NVM
+        degradation with many executors (Takeaway 6).
+    shuffle_chunk_bytes:
+        Burst granularity for charging memory traffic; smaller chunks
+        sample contention more finely but cost more simulator events.
+    unified_shuffle:
+        Engine extension from the paper's discussion section: when every
+        executor is membind-ed to one shared pool, reducers can map the
+        mappers' shuffle segments directly instead of fetching through
+        the block-transfer service — no cross-executor copy, no
+        serialization round trip.  Off by default (stock Spark
+        behaviour).
+    """
+
+    num_executors: int = 1
+    executor_cores: int = 40
+    executor_memory: int = gib(1)
+    memory_fraction: float = 0.6
+    storage_fraction: float = 0.5
+    cpu_socket: int = 1
+    memory_tier: int = 0
+    default_parallelism: int = 8
+    shuffle_partitions: int | None = None
+    task_dispatch_overhead: float = 0.5e-3
+    task_control_writes: int = 3000
+    shuffle_chunk_bytes: int = 4 * MB
+    unified_shuffle: bool = False
+    extra: dict[str, t.Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_executors < 1:
+            raise ValueError("num_executors must be >= 1")
+        if self.executor_cores < 1:
+            raise ValueError("executor_cores must be >= 1")
+        if self.executor_memory <= 0:
+            raise ValueError("executor_memory must be positive")
+        if not 0 < self.memory_fraction <= 1:
+            raise ValueError("memory_fraction must be in (0, 1]")
+        if not 0 <= self.storage_fraction <= 1:
+            raise ValueError("storage_fraction must be in [0, 1]")
+        if not 0 <= self.memory_tier <= 3:
+            raise ValueError("memory_tier must be a Table I tier id (0-3)")
+        if self.default_parallelism < 1:
+            raise ValueError("default_parallelism must be >= 1")
+        if self.task_dispatch_overhead < 0:
+            raise ValueError("task_dispatch_overhead must be non-negative")
+        if self.task_control_writes < 0:
+            raise ValueError("task_control_writes must be non-negative")
+        if self.shuffle_chunk_bytes <= 0:
+            raise ValueError("shuffle_chunk_bytes must be positive")
+
+    @property
+    def total_task_slots(self) -> int:
+        return self.num_executors * self.executor_cores
+
+    @property
+    def effective_shuffle_partitions(self) -> int:
+        return (
+            self.default_parallelism
+            if self.shuffle_partitions is None
+            else self.shuffle_partitions
+        )
+
+    @property
+    def unified_memory_bytes(self) -> int:
+        """Unified (storage + execution) pool size per executor."""
+        return int(self.executor_memory * self.memory_fraction)
+
+    @property
+    def storage_memory_bytes(self) -> int:
+        """Eviction-protected storage region per executor."""
+        return int(self.unified_memory_bytes * self.storage_fraction)
+
+    def with_options(self, **kwargs: t.Any) -> "SparkConf":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_executors} executor(s) x {self.executor_cores} core(s), "
+            f"tier {self.memory_tier}, socket {self.cpu_socket}, "
+            f"parallelism {self.default_parallelism}"
+        )

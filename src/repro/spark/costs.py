@@ -1,0 +1,127 @@
+"""Cost specifications for RDD operations.
+
+Each transformation charges the task that evaluates it with a
+:class:`CostSpec` — abstract compute operations plus latency-bound random
+memory accesses, per record and per byte.  The engine automatically
+charges the *streaming* traffic (reading the input partition, writing the
+output partition) from measured record sizes, so cost specs only describe
+work beyond the sequential pass: per-record CPU, hash probes, pointer
+chasing, scatter writes.
+
+Defaults below are first-order calibrations for CPython-level analytics
+kernels; workloads override them where their memory behaviour is
+distinctive (e.g. LDA's write-heavy Gibbs updates, PageRank's
+random-probe joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostSpec:
+    """Per-record/per-byte costs of one operator.
+
+    Attributes
+    ----------
+    ops_per_record:
+        Abstract compute ops per *input* record (function call, compare,
+        arithmetic...).
+    ops_per_byte:
+        Additional compute per input byte (scanning, parsing).
+    random_reads_per_record:
+        Latency-bound reads per input record (hash-table probes, pointer
+        dereferences into out-of-cache structures).
+    random_writes_per_record:
+        Latency-bound writes per input record (hash inserts, scatter
+        stores, in-place state updates).
+    """
+
+    ops_per_record: float = 60.0
+    ops_per_byte: float = 0.0
+    random_reads_per_record: float = 0.0
+    random_writes_per_record: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "ops_per_record",
+            "ops_per_byte",
+            "random_reads_per_record",
+            "random_writes_per_record",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def scaled(self, factor: float) -> "CostSpec":
+        """Uniformly scale every rate (workload intensity knobs)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return CostSpec(
+            ops_per_record=self.ops_per_record * factor,
+            ops_per_byte=self.ops_per_byte * factor,
+            random_reads_per_record=self.random_reads_per_record * factor,
+            random_writes_per_record=self.random_writes_per_record * factor,
+        )
+
+    def with_options(self, **kwargs: float) -> "CostSpec":
+        return replace(self, **kwargs)
+
+    def with_pressure(self, llc_pressure: float) -> "CostSpec":
+        """Scale only the *random-access* rates by a cache-pressure factor.
+
+        Compute per record is size-invariant; what changes with working
+        set size is how often accesses miss the cache hierarchy.
+        """
+        if llc_pressure <= 0:
+            raise ValueError("llc_pressure must be positive")
+        return replace(
+            self,
+            random_reads_per_record=self.random_reads_per_record * llc_pressure,
+            random_writes_per_record=self.random_writes_per_record * llc_pressure,
+        )
+
+
+#: Cheap element-wise transformation (map/filter over simple records).
+MAP_COST = CostSpec(ops_per_record=60.0, ops_per_byte=0.05)
+
+#: flatMap-style tokenisation (string scanning dominates).
+FLATMAP_COST = CostSpec(ops_per_record=120.0, ops_per_byte=0.4)
+
+#: Map-side hash aggregation: probe + occasional insert per record.
+AGGREGATE_COST = CostSpec(
+    ops_per_record=90.0,
+    random_reads_per_record=4.5,
+    random_writes_per_record=1.8,
+)
+
+#: Sort within a partition: comparison-dominated, pointer-chasing merges.
+SORT_COST = CostSpec(
+    ops_per_record=220.0,
+    random_reads_per_record=6.0,
+    random_writes_per_record=3.0,
+)
+
+#: Shuffle-write record scatter into per-reducer buckets.
+SHUFFLE_WRITE_COST = CostSpec(
+    ops_per_record=45.0,
+    random_reads_per_record=1.0,
+    random_writes_per_record=3.5,
+)
+
+#: Shuffle-read gather: stream segments, rebuild records.
+SHUFFLE_READ_COST = CostSpec(
+    ops_per_record=40.0,
+    random_reads_per_record=2.5,
+)
+
+#: Join/cogroup probe: build + probe hash relation.
+JOIN_COST = CostSpec(
+    ops_per_record=110.0,
+    random_reads_per_record=7.5,
+    random_writes_per_record=2.5,
+)
+
+#: Dense numeric kernel (ALS normal equations, classifier scoring):
+#: vectorized — high ops but cache-friendly, few random accesses.
+NUMERIC_KERNEL_COST = CostSpec(ops_per_record=400.0, ops_per_byte=0.8)

@@ -1,0 +1,152 @@
+"""DAG scheduler: jobs → stages → tasks.
+
+Walks the final RDD's lineage, cutting a new stage at every
+:class:`~repro.spark.dependency.ShuffleDependency` (Spark's stage
+construction algorithm), deduplicating stages by shuffle id, and skipping
+map stages whose shuffle output is already materialized (which is how
+iterative workloads reuse earlier shuffles).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from itertools import count
+
+from repro.spark.dependency import NarrowDependency, ShuffleDependency
+from repro.spark.metrics import JobMetrics, StageMetrics
+from repro.spark.stage import Stage, topological_order
+from repro.spark.task import Task
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.context import SparkContext
+    from repro.spark.rdd import RDD
+
+
+class DAGScheduler:
+    """Builds and submits the stage graph for each job."""
+
+    def __init__(self, sc: "SparkContext") -> None:
+        self.sc = sc
+        self._stage_ids = count()
+        self._job_ids = count()
+        self._task_ids = count()
+        #: Stage cache keyed by shuffle id so shared lineage maps to one
+        #: physical stage per shuffle (as in Spark).
+        self._shuffle_stages: dict[int, Stage] = {}
+
+    # -- stage graph construction ------------------------------------------------
+    def _parent_stages(self, rdd: "RDD") -> list[Stage]:
+        """Shuffle-map stages directly feeding ``rdd``'s pipeline."""
+        parents: list[Stage] = []
+        visited: set[int] = set()
+        frontier: list[RDD] = [rdd]
+        while frontier:
+            current = frontier.pop()
+            if current.rdd_id in visited:
+                continue
+            visited.add(current.rdd_id)
+            for dep in current.deps:
+                if isinstance(dep, ShuffleDependency):
+                    parents.append(self._shuffle_stage(dep))
+                elif isinstance(dep, NarrowDependency):
+                    frontier.append(dep.rdd)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown dependency type {type(dep)!r}")
+        # Deterministic order regardless of traversal.
+        parents.sort(key=lambda s: s.stage_id)
+        return parents
+
+    def _shuffle_stage(self, dep: ShuffleDependency) -> Stage:
+        """Get-or-create the map stage materializing ``dep``."""
+        if dep.shuffle_id in self._shuffle_stages:
+            return self._shuffle_stages[dep.shuffle_id]
+        stage = Stage(
+            stage_id=next(self._stage_ids),
+            rdd=dep.rdd,
+            shuffle_dep=dep,
+            parents=self._parent_stages(dep.rdd),
+        )
+        self._shuffle_stages[dep.shuffle_id] = stage
+        self.sc.shuffle_manager.register_shuffle(
+            dep.shuffle_id, dep.rdd.num_partitions
+        )
+        return stage
+
+    def build_stages(self, final_rdd: "RDD") -> Stage:
+        """Create the ResultStage (and transitively its ancestors)."""
+        return Stage(
+            stage_id=next(self._stage_ids),
+            rdd=final_rdd,
+            shuffle_dep=None,
+            parents=self._parent_stages(final_rdd),
+        )
+
+    # -- job execution -------------------------------------------------------------
+    def run_job(
+        self,
+        final_rdd: "RDD",
+        result_func: t.Callable[[list[t.Any]], t.Any],
+        name: str = "",
+        hdfs_path: str | None = None,
+    ) -> tuple[list[t.Any], JobMetrics]:
+        """Execute a job and return (per-partition results, metrics).
+
+        Drives the discrete-event simulation forward until the job's
+        final stage completes.
+        """
+        env = self.sc.env
+        job = JobMetrics(
+            job_id=next(self._job_ids), name=name, submit_time=env.now
+        )
+        final_stage = self.build_stages(final_rdd)
+
+        results: list[t.Any] = [None] * final_stage.num_tasks
+        for stage in topological_order(final_stage):
+            if stage.is_shuffle_map and self.sc.shuffle_manager.is_complete(
+                stage.shuffle_dep.shuffle_id  # type: ignore[union-attr]
+            ):
+                continue  # output already materialized by an earlier job
+            stage_metrics = self._run_stage(
+                stage,
+                result_func,
+                results,
+                hdfs_path=None if stage.is_shuffle_map else hdfs_path,
+            )
+            job.stages.append(stage_metrics)
+
+        job.complete_time = env.now
+        return results, job
+
+    def _run_stage(
+        self,
+        stage: Stage,
+        result_func: t.Callable[[list[t.Any]], t.Any],
+        results: list[t.Any],
+        hdfs_path: str | None = None,
+    ) -> StageMetrics:
+        """Submit one stage's tasks and block (in sim time) until done."""
+        env = self.sc.env
+        metrics = StageMetrics(
+            stage_id=stage.stage_id,
+            name=stage.describe(),
+            num_tasks=stage.num_tasks,
+            submit_time=env.now,
+        )
+        tasks = [
+            Task(
+                task_id=next(self._task_ids),
+                stage_id=stage.stage_id,
+                partition=p,
+                rdd=stage.rdd,
+                shuffle_dep=stage.shuffle_dep,
+                result_func=None if stage.is_shuffle_map else result_func,
+            )
+            for p in range(stage.num_tasks)
+        ]
+        outputs = self.sc.task_scheduler.run_task_set(tasks, hdfs_path=hdfs_path)
+        if not stage.is_shuffle_map:
+            for task, output in zip(tasks, outputs):
+                results[task.partition] = output
+        metrics.tasks = [task.metrics for task in tasks]
+        metrics.complete_time = env.now
+        return metrics

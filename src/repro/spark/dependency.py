@@ -1,0 +1,74 @@
+"""RDD dependencies: the lineage edges the DAG scheduler walks."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.partitioner import Partitioner
+    from repro.spark.rdd import RDD
+
+
+class Dependency:
+    """Base class for a child RDD's dependency on a parent RDD."""
+
+    def __init__(self, rdd: "RDD") -> None:
+        self.rdd = rdd
+
+
+class NarrowDependency(Dependency):
+    """Each child partition depends on a bounded set of parent partitions."""
+
+    def parents_of(self, partition: int) -> list[int]:
+        raise NotImplementedError
+
+
+class OneToOneDependency(NarrowDependency):
+    """Child partition ``i`` depends exactly on parent partition ``i``."""
+
+    def parents_of(self, partition: int) -> list[int]:
+        return [partition]
+
+
+@dataclass(frozen=True)
+class _Range:
+    in_start: int
+    out_start: int
+    length: int
+
+
+class RangeDependency(NarrowDependency):
+    """A contiguous range mapping (union of RDDs)."""
+
+    def __init__(self, rdd: "RDD", in_start: int, out_start: int, length: int) -> None:
+        super().__init__(rdd)
+        self.range = _Range(in_start, out_start, length)
+
+    def parents_of(self, partition: int) -> list[int]:
+        r = self.range
+        if r.out_start <= partition < r.out_start + r.length:
+            return [partition - r.out_start + r.in_start]
+        return []
+
+
+class ShuffleDependency(Dependency):
+    """A wide dependency: every child partition may read every parent one.
+
+    Owns the shuffle id and the partitioner used for routing; optionally a
+    map-side combiner (for ``reduceByKey``-style pre-aggregation).
+    """
+
+    _next_shuffle_id = 0
+
+    def __init__(
+        self,
+        rdd: "RDD",
+        partitioner: "Partitioner",
+        map_side_combine: t.Callable[[t.Any, t.Any], t.Any] | None = None,
+    ) -> None:
+        super().__init__(rdd)
+        self.partitioner = partitioner
+        self.map_side_combine = map_side_combine
+        self.shuffle_id = ShuffleDependency._next_shuffle_id
+        ShuffleDependency._next_shuffle_id += 1

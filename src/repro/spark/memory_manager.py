@@ -1,0 +1,156 @@
+"""Unified memory manager (Spark 1.6+ model).
+
+One executor's heap is split into a *unified region*
+(``spark.memory.fraction``) shared by **storage** (cached blocks) and
+**execution** (shuffle/aggregation buffers).  Execution can evict
+storage down to the protected ``spark.memory.storageFraction`` floor;
+storage never evicts execution.  When execution cannot get memory it
+*spills* — which, on a membind-ed executor, means extra traffic on the
+bound memory tier (and is charged as such by the executor).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Identifier of a cached partition block."""
+
+    rdd_id: int
+    partition: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"rdd_{self.rdd_id}_{self.partition}"
+
+
+class UnifiedMemoryManager:
+    """Bookkeeping for one executor's storage/execution memory.
+
+    Pure accounting — time/energy costs of eviction and spill are charged
+    by the executor that calls it.
+    """
+
+    def __init__(self, unified_bytes: int, storage_floor_bytes: int) -> None:
+        if unified_bytes <= 0:
+            raise ValueError("unified_bytes must be positive")
+        if not 0 <= storage_floor_bytes <= unified_bytes:
+            raise ValueError("storage floor must lie within the unified region")
+        self.unified_bytes = unified_bytes
+        self.storage_floor_bytes = storage_floor_bytes
+        self._storage_used = 0.0
+        self._execution_used = 0.0
+        #: LRU map of cached blocks → size.
+        self._blocks: "OrderedDict[BlockId, float]" = OrderedDict()
+        self.evicted_blocks = 0
+        self.spilled_bytes = 0.0
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def storage_used(self) -> float:
+        return self._storage_used
+
+    @property
+    def execution_used(self) -> float:
+        return self._execution_used
+
+    @property
+    def free(self) -> float:
+        return self.unified_bytes - self._storage_used - self._execution_used
+
+    def contains(self, block: BlockId) -> bool:
+        return block in self._blocks
+
+    def block_size(self, block: BlockId) -> float:
+        return self._blocks[block]
+
+    def cached_blocks(self) -> list[BlockId]:
+        return list(self._blocks)
+
+    # -- storage side ---------------------------------------------------------------
+    def acquire_storage(self, block: BlockId, nbytes: float) -> list[BlockId]:
+        """Try to cache a block; returns the blocks evicted to make room.
+
+        Raises :class:`MemoryError` if the block cannot fit even after
+        evicting every other cached block (callers treat that as a cache
+        skip, like Spark's "block too large" path).
+        """
+        if block in self._blocks:
+            self.touch(block)
+            return []
+        if nbytes > self.unified_bytes - self._execution_used:
+            raise MemoryError(
+                f"block {block} ({nbytes:.0f} B) exceeds available unified memory"
+            )
+        evicted: list[BlockId] = []
+        while nbytes > self.free:
+            victim = self._lru_victim(exclude=block)
+            if victim is None:
+                raise MemoryError(f"cannot free enough storage for {block}")
+            evicted.append(self._evict(victim))
+        self._blocks[block] = nbytes
+        self._storage_used += nbytes
+        return evicted
+
+    def touch(self, block: BlockId) -> None:
+        """Mark a block most-recently-used."""
+        self._blocks.move_to_end(block)
+
+    def release_block(self, block: BlockId) -> float:
+        """Explicitly drop one cached block; returns its size."""
+        nbytes = self._blocks.pop(block)
+        self._storage_used -= nbytes
+        return nbytes
+
+    def release_rdd(self, rdd_id: int) -> float:
+        """Drop every block of an RDD (unpersist); returns bytes freed."""
+        freed = 0.0
+        for block in [b for b in self._blocks if b.rdd_id == rdd_id]:
+            freed += self.release_block(block)
+        return freed
+
+    def _lru_victim(self, exclude: BlockId) -> BlockId | None:
+        for candidate in self._blocks:
+            if candidate != exclude:
+                return candidate
+        return None
+
+    def _evict(self, block: BlockId) -> BlockId:
+        nbytes = self._blocks.pop(block)
+        self._storage_used -= nbytes
+        self.evicted_blocks += 1
+        return block
+
+    # -- execution side ---------------------------------------------------------------
+    def acquire_execution(self, nbytes: float) -> tuple[float, list[BlockId]]:
+        """Request execution memory.
+
+        Returns ``(granted, evicted_blocks)``.  Execution may evict
+        storage down to the protected floor; whatever still cannot be
+        granted is the caller's spill volume.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        evicted: list[BlockId] = []
+        # Evict unprotected storage if needed.
+        while (
+            nbytes > self.free
+            and self._storage_used > self.storage_floor_bytes
+            and self._blocks
+        ):
+            victim = next(iter(self._blocks))
+            evicted.append(self._evict(victim))
+        granted = min(nbytes, self.free)
+        self._execution_used += granted
+        shortfall = nbytes - granted
+        if shortfall > 0:
+            self.spilled_bytes += shortfall
+        return granted, evicted
+
+    def release_execution(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._execution_used = max(0.0, self._execution_used - nbytes)

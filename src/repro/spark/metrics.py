@@ -1,0 +1,122 @@
+"""Task/stage/job metric records.
+
+These mirror (a useful subset of) Spark's ``TaskMetrics`` and are the raw
+material for the paper's Fig. 5 system-level-event correlations.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Everything measured about one task attempt."""
+
+    task_id: int = -1
+    stage_id: int = -1
+    partition: int = -1
+    executor_id: int = -1
+    launch_time: float = 0.0
+    finish_time: float = 0.0
+    records_read: int = 0
+    records_written: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    random_reads: float = 0.0
+    random_writes: float = 0.0
+    compute_ops: float = 0.0
+    shuffle_bytes_written: float = 0.0
+    shuffle_bytes_read: float = 0.0
+    shuffle_records_written: int = 0
+    shuffle_records_read: int = 0
+    remote_fetches: int = 0
+    local_fetches: int = 0
+    spill_bytes: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    dispatch_wait: float = 0.0
+    cpu_wait: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finish_time - self.launch_time)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class StageMetrics:
+    """Aggregate over the tasks of one stage."""
+
+    stage_id: int
+    name: str = ""
+    num_tasks: int = 0
+    submit_time: float = 0.0
+    complete_time: float = 0.0
+    tasks: list[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.complete_time - self.submit_time)
+
+    def total(self, attr: str) -> float:
+        return float(sum(getattr(m, attr) for m in self.tasks))
+
+
+@dataclass
+class JobMetrics:
+    """Aggregate over one job (one action call)."""
+
+    job_id: int
+    name: str = ""
+    submit_time: float = 0.0
+    complete_time: float = 0.0
+    stages: list[StageMetrics] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.complete_time - self.submit_time)
+
+    def all_tasks(self) -> list[TaskMetrics]:
+        return [task for stage in self.stages for task in stage.tasks]
+
+    def total(self, attr: str) -> float:
+        return float(sum(getattr(m, attr) for m in self.all_tasks()))
+
+    def summary(self) -> dict[str, float]:
+        """Flat event dictionary (input to the Fig. 5 correlations)."""
+        tasks = self.all_tasks()
+        return {
+            "duration": self.duration,
+            "num_stages": float(len(self.stages)),
+            "num_tasks": float(len(tasks)),
+            "records_read": self.total("records_read"),
+            "records_written": self.total("records_written"),
+            "bytes_read": self.total("bytes_read"),
+            "bytes_written": self.total("bytes_written"),
+            "random_reads": self.total("random_reads"),
+            "random_writes": self.total("random_writes"),
+            "compute_ops": self.total("compute_ops"),
+            "shuffle_bytes_written": self.total("shuffle_bytes_written"),
+            "shuffle_bytes_read": self.total("shuffle_bytes_read"),
+            "spill_bytes": self.total("spill_bytes"),
+            "dispatch_wait": self.total("dispatch_wait"),
+            "cpu_wait": self.total("cpu_wait"),
+        }
+
+
+def merge_job_metrics(jobs: t.Iterable[JobMetrics]) -> dict[str, float]:
+    """Sum the summaries of several jobs (a full application run)."""
+    totals: dict[str, float] = {}
+    duration = 0.0
+    for job in jobs:
+        summary = job.summary()
+        duration += summary.pop("duration")
+        for key, value in summary.items():
+            totals[key] = totals.get(key, 0.0) + value
+    totals["duration"] = duration
+    return totals

@@ -1,0 +1,134 @@
+"""Key partitioners for wide (shuffle) operations."""
+
+from __future__ import annotations
+
+import typing as t
+import zlib
+
+
+def _portable_hash(key: t.Any) -> int:
+    """Deterministic, process-independent hash for shuffle routing.
+
+    Python's builtin ``hash`` is salted per process for strings; shuffle
+    placement must be reproducible across runs, so strings and bytes go
+    through crc32 and other values use their builtin hash (stable for
+    numbers and tuples of numbers).
+    """
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        acc = 0x345678
+        for item in key:
+            acc = (acc * 1000003) ^ _portable_hash(item)
+        return acc & 0x7FFFFFFF
+    return hash(key)
+
+
+class Partitioner:
+    """Maps keys to reducer partition indices."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: t.Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``hash(key) mod n``."""
+
+    def partition(self, key: t.Any) -> int:
+        return _portable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Order-preserving partitioner for sortByKey.
+
+    Built from sampled bounds: partition ``i`` receives keys in
+    ``(bounds[i-1], bounds[i]]``; keys above the last bound go to the last
+    partition.
+    """
+
+    def __init__(self, num_partitions: int, bounds: t.Sequence[t.Any]) -> None:
+        super().__init__(num_partitions)
+        if len(bounds) != num_partitions - 1:
+            raise ValueError(
+                f"need {num_partitions - 1} bounds for {num_partitions} "
+                f"partitions, got {len(bounds)}"
+            )
+        self.bounds = list(bounds)
+
+    @classmethod
+    def from_sample(
+        cls, num_partitions: int, sample_keys: t.Sequence[t.Any]
+    ) -> "RangePartitioner":
+        """Derive balanced bounds from a sample of keys.
+
+        An empty sample degenerates to a single partition (there is no
+        information to split on), as Spark's RangePartitioner does.
+        """
+        if num_partitions == 1 or not sample_keys:
+            return cls(1, [])
+        ordered = sorted(sample_keys)
+        bounds = []
+        for i in range(1, num_partitions):
+            idx = min(len(ordered) - 1, (i * len(ordered)) // num_partitions)
+            bounds.append(ordered[idx])
+        # Deduplicate while preserving order; shrink partition count if the
+        # sample has too few distinct keys.
+        unique: list[t.Any] = []
+        for bound in bounds:
+            if not unique or bound > unique[-1]:
+                unique.append(bound)
+        return cls(len(unique) + 1, unique)
+
+    def partition(self, key: t.Any) -> int:
+        # Binary search over the bounds.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and self.num_partitions == other.num_partitions
+            and self.bounds == other.bounds
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash((type(self).__name__, self.num_partitions, tuple(self.bounds)))
+
+
+class ReversedPartitioner(Partitioner):
+    """Mirror of another partitioner's index space (descending sorts)."""
+
+    def __init__(self, inner: Partitioner) -> None:
+        super().__init__(inner.num_partitions)
+        self.inner = inner
+
+    def partition(self, key: t.Any) -> int:
+        return self.num_partitions - 1 - self.inner.partition(key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReversedPartitioner) and self.inner == other.inner
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash(("ReversedPartitioner", self.inner))

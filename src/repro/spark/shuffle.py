@@ -1,0 +1,132 @@
+"""Shuffle subsystem: map-output buckets and reduce-side fetches.
+
+In real Spark each map task writes one file with R sorted segments; each
+reduce task fetches its segment from every map output.  In the paper's
+single-node, membind-ed deployment those files live in the OS page cache
+of the bound NUMA node — so shuffle traffic is *memory tier traffic*,
+which is exactly why shuffle-heavy workloads degrade so sharply on NVM.
+
+The :class:`ShuffleManager` stores real record buckets (the engine is
+functional) together with their byte sizes (the engine is also a cost
+model).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.spark.serializer import estimate_record_bytes
+
+
+@dataclass
+class ShuffleSegment:
+    """One (mapper, reducer) bucket of records."""
+
+    shuffle_id: int
+    map_partition: int
+    reduce_partition: int
+    mapper_executor: int
+    records: list[t.Any]
+    nbytes: float
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class _ShuffleState:
+    """All registered output for one shuffle id."""
+
+    num_maps_expected: int
+    # map_partition -> reduce_partition -> segment
+    outputs: dict[int, dict[int, ShuffleSegment]] = field(default_factory=dict)
+
+    @property
+    def num_maps_registered(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.num_maps_registered >= self.num_maps_expected
+
+
+class ShuffleManager:
+    """Registry of map outputs, keyed by shuffle id."""
+
+    def __init__(self) -> None:
+        self._shuffles: dict[int, _ShuffleState] = {}
+
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        """Announce a shuffle before its map stage runs (idempotent)."""
+        if shuffle_id not in self._shuffles:
+            self._shuffles[shuffle_id] = _ShuffleState(num_maps_expected=num_maps)
+
+    def is_registered(self, shuffle_id: int) -> bool:
+        return shuffle_id in self._shuffles
+
+    def is_complete(self, shuffle_id: int) -> bool:
+        state = self._shuffles.get(shuffle_id)
+        return state is not None and state.is_complete
+
+    def add_map_output(
+        self,
+        shuffle_id: int,
+        map_partition: int,
+        mapper_executor: int,
+        buckets: dict[int, list[t.Any]],
+        record_bytes: float | None = None,
+    ) -> float:
+        """Store one map task's buckets; returns total bytes written."""
+        state = self._shuffles[shuffle_id]
+        segments: dict[int, ShuffleSegment] = {}
+        total = 0.0
+        for reduce_partition, records in buckets.items():
+            nbytes = (
+                len(records) * record_bytes
+                if record_bytes is not None
+                else len(records) * estimate_record_bytes(records)
+            )
+            segments[reduce_partition] = ShuffleSegment(
+                shuffle_id=shuffle_id,
+                map_partition=map_partition,
+                reduce_partition=reduce_partition,
+                mapper_executor=mapper_executor,
+                records=list(records),
+                nbytes=nbytes,
+            )
+            total += nbytes
+        state.outputs[map_partition] = segments
+        return total
+
+    def fetch(self, shuffle_id: int, reduce_partition: int) -> list[ShuffleSegment]:
+        """All segments a reducer needs, in map-partition order."""
+        state = self._shuffles.get(shuffle_id)
+        if state is None:
+            raise KeyError(f"shuffle {shuffle_id} was never registered")
+        if not state.is_complete:
+            raise RuntimeError(
+                f"shuffle {shuffle_id} fetch before map stage completed "
+                f"({state.num_maps_registered}/{state.num_maps_expected})"
+            )
+        segments: list[ShuffleSegment] = []
+        for map_partition in sorted(state.outputs):
+            segment = state.outputs[map_partition].get(reduce_partition)
+            if segment is not None and segment.records:
+                segments.append(segment)
+        return segments
+
+    def total_shuffle_bytes(self, shuffle_id: int) -> float:
+        state = self._shuffles.get(shuffle_id)
+        if state is None:
+            return 0.0
+        return sum(
+            segment.nbytes
+            for by_reducer in state.outputs.values()
+            for segment in by_reducer.values()
+        )
+
+    def clear(self) -> None:
+        """Drop all shuffle state (between experiment repetitions)."""
+        self._shuffles.clear()

@@ -1,0 +1,57 @@
+"""Stages: pipelined task sets bounded by shuffle dependencies."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.dependency import ShuffleDependency
+    from repro.spark.rdd import RDD
+
+
+@dataclass
+class Stage:
+    """A set of independent tasks over the partitions of one RDD.
+
+    ``shuffle_dep`` set → ShuffleMapStage whose tasks materialize map-side
+    buckets for that shuffle; unset → the job's final ResultStage.
+    """
+
+    stage_id: int
+    rdd: "RDD"
+    shuffle_dep: "ShuffleDependency | None" = None
+    parents: list["Stage"] = field(default_factory=list)
+
+    @property
+    def is_shuffle_map(self) -> bool:
+        return self.shuffle_dep is not None
+
+    @property
+    def num_tasks(self) -> int:
+        return self.rdd.num_partitions
+
+    def describe(self) -> str:
+        kind = "ShuffleMapStage" if self.is_shuffle_map else "ResultStage"
+        parents = [p.stage_id for p in self.parents]
+        return (
+            f"{kind}(id={self.stage_id}, rdd={self.rdd.name}, "
+            f"tasks={self.num_tasks}, parents={parents})"
+        )
+
+
+def topological_order(final_stage: Stage) -> list[Stage]:
+    """Parents-first ordering of the stage DAG (deterministic)."""
+    order: list[Stage] = []
+    seen: set[int] = set()
+
+    def visit(stage: Stage) -> None:
+        if stage.stage_id in seen:
+            return
+        seen.add(stage.stage_id)
+        for parent in sorted(stage.parents, key=lambda s: s.stage_id):
+            visit(parent)
+        order.append(stage)
+
+    visit(final_stage)
+    return order

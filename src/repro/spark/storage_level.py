@@ -1,0 +1,54 @@
+"""RDD persistence levels (subset of Spark's StorageLevel)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageLevel:
+    """Where and how persisted RDD blocks are kept.
+
+    ``use_memory`` keeps deserialized blocks in the executor's bound
+    memory tier; ``use_disk`` allows falling back to HDFS-local disk when
+    the storage pool cannot hold a block.  ``NONE`` means recompute.
+    """
+
+    use_memory: bool
+    use_disk: bool
+    deserialized: bool = True
+
+    @property
+    def is_cached(self) -> bool:
+        return self.use_memory or self.use_disk
+
+    def describe(self) -> str:
+        if not self.is_cached:
+            return "NONE"
+        parts = []
+        if self.use_memory:
+            parts.append("MEMORY")
+        if self.use_disk:
+            parts.append("DISK")
+        form = "deser" if self.deserialized else "ser"
+        return "_AND_".join(parts) + f"({form})"
+
+
+#: Recompute on every use (the default for unpersisted RDDs).
+NONE = StorageLevel(use_memory=False, use_disk=False)
+#: Spark's default ``cache()`` level.
+MEMORY_ONLY = StorageLevel(use_memory=True, use_disk=False)
+#: Memory with disk spill-over.
+MEMORY_AND_DISK = StorageLevel(use_memory=True, use_disk=True)
+#: Disk only (rare; used for very large intermediate data).
+DISK_ONLY = StorageLevel(use_memory=False, use_disk=True)
+#: Serialized in-memory storage (smaller, pays ser/deser compute).
+MEMORY_ONLY_SER = StorageLevel(use_memory=True, use_disk=False, deserialized=False)
+
+# Attach the canonical instances as class attributes for Spark-style use
+# (``StorageLevel.MEMORY_ONLY``).
+StorageLevel.NONE = NONE  # type: ignore[attr-defined]
+StorageLevel.MEMORY_ONLY = MEMORY_ONLY  # type: ignore[attr-defined]
+StorageLevel.MEMORY_AND_DISK = MEMORY_AND_DISK  # type: ignore[attr-defined]
+StorageLevel.DISK_ONLY = DISK_ONLY  # type: ignore[attr-defined]
+StorageLevel.MEMORY_ONLY_SER = MEMORY_ONLY_SER  # type: ignore[attr-defined]

@@ -1,0 +1,121 @@
+"""Task-timeline export in Chrome trace-event format.
+
+Renders a :class:`SparkContext`'s recorded jobs as a trace viewable in
+``chrome://tracing`` / Perfetto: one row per (executor, slot-lane), one
+complete event per task, with dispatch/CPU-wait breakdowns as counters.
+Useful for seeing how tier choice reshapes the task schedule (NVM runs
+visibly stretch the memory-bound phases).
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+from pathlib import Path
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.context import SparkContext
+    from repro.spark.metrics import TaskMetrics
+
+
+def _lane_assignment(tasks: list["TaskMetrics"]) -> dict[int, int]:
+    """Greedy interval-graph coloring: task_id → lane within executor.
+
+    Tasks overlapping in time get distinct lanes so the trace renders
+    without overlaps, mirroring executor slots.
+    """
+    lanes: dict[int, int] = {}
+    # lane → time it frees up, per executor
+    free_at: dict[int, list[float]] = {}
+    for task in sorted(tasks, key=lambda m: m.launch_time):
+        exec_lanes = free_at.setdefault(task.executor_id, [])
+        for lane, available in enumerate(exec_lanes):
+            if available <= task.launch_time + 1e-15:
+                exec_lanes[lane] = task.finish_time
+                lanes[task.task_id] = lane
+                break
+        else:
+            exec_lanes.append(task.finish_time)
+            lanes[task.task_id] = len(exec_lanes) - 1
+    return lanes
+
+
+def build_trace_events(sc: "SparkContext") -> list[dict[str, t.Any]]:
+    """Chrome trace events for every task of every recorded job."""
+    events: list[dict[str, t.Any]] = []
+    all_tasks = [task for job in sc.jobs for task in job.all_tasks()]
+    lanes = _lane_assignment(all_tasks)
+
+    for job in sc.jobs:
+        for stage in job.stages:
+            for task in stage.tasks:
+                tid = lanes.get(task.task_id, 0)
+                events.append(
+                    {
+                        "name": f"stage{task.stage_id}/p{task.partition}",
+                        "cat": "task",
+                        "ph": "X",  # complete event
+                        "ts": task.launch_time * 1e6,  # microseconds
+                        "dur": task.duration * 1e6,
+                        "pid": task.executor_id,
+                        "tid": tid,
+                        "args": {
+                            "job": job.job_id,
+                            "stage": task.stage_id,
+                            "partition": task.partition,
+                            "records_read": task.records_read,
+                            "bytes_read": task.bytes_read,
+                            "bytes_written": task.bytes_written,
+                            "random_reads": task.random_reads,
+                            "random_writes": task.random_writes,
+                            "dispatch_wait_ms": task.dispatch_wait * 1e3,
+                            "cpu_wait_ms": task.cpu_wait * 1e3,
+                            "shuffle_read": task.shuffle_bytes_read,
+                            "shuffle_write": task.shuffle_bytes_written,
+                        },
+                    }
+                )
+    # Process metadata: label executors.
+    for executor_id in sorted({e["pid"] for e in events}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": executor_id,
+                "args": {"name": f"executor-{executor_id}"},
+            }
+        )
+    return events
+
+
+def export_timeline(sc: "SparkContext", path: str | Path) -> int:
+    """Write the trace JSON; returns the number of task events."""
+    events = build_trace_events(sc)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    return sum(1 for e in events if e.get("ph") == "X")
+
+
+def timeline_summary(sc: "SparkContext") -> dict[str, float]:
+    """Schedule-quality metrics derived from the timeline.
+
+    ``makespan`` is total job wall time; ``task_time`` the summed task
+    durations; ``parallelism`` their ratio (effective concurrent tasks);
+    ``dispatch_share`` the fraction of task time spent waiting on the
+    executor dispatcher.
+    """
+    tasks = [task for job in sc.jobs for task in job.all_tasks()]
+    if not tasks:
+        return {"makespan": 0.0, "task_time": 0.0, "parallelism": 0.0,
+                "dispatch_share": 0.0}
+    start = min(t_.launch_time for t_ in tasks)
+    end = max(t_.finish_time for t_ in tasks)
+    makespan = end - start
+    task_time = sum(t_.duration for t_ in tasks)
+    dispatch = sum(t_.dispatch_wait for t_ in tasks)
+    return {
+        "makespan": makespan,
+        "task_time": task_time,
+        "parallelism": task_time / makespan if makespan > 0 else 0.0,
+        "dispatch_share": dispatch / task_time if task_time > 0 else 0.0,
+    }

@@ -1,0 +1,26 @@
+"""Telemetry: simulated equivalents of the paper's measurement tools.
+
+- :mod:`repro.telemetry.ipmctl` — per-DIMM media read/write counters
+  (Intel's ``ipmctl show -performance``), used for Fig. 2 (middle).
+- :mod:`repro.telemetry.rapl` — DRAM/NVM DIMM energy (RAPL-style), used
+  for Fig. 2 (bottom).
+- :mod:`repro.telemetry.events` — system-level performance events derived
+  from execution metrics (the ``perf``-style counters of Fig. 5).
+- :mod:`repro.telemetry.collector` — snapshot/delta collection around a
+  measured window.
+"""
+
+from repro.telemetry.collector import TelemetryCollector, TelemetrySample
+from repro.telemetry.events import SYSTEM_EVENTS, derive_system_events
+from repro.telemetry.ipmctl import DimmPerformance, IpmctlReader
+from repro.telemetry.rapl import RaplReader
+
+__all__ = [
+    "DimmPerformance",
+    "IpmctlReader",
+    "RaplReader",
+    "SYSTEM_EVENTS",
+    "TelemetryCollector",
+    "TelemetrySample",
+    "derive_system_events",
+]

@@ -1,0 +1,94 @@
+"""Whole-window telemetry collection around a measured run."""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Machine
+from repro.memory.energy import EnergyReport
+from repro.sim import Environment
+from repro.telemetry.events import derive_system_events
+from repro.telemetry.ipmctl import DimmPerformance, IpmctlReader
+from repro.telemetry.rapl import RaplReader
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.context import SparkContext
+
+
+@dataclass
+class TelemetrySample:
+    """Everything measured over one window."""
+
+    elapsed: float
+    events: dict[str, float] = field(default_factory=dict)
+    dimm_performance: list[DimmPerformance] = field(default_factory=list)
+    energy: dict[str, EnergyReport] = field(default_factory=dict)
+
+    @property
+    def nvm_media_reads(self) -> int:
+        return sum(
+            p.media_reads for p in self.dimm_performance if "nvm" in p.dimm_id
+        )
+
+    @property
+    def nvm_media_writes(self) -> int:
+        return sum(
+            p.media_writes for p in self.dimm_performance if "nvm" in p.dimm_id
+        )
+
+    @property
+    def nvm_write_ratio(self) -> float:
+        total = self.nvm_media_reads + self.nvm_media_writes
+        return self.nvm_media_writes / total if total else 0.0
+
+    def energy_of(self, device_name: str) -> float:
+        report = self.energy.get(device_name)
+        return report.total_joules if report else 0.0
+
+
+class TelemetryCollector:
+    """Couples ipmctl + RAPL + event derivation to one measured window.
+
+    Usage::
+
+        collector = TelemetryCollector(env, machine)
+        collector.start()
+        result = workload.run(sc, size)
+        sample = collector.stop(sc)
+    """
+
+    def __init__(self, env: Environment, machine: Machine) -> None:
+        self.env = env
+        self.machine = machine
+        self.ipmctl = IpmctlReader(machine.devices())
+        self.rapl = RaplReader(env, machine.devices())
+        self._started_at: float | None = None
+        self._jobs_before = 0
+
+    def start(self, sc: "SparkContext | None" = None) -> None:
+        self.ipmctl.reset()
+        self.rapl.reset()
+        self._started_at = self.env.now
+        self._jobs_before = len(sc.jobs) if sc is not None else 0
+
+    def stop(self, sc: "SparkContext | None" = None) -> TelemetrySample:
+        if self._started_at is None:
+            raise RuntimeError("collector.stop() before start()")
+        elapsed = self.env.now - self._started_at
+        events: dict[str, float] = {}
+        if sc is not None:
+            from repro.spark.metrics import merge_job_metrics
+
+            summary = merge_job_metrics(sc.jobs[self._jobs_before :])
+            events = derive_system_events(
+                summary, clock_hz=self.machine.cpu.clock_hz
+            )
+        sample = TelemetrySample(
+            elapsed=elapsed,
+            events=events,
+            dimm_performance=self.ipmctl.read(),
+            energy=self.rapl.by_device(),
+        )
+        self._started_at = None
+        return sample

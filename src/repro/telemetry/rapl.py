@@ -1,0 +1,69 @@
+"""RAPL-style DIMM energy measurement over a window."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.memory.counters import AccessCounters
+from repro.memory.device import MemoryDevice
+from repro.memory.energy import DimmEnergyModel, EnergyReport
+from repro.sim import Environment
+
+
+class RaplReader:
+    """Per-device energy over a snapshot window.
+
+    Energy is computed from the device's counter deltas plus static power
+    over the window — the same static+dynamic decomposition RAPL's DRAM
+    domain approximates.
+    """
+
+    def __init__(self, env: Environment, devices: t.Iterable[MemoryDevice]) -> None:
+        self.env = env
+        self.devices = list(devices)
+        if not self.devices:
+            raise ValueError("at least one device required")
+        self._window_start = env.now
+        self._baseline: dict[str, AccessCounters] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self._window_start = self.env.now
+        self._baseline = {
+            device.name: device.counters.snapshot() for device in self.devices
+        }
+
+    @property
+    def window_elapsed(self) -> float:
+        return self.env.now - self._window_start
+
+    def read(self) -> list[EnergyReport]:
+        """Energy report per device for the current window."""
+        elapsed = self.window_elapsed
+        reports: list[EnergyReport] = []
+        for device in self.devices:
+            delta = device.counters.delta(
+                self._baseline.get(device.name, AccessCounters())
+            )
+            model = DimmEnergyModel(device.technology)
+            static, read, write = model.energy(
+                delta, elapsed, dimm_count=device.dimm_count
+            )
+            reports.append(
+                EnergyReport(
+                    device_name=device.name,
+                    technology=device.technology.name,
+                    static_joules=static,
+                    read_joules=read,
+                    write_joules=write,
+                    elapsed=elapsed,
+                    dimm_count=device.dimm_count,
+                )
+            )
+        return reports
+
+    def total_joules(self) -> float:
+        return sum(report.total_joules for report in self.read())
+
+    def by_device(self) -> dict[str, EnergyReport]:
+        return {report.device_name: report for report in self.read()}

@@ -1,0 +1,86 @@
+"""Unit conventions and conversion helpers.
+
+Internal convention throughout the package:
+
+- **time**: seconds (float)
+- **bandwidth**: bytes/second (float)
+- **capacity / data volume**: bytes (int or float)
+- **energy**: joules (float)
+- **power**: watts (float)
+
+Hardware specification sheets use nanoseconds and GB/s; these helpers
+convert at the boundary so specs stay readable while the simulator stays
+consistent.
+"""
+
+from __future__ import annotations
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+
+#: Decimal gigabyte used by bandwidth spec sheets (GB/s == 1e9 B/s).
+GB_DEC = 1e9
+
+#: Size of one cache line, the granularity of random memory accesses.
+CACHE_LINE = 64
+
+#: Media access granularity of Intel Optane DCPM (3D-XPoint): 256 B.
+NVM_MEDIA_GRANULE = 256
+
+
+def ns_to_s(ns: float) -> float:
+    """Nanoseconds → seconds."""
+    return ns * NS
+
+
+def s_to_ns(s: float) -> float:
+    """Seconds → nanoseconds."""
+    return s / NS
+
+
+def gbps_to_bps(gbps: float) -> float:
+    """GB/s (decimal, as in spec sheets) → bytes/s."""
+    return gbps * GB_DEC
+
+
+def bps_to_gbps(bps: float) -> float:
+    """bytes/s → GB/s (decimal)."""
+    return bps / GB_DEC
+
+
+def mib(n: float) -> int:
+    """Mebibytes → bytes."""
+    return int(n * MB)
+
+
+def gib(n: float) -> int:
+    """Gibibytes → bytes."""
+    return int(n * GB)
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.4g} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-6:
+        return f"{seconds / NS:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds / US:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.2f} min"

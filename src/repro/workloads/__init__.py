@@ -1,0 +1,66 @@
+"""HiBench-equivalent workload suite (Table II).
+
+Seven Spark applications from three categories, each with ``tiny``,
+``small`` and ``large`` dataset profiles whose relative proportions follow
+the paper's Table II (absolute sizes are scaled to laptop-simulation
+scale; DESIGN.md documents the mapping):
+
+=============  ===========  =========================================
+Application    Category     Implementation
+=============  ===========  =========================================
+sort           micro        total sort of random text records
+repartition    micro        full-shuffle repartitioning
+als            ml           alternating least squares recommender
+bayes          ml           multinomial naive Bayes trainer
+rf             ml           random forest trainer
+lda            ml           latent Dirichlet allocation (Gibbs)
+pagerank       websearch    iterative PageRank over a web graph
+=============  ===========  =========================================
+
+Every workload computes *real* results over the RDD engine (sort really
+sorts, ALS really factorizes) and carries cost specifications that give it
+the paper-observed memory intensity profile (e.g. LDA's write-heavy Gibbs
+updates, PageRank's random-probe joins).
+"""
+
+from repro.workloads.base import SizeProfile, Workload, WorkloadResult
+from repro.workloads.micro_sort import SortWorkload
+from repro.workloads.micro_repartition import RepartitionWorkload
+from repro.workloads.ml_als import AlsWorkload
+from repro.workloads.ml_bayes import BayesWorkload
+from repro.workloads.ml_rf import RandomForestWorkload
+from repro.workloads.ml_lda import LdaWorkload
+from repro.workloads.web_pagerank import PageRankWorkload
+from repro.workloads.micro_wordcount import WordCountWorkload
+from repro.workloads.ml_kmeans import KMeansWorkload
+from repro.workloads.registry import (
+    EXTENSION_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    all_workloads,
+    get_workload,
+    register_workload,
+)
+from repro.workloads.trace_replay import StageSpec, TraceReplayWorkload, TraceSpec
+
+__all__ = [
+    "AlsWorkload",
+    "EXTENSION_WORKLOAD_NAMES",
+    "KMeansWorkload",
+    "StageSpec",
+    "TraceReplayWorkload",
+    "TraceSpec",
+    "WordCountWorkload",
+    "register_workload",
+    "BayesWorkload",
+    "LdaWorkload",
+    "PageRankWorkload",
+    "RandomForestWorkload",
+    "RepartitionWorkload",
+    "SizeProfile",
+    "SortWorkload",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "WorkloadResult",
+    "all_workloads",
+    "get_workload",
+]

@@ -1,0 +1,133 @@
+"""Seeded synthetic data generators (the HiBench ``prepare`` phase).
+
+All generators are deterministic given their seed, so experiment sweeps
+compare configurations on identical inputs.
+"""
+
+from __future__ import annotations
+
+import string
+import typing as t
+
+import numpy as np
+
+_ALPHABET = np.array(list(string.ascii_lowercase + string.digits))
+
+
+def random_text_records(
+    n: int, record_len: int = 80, seed: int = 11
+) -> list[str]:
+    """Uniform random fixed-length text records (teragen-like)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    chars = rng.integers(0, len(_ALPHABET), size=(n, record_len))
+    return ["".join(row) for row in _ALPHABET[chars]]
+
+
+def zipf_words(
+    n: int, vocabulary: int = 1000, exponent: float = 1.3, seed: int = 13
+) -> list[str]:
+    """Zipf-distributed word stream (wordcount/bayes-style text)."""
+    if vocabulary < 1:
+        raise ValueError("vocabulary must be >= 1")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(exponent, size=n)
+    ranks = np.minimum(ranks, vocabulary)
+    return [f"word{r}" for r in ranks]
+
+
+def rating_triples(
+    n_users: int, n_products: int, n_ratings: int, seed: int = 17
+) -> list[tuple[int, int, float]]:
+    """(user, product, rating) triples for ALS."""
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, n_users, size=n_ratings)
+    products = rng.integers(0, n_products, size=n_ratings)
+    # Ratings follow a low-rank structure so ALS has signal to recover.
+    rank = 4
+    u_factors = rng.normal(size=(n_users, rank))
+    p_factors = rng.normal(size=(n_products, rank))
+    noise = rng.normal(scale=0.1, size=n_ratings)
+    ratings = np.einsum("ij,ij->i", u_factors[users], p_factors[products]) + noise
+    ratings = np.clip(2.5 + ratings, 1.0, 5.0)
+    return list(zip(users.tolist(), products.tolist(), ratings.tolist()))
+
+
+def labeled_documents(
+    n_docs: int,
+    n_classes: int,
+    vocabulary: int = 500,
+    words_per_doc: int = 30,
+    seed: int = 19,
+) -> list[tuple[int, list[str]]]:
+    """(label, words) documents with class-dependent word distributions."""
+    rng = np.random.default_rng(seed)
+    # Each class prefers a slice of the vocabulary.
+    docs: list[tuple[int, list[str]]] = []
+    labels = rng.integers(0, n_classes, size=n_docs)
+    for label in labels:
+        base = (int(label) * vocabulary) // max(1, n_classes)
+        offsets = rng.zipf(1.4, size=words_per_doc)
+        word_ids = (base + np.minimum(offsets, vocabulary // 2)) % vocabulary
+        docs.append((int(label), [f"w{w}" for w in word_ids]))
+    return docs
+
+
+def labeled_vectors(
+    n_examples: int, n_features: int, n_classes: int = 2, seed: int = 23
+) -> list[tuple[int, np.ndarray]]:
+    """(label, feature-vector) examples with separable class means."""
+    rng = np.random.default_rng(seed)
+    means = rng.normal(scale=2.0, size=(n_classes, n_features))
+    labels = rng.integers(0, n_classes, size=n_examples)
+    points = means[labels] + rng.normal(size=(n_examples, n_features))
+    return [(int(y), x) for y, x in zip(labels, points.astype(np.float64))]
+
+
+def bag_of_words_docs(
+    n_docs: int,
+    vocabulary: int,
+    n_topics: int,
+    words_per_doc: int = 40,
+    seed: int = 29,
+) -> list[list[int]]:
+    """Token-id documents drawn from a topic mixture (LDA input)."""
+    rng = np.random.default_rng(seed)
+    # Topic-word distributions concentrated on vocabulary slices.
+    topic_words = []
+    per_topic = max(1, vocabulary // max(1, n_topics))
+    for k in range(n_topics):
+        weights = np.full(vocabulary, 0.1)
+        weights[k * per_topic : (k + 1) * per_topic] += 5.0
+        topic_words.append(weights / weights.sum())
+    docs: list[list[int]] = []
+    for _ in range(n_docs):
+        theta = rng.dirichlet(np.full(n_topics, 0.3))
+        topics = rng.choice(n_topics, size=words_per_doc, p=theta)
+        words = [
+            int(rng.choice(vocabulary, p=topic_words[k])) for k in topics
+        ]
+        docs.append(words)
+    return docs
+
+
+def web_graph(
+    n_pages: int, out_degree: int = 6, seed: int = 31
+) -> list[tuple[int, list[int]]]:
+    """(page, outlinks) adjacency with preferential attachment skew."""
+    if n_pages < 1:
+        raise ValueError("n_pages must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Zipf-ish popularity: low page-ids attract more links.
+    popularity = 1.0 / np.arange(1, n_pages + 1) ** 0.8
+    popularity /= popularity.sum()
+    adjacency: list[tuple[int, list[int]]] = []
+    for page in range(n_pages):
+        degree = max(1, int(rng.poisson(out_degree)))
+        targets = rng.choice(n_pages, size=min(degree, n_pages), p=popularity)
+        links = sorted({int(x) for x in targets if int(x) != page})
+        if not links:
+            links = [(page + 1) % n_pages]
+        adjacency.append((page, links))
+    return adjacency

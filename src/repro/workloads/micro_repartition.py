@@ -1,0 +1,49 @@
+"""``repartition`` micro-benchmark: a pure full-shuffle workload.
+
+HiBench's Repartition exercises shuffle machinery exclusively: read
+records, redistribute them round-robin across a new partition count,
+write out.  Sizes follow Table II's 3.2 KB / 3.2 MB / 32 MB at scale.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.spark.context import SparkContext
+from repro.workloads import datagen
+from repro.workloads.base import SizeProfile, Workload
+
+
+class RepartitionWorkload(Workload):
+    name = "repartition"
+    category = "micro"
+    sizes = {
+        "tiny": SizeProfile("tiny", {"records": 300, "record_len": 80}, partitions=4, llc_pressure=0.7),
+        "small": SizeProfile("small", {"records": 6_000, "record_len": 80}, partitions=8, llc_pressure=1.0),
+        "large": SizeProfile("large", {"records": 48_000, "record_len": 80}, partitions=16, llc_pressure=1.5),
+    }
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        profile = self.profile(size)
+        records = datagen.random_text_records(
+            profile.param("records"), profile.param("record_len"), seed=41
+        )
+        sc.hdfs.put_records(
+            self.input_path(size), records, record_bytes=profile.param("record_len") + 49
+        )
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        lines = sc.text_file(self.input_path(size), profile.partitions)
+        # HiBench repartitions to 2x the input parallelism.
+        reshaped = lines.repartition(profile.partitions * 2)
+        counts = reshaped.glom().map(lambda part: len(part)).collect()
+        return counts, profile.param("records")
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        profile = self.profile(size)
+        if sum(output) != profile.param("records"):
+            return False
+        # Round-robin redistribution must be near-balanced.
+        expected = profile.param("records") / len(output)
+        return all(abs(c - expected) <= max(2.0, expected * 0.5) for c in output)

@@ -1,0 +1,61 @@
+"""``sort`` micro-benchmark: total sort of random text records.
+
+HiBench's Sort reads text from HDFS, sorts it with a total-order shuffle
+(range partitioning) and writes the result back.  Sizes follow Table II's
+32 KB / 320 MB / 3.2 GB at simulation scale.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads import datagen
+from repro.workloads.base import SizeProfile, Workload
+
+#: Comparison-heavy, pointer-chasing merge behaviour of external sort.
+SORT_KERNEL = CostSpec(
+    ops_per_record=900.0,
+    ops_per_byte=1.0,
+    random_reads_per_record=21.0,
+    random_writes_per_record=10.0,
+)
+
+
+class SortWorkload(Workload):
+    name = "sort"
+    category = "micro"
+    sizes = {
+        "tiny": SizeProfile("tiny", {"records": 400, "record_len": 80}, partitions=4, llc_pressure=0.7),
+        "small": SizeProfile("small", {"records": 8_000, "record_len": 80}, partitions=8, llc_pressure=1.0),
+        "large": SizeProfile("large", {"records": 60_000, "record_len": 80}, partitions=16, llc_pressure=1.5),
+    }
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        profile = self.profile(size)
+        records = datagen.random_text_records(
+            profile.param("records"), profile.param("record_len"), seed=11
+        )
+        sc.hdfs.put_records(
+            self.input_path(size), records, record_bytes=profile.param("record_len") + 49
+        )
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        lines = sc.text_file(self.input_path(size), profile.partitions)
+        keyed = lines.map(lambda line: (line, None))
+        ordered = keyed.sort_by_key(num_partitions=profile.partitions)
+        # Keep lineage pipelined; override only the final sort kernel cost.
+        ordered.cost = SORT_KERNEL.with_pressure(profile.llc_pressure)  # type: ignore[attr-defined]
+        result = ordered.keys()
+        output_path = f"/hibench/{self.name}/{size}/output-{len(sc.jobs)}"
+        result.save_as_text_file(output_path)
+        sorted_records = sc.hdfs.read_records(output_path)
+        return sorted_records, profile.param("records")
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        records = list(output)
+        if len(records) != self.profile(size).param("records"):
+            return False
+        return all(records[i] <= records[i + 1] for i in range(len(records) - 1))

@@ -1,0 +1,79 @@
+"""``wordcount`` micro-benchmark (suite extension, not in the paper).
+
+The canonical HiBench/Hadoop micro-workload: tokenize text, count word
+frequencies.  Included because it is the de-facto smoke test for any
+Spark deployment; it is registered alongside the paper's seven but kept
+out of :data:`~repro.workloads.registry.WORKLOAD_NAMES`-driven paper
+benchmarks (those reproduce Table II exactly).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import Counter
+
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads import datagen
+from repro.workloads.base import SizeProfile, Workload
+
+#: Tokenisation + per-token hash count.
+COUNT_COST = CostSpec(
+    ops_per_record=200.0,
+    ops_per_byte=0.5,
+    random_reads_per_record=6.0,
+    random_writes_per_record=2.0,
+)
+
+WORDS_PER_LINE = 8
+
+
+class WordCountWorkload(Workload):
+    name = "wordcount"
+    category = "micro"
+    sizes = {
+        "tiny": SizeProfile("tiny", {"lines": 400, "vocabulary": 100},
+                            partitions=4, llc_pressure=0.7),
+        "small": SizeProfile("small", {"lines": 5_000, "vocabulary": 400},
+                             partitions=8, llc_pressure=1.0),
+        "large": SizeProfile("large", {"lines": 40_000, "vocabulary": 1_000},
+                             partitions=16, llc_pressure=1.5),
+    }
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        profile = self.profile(size)
+        words = datagen.zipf_words(
+            profile.param("lines") * WORDS_PER_LINE,
+            vocabulary=profile.param("vocabulary"),
+            seed=43,
+        )
+        lines = [
+            " ".join(words[i : i + WORDS_PER_LINE])
+            for i in range(0, len(words), WORDS_PER_LINE)
+        ]
+        sc.hdfs.put_records(
+            self.input_path(size), lines, record_bytes=9.0 * WORDS_PER_LINE + 49
+        )
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        lines = sc.text_file(self.input_path(size), profile.partitions)
+        counts = dict(
+            lines.flat_map(
+                str.split, cost=COUNT_COST.with_pressure(profile.llc_pressure)
+            )
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b, profile.partitions)
+            .collect()
+        )
+        tokens = profile.param("lines") * WORDS_PER_LINE
+        return counts, tokens
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        profile = self.profile(size)
+        expected = Counter()
+        for line in sc.hdfs.read_records(self.input_path(size)):
+            expected.update(line.split())
+        return output == dict(expected) and sum(output.values()) == (
+            profile.param("lines") * WORDS_PER_LINE
+        )

@@ -1,0 +1,123 @@
+"""``bayes`` — multinomial naive Bayes text classification.
+
+HiBench's Bayes trains NB over labeled documents: a flatMap explodes
+documents into (class, word) tokens, large aggregations count
+class/word/class-word frequencies, and a scoring pass classifies a
+held-out sample.  Token-level hash aggregation over a big key space makes
+this one of the *most access-intensive* workloads (paper Fig. 2 middle),
+with near-linear metric/time correlation (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+from collections import defaultdict
+
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads import datagen
+from repro.workloads.base import SizeProfile, Workload
+
+#: Token-level hash counting across a large key space: access-heavy.
+TOKEN_COUNT_COST = CostSpec(
+    ops_per_record=350.0,
+    random_reads_per_record=33.0,
+    random_writes_per_record=13.0,
+)
+#: Scoring: per (doc, class) log-prob accumulation with table probes.
+SCORE_COST = CostSpec(
+    ops_per_record=900.0,
+    random_reads_per_record=45.0,
+    random_writes_per_record=3.0,
+)
+
+
+class BayesWorkload(Workload):
+    name = "bayes"
+    category = "ml"
+    # Table II: pages 25k/30k/100k, classes 10/100/100 → scaled with the
+    # same mild tiny→small page growth and the class jump.
+    sizes = {
+        "tiny": SizeProfile(
+            "tiny",
+            {"docs": 500, "classes": 5, "vocabulary": 300, "words_per_doc": 24},
+            partitions=4, llc_pressure=0.7,
+        ),
+        "small": SizeProfile(
+            "small",
+            {"docs": 1_500, "classes": 10, "vocabulary": 600, "words_per_doc": 30},
+            partitions=8, llc_pressure=1.0,
+        ),
+        "large": SizeProfile(
+            "large",
+            {"docs": 6_000, "classes": 10, "vocabulary": 1_000, "words_per_doc": 30},
+            partitions=16, llc_pressure=1.5,
+        ),
+    }
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        profile = self.profile(size)
+        docs = datagen.labeled_documents(
+            profile.param("docs"),
+            profile.param("classes"),
+            profile.param("vocabulary"),
+            profile.param("words_per_doc"),
+            seed=19,
+        )
+        record_bytes = 24.0 * profile.param("words_per_doc")
+        sc.hdfs.put_records(self.input_path(size), docs, record_bytes=record_bytes)
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        docs = sc.text_file(self.input_path(size), profile.partitions).cache()
+        n_docs = profile.param("docs")
+        tokens = profile.param("docs") * profile.param("words_per_doc")
+
+        # Class priors.
+        class_counts = dict(
+            docs.map(lambda d: (d[0], 1)).reduce_by_key(
+                lambda a, b: a + b, profile.partitions
+            ).collect()
+        )
+        # Token-level (class, word) frequencies — the access-heavy stage.
+        word_counts = dict(
+            docs.flat_map(
+                lambda d: [((d[0], w), 1) for w in d[1]],
+                cost=TOKEN_COUNT_COST.with_pressure(profile.llc_pressure)
+            )
+            .reduce_by_key(lambda a, b: a + b, profile.partitions,
+                           reduce_cost=TOKEN_COUNT_COST.with_pressure(profile.llc_pressure))
+            .collect()
+        )
+        # Per-class token totals.
+        class_tokens: dict[int, int] = defaultdict(int)
+        for (label, _word), count in word_counts.items():
+            class_tokens[label] += count
+
+        vocabulary = profile.param("vocabulary")
+        priors = {c: math.log(n / n_docs) for c, n in class_counts.items()}
+
+        def log_likelihood(label: int, word: str) -> float:
+            count = word_counts.get((label, word), 0)
+            return math.log((count + 1.0) / (class_tokens[label] + vocabulary))
+
+        def classify(doc: tuple[int, list[str]]) -> tuple[int, int]:
+            label, words = doc
+            best, best_score = -1, -math.inf
+            for c in priors:
+                score = priors[c] + sum(log_likelihood(c, w) for w in words)
+                if score > best_score:
+                    best, best_score = c, score
+            return label, best
+
+        scored = docs.map(classify, cost=SCORE_COST.with_pressure(profile.llc_pressure))
+        correct = scored.filter(lambda lb: lb[0] == lb[1]).count()
+        accuracy = correct / n_docs
+        return {"accuracy": accuracy, "model_size": len(word_counts)}, tokens
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        # Class-dependent vocabularies are separable: training accuracy
+        # must beat chance by a wide margin.
+        n_classes = self.profile(size).param("classes")
+        return output["accuracy"] > 2.5 / n_classes

@@ -1,0 +1,107 @@
+"""``kmeans`` — Lloyd's clustering (suite extension, not in the paper).
+
+HiBench's K-means over the RDD engine: broadcast the centroid table,
+assign every point to its nearest centroid (vectorized distance kernel
+with centroid-table probes), re-aggregate per-cluster sums by shuffle,
+repeat.  Registered as an extension workload (see
+:mod:`repro.workloads.micro_wordcount` for the convention).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads.base import SizeProfile, Workload
+
+ASSIGN_COST = CostSpec(
+    ops_per_record=1_500.0,
+    random_reads_per_record=10.0,
+    random_writes_per_record=2.0,
+)
+
+K = 4
+ITERATIONS = 4
+
+
+def _farthest_point_init(points: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic k-means++-style seeding: greedily pick spread-out
+    points — robust against the merged-cluster local optima random
+    seeding falls into on small inputs."""
+    centroids = [points[0]]
+    for _ in range(1, k):
+        distances = np.min(
+            [((points - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        centroids.append(points[int(np.argmax(distances))])
+    return np.array(centroids)
+
+
+class KMeansWorkload(Workload):
+    name = "kmeans"
+    category = "ml"
+    sizes = {
+        "tiny": SizeProfile("tiny", {"points": 200, "dims": 4},
+                            partitions=4, llc_pressure=0.7),
+        "small": SizeProfile("small", {"points": 1_000, "dims": 8},
+                             partitions=8, llc_pressure=1.0),
+        "large": SizeProfile("large", {"points": 4_000, "dims": 12},
+                             partitions=8, llc_pressure=1.5),
+    }
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        profile = self.profile(size)
+        rng = np.random.default_rng(37)
+        centers = rng.normal(scale=5.0, size=(K, profile.param("dims")))
+        labels = rng.integers(0, K, size=profile.param("points"))
+        points = centers[labels] + rng.normal(
+            size=(len(labels), profile.param("dims"))
+        )
+        sc.hdfs.put_records(
+            self.input_path(size),
+            [row for row in points],
+            record_bytes=8.0 * profile.param("dims") + 96,
+        )
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        points = sc.text_file(self.input_path(size), profile.partitions).cache()
+        sample = sc.hdfs.read_records(self.input_path(size))
+        centroids = _farthest_point_init(np.array(sample), K)
+        assign_cost = ASSIGN_COST.with_pressure(profile.llc_pressure)
+
+        for _ in range(ITERATIONS):
+            fixed = centroids.copy()
+            sums = (
+                points.map(
+                    lambda p, c=fixed: (
+                        int(np.argmin(((c - p) ** 2).sum(axis=1))),
+                        (p, 1),
+                    ),
+                    cost=assign_cost,
+                )
+                .reduce_by_key(
+                    lambda a, b: (a[0] + b[0], a[1] + b[1]), profile.partitions
+                )
+                .collect()
+            )
+            for cluster, (total, count) in sums:
+                centroids[cluster] = total / count
+
+        inertia = sum(
+            float(((centroids - p) ** 2).sum(axis=1).min()) for p in sample
+        )
+        return (
+            {"inertia": inertia, "centroids": centroids},
+            profile.param("points") * ITERATIONS,
+        )
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        # Well-separated synthetic clusters: per-point inertia must land
+        # near the unit-variance noise floor.
+        profile = self.profile(size)
+        per_point = output["inertia"] / profile.param("points")
+        return per_point < 3.0 * profile.param("dims")

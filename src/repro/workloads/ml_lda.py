@@ -1,0 +1,157 @@
+"""``lda`` — Latent Dirichlet Allocation by collapsed Gibbs sampling.
+
+Each iteration resamples the topic of every token, reading and *writing*
+the doc-topic and topic-word count matrices per token.  That makes LDA
+the **write-heaviest** workload in the suite: its write/read ratio grows
+with the corpus, producing the paper's marquee non-linear NVM degradation
+("lda-large execution time skyrockets proportionally to the number of
+write operations", Takeaway 3).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads import datagen
+from repro.workloads.base import SizeProfile, Workload
+
+#: Gibbs token update: read 4 counters + theta/phi rows, write 4 counters.
+GIBBS_COST = CostSpec(
+    ops_per_record=2_400.0,
+    random_reads_per_record=24.0,
+    random_writes_per_record=32.0,
+)
+
+ITERATIONS = 4
+ALPHA = 0.1
+BETA = 0.01
+
+
+class LdaWorkload(Workload):
+    name = "lda"
+    category = "ml"
+    # Table II: docs 2k/5k/10k, vocab 1k/2k/3k, topics 10/20/30 — scaled
+    # with identical growth ratios.
+    sizes = {
+        "tiny": SizeProfile(
+            "tiny",
+            {"docs": 100, "vocabulary": 120, "topics": 5, "words_per_doc": 30},
+            partitions=4, llc_pressure=0.7,
+        ),
+        "small": SizeProfile(
+            "small",
+            {"docs": 250, "vocabulary": 240, "topics": 10, "words_per_doc": 36},
+            partitions=8, llc_pressure=1.0,
+        ),
+        "large": SizeProfile(
+            "large",
+            {"docs": 500, "vocabulary": 360, "topics": 15, "words_per_doc": 42},
+            partitions=8, llc_pressure=1.5,
+        ),
+    }
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        profile = self.profile(size)
+        docs = datagen.bag_of_words_docs(
+            profile.param("docs"),
+            profile.param("vocabulary"),
+            profile.param("topics"),
+            profile.param("words_per_doc"),
+            seed=29,
+        )
+        # Documents carry (doc_id, token_ids).
+        records = list(enumerate(docs))
+        record_bytes = 12.0 * profile.param("words_per_doc") + 80
+        sc.hdfs.put_records(self.input_path(size), records, record_bytes=record_bytes)
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        n_topics = profile.param("topics")
+        vocabulary = profile.param("vocabulary")
+        n_docs = profile.param("docs")
+        tokens_total = n_docs * profile.param("words_per_doc")
+
+        corpus = sc.text_file(self.input_path(size), profile.partitions).cache()
+
+        # Deterministic initial topic assignments.
+        rng = np.random.default_rng(77)
+        assignments: dict[int, np.ndarray] = {
+            doc_id: rng.integers(0, n_topics, size=len(words))
+            for doc_id, words in sc.hdfs.read_records(self.input_path(size))
+        }
+        topic_word = np.zeros((n_topics, vocabulary))
+        topic_totals = np.zeros(n_topics)
+        doc_topic = np.zeros((n_docs, n_topics))
+        for doc_id, words in sc.hdfs.read_records(self.input_path(size)):
+            for word, topic in zip(words, assignments[doc_id]):
+                topic_word[topic, word] += 1
+                topic_totals[topic] += 1
+                doc_topic[doc_id, topic] += 1
+
+        def gibbs_pass(
+            part: list[tuple[int, list[int]]], seed: int
+        ) -> list[tuple[int, float]]:
+            """Resample one partition's tokens; returns (doc, log-lik)."""
+            local_rng = np.random.default_rng(seed)
+            out = []
+            for doc_id, words in part:
+                topics = assignments[doc_id]
+                loglik = 0.0
+                for i, word in enumerate(words):
+                    k_old = topics[i]
+                    # Remove token from counts.
+                    topic_word[k_old, word] -= 1
+                    topic_totals[k_old] -= 1
+                    doc_topic[doc_id, k_old] -= 1
+                    # Full conditional.
+                    p = (
+                        (topic_word[:, word] + BETA)
+                        / (topic_totals + BETA * vocabulary)
+                        * (doc_topic[doc_id] + ALPHA)
+                    )
+                    p /= p.sum()
+                    k_new = int(local_rng.choice(n_topics, p=p))
+                    topics[i] = k_new
+                    topic_word[k_new, word] += 1
+                    topic_totals[k_new] += 1
+                    doc_topic[doc_id, k_new] += 1
+                    loglik += float(np.log(p[k_new]))
+                out.append((doc_id, loglik))
+            return out
+
+        logliks = []
+        for iteration in range(ITERATIONS):
+            results = corpus.map_partitions(
+                lambda part, s=iteration: gibbs_pass(part, seed=1000 + s),
+                cost=GIBBS_COST.scaled(profile.param("words_per_doc")).with_pressure(
+                    profile.llc_pressure
+                ),
+            ).collect()
+            logliks.append(sum(ll for _, ll in results))
+
+        coherence = self._top_word_concentration(topic_word)
+        return (
+            {"loglik": logliks, "concentration": coherence},
+            tokens_total * ITERATIONS,
+        )
+
+    @staticmethod
+    def _top_word_concentration(topic_word: np.ndarray) -> float:
+        """Mass of each topic's top-10 words (topic sharpness measure)."""
+        totals = topic_word.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        probabilities = topic_word / totals
+        top10 = np.sort(probabilities, axis=1)[:, -10:]
+        return float(top10.sum(axis=1).mean())
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        logliks = output["loglik"]
+        # Gibbs sampling must improve the corpus likelihood overall and
+        # concentrate topic mass well beyond a uniform topic-word
+        # distribution (whose top-10 mass would be 10 / vocabulary).
+        uniform_top10 = 10.0 / self.profile(size).param("vocabulary")
+        return logliks[-1] > logliks[0] and output["concentration"] > 3 * uniform_top10

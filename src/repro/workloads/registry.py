@@ -1,0 +1,67 @@
+"""Workload registry: lookup by HiBench-style name."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.workloads.base import Workload
+from repro.workloads.micro_repartition import RepartitionWorkload
+from repro.workloads.micro_sort import SortWorkload
+from repro.workloads.ml_als import AlsWorkload
+from repro.workloads.ml_bayes import BayesWorkload
+from repro.workloads.ml_lda import LdaWorkload
+from repro.workloads.ml_rf import RandomForestWorkload
+from repro.workloads.web_pagerank import PageRankWorkload
+
+_PAPER_WORKLOADS: tuple[type[Workload], ...] = (
+    SortWorkload,
+    RepartitionWorkload,
+    AlsWorkload,
+    BayesWorkload,
+    RandomForestWorkload,
+    LdaWorkload,
+    PageRankWorkload,
+)
+
+_REGISTRY: dict[str, type[Workload]] = {cls.name: cls for cls in _PAPER_WORKLOADS}
+
+#: The paper's Table II applications, in order.  Paper-reproduction
+#: benchmarks iterate exactly these.
+WORKLOAD_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+# Suite extensions (registered and fully supported, but outside the
+# paper's Table II grid).
+from repro.workloads.micro_wordcount import WordCountWorkload  # noqa: E402
+from repro.workloads.ml_kmeans import KMeansWorkload  # noqa: E402
+
+for _extension in (WordCountWorkload, KMeansWorkload):
+    _REGISTRY[_extension.name] = _extension
+
+#: Extension workloads available beyond the paper's seven.
+EXTENSION_WORKLOAD_NAMES: tuple[str, ...] = ("wordcount", "kmeans")
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads(include_extensions: bool = False) -> list[Workload]:
+    """Fresh instances of the paper workloads (plus extensions if asked)."""
+    names = WORKLOAD_NAMES + (
+        EXTENSION_WORKLOAD_NAMES if include_extensions else ()
+    )
+    return [_REGISTRY[name]() for name in names]
+
+
+def register_workload(cls: type[Workload]) -> type[Workload]:
+    """Decorator registering a user-defined workload."""
+    if not cls.name:
+        raise ValueError("workload class must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls

@@ -1,0 +1,198 @@
+"""Trace-replay workload: characterize *your* application's profile.
+
+Downstream users rarely run HiBench — they run their own pipelines.  A
+:class:`TraceSpec` describes an application as a sequence of stages
+(records, bytes/record, per-record cost mix, shuffle or not); the
+:class:`TraceReplayWorkload` executes that shape through the real engine
+so any proprietary workload can be placed on the tier-choice map without
+sharing its code or data.
+
+Example::
+
+    spec = TraceSpec(
+        name="etl-nightly",
+        stages=(
+            StageSpec("extract", records=20_000, record_bytes=256,
+                      cost=CostSpec(ops_per_record=120, random_reads_per_record=4)),
+            StageSpec("join", records=20_000, record_bytes=256, shuffle=True,
+                      cost=CostSpec(ops_per_record=300, random_reads_per_record=18,
+                                    random_writes_per_record=5)),
+            StageSpec("aggregate", records=5_000, record_bytes=128, shuffle=True,
+                      cost=CostSpec(ops_per_record=200, random_reads_per_record=9)),
+        ),
+    )
+    workload = TraceReplayWorkload.from_spec(spec)
+    result = workload.run(sc, "small")
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.spark.partitioner import HashPartitioner
+from repro.workloads.base import SizeProfile, Workload
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage of a traced application."""
+
+    name: str
+    records: int
+    record_bytes: float = 128.0
+    cost: CostSpec = field(default_factory=CostSpec)
+    shuffle: bool = False
+    #: Output records per input record (1.0 = map, <1 = filter/aggregate).
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.records < 1:
+            raise ValueError("records must be >= 1")
+        if self.record_bytes <= 0:
+            raise ValueError("record_bytes must be positive")
+        if self.selectivity <= 0:
+            raise ValueError("selectivity must be positive")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A whole traced application: named sequence of stages."""
+
+    name: str
+    stages: tuple[StageSpec, ...]
+    partitions: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a trace needs at least one stage")
+        if self.partitions < 1:
+            raise ValueError("partitions must be >= 1")
+
+    def scaled(self, factor: float) -> "TraceSpec":
+        """Scale every stage's record count (size profiles)."""
+        return TraceSpec(
+            name=self.name,
+            stages=tuple(
+                StageSpec(
+                    name=stage.name,
+                    records=max(1, int(stage.records * factor)),
+                    record_bytes=stage.record_bytes,
+                    cost=stage.cost,
+                    shuffle=stage.shuffle,
+                    selectivity=stage.selectivity,
+                )
+                for stage in self.stages
+            ),
+            partitions=self.partitions,
+        )
+
+    # -- (de)serialization -------------------------------------------------------
+    def to_json(self) -> str:
+        def stage_dict(stage: StageSpec) -> dict[str, t.Any]:
+            return {
+                "name": stage.name,
+                "records": stage.records,
+                "record_bytes": stage.record_bytes,
+                "shuffle": stage.shuffle,
+                "selectivity": stage.selectivity,
+                "cost": {
+                    "ops_per_record": stage.cost.ops_per_record,
+                    "ops_per_byte": stage.cost.ops_per_byte,
+                    "random_reads_per_record": stage.cost.random_reads_per_record,
+                    "random_writes_per_record": stage.cost.random_writes_per_record,
+                },
+            }
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "partitions": self.partitions,
+                "stages": [stage_dict(s) for s in self.stages],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceSpec":
+        raw = json.loads(text)
+        stages = tuple(
+            StageSpec(
+                name=s["name"],
+                records=s["records"],
+                record_bytes=s.get("record_bytes", 128.0),
+                shuffle=s.get("shuffle", False),
+                selectivity=s.get("selectivity", 1.0),
+                cost=CostSpec(**s.get("cost", {})),
+            )
+            for s in raw["stages"]
+        )
+        return cls(name=raw["name"], stages=stages,
+                   partitions=raw.get("partitions", 8))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+class TraceReplayWorkload(Workload):
+    """Executes a :class:`TraceSpec` through the RDD engine."""
+
+    category = "trace"
+
+    def __init__(self, spec: TraceSpec) -> None:
+        self.spec = spec
+        self.name = f"trace:{spec.name}"
+        self.sizes = {
+            "tiny": SizeProfile("tiny", {"scale_pct": 10},
+                                partitions=max(2, spec.partitions // 2),
+                                llc_pressure=0.7),
+            "small": SizeProfile("small", {"scale_pct": 100},
+                                 partitions=spec.partitions, llc_pressure=1.0),
+            "large": SizeProfile("large", {"scale_pct": 400},
+                                 partitions=spec.partitions * 2, llc_pressure=1.5),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: TraceSpec) -> "TraceReplayWorkload":
+        return cls(spec)
+
+    def _scaled_spec(self, size: str) -> TraceSpec:
+        return self.spec.scaled(self.profile(size).param("scale_pct") / 100.0)
+
+    def prepare(self, sc: SparkContext, size: str) -> None:
+        spec = self._scaled_spec(size)
+        first = spec.stages[0]
+        # Synthetic records standing in for the traced stage's inputs.
+        records = [(i % 1009, i) for i in range(first.records)]
+        sc.hdfs.put_records(
+            self.input_path(size), records, record_bytes=first.record_bytes
+        )
+
+    def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
+        profile = self.profile(size)
+        spec = self._scaled_spec(size)
+        rdd = sc.text_file(self.input_path(size), profile.partitions)
+        total_records = 0
+        for stage in spec.stages:
+            total_records += stage.records
+            cost = stage.cost.with_pressure(profile.llc_pressure)
+            keep = stage.selectivity
+            rdd = rdd.map_partitions(
+                lambda part, k=keep: part[: max(1, int(len(part) * k))],
+                cost=cost,
+                name=stage.name,
+            )
+            if stage.shuffle:
+                rdd = rdd.partition_by(HashPartitioner(profile.partitions))
+        count = rdd.count()
+        return {"output_records": count, "stages": len(spec.stages)}, total_records
+
+    def verify(self, output: t.Any, sc: SparkContext, size: str) -> bool:
+        return output["output_records"] > 0 and output["stages"] == len(
+            self.spec.stages
+        )

@@ -1,0 +1,154 @@
+"""Analysis utilities: stats, tables, heatmaps, violins, result store."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.heatmap import format_heatmap
+from repro.analysis.resultstore import ResultStore
+from repro.analysis.stats import describe, geometric_mean, percentile
+from repro.analysis.tables import format_table
+from repro.analysis.violin import format_violin_row, violin_summaries
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+# ---------------------------------------------------------------------- stats
+def test_percentile_basic():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 100) == 5.0
+    assert percentile(values, 25) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+@given(st.lists(floats, min_size=1, max_size=100))
+def test_percentile_within_range(values):
+    p = percentile(values, 37.5)
+    assert min(values) <= p <= max(values)
+
+
+@given(st.lists(floats, min_size=2, max_size=50), st.integers(0, 100), st.integers(0, 100))
+def test_percentile_monotone_in_q(values, q1, q2):
+    lo, hi = sorted((q1, q2))
+    hi_val = percentile(values, hi)
+    # Relative tolerance: interpolation of equal values can round a hair low.
+    assert percentile(values, lo) <= hi_val + 1e-9 * max(1.0, abs(hi_val))
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_describe_summary():
+    summary = describe([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert summary.count == 8
+    assert summary.mean == 5.0
+    assert summary.std == pytest.approx(2.0)
+    assert summary.minimum == 2.0
+    assert summary.maximum == 9.0
+    assert summary.iqr == summary.p75 - summary.p25
+    assert summary.relative_spread == pytest.approx((9 - 2) / summary.median)
+
+
+def test_describe_empty_rejected():
+    with pytest.raises(ValueError):
+        describe([])
+
+
+# --------------------------------------------------------------------- tables
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["sort", 1.234567], ["pagerank", 42]],
+        title="Results",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Results"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "sort" in text and "1.23" in text
+    # Constant row widths.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+# -------------------------------------------------------------------- heatmap
+def test_format_heatmap_renders_cells():
+    values = {(e, c): float(e * c) for e in (1, 2) for c in (10, 20)}
+    text = format_heatmap([1, 2], [10, 20], values, title="grid")
+    assert "grid" in text
+    assert "40.00" in text
+
+
+def test_format_heatmap_missing_cells():
+    text = format_heatmap([1, 2], [10], {(1, 10): 1.0})
+    assert "?" in text
+
+
+def test_format_heatmap_handles_nan():
+    text = format_heatmap([1], [1], {(1, 1): math.nan})
+    assert "?" in text
+
+
+# --------------------------------------------------------------------- violin
+def test_violin_row_markers():
+    row = format_violin_row("sort-small", [1.0, 1.1, 1.2, 1.3, 5.0])
+    assert "M" in row and "|" in row
+    assert "sort-small" in row
+
+
+def test_violin_constant_sample():
+    row = format_violin_row("flat", [2.0, 2.0, 2.0])
+    assert "spread=0.00%" in row
+
+
+def test_violin_width_validation():
+    with pytest.raises(ValueError):
+        format_violin_row("x", [1.0], width=5)
+
+
+def test_violin_summaries():
+    groups = {"a": [1.0, 2.0], "b": [5.0]}
+    out = violin_summaries(groups)
+    assert out["a"].count == 2
+    assert out["b"].median == 5.0
+
+
+# ---------------------------------------------------------------- result store
+def test_result_store_roundtrip(tmp_path):
+    from repro.core.experiment import ExperimentConfig, run_experiment
+
+    store = ResultStore(tmp_path / "results.jsonl")
+    result = run_experiment(ExperimentConfig(workload="sort", size="tiny", tier=0))
+    store.append(result)
+    store.append_row({"custom": True})
+    rows = store.load()
+    assert len(rows) == 2
+    assert rows[0]["config"]["workload"] == "sort"
+    assert rows[0]["execution_time"] == pytest.approx(result.execution_time)
+    assert rows[0]["verified"] is True
+    assert rows[1] == {"custom": True}
+    store.clear()
+    assert store.load() == []

@@ -1,0 +1,58 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.analysis.reporting import characterization_report
+from repro.core.characterization import characterize
+from repro.core.sweeps import ExecutorCoreGrid, MbaSweep
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return characterize(workloads=("repartition",), sizes=("tiny",))
+
+
+def test_report_contains_headline_sections(small_run):
+    report = characterization_report(small_run)
+    assert report.startswith("# Tiered-memory characterization report")
+    assert "## Headline results" in report
+    assert "## Execution time per tier" in report
+    assert "## Predictability" in report
+    assert "Tier 0 beats Tier 3" in report
+    assert "repartition" in report
+
+
+def test_report_includes_optional_sections(small_run):
+    sweeps = [MbaSweep("repartition", "tiny", 2, times={10: 1.1, 100: 1.0})]
+    grids = [
+        ExecutorCoreGrid(
+            "repartition", "tiny", 2, times={(1, 40): 1.0, (8, 40): 2.0}
+        )
+    ]
+    report = characterization_report(small_run, mba_sweeps=sweeps, grids=grids)
+    assert "Bandwidth-throttling sensitivity" in report
+    assert "latency-bound" in report
+    assert "Executor/core tuning" in report
+    assert "2.00x" in report
+
+
+def test_report_is_valid_markdown_tables(small_run):
+    report = characterization_report(small_run)
+    for line in report.splitlines():
+        if line.startswith("|"):
+            assert line.endswith("|")
+
+
+def test_report_custom_title(small_run):
+    report = characterization_report(small_run, title="Custom Title")
+    assert report.startswith("# Custom Title")
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "report.md"
+    assert main(["report", "repartition", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "Headline results" in text
+    assert "repartition" in text

@@ -1,0 +1,175 @@
+"""Cluster substrate: CPU, sockets, interconnect, machine, numactl."""
+
+import pytest
+
+from repro.cluster.cpu import XEON_GOLD_5218R, CpuSpec
+from repro.cluster.interconnect import UpiLink
+from repro.cluster.node import Machine
+from repro.cluster.numactl import NumactlBinding
+from repro.cluster.socket import Socket
+from repro.cluster.topology import DEFAULT_EXECUTOR_SOCKET, paper_testbed
+from repro.memory.tiers import table1_tiers, tier_by_id
+
+
+# ------------------------------------------------------------------------ CPU
+def test_xeon_gold_matches_paper_specs():
+    cpu = XEON_GOLD_5218R
+    assert cpu.physical_cores == 20
+    assert cpu.threads_per_core == 2
+    assert cpu.hyperthreads == 40
+    assert cpu.clock_hz == pytest.approx(2.10e9)
+
+
+def test_compute_seconds_inverse_to_rate():
+    cpu = XEON_GOLD_5218R
+    ops = 1e9
+    t = cpu.compute_seconds(ops)
+    assert t == pytest.approx(ops / cpu.thread_ops_per_second)
+
+
+def test_smt_degrades_throughput():
+    cpu = XEON_GOLD_5218R
+    assert cpu.throughput_factor(10) == 1.0
+    assert cpu.throughput_factor(20) == 1.0
+    assert cpu.throughput_factor(21) == cpu.smt_efficiency
+    assert cpu.compute_seconds(1e9, busy_threads=40) > cpu.compute_seconds(1e9, busy_threads=1)
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(ValueError):
+        CpuSpec("x", 0, 2, 1e9, 1.0, 0.5, 1e9)
+    with pytest.raises(ValueError):
+        CpuSpec("x", 4, 2, 1e9, 1.0, 1.5, 1e9)
+
+
+def test_compute_rejects_negative_ops():
+    with pytest.raises(ValueError):
+        XEON_GOLD_5218R.compute_seconds(-1)
+
+
+# --------------------------------------------------------------------- socket
+def test_socket_compute_timing(env):
+    socket = Socket(env, 0, XEON_GOLD_5218R)
+
+    def task(env, socket):
+        with socket.threads.request() as thread:
+            yield thread
+            duration = yield from socket.compute(1e9)
+            return duration
+
+    p = env.process(task(env, socket))
+    env.run()
+    assert p.value == pytest.approx(1e9 / XEON_GOLD_5218R.thread_ops_per_second)
+
+
+def test_socket_thread_pool_limits_concurrency(env):
+    socket = Socket(env, 0, XEON_GOLD_5218R)
+    finish = []
+
+    def task(env, socket):
+        with socket.threads.request() as thread:
+            yield thread
+            yield env.timeout(1.0)
+        finish.append(env.now)
+
+    for _ in range(50):  # more than 40 hyperthreads
+        env.process(task(env, socket))
+    env.run()
+    assert max(finish) == pytest.approx(2.0)  # two waves
+
+
+# ----------------------------------------------------------------------- UPI
+def test_upi_link_validation():
+    with pytest.raises(ValueError):
+        UpiLink(0, 0)
+
+
+def test_upi_connects_order_free():
+    link = UpiLink(0, 1)
+    assert link.connects(1, 0)
+    assert link.connects(0, 1)
+    assert not link.connects(0, 2)
+
+
+# -------------------------------------------------------------------- machine
+def test_paper_testbed_topology(env):
+    machine = paper_testbed(env)
+    assert len(machine.sockets) == 2
+    assert len(machine.numa_nodes) == 4
+    kinds = [n.kind for n in machine.numa_nodes]
+    assert kinds == ["dram", "dram", "nvm", "nvm"]
+    dimms = [n.device.dimm_count for n in machine.numa_nodes]
+    assert dimms == [2, 2, 4, 2]
+    # 4 + 2 Optane DIMMs as in the paper (6 x 256 GB total).
+    nvm = machine.devices_of_kind("nvm")
+    assert sum(d.dimm_count for d in nvm) == 6
+
+
+def test_describe_contains_topology(env, machine):
+    text = machine.describe()
+    assert "socket 0" in text and "socket 1" in text
+    assert "Optane" in text and "DDR4" in text
+
+
+@pytest.mark.parametrize("tier_id", [0, 1, 2, 3])
+def test_resolve_every_tier(env, machine, tier_id):
+    bound = machine.resolve_tier(DEFAULT_EXECUTOR_SOCKET, tier_by_id(tier_id))
+    assert bound.tier.tier_id == tier_id
+    if tier_id in (0, 1):
+        assert bound.device.technology.kind == "dram"
+    else:
+        assert bound.device.technology.kind == "nvm"
+
+
+def test_resolve_tier0_is_socket_local(env, machine):
+    bound = machine.resolve_tier(1, tier_by_id(0))
+    assert bound.device.name == "numa1-dram"
+    bound0 = machine.resolve_tier(0, tier_by_id(0))
+    assert bound0.device.name == "numa0-dram"
+
+
+def test_resolve_tier1_is_other_socket(env, machine):
+    bound = machine.resolve_tier(1, tier_by_id(1))
+    assert bound.device.name == "numa0-dram"
+    assert bound.path.hop_latency > 0
+
+
+def test_resolve_nvm_tiers_by_dimm_count(env, machine):
+    tier2 = machine.resolve_tier(1, tier_by_id(2))
+    tier3 = machine.resolve_tier(1, tier_by_id(3))
+    assert tier2.device.dimm_count == 4
+    assert tier3.device.dimm_count == 2
+    assert tier3.path.efficiency < tier2.path.efficiency
+
+
+def test_resolve_invalid_socket(env, machine):
+    with pytest.raises(ValueError):
+        machine.resolve_tier(7, tier_by_id(0))
+
+
+def test_single_socket_machine_has_no_remote_dram(env):
+    machine = Machine(env, cpu=XEON_GOLD_5218R, sockets=1)
+    from repro.memory.device import MemoryDevice
+    from repro.memory.technology import DDR4_DRAM
+
+    machine.add_numa_node(
+        MemoryDevice(env, "d0", DDR4_DRAM, dimm_count=2), attached_socket=0
+    )
+    with pytest.raises(ValueError):
+        machine.resolve_tier(0, tier_by_id(1))
+
+
+# -------------------------------------------------------------------- numactl
+def test_numactl_binding_resolution(env, machine):
+    binding = NumactlBinding.from_ids(cpu_socket=1, tier_id=2)
+    socket, memory = binding.resolve(machine)
+    assert socket.socket_id == 1
+    assert memory.device.technology.kind == "nvm"
+    assert "numactl" in binding.cmdline()
+
+
+def test_all_tiers_bindable(env, machine):
+    for tier in table1_tiers():
+        binding = NumactlBinding(cpu_socket=1, tier=tier)
+        _, memory = binding.resolve(machine)
+        assert memory.tier is tier

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import paper_testbed
+from repro.sim import Environment
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def machine(env):
+    """The paper's testbed machine."""
+    return paper_testbed(env)
+
+
+@pytest.fixture
+def sc() -> SparkContext:
+    """A SparkContext on the default (local DRAM) tier."""
+    return SparkContext(conf=SparkConf(memory_tier=0, default_parallelism=4))
+
+
+@pytest.fixture
+def sc_nvm() -> SparkContext:
+    """A SparkContext bound to the socket-attached NVM tier."""
+    return SparkContext(conf=SparkConf(memory_tier=2, default_parallelism=4))

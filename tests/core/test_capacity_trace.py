@@ -1,0 +1,160 @@
+"""Capacity planner and trace-replay workload."""
+
+import math
+
+import pytest
+
+from repro.core.capacity import (
+    DEFAULT_CANDIDATES,
+    CapacityPlanner,
+    NodeConfig,
+)
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.workloads.trace_replay import StageSpec, TraceReplayWorkload, TraceSpec
+
+
+# ------------------------------------------------------------------- capacity
+def test_node_config_validation():
+    with pytest.raises(ValueError):
+        NodeConfig("bad", dram_gib=-1, nvm_gib=0)
+    with pytest.raises(ValueError):
+        NodeConfig("empty", dram_gib=0, nvm_gib=0)
+
+
+def test_node_config_cost():
+    config = NodeConfig("x", dram_gib=100, nvm_gib=200)
+    assert config.cost(dram_per_gib=8, nvm_per_gib=3) == 800 + 600
+    assert config.total_gib == 300
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return CapacityPlanner("repartition", "tiny")
+
+
+def test_fits_in_dram_means_no_slowdown(planner):
+    config = NodeConfig("big-dram", dram_gib=512, nvm_gib=0)
+    assert planner.expected_slowdown(config, working_set_gib=256) == 1.0
+
+
+def test_dram_only_overflow_is_infeasible(planner):
+    config = NodeConfig("small-dram", dram_gib=64, nvm_gib=0)
+    assert math.isinf(planner.expected_slowdown(config, working_set_gib=256))
+
+
+def test_hybrid_slowdown_between_one_and_nvm(planner):
+    config = NodeConfig("hybrid", dram_gib=128, nvm_gib=512)
+    slowdown = planner.expected_slowdown(config, working_set_gib=256)
+    assert 1.0 < slowdown < 10.0
+
+
+def test_slowdown_grows_as_dram_fraction_shrinks(planner):
+    big = planner.expected_slowdown(NodeConfig("a", 192, 512), 256)
+    small = planner.expected_slowdown(NodeConfig("b", 64, 512), 256)
+    assert small > big
+
+
+def test_plan_picks_cheapest_feasible(planner):
+    plan = planner.plan(working_set_gib=256, slowdown_budget=3.0)
+    assert plan.recommended is not None
+    cost, slowdown, feasible = plan.evaluations[plan.recommended.name]
+    assert feasible and slowdown <= 3.0
+    for name, (other_cost, _s, other_feasible) in plan.evaluations.items():
+        if other_feasible:
+            assert cost <= other_cost
+    assert "recommended:" in plan.describe()
+
+
+def test_plan_tight_budget_prefers_dram(planner):
+    plan = planner.plan(working_set_gib=200, slowdown_budget=1.0)
+    assert plan.recommended is not None
+    assert plan.recommended.dram_gib >= 200
+
+
+def test_plan_impossible_returns_none(planner):
+    plan = planner.plan(working_set_gib=10_000, slowdown_budget=1.1)
+    assert plan.recommended is None
+    assert "none feasible" in plan.describe()
+
+
+def test_plan_budget_validation(planner):
+    with pytest.raises(ValueError):
+        planner.plan(100, slowdown_budget=0.5)
+    with pytest.raises(ValueError):
+        planner.expected_slowdown(DEFAULT_CANDIDATES[0], working_set_gib=0)
+
+
+# ---------------------------------------------------------------- trace replay
+def make_spec():
+    return TraceSpec(
+        name="etl",
+        stages=(
+            StageSpec("extract", records=2_000, record_bytes=128,
+                      cost=CostSpec(ops_per_record=100, random_reads_per_record=4)),
+            StageSpec("join", records=2_000, shuffle=True,
+                      cost=CostSpec(ops_per_record=250, random_reads_per_record=12,
+                                    random_writes_per_record=4)),
+            StageSpec("aggregate", records=500, selectivity=0.25, shuffle=True,
+                      cost=CostSpec(ops_per_record=150, random_reads_per_record=6)),
+        ),
+        partitions=4,
+    )
+
+
+def test_trace_spec_validation():
+    with pytest.raises(ValueError):
+        TraceSpec(name="empty", stages=())
+    with pytest.raises(ValueError):
+        StageSpec("bad", records=0)
+    with pytest.raises(ValueError):
+        StageSpec("bad", records=1, selectivity=0)
+
+
+def test_trace_json_roundtrip():
+    spec = make_spec()
+    restored = TraceSpec.from_json(spec.to_json())
+    assert restored == spec
+
+
+def test_trace_load_from_file(tmp_path):
+    spec = make_spec()
+    path = tmp_path / "trace.json"
+    path.write_text(spec.to_json())
+    assert TraceSpec.load(path) == spec
+
+
+def test_trace_scaling():
+    spec = make_spec().scaled(0.1)
+    assert spec.stages[0].records == 200
+    assert spec.stages[2].records == 50
+
+
+def test_trace_replay_executes_and_verifies():
+    workload = TraceReplayWorkload.from_spec(make_spec())
+    sc = SparkContext(conf=SparkConf(memory_tier=0))
+    result = workload.run(sc, "small")
+    assert result.verified
+    assert result.output["stages"] == 3
+    assert result.records_processed == 4_500
+
+
+def test_trace_replay_tier_sensitive():
+    workload_spec = make_spec()
+
+    def run(tier):
+        sc = SparkContext(conf=SparkConf(memory_tier=tier))
+        return TraceReplayWorkload.from_spec(workload_spec).run(sc, "small").execution_time
+
+    assert run(2) > run(0)
+
+
+def test_trace_replay_sizes_scale():
+    workload = TraceReplayWorkload.from_spec(make_spec())
+    sc = SparkContext(conf=SparkConf(memory_tier=0))
+    tiny = workload.run(sc, "tiny")
+    sc2 = SparkContext(conf=SparkConf(memory_tier=0))
+    large = TraceReplayWorkload.from_spec(make_spec()).run(sc2, "large")
+    assert large.records_processed > tiny.records_processed
+    assert large.execution_time > tiny.execution_time

@@ -1,0 +1,182 @@
+"""Guideline checkers in isolation, on synthetic measurements.
+
+These tests construct hand-crafted :class:`ExperimentResult` sets so each
+takeaway checker's decision logic is exercised without running the
+simulator — including the *negative* cases (a checker must be able to
+say VIOLATED).
+"""
+
+import pytest
+
+from repro.core.characterization import CharacterizationRun
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.core.guidelines import (
+    takeaway1_remote_tolerance,
+    takeaway2_nvm_gap_grows,
+    takeaway4_latency_bound,
+    takeaway6_executor_contention,
+    takeaway7_large_workloads_scale,
+)
+from repro.core.sweeps import ExecutorCoreGrid, MbaSweep
+from repro.memory.energy import EnergyReport
+from repro.telemetry.collector import TelemetrySample
+from repro.telemetry.ipmctl import DimmPerformance
+
+
+def fake_result(
+    workload: str,
+    size: str,
+    tier: int,
+    time: float,
+    nvm_reads: int = 0,
+    nvm_writes: int = 0,
+) -> ExperimentResult:
+    perf = [
+        DimmPerformance(
+            dimm_id="nvm/dimm0",
+            media_reads=nvm_reads,
+            media_writes=nvm_writes,
+            bytes_read=nvm_reads * 64,
+            bytes_written=nvm_writes * 64,
+        )
+    ]
+    sample = TelemetrySample(elapsed=time, dimm_performance=perf)
+    return ExperimentResult(
+        config=ExperimentConfig(workload=workload, size=size, tier=tier),
+        execution_time=time,
+        verified=True,
+        telemetry=sample,
+    )
+
+
+def synthetic_run(times: dict[tuple[str, str, int], float]) -> CharacterizationRun:
+    run = CharacterizationRun()
+    for (workload, size, tier), time in times.items():
+        run.add(fake_result(workload, size, tier, time))
+    return run
+
+
+# ------------------------------------------------------------------ takeaway 1
+def test_t1_holds_with_mixed_tolerance():
+    run = synthetic_run(
+        {
+            ("a", "tiny", 0): 1.0, ("a", "tiny", 1): 1.05,  # tolerant
+            ("b", "tiny", 0): 1.0, ("b", "tiny", 1): 1.9,   # sensitive
+        }
+    )
+    finding = takeaway1_remote_tolerance(run)
+    assert finding.holds
+    assert finding.evidence["tolerant_combinations"] == 1
+
+
+def test_t1_violated_when_uniformly_sensitive():
+    run = synthetic_run(
+        {
+            ("a", "tiny", 0): 1.0, ("a", "tiny", 1): 1.8,
+            ("b", "tiny", 0): 1.0, ("b", "tiny", 1): 1.85,
+        }
+    )
+    assert not takeaway1_remote_tolerance(run).holds
+
+
+# ------------------------------------------------------------------ takeaway 2
+def test_t2_holds_when_gap_grows():
+    run = synthetic_run(
+        {
+            ("a", "tiny", 0): 1.0, ("a", "tiny", 2): 2.0,
+            ("a", "large", 0): 10.0, ("a", "large", 2): 40.0,
+            ("a", "tiny", 1): 1.0, ("a", "large", 1): 10.0,
+            ("a", "tiny", 3): 2.0, ("a", "large", 3): 40.0,
+        }
+    )
+    finding = takeaway2_nvm_gap_grows(run)
+    assert finding.holds
+    assert finding.evidence["gap_long_runs"] > finding.evidence["gap_short_runs"]
+
+
+def test_t2_violated_when_gap_shrinks():
+    run = synthetic_run(
+        {
+            ("a", "tiny", 0): 1.0, ("a", "tiny", 2): 4.0,
+            ("a", "large", 0): 10.0, ("a", "large", 2): 12.0,
+            ("a", "tiny", 1): 1.0, ("a", "large", 1): 10.0,
+            ("a", "tiny", 3): 4.0, ("a", "large", 3): 12.0,
+        }
+    )
+    assert not takeaway2_nvm_gap_grows(run).holds
+
+
+# ------------------------------------------------------------------ takeaway 4
+def test_t4_holds_when_flat():
+    sweep = MbaSweep("a", "tiny", 2, times={10: 1.02, 50: 1.01, 100: 1.0})
+    finding = takeaway4_latency_bound([sweep])
+    assert finding.holds
+    assert finding.evidence["worst_mba_spread"] < 0.05
+
+
+def test_t4_violated_when_bandwidth_bound():
+    sweep = MbaSweep("a", "tiny", 2, times={10: 5.0, 50: 1.5, 100: 1.0})
+    assert not takeaway4_latency_bound([sweep]).holds
+
+
+def test_t4_empty_sweeps_do_not_hold():
+    assert not takeaway4_latency_bound([]).holds
+
+
+# ------------------------------------------------------------------ takeaway 6
+def test_t6_holds_on_contention():
+    grid = ExecutorCoreGrid(
+        "a", "tiny", 2, times={(1, 40): 1.0, (8, 40): 2.5}
+    )
+    finding = takeaway6_executor_contention(grid)
+    assert finding.holds
+    assert finding.evidence["slowdown_at_max_executors"] == pytest.approx(2.5)
+
+
+def test_t6_violated_on_scaling():
+    grid = ExecutorCoreGrid("a", "tiny", 2, times={(1, 40): 1.0, (8, 40): 0.5})
+    assert not takeaway6_executor_contention(grid).holds
+
+
+# ------------------------------------------------------------------ takeaway 7
+def test_t7_holds_when_large_scales_better():
+    small = ExecutorCoreGrid("a", "small", 2, times={(1, 40): 1.0, (8, 40): 2.0})
+    large = ExecutorCoreGrid("a", "large", 2, times={(1, 40): 10.0, (8, 40): 6.0})
+    finding = takeaway7_large_workloads_scale(small, large)
+    assert finding.holds
+    assert finding.evidence["large_scaling_ratio"] < 1.0
+
+
+def test_t7_violated_when_no_size_effect():
+    small = ExecutorCoreGrid("a", "small", 2, times={(1, 40): 1.0, (8, 40): 1.5})
+    large = ExecutorCoreGrid("a", "large", 2, times={(1, 40): 10.0, (8, 40): 15.0})
+    assert not takeaway7_large_workloads_scale(small, large).holds
+
+
+# ------------------------------------------------------------------- reporting
+def test_finding_describe_format():
+    run = synthetic_run(
+        {
+            ("a", "tiny", 0): 1.0, ("a", "tiny", 1): 1.05,
+            ("b", "tiny", 0): 1.0, ("b", "tiny", 1): 1.9,
+        }
+    )
+    text = takeaway1_remote_tolerance(run).describe()
+    assert text.startswith("Takeaway 1 [HOLDS]")
+    assert "=" in text
+
+
+# ------------------------------------------------------------------ grid maths
+def test_grid_helpers():
+    grid = ExecutorCoreGrid(
+        "a", "s", 2, times={(1, 40): 2.0, (2, 40): 1.0, (8, 40): 4.0}
+    )
+    assert grid.baseline_time == 2.0
+    assert grid.speedup(2, 40) == pytest.approx(2.0)
+    assert grid.worst_slowdown() == pytest.approx(2.0)
+    assert grid.best_speedup() == pytest.approx(2.0)
+
+
+def test_mba_sweep_spread():
+    sweep = MbaSweep("a", "s", 2, times={10: 2.0, 100: 1.0})
+    assert sweep.spread() == pytest.approx(1.0)

@@ -1,0 +1,50 @@
+"""Self-check harness."""
+
+import pytest
+
+from repro.core.selfcheck import (
+    ALL_CHECKS,
+    check_determinism,
+    check_table1,
+    check_tier_monotonicity,
+    check_write_asymmetry,
+    run_selfcheck,
+)
+
+
+def test_table1_check_passes():
+    result = check_table1()
+    assert result.passed, result.detail
+
+
+def test_write_asymmetry_check_passes():
+    assert check_write_asymmetry().passed
+
+
+def test_tier_monotonicity_check_passes():
+    result = check_tier_monotonicity()
+    assert result.passed, result.detail
+    assert "ms" in result.detail
+
+
+def test_determinism_check_passes():
+    assert check_determinism().passed
+
+
+def test_run_selfcheck_all_pass():
+    results = run_selfcheck()
+    assert len(results) == len(ALL_CHECKS)
+    assert all(r.passed for r in results), [r.describe() for r in results]
+
+
+def test_describe_format():
+    result = check_write_asymmetry()
+    assert result.describe().startswith("[PASS]")
+
+
+def test_cli_selfcheck(capsys):
+    from repro.__main__ import main
+
+    assert main(["selfcheck"]) == 0
+    out = capsys.readouterr().out
+    assert "5/5 checks passed" in out

@@ -1,0 +1,167 @@
+"""HDFS model: blocks, namenode, datanode, client facade."""
+
+import pytest
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, split_into_blocks
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HdfsClient
+from repro.hdfs.namenode import FileExistsOnHdfs, FileNotFoundOnHdfs, NameNode
+from repro.units import MB
+
+
+# --------------------------------------------------------------------- blocks
+def test_split_exact_multiple():
+    blocks = split_into_blocks("/f", 256 * MB, block_size=128 * MB)
+    assert [b.nbytes for b in blocks] == [128 * MB, 128 * MB]
+    assert [b.index for b in blocks] == [0, 1]
+
+
+def test_split_with_remainder():
+    blocks = split_into_blocks("/f", 200 * MB, block_size=128 * MB)
+    assert [b.nbytes for b in blocks] == [128 * MB, 72 * MB]
+
+
+def test_split_empty_file_has_one_block():
+    blocks = split_into_blocks("/f", 0)
+    assert len(blocks) == 1
+    assert blocks[0].nbytes == 0
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        split_into_blocks("/f", -1)
+    with pytest.raises(ValueError):
+        split_into_blocks("/f", 10, block_size=0)
+
+
+# ------------------------------------------------------------------- namenode
+def test_namenode_create_and_lookup():
+    nn = NameNode()
+    nn.create("/data/in", 300 * MB)
+    assert nn.exists("/data/in")
+    assert nn.file_size("/data/in") == 300 * MB
+    assert len(nn.blocks("/data/in")) == 3
+
+
+def test_namenode_write_once():
+    nn = NameNode()
+    nn.create("/f", 10)
+    with pytest.raises(FileExistsOnHdfs):
+        nn.create("/f", 10)
+
+
+def test_namenode_missing_path():
+    nn = NameNode()
+    with pytest.raises(FileNotFoundOnHdfs):
+        nn.blocks("/nope")
+    with pytest.raises(FileNotFoundOnHdfs):
+        nn.delete("/nope")
+
+
+def test_namenode_block_ids_globally_unique():
+    nn = NameNode(block_size=MB)
+    nn.create("/a", 3 * MB)
+    nn.create("/b", 2 * MB)
+    ids = [b.block_id for b in nn.blocks("/a") + nn.blocks("/b")]
+    assert len(ids) == len(set(ids))
+
+
+def test_namenode_listdir():
+    nn = NameNode()
+    nn.create("/x/1", 1)
+    nn.create("/x/2", 1)
+    nn.create("/y/1", 1)
+    assert nn.listdir("/x") == ["/x/1", "/x/2"]
+    nn.delete("/x/1")
+    assert nn.listdir("/x") == ["/x/2"]
+
+
+# ------------------------------------------------------------------- datanode
+def test_datanode_transfer_time(env):
+    dn = DataNode(env, bandwidth=100e6, request_overhead=0.0, max_streams=4)
+
+    def proc(env):
+        elapsed = yield from dn.read(100_000_000)
+        return elapsed
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(1.0)
+    assert dn.bytes_read == 100_000_000
+
+
+def test_datanode_streams_share_bandwidth(env):
+    dn = DataNode(env, bandwidth=100e6, request_overhead=0.0, max_streams=4)
+    done = []
+
+    def proc(env):
+        yield from dn.write(50_000_000)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    # Second stream admitted while first is active → sees half rate.
+    assert max(done) == pytest.approx(1.0)
+    assert dn.bytes_written == 100_000_000
+
+
+def test_datanode_validation(env):
+    with pytest.raises(ValueError):
+        DataNode(env, bandwidth=0)
+    dn = DataNode(env)
+    with pytest.raises(ValueError):
+        dn.transfer(-1, write=False).send(None)
+
+
+# --------------------------------------------------------------------- client
+def test_client_put_and_status(env):
+    hdfs = HdfsClient(env)
+    records = [f"row{i}" for i in range(100)]
+    status = hdfs.put_records("/in", records, record_bytes=100.0)
+    assert status.nbytes == 10_000
+    assert hdfs.exists("/in")
+    assert hdfs.read_records("/in") == records
+    assert hdfs.record_bytes("/in") == 100.0
+
+
+def test_client_delete(env):
+    hdfs = HdfsClient(env)
+    hdfs.put_records("/in", ["a"], record_bytes=10)
+    hdfs.delete("/in")
+    assert not hdfs.exists("/in")
+    with pytest.raises(FileNotFoundError):
+        hdfs.read_records("/in")
+
+
+def test_client_timed_write_registers_file(env):
+    hdfs = HdfsClient(env)
+
+    def proc(env):
+        elapsed = yield from hdfs.write_records("/out", ["x"] * 50, record_bytes=64)
+        return elapsed
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value > 0
+    assert hdfs.exists("/out")
+    assert hdfs.status("/out").nbytes == 50 * 64
+
+
+def test_client_replication_multiplies_write_volume(env):
+    hdfs = HdfsClient(env, replication=3)
+
+    def proc(env):
+        yield from hdfs.stream_write(1000)
+
+    env.process(proc(env))
+    env.run()
+    assert hdfs.datanode.bytes_written == 3000
+
+
+def test_client_validation(env):
+    with pytest.raises(ValueError):
+        HdfsClient(env, replication=0)
+    hdfs = HdfsClient(env)
+    with pytest.raises(ValueError):
+        hdfs.put_records("/bad", ["a"], record_bytes=0)

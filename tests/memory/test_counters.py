@@ -1,0 +1,74 @@
+"""AccessCounters arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.counters import AccessCounters, TrafficTotals
+
+counter_ints = st.integers(min_value=0, max_value=10**12)
+
+
+def make(seed: int) -> AccessCounters:
+    return AccessCounters(
+        media_reads=seed,
+        media_writes=seed * 2,
+        bytes_read=seed * 64,
+        bytes_written=seed * 128,
+        random_reads=seed,
+        random_writes=seed // 2,
+    )
+
+
+def test_defaults_zero():
+    c = AccessCounters()
+    assert c.total_accesses == 0
+    assert c.total_bytes == 0
+    assert c.write_ratio == 0.0
+
+
+def test_write_ratio():
+    c = AccessCounters(media_reads=3, media_writes=1)
+    assert c.write_ratio == 0.25
+
+
+def test_add_accumulates():
+    a, b = make(10), make(5)
+    a.add(b)
+    assert a.media_reads == 15
+    assert a.bytes_written == 15 * 128
+
+
+def test_plus_operator_does_not_mutate():
+    a, b = make(10), make(5)
+    c = a + b
+    assert c.media_reads == 15
+    assert a.media_reads == 10
+
+
+def test_snapshot_is_independent():
+    a = make(10)
+    snap = a.snapshot()
+    a.add(make(1))
+    assert snap.media_reads == 10
+    assert a.media_reads == 11
+
+
+@given(x=counter_ints, y=counter_ints)
+def test_delta_inverts_add(x, y):
+    base = AccessCounters(media_reads=x, media_writes=y)
+    later = base.snapshot()
+    later.add(AccessCounters(media_reads=y, media_writes=x))
+    delta = later.delta(base)
+    assert delta.media_reads == y
+    assert delta.media_writes == x
+
+
+def test_traffic_totals_buckets():
+    totals = TrafficTotals()
+    totals.category("shuffle").add(make(2))
+    totals.category("cache").add(make(3))
+    totals.category("shuffle").add(make(1))
+    assert totals.category("shuffle").media_reads == 3
+    grand = totals.total()
+    assert grand.media_reads == 6
+    assert set(totals.by_category) == {"shuffle", "cache"}

@@ -1,0 +1,77 @@
+"""CXL memory-expander technology and tier."""
+
+import pytest
+
+from repro.memory.cxl import (
+    CXL_EXPANDER,
+    CXL_LINK_LATENCY,
+    cxl_technology_with_latency,
+    cxl_tier,
+    optane_vs_cxl_specs,
+)
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+from repro.units import ns_to_s
+
+
+def test_cxl_latency_between_dram_and_optane():
+    assert DDR4_DRAM.read_latency < CXL_EXPANDER.read_latency
+    assert CXL_EXPANDER.read_latency > OPTANE_DCPM.read_latency  # 188 vs 172 ns
+    assert CXL_EXPANDER.read_latency == pytest.approx(
+        DDR4_DRAM.read_latency + CXL_LINK_LATENCY
+    )
+
+
+def test_cxl_is_symmetric_unlike_optane():
+    assert CXL_EXPANDER.write_latency == CXL_EXPANDER.read_latency
+    assert CXL_EXPANDER.dimm_write_bandwidth == CXL_EXPANDER.dimm_read_bandwidth
+    assert CXL_EXPANDER.write_amplification(64) == 1.0
+
+
+def test_cxl_bandwidth_far_above_optane():
+    specs = optane_vs_cxl_specs()
+    assert specs["cxl"][1] > 2 * specs["optane"][1]
+    # ...while latencies are in the same class.
+    assert specs["cxl"][0] == pytest.approx(specs["optane"][0], rel=0.15)
+
+
+def test_cxl_tier_spec():
+    tier = cxl_tier()
+    assert tier.tier_id == 2
+    assert tier.dimm_count == 4
+    assert tier.technology is CXL_EXPANDER
+    assert not tier.technology.persistent
+
+
+def test_latency_variant():
+    fast = cxl_technology_with_latency(60.0)
+    slow = cxl_technology_with_latency(300.0)
+    assert fast.read_latency < CXL_EXPANDER.read_latency < slow.read_latency
+    assert fast.read_latency == pytest.approx(
+        DDR4_DRAM.read_latency + ns_to_s(60.0)
+    )
+    with pytest.raises(ValueError):
+        cxl_technology_with_latency(-1.0)
+
+
+def test_cxl_workload_between_dram_and_optane():
+    """End to end: a latency-bound workload on CXL sits between DRAM and
+    Optane — nearer Optane than its healthy bandwidth would suggest,
+    the paper's Takeaway 4 extended to the next technology."""
+    from repro.core.experiment import ExperimentConfig, run_experiment
+    from repro.core.substitution import run_with_technology
+
+    dram_time = run_experiment(
+        ExperimentConfig(workload="repartition", size="tiny", tier=0)
+    ).execution_time
+    optane_time = run_experiment(
+        ExperimentConfig(workload="repartition", size="tiny", tier=2)
+    ).execution_time
+
+    outcome = run_with_technology(CXL_EXPANDER, "repartition", "tiny")
+    assert outcome.verified
+    cxl_time = outcome.execution_time
+
+    assert dram_time < cxl_time < optane_time
+    # Despite ~5x Optane's bandwidth and no write asymmetry, link latency
+    # alone costs a substantial share of the Optane gap (Takeaway 4).
+    assert (cxl_time - dram_time) > 0.25 * (optane_time - dram_time)

@@ -1,0 +1,120 @@
+"""Property-based tests of the device service model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.device import AccessProfile, MemoryDevice, PathCharacteristics
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+from repro.sim import Environment
+from repro.units import ns_to_s
+
+volumes = st.floats(min_value=0.0, max_value=1e8, allow_nan=False)
+counts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def fresh(tech=OPTANE_DCPM, dimms=4) -> MemoryDevice:
+    return MemoryDevice(Environment(), "dev", tech, dimm_count=dimms)
+
+
+@given(bytes_read=volumes, bytes_written=volumes, reads=counts, writes=counts)
+@settings(max_examples=60)
+def test_service_time_nonnegative_and_finite(bytes_read, bytes_written, reads, writes):
+    device = fresh()
+    profile = AccessProfile(
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        random_reads=reads,
+        random_writes=writes,
+    )
+    service = device.service_time(profile)
+    assert service >= 0.0
+    assert service < float("inf")
+    if profile.is_empty:
+        assert service == 0.0
+
+
+@given(reads=st.floats(min_value=1.0, max_value=1e6), extra=st.floats(min_value=1.0, max_value=1e6))
+@settings(max_examples=40)
+def test_more_random_reads_never_faster(reads, extra):
+    device = fresh()
+    base = device.service_time(AccessProfile(random_reads=reads))
+    more = device.service_time(AccessProfile(random_reads=reads + extra))
+    assert more >= base
+
+
+@given(nbytes=st.floats(min_value=1.0, max_value=1e8))
+@settings(max_examples=40)
+def test_dram_streams_never_slower_than_nvm(nbytes):
+    dram = fresh(DDR4_DRAM, dimms=2)
+    nvm = fresh(OPTANE_DCPM, dimms=4)
+    profile = AccessProfile(bytes_written=nbytes)
+    assert dram.service_time(profile, core_stream_bw=float("inf")) <= nvm.service_time(
+        profile, core_stream_bw=float("inf")
+    )
+
+
+@given(fraction=st.sampled_from([0.1, 0.2, 0.5, 0.9, 1.0]), nbytes=st.floats(min_value=1e4, max_value=1e8))
+@settings(max_examples=40)
+def test_mba_throttling_monotone(fraction, nbytes):
+    device = fresh()
+    profile = AccessProfile(bytes_read=nbytes)
+    full = device.service_time(profile)
+    device.set_bandwidth_cap(fraction)
+    throttled = device.service_time(profile)
+    assert throttled >= full - 1e-12
+
+
+@given(hop_ns=st.floats(min_value=0.0, max_value=500.0), reads=st.floats(min_value=1.0, max_value=1e5))
+@settings(max_examples=40)
+def test_hop_latency_monotone(hop_ns, reads):
+    device = fresh()
+    profile = AccessProfile(random_reads=reads)
+    local = device.service_time(profile, mlp_read=1.0)
+    remote = device.service_time(
+        profile, path=PathCharacteristics(hop_latency=ns_to_s(hop_ns)), mlp_read=1.0
+    )
+    assert remote >= local
+
+
+@given(mlp=st.floats(min_value=1.0, max_value=32.0))
+@settings(max_examples=40)
+def test_mlp_never_hurts(mlp):
+    device = fresh()
+    profile = AccessProfile(random_reads=10_000)
+    chase = device.service_time(profile, mlp_read=1.0)
+    overlapped = device.service_time(profile, mlp_read=mlp)
+    assert overlapped <= chase + 1e-12
+
+
+@given(
+    parts=st.integers(min_value=1, max_value=8),
+    reads=st.floats(min_value=100.0, max_value=1e5),
+    nbytes=st.floats(min_value=1e4, max_value=1e7),
+)
+@settings(max_examples=30)
+def test_service_time_superadditive_under_splitting(parts, reads, nbytes):
+    """Splitting a burst into chunks never *reduces* total service time
+    (each chunk re-pays nothing, but rates are identical when idle)."""
+    device = fresh()
+    whole = device.service_time(
+        AccessProfile(random_reads=reads, bytes_read=nbytes)
+    )
+    split = sum(
+        device.service_time(
+            AccessProfile(random_reads=reads / parts, bytes_read=nbytes / parts)
+        )
+        for _ in range(parts)
+    )
+    assert split == pytest.approx(whole, rel=1e-6)
+
+
+@given(reads=st.integers(min_value=0, max_value=10**6), writes=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40)
+def test_record_counters_consistent(reads, writes):
+    device = fresh()
+    device.record(AccessProfile(random_reads=reads, random_writes=writes))
+    assert device.counters.random_reads == reads
+    assert device.counters.random_writes == writes
+    assert device.counters.media_reads >= reads
+    assert device.counters.media_writes >= writes

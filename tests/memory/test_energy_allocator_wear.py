@@ -1,0 +1,160 @@
+"""Energy model, membind allocator, MBA context manager, wear tracking."""
+
+import math
+
+import pytest
+
+from repro.memory.allocator import (
+    InterleavedAllocator,
+    MembindAllocator,
+    OutOfMemoryError,
+)
+from repro.memory.counters import AccessCounters
+from repro.memory.device import AccessProfile, MemoryDevice
+from repro.memory.energy import DimmEnergyModel, device_energy_report
+from repro.memory.mba import BandwidthAllocator, VALID_LEVELS
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+from repro.memory.wear import WearTracker
+from repro.units import CACHE_LINE, gib
+
+
+# --------------------------------------------------------------------- energy
+def test_static_energy_scales_with_time_and_dimms():
+    model = DimmEnergyModel(DDR4_DRAM)
+    static, read, write = model.energy(AccessCounters(), elapsed=10.0, dimm_count=2)
+    assert static == pytest.approx(DDR4_DRAM.static_power * 10.0 * 2)
+    assert read == 0.0 and write == 0.0
+
+
+def test_dynamic_energy_per_line():
+    model = DimmEnergyModel(OPTANE_DCPM)
+    counters = AccessCounters(bytes_read=64 * 100, bytes_written=64 * 10)
+    _, read, write = model.energy(counters, elapsed=0.0)
+    assert read == pytest.approx(100 * OPTANE_DCPM.read_energy_per_line)
+    assert write == pytest.approx(10 * OPTANE_DCPM.write_energy_per_line)
+
+
+def test_energy_validation():
+    model = DimmEnergyModel(DDR4_DRAM)
+    with pytest.raises(ValueError):
+        model.energy(AccessCounters(), elapsed=-1.0)
+    with pytest.raises(ValueError):
+        model.energy(AccessCounters(), elapsed=1.0, dimm_count=0)
+
+
+def test_device_energy_report(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=4)
+    device.record(AccessProfile(bytes_read=64 * 1000))
+    report = device_energy_report(device, elapsed=5.0)
+    assert report.dimm_count == 4
+    assert report.static_joules == pytest.approx(OPTANE_DCPM.static_power * 5.0 * 4)
+    assert report.read_joules > 0
+    assert report.total_joules == report.static_joules + report.dynamic_joules
+    assert report.per_dimm_joules == pytest.approx(report.total_joules / 4)
+    assert report.average_power == pytest.approx(report.total_joules / 5.0)
+
+
+# ------------------------------------------------------------------- allocator
+def test_membind_allocates_and_frees(env):
+    device = MemoryDevice(env, "dram", DDR4_DRAM, dimm_count=2)
+    allocator = MembindAllocator(device)
+    grant = allocator.allocate(gib(1))
+    assert allocator.used_bytes == gib(1)
+    assert allocator.live_allocations == 1
+    allocator.free(grant)
+    assert allocator.used_bytes == 0
+
+
+def test_membind_strict_no_fallback(env):
+    device = MemoryDevice(env, "dram", DDR4_DRAM, dimm_count=2)
+    allocator = MembindAllocator(device)
+    with pytest.raises(OutOfMemoryError):
+        allocator.allocate(device.capacity + 1)
+
+
+def test_membind_double_free_rejected(env):
+    device = MemoryDevice(env, "dram", DDR4_DRAM, dimm_count=2)
+    allocator = MembindAllocator(device)
+    grant = allocator.allocate(1024)
+    allocator.free(grant)
+    with pytest.raises(ValueError):
+        allocator.free(grant)
+
+
+def test_membind_peak_usage_tracked(env):
+    device = MemoryDevice(env, "dram", DDR4_DRAM, dimm_count=2)
+    allocator = MembindAllocator(device)
+    a = allocator.allocate(1000)
+    b = allocator.allocate(2000)
+    allocator.free(a)
+    assert allocator.peak_usage == 3000
+    allocator.free_all()
+    assert allocator.free_bytes == device.capacity
+
+
+def test_interleaved_splits_evenly(env):
+    devices = [
+        MemoryDevice(env, f"d{i}", DDR4_DRAM, dimm_count=1) for i in range(3)
+    ]
+    allocator = InterleavedAllocator(devices)
+    grants = allocator.allocate(10)
+    assert sorted(g.nbytes for g in grants) == [3, 3, 4]
+    allocator.free(grants)
+
+
+def test_interleaved_rolls_back_on_oom(env):
+    small = MemoryDevice(env, "small", DDR4_DRAM, dimm_count=1)
+    allocator = InterleavedAllocator([small, small])
+    with pytest.raises(OutOfMemoryError):
+        allocator.allocate(small.capacity * 4)
+
+
+# ------------------------------------------------------------------------ MBA
+def test_mba_levels():
+    assert VALID_LEVELS == tuple(range(10, 101, 10))
+
+
+def test_mba_context_applies_and_restores(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=4)
+    with BandwidthAllocator([device], percent=30):
+        assert device.mba_fraction == pytest.approx(0.3)
+    assert device.mba_fraction == 1.0
+
+
+def test_mba_invalid_level(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=4)
+    with pytest.raises(ValueError):
+        BandwidthAllocator([device], percent=33)
+    with pytest.raises(ValueError):
+        BandwidthAllocator([])
+
+
+# ----------------------------------------------------------------------- wear
+def test_dram_never_wears(env):
+    device = MemoryDevice(env, "dram", DDR4_DRAM, dimm_count=2)
+    device.record(AccessProfile(random_writes=10**6))
+    tracker = WearTracker([device])
+    worst = tracker.worst(elapsed=100.0)
+    assert math.isinf(worst.projected_lifetime_seconds)
+    assert worst.wear_fraction == 0.0
+
+
+def test_nvm_wear_accumulates(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=1)
+    device.record(AccessProfile(random_writes=10**7))
+    tracker = WearTracker([device])
+    worst = tracker.worst(elapsed=3600.0)
+    assert 0.0 < worst.wear_fraction < 1.0
+    assert worst.projected_lifetime_seconds < math.inf
+    assert worst.projected_lifetime_years > 0
+    assert tracker.total_media_writes() > 0
+
+
+def test_wear_lifetime_shrinks_with_write_rate(env):
+    light = MemoryDevice(env, "light", OPTANE_DCPM, dimm_count=1)
+    heavy = MemoryDevice(env, "heavy", OPTANE_DCPM, dimm_count=1)
+    light.record(AccessProfile(random_writes=10**5))
+    heavy.record(AccessProfile(random_writes=10**7))
+    lifetime_light = WearTracker([light]).worst(100.0).projected_lifetime_seconds
+    lifetime_heavy = WearTracker([heavy]).worst(100.0).projected_lifetime_seconds
+    assert lifetime_heavy < lifetime_light

@@ -1,0 +1,98 @@
+"""Interleave policy blending and NVM aging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.device import AccessProfile, MemoryDevice
+from repro.memory.faults import (
+    END_OF_LIFE_BANDWIDTH_FACTOR,
+    END_OF_LIFE_LATENCY_FACTOR,
+    age_device,
+    aged_technology,
+    degradation_factors,
+)
+from repro.memory.interleave import InterleavePolicy, interleaved_technology
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+
+
+# ------------------------------------------------------------------ interleave
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        InterleavePolicy(dram_fraction=1.5)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_interleave_latency_between_endpoints(fraction):
+    tech = interleaved_technology(InterleavePolicy(fraction))
+    assert DDR4_DRAM.read_latency <= tech.read_latency <= OPTANE_DCPM.read_latency
+
+
+def test_interleave_pure_endpoints():
+    pure_dram = interleaved_technology(InterleavePolicy(1.0))
+    assert pure_dram.read_latency == pytest.approx(DDR4_DRAM.read_latency)
+    pure_nvm = interleaved_technology(InterleavePolicy(0.0))
+    assert pure_nvm.read_latency == pytest.approx(OPTANE_DCPM.read_latency)
+
+
+def test_interleave_bandwidth_exceeds_weighted_mean():
+    """Parallel controllers: 50/50 interleave beats the plain average."""
+    tech = interleaved_technology(InterleavePolicy(0.5))
+    mean_bw = 0.5 * DDR4_DRAM.dimm_read_bandwidth + 0.5 * OPTANE_DCPM.dimm_read_bandwidth
+    assert tech.dimm_read_bandwidth > mean_bw
+
+
+def test_interleave_is_volatile():
+    assert not interleaved_technology(InterleavePolicy(0.5)).persistent
+
+
+# ------------------------------------------------------------------ aging
+def test_degradation_endpoints():
+    assert degradation_factors(0.0) == (1.0, 1.0)
+    latency, bandwidth = degradation_factors(1.0)
+    assert latency == END_OF_LIFE_LATENCY_FACTOR
+    assert bandwidth == END_OF_LIFE_BANDWIDTH_FACTOR
+    # Clamped beyond end of life.
+    assert degradation_factors(5.0) == degradation_factors(1.0)
+    with pytest.raises(ValueError):
+        degradation_factors(-0.1)
+
+
+def test_aged_technology_monotone():
+    fresh = OPTANE_DCPM
+    mid = aged_technology(fresh, 0.5)
+    old = aged_technology(fresh, 1.0)
+    assert fresh.read_latency < mid.read_latency < old.read_latency
+    assert fresh.dimm_read_bandwidth > mid.dimm_read_bandwidth > old.dimm_read_bandwidth
+    assert "worn 50%" in mid.name
+
+
+def test_age_device_context_restores(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=2)
+    fresh_service = device.service_time(AccessProfile(random_reads=1000), mlp_read=1.0)
+    with age_device(device, 0.8):
+        aged_service = device.service_time(
+            AccessProfile(random_reads=1000), mlp_read=1.0
+        )
+        assert aged_service > fresh_service * 2
+        assert device.dimms[0].technology.name.endswith("(worn 80%)")
+    assert device.technology is OPTANE_DCPM
+    assert device.service_time(
+        AccessProfile(random_reads=1000), mlp_read=1.0
+    ) == pytest.approx(fresh_service)
+
+
+def test_aged_workload_runs_slower():
+    from repro.spark.conf import SparkConf
+    from repro.spark.context import SparkContext
+    from repro.workloads import get_workload
+
+    def run(wear: float) -> float:
+        sc = SparkContext(conf=SparkConf(memory_tier=2))
+        device = sc.executors[0].memory.device
+        with age_device(device, wear):
+            result = get_workload("repartition").run(sc, "tiny")
+        assert result.verified
+        return result.execution_time
+
+    assert run(0.9) > run(0.0)

@@ -1,0 +1,94 @@
+"""Memory Mode blending model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.memory_mode import (
+    MISS_OVERHEAD,
+    MemoryModeConfig,
+    app_direct_vs_memory_mode_latency,
+    crossover_hit_rate,
+    estimate_hit_rate,
+    memory_mode_technology,
+)
+from repro.memory.technology import DDR4_DRAM, OPTANE_DCPM
+from repro.units import gib
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MemoryModeConfig(dram_cache_bytes=0, nvm_capacity_bytes=gib(1))
+    with pytest.raises(ValueError):
+        MemoryModeConfig(dram_cache_bytes=gib(2), nvm_capacity_bytes=gib(1))
+    config = MemoryModeConfig(dram_cache_bytes=gib(1), nvm_capacity_bytes=gib(8))
+    assert config.visible_capacity == gib(8)
+
+
+def test_hit_rate_estimator_regimes():
+    assert estimate_hit_rate(0, gib(1)) == 1.0
+    assert estimate_hit_rate(gib(1), 0) == 0.0
+    # Fits in cache → near-perfect, capped below 1 (conflict misses).
+    assert estimate_hit_rate(gib(0.5), gib(1)) == pytest.approx(0.95)
+    # 2x oversubscribed → about half the near-perfect rate.
+    assert estimate_hit_rate(gib(2), gib(1)) == pytest.approx(0.475)
+    # Floor.
+    assert estimate_hit_rate(gib(1000), gib(1)) == pytest.approx(0.05)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_blended_latency_between_endpoints(hit_rate):
+    tech = memory_mode_technology(hit_rate)
+    assert DDR4_DRAM.read_latency <= tech.read_latency
+    assert tech.read_latency <= OPTANE_DCPM.read_latency + MISS_OVERHEAD
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_blended_bandwidth_between_endpoints(hit_rate):
+    tech = memory_mode_technology(hit_rate)
+    assert OPTANE_DCPM.dimm_read_bandwidth <= tech.dimm_read_bandwidth + 1e-6
+    assert tech.dimm_read_bandwidth <= DDR4_DRAM.dimm_read_bandwidth + 1e-6
+
+
+def test_latency_monotone_in_hit_rate():
+    latencies = [
+        memory_mode_technology(h).read_latency for h in (0.0, 0.25, 0.5, 0.75, 1.0)
+    ]
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_perfect_hit_rate_is_dram_latency():
+    tech = memory_mode_technology(1.0)
+    assert tech.read_latency == pytest.approx(DDR4_DRAM.read_latency)
+    assert tech.dimm_read_bandwidth == pytest.approx(DDR4_DRAM.dimm_read_bandwidth)
+
+
+def test_memory_mode_is_volatile_with_nvm_capacity():
+    tech = memory_mode_technology(0.8)
+    assert not tech.persistent
+    assert tech.dimm_capacity == OPTANE_DCPM.dimm_capacity
+    assert tech.static_power > OPTANE_DCPM.static_power  # both populations
+
+
+def test_hit_rate_validation():
+    with pytest.raises(ValueError):
+        memory_mode_technology(1.5)
+
+
+def test_crossover_exists_and_is_low():
+    """Below the crossover, Memory Mode is worse than plain App Direct."""
+    h_star = crossover_hit_rate()
+    assert 0.0 < h_star < 0.5
+    app_direct, below = app_direct_vs_memory_mode_latency(h_star / 2)
+    _, above = app_direct_vs_memory_mode_latency(min(1.0, h_star * 2))
+    assert below > app_direct
+    assert above < app_direct
+
+
+def test_memory_mode_experiment_end_to_end():
+    from repro.core.memory_mode_experiment import memory_mode_sweep
+
+    results = memory_mode_sweep("repartition", "tiny", hit_rates=(0.3, 0.95))
+    assert all(r.verified for r in results)
+    low, high = results
+    assert high.execution_time < low.execution_time

@@ -1,0 +1,106 @@
+"""Memory technology parameter validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.memory.technology import (
+    DDR4_DRAM,
+    OPTANE_DCPM,
+    MemoryTechnology,
+    technology_by_name,
+)
+from repro.units import gbps_to_bps, gib, ns_to_s
+
+
+def test_builtin_dram_matches_table1_components():
+    assert DDR4_DRAM.kind == "dram"
+    assert DDR4_DRAM.read_latency == pytest.approx(ns_to_s(77.8))
+    # 2 DIMMs per socket → 39.3 GB/s (Table I Tier 0).
+    assert 2 * DDR4_DRAM.dimm_read_bandwidth == pytest.approx(gbps_to_bps(39.3))
+    assert not DDR4_DRAM.persistent
+    assert math.isinf(DDR4_DRAM.endurance_writes_per_cell)
+
+
+def test_builtin_optane_matches_table1_components():
+    assert OPTANE_DCPM.kind == "nvm"
+    assert OPTANE_DCPM.read_latency == pytest.approx(ns_to_s(172.1))
+    # 4 DIMMs → 10.7 GB/s (Table I Tier 2).
+    assert 4 * OPTANE_DCPM.dimm_read_bandwidth == pytest.approx(gbps_to_bps(10.7))
+    assert OPTANE_DCPM.persistent
+    assert OPTANE_DCPM.write_latency > OPTANE_DCPM.read_latency
+
+
+def test_optane_write_read_asymmetry():
+    assert OPTANE_DCPM.write_read_latency_ratio == pytest.approx(309.8 / 172.1)
+    assert OPTANE_DCPM.dimm_write_bandwidth < OPTANE_DCPM.dimm_read_bandwidth
+    assert DDR4_DRAM.write_read_latency_ratio == 1.0
+
+
+def test_optane_less_parallel_than_dram():
+    assert OPTANE_DCPM.queue_depth_per_dimm < DDR4_DRAM.queue_depth_per_dimm
+    assert OPTANE_DCPM.mlp_read < DDR4_DRAM.mlp_read
+    assert OPTANE_DCPM.mlp_write < OPTANE_DCPM.mlp_read
+
+
+def test_write_amplification_for_subgranule_writes():
+    assert OPTANE_DCPM.write_amplification(64) == pytest.approx(4.0)
+    assert OPTANE_DCPM.write_amplification(256) == 1.0
+    assert OPTANE_DCPM.write_amplification(1024) == 1.0
+    assert DDR4_DRAM.write_amplification(64) == 1.0
+
+
+def test_write_amplification_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        OPTANE_DCPM.write_amplification(0)
+
+
+def test_kind_validation():
+    with pytest.raises(ValueError):
+        MemoryTechnology(
+            name="bogus",
+            kind="sram",
+            read_latency=1e-9,
+            write_latency=1e-9,
+            dimm_read_bandwidth=1e9,
+            dimm_write_bandwidth=1e9,
+            dimm_capacity=gib(1),
+            static_power=1.0,
+            read_energy_per_line=1e-9,
+            write_energy_per_line=1e-9,
+        )
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        MemoryTechnology(
+            name="bogus",
+            kind="dram",
+            read_latency=-1e-9,
+            write_latency=1e-9,
+            dimm_read_bandwidth=1e9,
+            dimm_write_bandwidth=1e9,
+            dimm_capacity=gib(1),
+            static_power=1.0,
+            read_energy_per_line=1e-9,
+            write_energy_per_line=1e-9,
+        )
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("dram", DDR4_DRAM),
+        ("DDR4", DDR4_DRAM),
+        ("nvm", OPTANE_DCPM),
+        ("Optane", OPTANE_DCPM),
+        ("dcpm", OPTANE_DCPM),
+    ],
+)
+def test_lookup_by_name(name, expected):
+    assert technology_by_name(name) is expected
+
+
+def test_lookup_unknown_name():
+    with pytest.raises(KeyError):
+        technology_by_name("hbm")

@@ -1,0 +1,89 @@
+"""Tier definitions reproduce Table I exactly."""
+
+import pytest
+
+from repro.memory.tiers import (
+    TIER_LOCAL_DRAM,
+    TIER_LOCAL_NVM,
+    TIER_REMOTE_DRAM,
+    TIER_REMOTE_NVM,
+    TierSpec,
+    table1_tiers,
+    tier_by_id,
+)
+from repro.memory.technology import DDR4_DRAM
+
+#: The paper's Table I (idle latency ns, bandwidth GB/s).
+TABLE_1 = {
+    0: (77.8, 39.3),
+    1: (130.9, 31.6),
+    2: (172.1, 10.7),
+    3: (231.3, 0.47),
+}
+
+
+@pytest.mark.parametrize("tier_id,expected", sorted(TABLE_1.items()))
+def test_table1_idle_latency(tier_id, expected):
+    tier = tier_by_id(tier_id)
+    assert tier.idle_read_latency_ns == pytest.approx(expected[0], rel=1e-3)
+
+
+@pytest.mark.parametrize("tier_id,expected", sorted(TABLE_1.items()))
+def test_table1_bandwidth(tier_id, expected):
+    tier = tier_by_id(tier_id)
+    assert tier.read_bandwidth_gbps == pytest.approx(expected[1], rel=1e-2)
+
+
+def test_latency_strictly_increases_with_tier():
+    latencies = [t.idle_read_latency for t in table1_tiers()]
+    assert latencies == sorted(latencies)
+    assert len(set(latencies)) == 4
+
+
+def test_bandwidth_strictly_decreases_with_tier():
+    bandwidths = [t.read_bandwidth for t in table1_tiers()]
+    assert bandwidths == sorted(bandwidths, reverse=True)
+
+
+def test_tier_kinds():
+    assert not TIER_LOCAL_DRAM.is_nvm
+    assert not TIER_REMOTE_DRAM.is_nvm
+    assert TIER_LOCAL_NVM.is_nvm
+    assert TIER_REMOTE_NVM.is_nvm
+    assert not TIER_LOCAL_DRAM.is_remote
+    assert all(t.is_remote for t in table1_tiers()[1:])
+
+
+def test_remote_paths_carry_hop_and_mlp_derating():
+    local = TIER_LOCAL_DRAM.path()
+    remote = TIER_REMOTE_DRAM.path()
+    assert local.hop_latency == 0.0
+    assert remote.hop_latency > 0.0
+    assert local.mlp_factor == 1.0
+    assert remote.mlp_factor < 1.0
+    assert remote.bandwidth_cap < float("inf")
+
+
+def test_remote_nvm_efficiency_collapse():
+    assert TIER_REMOTE_NVM.efficiency < 0.1
+    assert TIER_LOCAL_NVM.efficiency == 1.0
+
+
+def test_write_latency_includes_hop():
+    assert TIER_REMOTE_DRAM.idle_write_latency > TIER_LOCAL_DRAM.idle_write_latency
+
+
+def test_tier_by_id_bounds():
+    with pytest.raises(KeyError):
+        tier_by_id(4)
+    with pytest.raises(KeyError):
+        tier_by_id(-1)
+
+
+def test_tierspec_validation():
+    with pytest.raises(ValueError):
+        TierSpec(tier_id=-1, name="x", technology=DDR4_DRAM, dimm_count=1)
+    with pytest.raises(ValueError):
+        TierSpec(tier_id=0, name="x", technology=DDR4_DRAM, dimm_count=0)
+    with pytest.raises(ValueError):
+        TierSpec(tier_id=0, name="x", technology=DDR4_DRAM, dimm_count=1, efficiency=0)

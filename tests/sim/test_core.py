@@ -1,0 +1,158 @@
+"""Environment event-loop behaviour."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.core import Infinity
+from repro.sim.errors import EmptySchedule
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_override():
+    assert Environment(5.0).now == 5.0
+
+
+def test_peek_empty_queue_is_infinite():
+    assert Environment().peek() == Infinity
+
+
+def test_timeout_advances_clock(env):
+    def proc(env):
+        yield env.timeout(3.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 3.5
+
+
+def test_run_until_time(env):
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_raises(env):
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_run_until_event_returns_value(env):
+    def proc(env):
+        yield env.timeout(2.0)
+        return "finished"
+
+    p = env.process(proc(env))
+    value = env.run(until=p)
+    assert value == "finished"
+    assert env.now == 2.0
+
+
+def test_run_until_already_processed_event(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        return 42
+
+    p = env.process(proc(env))
+    env.run()
+    # Running until an already-finished event returns immediately.
+    assert env.run(until=p) == 42
+
+
+def test_run_until_never_triggered_event_raises(env):
+    pending = env.event()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run(until=pending)
+
+
+def test_step_empty_raises(env):
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_events_processed_in_time_order(env):
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo(env):
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_deterministic_replay():
+    def build():
+        env = Environment()
+        trace = []
+
+        def worker(env, delay, tag):
+            yield env.timeout(delay)
+            trace.append((env.now, tag))
+            yield env.timeout(delay * 0.5)
+            trace.append((env.now, tag))
+
+        for i in range(10):
+            env.process(worker(env, 0.1 * (i + 1), i))
+        env.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_failed_unhandled_event_raises(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_len_counts_scheduled_events(env):
+    env.timeout(1.0)
+    env.timeout(2.0)
+    assert len(env) == 2
+
+
+def test_active_process_visible_inside_process(env):
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(0)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None

@@ -1,0 +1,78 @@
+"""Event edge cases: trigger-chaining, defuse, repr states."""
+
+import pytest
+
+from repro.sim import Environment, Event
+
+
+def test_trigger_copies_outcome(env):
+    source = env.event()
+    sink = env.event()
+    source.callbacks.append(sink.trigger)
+    source.succeed("payload")
+    env.run()
+    assert sink.triggered and sink.ok
+    assert sink.value == "payload"
+
+
+def test_trigger_copies_failure(env):
+    source = env.event()
+    sink = env.event()
+    source.callbacks.append(sink.trigger)
+    source.defuse()
+    sink.defuse()
+    source.fail(RuntimeError("x"))
+    env.run()
+    assert sink.triggered and not sink.ok
+    assert isinstance(sink.value, RuntimeError)
+
+
+def test_defused_failure_does_not_crash_run(env):
+    ev = env.event()
+    ev.defuse()
+    ev.fail(ValueError("handled elsewhere"))
+    env.run()  # must not raise
+
+
+def test_undefused_failure_crashes_run(env):
+    ev = env.event()
+    ev.fail(ValueError("unhandled"))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_repr_reflects_state(env):
+    ev = env.event()
+    assert "pending" in repr(ev)
+    ev.succeed(42)
+    assert "triggered" in repr(ev)
+    env.run()
+    assert "processed" in repr(ev)
+
+
+def test_yielding_already_processed_event_continues_immediately(env):
+    ev = env.event()
+    ev.succeed("early")
+    env.run()
+
+    def proc(env, ev):
+        value = yield ev  # already processed
+        return value
+
+    p = env.process(proc(env, ev))
+    env.run()
+    assert p.value == "early"
+
+
+def test_condition_value_equality(env):
+    def proc(env):
+        t1 = env.timeout(1, "a")
+        outcome = yield t1 & env.timeout(1, "b")
+        return outcome
+
+    p = env.process(proc(env))
+    env.run()
+    outcome = p.value
+    assert outcome == outcome.todict()
+    assert list(outcome.keys())
+    assert list(outcome.values()) == ["a", "b"]

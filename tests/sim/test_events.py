@@ -1,0 +1,181 @@
+"""Event lifecycle and condition composition."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, SimulationError
+
+
+def test_event_starts_pending(env):
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(AttributeError):
+        _ = ev.value
+    with pytest.raises(AttributeError):
+        _ = ev.ok
+
+
+def test_succeed_sets_value(env):
+    ev = env.event()
+    ev.succeed("payload")
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == "payload"
+
+
+def test_double_trigger_rejected(env):
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception(env):
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter(env):
+    ev = env.event()
+    caught = []
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer(env, ev):
+        yield env.timeout(1)
+        ev.fail(ValueError("deliberate"))
+
+    env.process(waiter(env, ev))
+    env.process(failer(env, ev))
+    env.run()
+    assert caught == ["deliberate"]
+
+
+def test_timeout_rejects_negative_delay(env):
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value(env):
+    result = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="tick")
+        result.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert result == ["tick"]
+
+
+def test_all_of_waits_for_every_event(env):
+    def proc(env):
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(5, "b")
+        outcome = yield AllOf(env, [t1, t2])
+        return (env.now, list(outcome.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5.0, ["a", "b"])
+
+
+def test_any_of_returns_on_first(env):
+    def proc(env):
+        t1 = env.timeout(1, "fast")
+        t2 = env.timeout(5, "slow")
+        outcome = yield AnyOf(env, [t1, t2])
+        return (env.now, t1 in outcome, t2 in outcome)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, True, False)
+
+
+def test_and_operator(env):
+    def proc(env):
+        yield env.timeout(1) & env.timeout(2)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2.0
+
+
+def test_or_operator(env):
+    def proc(env):
+        yield env.timeout(1) | env.timeout(2)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 1.0
+
+
+def test_empty_all_of_succeeds_immediately(env):
+    def proc(env):
+        yield AllOf(env, [])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_nested_conditions(env):
+    def proc(env):
+        a = env.timeout(1, "a")
+        b = env.timeout(2, "b")
+        c = env.timeout(3, "c")
+        yield (a & b) | c
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2.0
+
+
+def test_condition_rejects_foreign_environment(env):
+    other = Environment()
+    with pytest.raises(ValueError):
+        AllOf(env, [env.timeout(1), other.timeout(1)])
+
+
+def test_condition_fails_if_component_fails(env):
+    ev = env.event()
+
+    def failer(env, ev):
+        yield env.timeout(1)
+        ev.fail(RuntimeError("component"))
+
+    def waiter(env, ev):
+        try:
+            yield ev & env.timeout(10)
+        except RuntimeError as exc:
+            return str(exc)
+
+    env.process(failer(env, ev))
+    p = env.process(waiter(env, ev))
+    env.run()
+    assert p.value == "component"
+
+
+def test_condition_value_mapping(env):
+    def proc(env):
+        t1 = env.timeout(1, "x")
+        t2 = env.timeout(2, "y")
+        outcome = yield t1 & t2
+        return outcome[t1], outcome[t2], outcome.todict()
+
+    p = env.process(proc(env))
+    env.run()
+    x, y, mapping = p.value
+    assert (x, y) == ("x", "y")
+    assert len(mapping) == 2

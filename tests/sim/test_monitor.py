@@ -1,0 +1,80 @@
+"""Monitor statistics."""
+
+import math
+
+import pytest
+
+from repro.sim import Environment, Monitor, UtilizationMonitor
+
+
+def test_empty_monitor_returns_nan(env):
+    m = Monitor(env)
+    assert math.isnan(m.mean())
+    assert math.isnan(m.std())
+    assert math.isnan(m.time_weighted_mean())
+
+
+def test_event_weighted_stats(env):
+    m = Monitor(env)
+    for v in (1.0, 2.0, 3.0):
+        m.record(v)
+    assert m.mean() == 2.0
+    assert m.minimum() == 1.0
+    assert m.maximum() == 3.0
+    assert m.std() == pytest.approx(math.sqrt(2 / 3))
+    assert len(m) == 3
+
+
+def test_time_weighted_mean(env):
+    m = Monitor(env)
+
+    def proc(env, m):
+        m.record(0.0)          # value 0 during [0, 2)
+        yield env.timeout(2)
+        m.record(10.0)         # value 10 during [2, 4)
+        yield env.timeout(2)
+
+    env.process(proc(env, m))
+    env.run()
+    assert m.time_weighted_mean() == pytest.approx(5.0)
+
+
+def test_time_weighted_mean_with_until(env):
+    m = Monitor(env)
+    m.record(4.0)
+    assert m.time_weighted_mean(until=10.0) == pytest.approx(4.0)
+
+
+def test_utilization_monitor_validation(env):
+    with pytest.raises(ValueError):
+        UtilizationMonitor(env, capacity=0)
+
+
+def test_utilization_monitor_tracks_busy_area(env):
+    um = UtilizationMonitor(env, capacity=2)
+
+    def proc(env, um):
+        um.acquire()
+        yield env.timeout(4)
+        um.acquire()
+        yield env.timeout(4)
+        um.release(2)
+        yield env.timeout(2)
+
+    env.process(proc(env, um))
+    env.run()
+    # Busy area: 1*4 + 2*4 = 12 over 10 time units, capacity 2 → 0.6.
+    assert um.utilization() == pytest.approx(0.6)
+
+
+def test_utilization_monitor_over_capacity_rejected(env):
+    um = UtilizationMonitor(env, capacity=1)
+    um.acquire()
+    with pytest.raises(ValueError):
+        um.acquire()
+
+
+def test_utilization_monitor_over_release_rejected(env):
+    um = UtilizationMonitor(env, capacity=1)
+    with pytest.raises(ValueError):
+        um.release()

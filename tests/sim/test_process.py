@@ -1,0 +1,148 @@
+"""Process semantics: return values, interrupts, failures."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_process_requires_generator(env):
+    with pytest.raises(ValueError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_return_value(env):
+    def proc(env):
+        yield env.timeout(1)
+        return {"answer": 42}
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {"answer": 42}
+    assert not p.is_alive
+
+
+def test_is_alive_during_execution(env):
+    def sleeper(env):
+        yield env.timeout(10)
+
+    def checker(env, target):
+        yield env.timeout(5)
+        return target.is_alive
+
+    target = env.process(sleeper(env))
+    check = env.process(checker(env, target))
+    env.run()
+    assert check.value is True
+    assert not target.is_alive
+
+
+def test_process_failure_propagates_to_waiter(env):
+    def failing(env):
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def waiter(env, target):
+        try:
+            yield target
+        except KeyError:
+            return "handled"
+
+    target = env.process(failing(env))
+    w = env.process(waiter(env, target))
+    env.run()
+    assert w.value == "handled"
+
+
+def test_interrupt_delivers_cause(env):
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            return interrupt.cause
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt({"reason": "test"})
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == {"reason": "test"}
+    # The abandoned timeout still drains from the queue (SimPy semantics),
+    # but the victim observed the interrupt at t=3.
+    assert env.now == 100.0
+
+
+def test_interrupt_finished_process_raises(env):
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_forbidden(env):
+    def selfish(env):
+        env.active_process.interrupt()
+        yield env.timeout(1)
+
+    env.process(selfish(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupted_process_can_continue(env):
+    def resilient(env):
+        total = 0.0
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        start = env.now
+        yield env.timeout(5)
+        total = env.now - start
+        return total
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    victim = env.process(resilient(env))
+    env.process(interrupter(env, victim))
+    env.run(until=victim)
+    assert victim.value == 5.0
+    assert env.now == 7.0
+
+
+def test_yield_non_event_fails_process(env):
+    def bad(env):
+        yield "not an event"
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_process_waiting_on_process_chain(env):
+    def inner(env):
+        yield env.timeout(2)
+        return "inner-result"
+
+    def outer(env):
+        result = yield env.process(inner(env))
+        return f"outer({result})"
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == "outer(inner-result)"
+
+
+def test_process_name(env):
+    def my_proc(env):
+        yield env.timeout(0)
+
+    p = env.process(my_proc(env))
+    assert p.name == "my_proc"
+    env.run()

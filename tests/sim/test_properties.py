@@ -1,0 +1,105 @@
+"""Property-based tests of the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, Environment, Resource
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_clock_never_goes_backwards(delays):
+    env = Environment()
+    trace = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        trace.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert trace == sorted(trace)
+    assert env.now == max(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    n_workers=st.integers(min_value=1, max_value=25),
+)
+@settings(max_examples=40)
+def test_resource_never_exceeds_capacity(capacity, n_workers):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_seen = 0
+
+    def worker(env, res):
+        nonlocal max_seen
+        with res.request() as req:
+            yield req
+            max_seen = max(max_seen, res.count)
+            yield env.timeout(1)
+
+    for _ in range(n_workers):
+        env.process(worker(env, res))
+    env.run()
+    assert max_seen <= capacity
+    assert res.count == 0  # everything released
+
+
+@given(
+    amounts=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=40)
+def test_container_level_stays_within_bounds(amounts):
+    env = Environment()
+    capacity = 50.0
+    c = Container(env, capacity=capacity, init=0.0)
+    levels = []
+
+    def producer(env, c, amount):
+        yield c.put(amount)
+        levels.append(c.level)
+
+    def consumer(env, c, amount):
+        yield env.timeout(1)
+        yield c.get(amount)
+        levels.append(c.level)
+
+    for amount in amounts:
+        env.process(producer(env, c, amount))
+        env.process(consumer(env, c, amount))
+    env.run()
+    assert all(-1e-9 <= level <= capacity + 1e-9 for level in levels)
+    assert abs(c.level) < 1e-9
+
+
+@given(seed_delays=st.lists(st.integers(min_value=1, max_value=50), min_size=2, max_size=10))
+@settings(max_examples=30)
+def test_runs_are_bit_deterministic(seed_delays):
+    def simulate():
+        env = Environment()
+        res = Resource(env, capacity=2)
+        trace = []
+
+        def worker(env, res, delay, tag):
+            with res.request() as req:
+                yield req
+                trace.append((env.now, tag))
+                yield env.timeout(delay * 0.125)
+
+        for i, delay in enumerate(seed_delays):
+            env.process(worker(env, res, delay, i))
+        env.run()
+        return trace
+
+    assert simulate() == simulate()

@@ -1,0 +1,189 @@
+"""Resource and Container semantics."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, SimulationError
+
+
+def test_resource_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_serializes_users(env):
+    res = Resource(env, capacity=1)
+    log = []
+
+    def worker(env, res, tag):
+        with res.request() as req:
+            yield req
+            log.append((env.now, tag, "in"))
+            yield env.timeout(2)
+        log.append((env.now, tag, "out"))
+
+    env.process(worker(env, res, "a"))
+    env.process(worker(env, res, "b"))
+    env.run()
+    assert log == [
+        (0.0, "a", "in"),
+        (2.0, "a", "out"),
+        (2.0, "b", "in"),
+        (4.0, "b", "out"),
+    ]
+
+
+def test_resource_parallel_within_capacity(env):
+    res = Resource(env, capacity=3)
+    finish = []
+
+    def worker(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+        finish.append(env.now)
+
+    for _ in range(3):
+        env.process(worker(env, res))
+    env.run()
+    assert finish == [1.0, 1.0, 1.0]
+
+
+def test_resource_count_and_queue(env):
+    res = Resource(env, capacity=1)
+    observed = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def observer(env, res):
+        yield env.timeout(1)
+        observed.append((res.count, res.queue_length))
+
+    env.process(holder(env, res))
+    env.process(holder(env, res))
+    env.process(observer(env, res))
+    env.run()
+    assert observed == [(1, 1)]
+
+
+def test_priority_request_served_first(env):
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    def requester(env, res, priority, tag):
+        # All issued while the holder occupies the slot.
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(tag)
+
+    env.process(holder(env, res))
+
+    def issue(env):
+        yield env.timeout(0.1)
+        env.process(requester(env, res, 5, "low"))
+        env.process(requester(env, res, 1, "high"))
+
+    env.process(issue(env))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_utilization_tracks_busy_fraction(env):
+    res = Resource(env, capacity=2)
+
+    def worker(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    env.process(worker(env, res))
+    env.run(until=10.0)
+    # One of two servers busy for 5 of 10 time units.
+    assert res.utilization() == pytest.approx(0.25)
+
+
+def test_container_validation(env):
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+
+
+def test_container_get_blocks_until_available(env):
+    c = Container(env, capacity=100)
+    got_at = []
+
+    def producer(env, c):
+        yield env.timeout(4)
+        yield c.put(10)
+
+    def consumer(env, c):
+        yield c.get(10)
+        got_at.append(env.now)
+
+    env.process(consumer(env, c))
+    env.process(producer(env, c))
+    env.run()
+    assert got_at == [4.0]
+    assert c.level == 0
+
+
+def test_container_put_blocks_at_capacity(env):
+    c = Container(env, capacity=10, init=10)
+    done = []
+
+    def putter(env, c):
+        yield c.put(5)
+        done.append(env.now)
+
+    def getter(env, c):
+        yield env.timeout(2)
+        yield c.get(5)
+
+    env.process(putter(env, c))
+    env.process(getter(env, c))
+    env.run()
+    assert done == [2.0]
+    assert c.level == 10
+
+
+def test_container_get_exceeding_capacity_rejected(env):
+    c = Container(env, capacity=10)
+    with pytest.raises(SimulationError):
+        c.get(11)
+
+
+def test_container_negative_amounts_rejected(env):
+    c = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        c.put(-1)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+def test_container_fifo_getters(env):
+    c = Container(env, capacity=100)
+    order = []
+
+    def getter(env, c, amount, tag):
+        yield c.get(amount)
+        order.append(tag)
+
+    def feeder(env, c):
+        for _ in range(3):
+            yield env.timeout(1)
+            yield c.put(5)
+
+    env.process(getter(env, c, 5, "first"))
+    env.process(getter(env, c, 5, "second"))
+    env.process(getter(env, c, 5, "third"))
+    env.process(feeder(env, c))
+    env.run()
+    assert order == ["first", "second", "third"]

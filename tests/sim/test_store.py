@@ -1,0 +1,134 @@
+"""Store and FilterStore semantics."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, Store
+
+
+def test_store_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_fifo_order(env):
+    store = Store(env)
+    received = []
+
+    def producer(env, store):
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+            yield env.timeout(1)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        yield store.get()
+        times.append(env.now)
+
+    def producer(env, store):
+        yield env.timeout(7)
+        yield store.put("x")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [7.0]
+
+
+def test_store_put_blocks_at_capacity(env):
+    store = Store(env, capacity=1)
+    done = []
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(2)  # blocks until consumer drains
+        done.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(3)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert done == [3.0]
+
+
+def test_store_len(env):
+    store = Store(env)
+
+    def producer(env, store):
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(producer(env, store))
+    env.run()
+    assert len(store) == 2
+
+
+def test_filter_store_selects_by_predicate(env):
+    store = FilterStore(env)
+    received = []
+
+    def producer(env, store):
+        for item in (1, 2, 3, 4):
+            yield store.put(item)
+
+    def even_consumer(env, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        received.append(item)
+
+    env.process(producer(env, store))
+    env.process(even_consumer(env, store))
+    env.run()
+    assert received == [2]
+    assert list(store.items) == [1, 3, 4]
+
+
+def test_filter_store_blocked_getter_doesnt_starve_others(env):
+    store = FilterStore(env)
+    received = []
+
+    def never_consumer(env, store):
+        item = yield store.get(lambda x: x == "unicorn")
+        received.append(("never", item))
+
+    def real_consumer(env, store):
+        item = yield store.get(lambda x: x == "cat")
+        received.append(("real", item))
+
+    def producer(env, store):
+        yield env.timeout(1)
+        yield store.put("cat")
+
+    env.process(never_consumer(env, store))
+    env.process(real_consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert received == [("real", "cat")]
+
+
+def test_filter_store_default_filter_accepts_all(env):
+    store = FilterStore(env)
+
+    def roundtrip(env, store):
+        yield store.put(99)
+        item = yield store.get()
+        return item
+
+    p = env.process(roundtrip(env, store))
+    env.run()
+    assert p.value == 99

@@ -1,0 +1,134 @@
+"""DAG scheduler stage construction and the shuffle registry."""
+
+import pytest
+
+from repro.spark.shuffle import ShuffleManager
+from repro.spark.stage import Stage, topological_order
+
+
+def test_narrow_lineage_is_single_stage(sc):
+    rdd = sc.parallelize(range(10), 2).map(lambda x: x).filter(lambda x: True)
+    stage = sc.dag.build_stages(rdd)
+    assert stage.parents == []
+    assert not stage.is_shuffle_map
+    assert stage.num_tasks == 2
+
+
+def test_shuffle_creates_parent_stage(sc):
+    rdd = sc.parallelize([("a", 1)], 2).reduce_by_key(lambda a, b: a + b)
+    stage = sc.dag.build_stages(rdd)
+    assert len(stage.parents) == 1
+    assert stage.parents[0].is_shuffle_map
+
+
+def test_chained_shuffles_create_stage_chain(sc):
+    rdd = (
+        sc.parallelize([("a", 1)], 2)
+        .reduce_by_key(lambda a, b: a + b)
+        .map(lambda kv: (kv[1], kv[0]))
+        .group_by_key()
+    )
+    final = sc.dag.build_stages(rdd)
+    order = topological_order(final)
+    assert len(order) == 3
+    assert [s.is_shuffle_map for s in order] == [True, True, False]
+
+
+def test_shared_shuffle_deduplicated(sc):
+    base = sc.parallelize([("a", 1)], 2).reduce_by_key(lambda a, b: a + b)
+    left = base.map(lambda kv: kv)
+    right = base.filter(lambda kv: True)
+    final = left.union(right)
+    stage = sc.dag.build_stages(final)
+    # Both branches reference the SAME map stage.
+    assert len(stage.parents) == 1
+
+
+def test_join_has_one_shuffle_stage_for_tagged_union(sc):
+    left = sc.parallelize([("x", 1)], 2)
+    right = sc.parallelize([("x", 2)], 2)
+    joined = left.join(right)
+    final = sc.dag.build_stages(joined)
+    order = topological_order(final)
+    # cogroup shuffles the tagged union once.
+    assert sum(1 for s in order if s.is_shuffle_map) == 1
+
+
+def test_completed_shuffle_not_rerun(sc):
+    counted = sc.parallelize([("a", 1), ("a", 2)], 2).reduce_by_key(
+        lambda a, b: a + b
+    )
+    counted.collect()
+    jobs_before = len(sc.jobs)
+    counted.collect()  # second action reuses the shuffle output
+    second_job = sc.jobs[-1]
+    assert len(sc.jobs) == jobs_before + 1
+    # Only the result stage ran on the second job.
+    assert len(second_job.stages) == 1
+
+
+def test_stage_describe(sc):
+    rdd = sc.parallelize([1], 1)
+    stage = sc.dag.build_stages(rdd)
+    assert "ResultStage" in stage.describe()
+
+
+def test_topological_order_parents_first():
+    leaf_rdd = object()
+    s0 = Stage(stage_id=0, rdd=None)  # type: ignore[arg-type]
+    s1 = Stage(stage_id=1, rdd=None, parents=[s0])  # type: ignore[arg-type]
+    s2 = Stage(stage_id=2, rdd=None, parents=[s1, s0])  # type: ignore[arg-type]
+    order = [s.stage_id for s in topological_order(s2)]
+    assert order == [0, 1, 2]
+
+
+# --------------------------------------------------------------------- shuffle
+def test_shuffle_manager_lifecycle():
+    manager = ShuffleManager()
+    manager.register_shuffle(0, num_maps=2)
+    assert manager.is_registered(0)
+    assert not manager.is_complete(0)
+
+    manager.add_map_output(0, 0, mapper_executor=0, buckets={0: [("k", 1)], 1: []})
+    assert not manager.is_complete(0)
+    manager.add_map_output(0, 1, mapper_executor=0, buckets={0: [("k", 2)]})
+    assert manager.is_complete(0)
+
+    segments = manager.fetch(0, 0)
+    assert [seg.records for seg in segments] == [[("k", 1)], [("k", 2)]]
+    # Empty buckets are skipped.
+    assert manager.fetch(0, 1) == []
+
+
+def test_shuffle_fetch_before_complete_raises():
+    manager = ShuffleManager()
+    manager.register_shuffle(1, num_maps=2)
+    manager.add_map_output(1, 0, 0, {0: [1]})
+    with pytest.raises(RuntimeError):
+        manager.fetch(1, 0)
+
+
+def test_shuffle_fetch_unknown_raises():
+    with pytest.raises(KeyError):
+        ShuffleManager().fetch(99, 0)
+
+
+def test_shuffle_total_bytes():
+    manager = ShuffleManager()
+    manager.register_shuffle(0, num_maps=1)
+    written = manager.add_map_output(
+        0, 0, 0, {0: [("k", 1)] * 10}, record_bytes=50.0
+    )
+    assert written == 500.0
+    assert manager.total_shuffle_bytes(0) == 500.0
+    assert manager.total_shuffle_bytes(12345) == 0.0
+    manager.clear()
+    assert not manager.is_registered(0)
+
+
+def test_register_idempotent():
+    manager = ShuffleManager()
+    manager.register_shuffle(0, num_maps=3)
+    manager.add_map_output(0, 0, 0, {0: [1]})
+    manager.register_shuffle(0, num_maps=3)  # must not reset state
+    assert manager._shuffles[0].num_maps_registered == 1

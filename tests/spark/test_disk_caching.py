@@ -1,0 +1,85 @@
+"""Disk-backed storage levels: MEMORY_AND_DISK and DISK_ONLY."""
+
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.storage_level import DISK_ONLY, MEMORY_AND_DISK
+
+
+def tiny_heap_sc(**kwargs):
+    # 64 KiB heap → ~38 KiB unified pool: big blocks cannot stay in memory.
+    return SparkContext(
+        conf=SparkConf(memory_tier=0, default_parallelism=2,
+                       executor_memory=64 * 1024, **kwargs)
+    )
+
+
+def big_data(sc):
+    return sc.parallelize(["x" * 200 for _ in range(2000)], 2)
+
+
+def test_disk_only_caches_to_disk():
+    sc = tiny_heap_sc()
+    rdd = big_data(sc).persist(DISK_ONLY)
+    assert len(rdd.collect()) == 2000
+    executor = sc.executors[0]
+    assert executor.block_manager._disk  # blocks landed on disk
+    assert not executor.block_manager._data  # nothing in memory
+    # Second pass hits disk, not recompute.
+    assert len(rdd.collect()) == 2000
+    assert executor.block_manager.disk_hits == 2
+
+
+def test_memory_and_disk_overflows_to_disk():
+    sc = tiny_heap_sc()
+    rdd = big_data(sc).persist(MEMORY_AND_DISK)
+    rdd.collect()
+    executor = sc.executors[0]
+    # Heap too small: blocks went to disk instead of being dropped.
+    assert executor.block_manager._disk
+    rdd.collect()
+    assert executor.block_manager.disk_hits > 0
+
+
+def test_disk_hits_cost_disk_time():
+    sc = tiny_heap_sc()
+    rdd = big_data(sc).persist(DISK_ONLY)
+    rdd.collect()
+    disk_written = sc.hdfs.datanode.bytes_written
+    assert disk_written > 0
+    before_read = sc.hdfs.datanode.bytes_read
+    rdd.collect()
+    assert sc.hdfs.datanode.bytes_read > before_read
+
+
+def test_disk_cache_results_identical_to_recompute():
+    sc = tiny_heap_sc()
+    data = [(i % 7, i) for i in range(1000)]
+    cached = sc.parallelize(data, 2).map(lambda kv: (kv[0], kv[1] * 2)).persist(
+        DISK_ONLY
+    )
+    first = cached.collect()
+    second = cached.collect()
+    assert first == second == [(k, v * 2) for k, v in data]
+
+
+def test_unpersist_clears_disk_blocks():
+    sc = tiny_heap_sc()
+    rdd = big_data(sc).persist(DISK_ONLY)
+    rdd.collect()
+    assert sc.executors[0].block_manager._disk
+    rdd.unpersist()
+    assert not sc.executors[0].block_manager._disk
+
+
+def test_memory_and_disk_prefers_memory_when_it_fits():
+    sc = SparkContext(conf=SparkConf(memory_tier=0, default_parallelism=2))
+    rdd = sc.parallelize(range(100), 2).persist(MEMORY_AND_DISK)
+    rdd.collect()
+    executor = sc.executors[0]
+    assert executor.block_manager._data  # fits in memory
+    assert not executor.block_manager._disk
+    rdd.collect()
+    assert executor.block_manager.hits == 2
+    assert executor.block_manager.disk_hits == 0

@@ -1,0 +1,178 @@
+"""Engine-level behaviour: conf, context, executors, metrics, timing."""
+
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.costs import CostSpec
+from repro.spark.storage_level import (
+    DISK_ONLY,
+    MEMORY_AND_DISK,
+    MEMORY_ONLY,
+    MEMORY_ONLY_SER,
+    NONE,
+    StorageLevel,
+)
+
+
+# ----------------------------------------------------------------------- conf
+def test_conf_defaults_match_paper():
+    conf = SparkConf()
+    assert conf.num_executors == 1
+    assert conf.executor_cores == 40
+    assert conf.memory_tier == 0
+    assert conf.total_task_slots == 40
+
+
+def test_conf_validation():
+    with pytest.raises(ValueError):
+        SparkConf(num_executors=0)
+    with pytest.raises(ValueError):
+        SparkConf(memory_tier=4)
+    with pytest.raises(ValueError):
+        SparkConf(memory_fraction=0)
+
+
+def test_conf_memory_split():
+    conf = SparkConf(executor_memory=1000, memory_fraction=0.6, storage_fraction=0.5)
+    assert conf.unified_memory_bytes == 600
+    assert conf.storage_memory_bytes == 300
+
+
+def test_conf_with_options_is_functional():
+    base = SparkConf()
+    derived = base.with_options(memory_tier=2, num_executors=4)
+    assert base.memory_tier == 0
+    assert derived.memory_tier == 2
+    assert derived.num_executors == 4
+    assert "tier 2" in derived.describe()
+
+
+def test_shuffle_partitions_default_to_parallelism():
+    assert SparkConf(default_parallelism=16).effective_shuffle_partitions == 16
+    assert SparkConf(shuffle_partitions=5).effective_shuffle_partitions == 5
+
+
+# -------------------------------------------------------------- storage level
+def test_storage_levels():
+    assert not NONE.is_cached
+    assert MEMORY_ONLY.is_cached and MEMORY_ONLY.use_memory
+    assert MEMORY_AND_DISK.use_disk
+    assert not MEMORY_ONLY_SER.deserialized
+    assert DISK_ONLY.describe() == "DISK(deser)"
+    assert StorageLevel.MEMORY_ONLY is MEMORY_ONLY
+
+
+# ------------------------------------------------------------------ cost spec
+def test_cost_spec_validation():
+    with pytest.raises(ValueError):
+        CostSpec(ops_per_record=-1)
+
+
+def test_cost_spec_scaled():
+    spec = CostSpec(ops_per_record=10, random_reads_per_record=2)
+    double = spec.scaled(2)
+    assert double.ops_per_record == 20
+    assert double.random_reads_per_record == 4
+    assert spec.with_options(ops_per_record=99).ops_per_record == 99
+
+
+# -------------------------------------------------------------------- context
+def test_context_stop_blocks_further_work(sc):
+    sc.stop()
+    with pytest.raises(RuntimeError):
+        sc.parallelize([1], 1)
+
+
+def test_context_as_context_manager():
+    with SparkContext(conf=SparkConf()) as sc:
+        assert sc.parallelize([1, 2], 1).count() == 2
+    with pytest.raises(RuntimeError):
+        sc.parallelize([1], 1)
+
+
+def test_text_file_reads_staged_records(sc):
+    sc.hdfs.put_records("/in", [f"r{i}" for i in range(20)], record_bytes=32)
+    rdd = sc.text_file("/in", 4)
+    assert rdd.num_partitions == 4
+    assert rdd.collect() == [f"r{i}" for i in range(20)]
+
+
+def test_jobs_are_recorded_with_metrics(sc):
+    sc.parallelize(range(100), 4).map(lambda x: x).count()
+    assert len(sc.jobs) == 1
+    job = sc.jobs[0]
+    assert job.duration > 0
+    assert len(job.stages) == 1
+    assert job.stages[0].num_tasks == 4
+    summary = job.summary()
+    assert summary["num_tasks"] == 4
+    assert summary["records_read"] > 0
+    assert sc.total_job_time() == pytest.approx(job.duration)
+
+
+def test_task_metrics_populated(sc):
+    sc.parallelize([("a", 1), ("b", 2)], 2).reduce_by_key(lambda a, b: a + b).collect()
+    tasks = sc.jobs[-1].all_tasks()
+    assert all(m.finish_time >= m.launch_time for m in tasks)
+    assert any(m.shuffle_records_written > 0 for m in tasks)
+    assert any(m.shuffle_records_read > 0 for m in tasks)
+    assert all(m.executor_id >= 0 for m in tasks)
+
+
+def test_simulated_time_advances_monotonically(sc):
+    t0 = sc.env.now
+    sc.parallelize(range(10), 2).count()
+    t1 = sc.env.now
+    sc.parallelize(range(10), 2).count()
+    t2 = sc.env.now
+    assert t0 < t1 < t2
+
+
+def test_executor_heap_reserved_on_device(sc):
+    executor = sc.executors[0]
+    assert executor.allocator.used_bytes == sc.conf.executor_memory
+
+
+def test_oversubscribed_executor_memory_raises():
+    from repro.memory.allocator import OutOfMemoryError
+    from repro.units import gib
+
+    # 80 executors x 1 GiB exceeds the 64 GiB DRAM pool.
+    with pytest.raises(OutOfMemoryError):
+        SparkContext(conf=SparkConf(num_executors=80, executor_memory=gib(1)))
+
+
+# ----------------------------------------------------------------- determinism
+def test_identical_runs_produce_identical_times():
+    def run():
+        sc = SparkContext(conf=SparkConf(memory_tier=2, default_parallelism=4))
+        sc.parallelize([(i % 10, i) for i in range(500)], 4).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        return sc.env.now
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------- tier sensitivity
+def test_nvm_tier_slower_than_dram():
+    def run(tier):
+        sc = SparkContext(conf=SparkConf(memory_tier=tier, default_parallelism=4))
+        sc.parallelize([(i % 20, i) for i in range(2000)], 4).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        return sc.total_job_time()
+
+    times = {tier: run(tier) for tier in (0, 1, 2, 3)}
+    assert times[0] < times[1] < times[2] < times[3]
+
+
+def test_remote_fetches_counted_with_multiple_executors():
+    sc = SparkContext(conf=SparkConf(num_executors=4, default_parallelism=8))
+    sc.parallelize([(i % 5, i) for i in range(200)], 8).reduce_by_key(
+        lambda a, b: a + b
+    ).collect()
+    tasks = sc.jobs[-1].all_tasks()
+    assert sum(m.remote_fetches for m in tasks) > 0
+    assert sum(m.local_fetches for m in tasks) > 0

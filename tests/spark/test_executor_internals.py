@@ -1,0 +1,128 @@
+"""Executor mechanics: startup, dispatch, GC pressure, failure paths."""
+
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.executor import (
+    GC_WRITES_PER_CONCURRENT_TASK,
+    STARTUP_RANDOM_WRITES,
+)
+
+
+def make_sc(**kwargs):
+    return SparkContext(conf=SparkConf(memory_tier=2, default_parallelism=4, **kwargs))
+
+
+def test_startup_happens_once_per_executor():
+    sc = make_sc()
+    executor = sc.executors[0]
+    sc.parallelize(range(10), 2).count()
+    first = executor._startup_done
+    assert first is not None and first.triggered
+    sc.parallelize(range(10), 2).count()
+    assert executor._startup_done is first  # not re-run
+
+
+def test_startup_traffic_lands_on_bound_tier():
+    sc = make_sc()
+    device = sc.executors[0].memory.device
+    sc.parallelize(range(4), 2).count()
+    # Startup alone writes at least its random-write budget.
+    assert device.counters.random_writes >= STARTUP_RANDOM_WRITES
+
+
+def test_first_job_pays_startup_later_jobs_do_not():
+    sc = make_sc()
+    sc.parallelize(range(100), 4).count()
+    first = sc.jobs[0].duration
+    sc.parallelize(range(100), 4).count()
+    second = sc.jobs[1].duration
+    assert first > second
+
+
+def test_more_executors_more_startup_traffic():
+    def startup_writes(executors):
+        sc = make_sc(num_executors=executors)
+        sc.parallelize(range(8), 8).count()
+        return sum(
+            e.memory.device.counters.random_writes for e in sc.executors[:1]
+        ), sc
+
+    single, _ = startup_writes(1)
+    many_sc = make_sc(num_executors=4)
+    many_sc.parallelize(range(8), 8).count()
+    total_many = many_sc.executors[0].memory.device.counters.random_writes
+    assert total_many > single  # 4 JVMs churned the same device
+
+
+def test_dispatch_serializes_within_executor():
+    """With one executor, many zero-work tasks still take >= n * overhead."""
+    conf = SparkConf(memory_tier=0, default_parallelism=16, num_executors=1)
+    sc = SparkContext(conf=conf)
+    sc.parallelize(range(16), 16).count()
+    stage = sc.jobs[0].stages[0]
+    assert stage.duration >= 16 * conf.task_dispatch_overhead
+
+
+def test_gc_constant_positive():
+    assert GC_WRITES_PER_CONCURRENT_TASK > 0
+
+
+def test_task_failure_propagates_to_driver():
+    sc = make_sc()
+
+    def boom(x):
+        raise RuntimeError("user function failed")
+
+    with pytest.raises(RuntimeError, match="user function failed"):
+        sc.parallelize(range(4), 2).map(boom).collect()
+
+
+def test_shuffle_spill_recorded_with_tiny_heap():
+    """A heap far smaller than the shuffle volume must spill, not crash."""
+    sc = SparkContext(
+        conf=SparkConf(
+            memory_tier=0,
+            default_parallelism=2,
+            executor_memory=64 * 1024,  # 64 KiB heap → ~38 KiB unified
+        )
+    )
+    data = [(i % 50, "x" * 200) for i in range(2000)]
+    out = sc.parallelize(data, 2).group_by_key().count()
+    assert out == 50
+    spilled = sum(m.spill_bytes for m in sc.jobs[-1].all_tasks())
+    assert spilled > 0
+
+
+def test_executor_count_matches_conf():
+    sc = make_sc(num_executors=3)
+    assert len(sc.executors) == 3
+    assert {e.executor_id for e in sc.executors} == {0, 1, 2}
+
+
+def test_all_executors_used_for_wide_stages():
+    sc = make_sc(num_executors=4, executor_cores=4)
+    sc.parallelize(range(64), 16).map(lambda x: x).count()
+    used = {m.executor_id for m in sc.jobs[-1].all_tasks()}
+    assert used == {0, 1, 2, 3}
+
+
+def test_stage_broadcast_runs_per_executor_per_stage():
+    sc = make_sc(num_executors=2)
+    before = sc.executors[0].memory.device.counters.bytes_read
+    sc.parallelize([("a", 1)], 2).reduce_by_key(lambda a, b: a + b).collect()
+    # 2 stages x 2 executors broadcasts happened (plus task traffic).
+    after = sc.executors[0].memory.device.counters.bytes_read
+    assert after > before
+
+
+def test_hdfs_write_path_charges_page_cache():
+    sc = make_sc()
+    device = sc.executors[0].memory.device
+    rdd = sc.parallelize([f"row-{i}" for i in range(100)], 4)
+    before = device.counters.bytes_written
+    rdd.save_as_text_file("/out/x")
+    after = device.counters.bytes_written
+    assert after > before
+    assert sc.hdfs.datanode.bytes_written > 0

@@ -1,0 +1,112 @@
+"""Stateful property testing of the UnifiedMemoryManager.
+
+Hypothesis drives random sequences of storage acquisitions, touches,
+releases and execution borrows against a model of the Spark memory
+invariants:
+
+- accounted usage never exceeds the unified pool;
+- execution never evicts below the protected storage floor
+  (unless storage was already below it);
+- every cached block the manager reports exists exactly once;
+- eviction only ever removes least-recently-used blocks.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.spark.memory_manager import BlockId, UnifiedMemoryManager
+
+UNIFIED = 10_000
+FLOOR = 4_000
+
+
+class MemoryManagerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.manager = UnifiedMemoryManager(UNIFIED, FLOOR)
+        self.execution_held = 0.0
+        self.next_block = 0
+
+    # ------------------------------------------------------------------ rules
+    @rule(nbytes=st.integers(min_value=1, max_value=6_000))
+    def cache_block(self, nbytes: int) -> None:
+        block = BlockId(rdd_id=1, partition=self.next_block)
+        self.next_block += 1
+        try:
+            evicted = self.manager.acquire_storage(block, nbytes)
+        except MemoryError:
+            # Block cannot fit even after eviction — a legal refusal,
+            # only when it genuinely exceeds what storage could get.
+            assert nbytes > UNIFIED - self.manager.execution_used
+            return
+        assert block not in evicted
+        assert self.manager.contains(block)
+
+    @precondition(lambda self: self.manager.cached_blocks())
+    @rule(data=st.data())
+    def touch_block(self, data) -> None:
+        block = data.draw(st.sampled_from(self.manager.cached_blocks()))
+        self.manager.touch(block)
+        # Touched block becomes most-recently-used (last in LRU order).
+        assert self.manager.cached_blocks()[-1] == block
+
+    @precondition(lambda self: self.manager.cached_blocks())
+    @rule(data=st.data())
+    def release_block(self, data) -> None:
+        block = data.draw(st.sampled_from(self.manager.cached_blocks()))
+        size = self.manager.block_size(block)
+        freed = self.manager.release_block(block)
+        assert freed == size
+        assert not self.manager.contains(block)
+
+    @rule(nbytes=st.integers(min_value=1, max_value=8_000))
+    def borrow_execution(self, nbytes: int) -> None:
+        storage_before = self.manager.storage_used
+        granted, evicted = self.manager.acquire_execution(nbytes)
+        assert 0 <= granted <= nbytes
+        if granted < nbytes:
+            # Shortfall only when storage is at/below the floor or empty.
+            assert (
+                self.manager.storage_used <= FLOOR
+                or not self.manager.cached_blocks()
+            )
+        self.execution_held += granted
+        assert self.manager.storage_used <= storage_before  # never grows
+
+    @precondition(lambda self: self.execution_held > 0)
+    @rule(fraction=st.floats(min_value=0.1, max_value=1.0))
+    def release_execution(self, fraction: float) -> None:
+        amount = self.execution_held * fraction
+        self.manager.release_execution(amount)
+        self.execution_held -= amount
+
+    # -------------------------------------------------------------- invariants
+    @invariant()
+    def usage_within_pool(self) -> None:
+        total = self.manager.storage_used + self.manager.execution_used
+        assert total <= UNIFIED + 1e-6
+
+    @invariant()
+    def block_sizes_sum_to_storage(self) -> None:
+        total = sum(
+            self.manager.block_size(b) for b in self.manager.cached_blocks()
+        )
+        assert abs(total - self.manager.storage_used) < 1e-6
+
+    @invariant()
+    def free_is_consistent(self) -> None:
+        expected = UNIFIED - self.manager.storage_used - self.manager.execution_used
+        assert abs(self.manager.free - expected) < 1e-6
+
+
+TestMemoryManagerStateful = MemoryManagerMachine.TestCase
+TestMemoryManagerStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,123 @@
+"""Partitioners and the record-size estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spark.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    _portable_hash,
+)
+from repro.spark.serializer import (
+    deserialization_ops,
+    estimate_record_bytes,
+    serialization_ops,
+    sizeof_value,
+)
+
+
+# ----------------------------------------------------------------- partitioner
+def test_partitioner_validation():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+@given(st.one_of(st.integers(), st.text(), st.tuples(st.integers(), st.text())))
+def test_hash_partitioner_in_range(key):
+    p = HashPartitioner(7)
+    assert 0 <= p.partition(key) < 7
+
+
+@given(st.text())
+def test_portable_hash_deterministic_for_strings(key):
+    assert _portable_hash(key) == _portable_hash(key)
+    assert _portable_hash(key) >= 0 or isinstance(key, str)
+
+
+def test_portable_hash_bytes_and_tuples():
+    assert _portable_hash(b"abc") == _portable_hash(b"abc")
+    assert _portable_hash((1, "a")) == _portable_hash((1, "a"))
+
+
+def test_hash_partitioner_equality():
+    assert HashPartitioner(4) == HashPartitioner(4)
+    assert HashPartitioner(4) != HashPartitioner(5)
+
+
+def test_range_partitioner_orders_keys():
+    p = RangePartitioner(3, bounds=[10, 20])
+    assert p.partition(5) == 0
+    assert p.partition(10) == 0
+    assert p.partition(15) == 1
+    assert p.partition(20) == 1
+    assert p.partition(25) == 2
+
+
+def test_range_partitioner_bounds_validation():
+    with pytest.raises(ValueError):
+        RangePartitioner(3, bounds=[1])
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200))
+def test_range_partitioner_from_sample_is_monotone(keys):
+    p = RangePartitioner.from_sample(4, keys)
+    ordered = sorted(keys)
+    partitions = [p.partition(k) for k in ordered]
+    assert partitions == sorted(partitions)
+    assert all(0 <= x < p.num_partitions for x in partitions)
+
+
+def test_range_partitioner_from_empty_sample():
+    p = RangePartitioner.from_sample(4, [])
+    assert p.partition("anything") == 0
+
+
+def test_base_partitioner_abstract():
+    with pytest.raises(NotImplementedError):
+        Partitioner(2).partition("x")
+
+
+# ------------------------------------------------------------------ serializer
+def test_sizeof_scalars():
+    assert sizeof_value(None) == 8.0
+    assert sizeof_value(True) == 8.0
+    assert sizeof_value(42) == 16.0
+    assert sizeof_value(3.14) == 16.0
+
+
+def test_sizeof_numpy():
+    arr = np.zeros(100, dtype=np.float64)
+    assert sizeof_value(arr) >= 800
+    assert sizeof_value(np.float64(1.0)) >= 8
+
+
+def test_sizeof_containers_nested():
+    flat = sizeof_value((1, 2))
+    nested = sizeof_value((1, (2, 3)))
+    assert nested > flat
+    assert sizeof_value({"k": 1}) > sizeof_value(1)
+    assert sizeof_value({1, 2}) > 0
+
+
+def test_estimate_record_bytes_empty_default():
+    assert estimate_record_bytes([]) == 64.0
+
+
+def test_estimate_record_bytes_reasonable_for_strings():
+    records = ["x" * 100] * 1000
+    estimate = estimate_record_bytes(records)
+    assert 100 <= estimate <= 300
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=500))
+def test_estimate_record_bytes_positive(records):
+    assert estimate_record_bytes(records) >= 1.0
+
+
+def test_serialization_ops_linear():
+    assert serialization_ops(1000) == pytest.approx(500)
+    assert deserialization_ops(1000) == pytest.approx(700)
+    assert serialization_ops(0) == 0.0

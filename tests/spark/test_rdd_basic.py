@@ -1,0 +1,182 @@
+"""Narrow transformations and actions against Python-native equivalents."""
+
+import pytest
+
+from repro.spark.rdd import _slice_evenly
+
+
+def test_parallelize_roundtrip(sc):
+    data = list(range(100))
+    assert sc.parallelize(data, 4).collect() == data
+
+
+def test_map(sc):
+    assert sc.parallelize(range(10), 3).map(lambda x: x * x).collect() == [
+        x * x for x in range(10)
+    ]
+
+
+def test_filter(sc):
+    out = sc.parallelize(range(20), 4).filter(lambda x: x % 3 == 0).collect()
+    assert out == [x for x in range(20) if x % 3 == 0]
+
+
+def test_flat_map(sc):
+    out = sc.parallelize(["a b", "c d e"], 2).flat_map(str.split).collect()
+    assert out == ["a", "b", "c", "d", "e"]
+
+
+def test_map_partitions(sc):
+    out = sc.parallelize(range(10), 5).map_partitions(lambda p: [sum(p)]).collect()
+    assert sum(out) == sum(range(10))
+    assert len(out) == 5
+
+
+def test_keys_values_key_by(sc):
+    pairs = sc.parallelize([(1, "a"), (2, "b")], 2)
+    assert pairs.keys().collect() == [1, 2]
+    assert pairs.values().collect() == ["a", "b"]
+    keyed = sc.parallelize(["xx", "yyy"], 1).key_by(len).collect()
+    assert keyed == [(2, "xx"), (3, "yyy")]
+
+
+def test_glom_preserves_partitioning(sc):
+    glommed = sc.parallelize(range(10), 2).glom().collect()
+    assert len(glommed) == 2
+    assert [x for part in glommed for x in part] == list(range(10))
+
+
+def test_union(sc):
+    a = sc.parallelize([1, 2], 2)
+    b = sc.parallelize([3, 4, 5], 2)
+    u = a.union(b)
+    assert u.num_partitions == 4
+    assert u.collect() == [1, 2, 3, 4, 5]
+
+
+def test_distinct(sc):
+    out = sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect()
+    assert sorted(out) == [1, 2, 3]
+
+
+def test_sample_deterministic_and_bounded(sc):
+    rdd = sc.parallelize(range(1000), 4)
+    s1 = rdd.sample(0.1, seed=5).collect()
+    s2 = sc.parallelize(range(1000), 4).sample(0.1, seed=5).collect()
+    assert s1 == s2
+    assert 0 < len(s1) < 400
+
+
+def test_sample_validation(sc):
+    with pytest.raises(ValueError):
+        sc.parallelize([1], 1).sample(1.5)
+
+
+def test_zip_with_index(sc):
+    out = sc.parallelize(["a", "b", "c", "d", "e"], 3).zip_with_index().collect()
+    assert out == [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)]
+
+
+def test_coalesce_reduces_partitions(sc):
+    rdd = sc.parallelize(range(12), 6).coalesce(2)
+    assert rdd.num_partitions == 2
+    assert rdd.collect() == list(range(12))
+
+
+def test_coalesce_noop_when_growing(sc):
+    rdd = sc.parallelize(range(4), 2)
+    assert rdd.coalesce(8) is rdd
+
+
+# ------------------------------------------------------------------- actions
+def test_count(sc):
+    assert sc.parallelize(range(57), 5).count() == 57
+
+
+def test_reduce(sc):
+    assert sc.parallelize(range(1, 11), 4).reduce(lambda a, b: a + b) == 55
+
+
+def test_reduce_empty_raises(sc):
+    with pytest.raises(ValueError):
+        sc.parallelize([], 1).reduce(lambda a, b: a + b)
+
+
+def test_fold(sc):
+    assert sc.parallelize([1, 2, 3], 3).fold(0, lambda a, b: a + b) == 6
+
+
+def test_take_first(sc):
+    rdd = sc.parallelize(range(100), 4)
+    assert rdd.take(3) == [0, 1, 2]
+    assert rdd.first() == 0
+
+
+def test_first_empty_raises(sc):
+    with pytest.raises(ValueError):
+        sc.parallelize([], 2).first()
+
+
+def test_top(sc):
+    assert sc.parallelize([5, 1, 9, 3, 7], 2).top(2) == [9, 7]
+    by_len = sc.parallelize(["a", "bbb", "cc"], 2).top(1, key=len)
+    assert by_len == ["bbb"]
+
+
+def test_sum_mean_max_min(sc):
+    rdd = sc.parallelize([4.0, 1.0, 3.0, 2.0], 2)
+    assert rdd.sum() == 10.0
+    assert rdd.mean() == 2.5
+    assert rdd.max() == 4.0
+    assert rdd.min() == 1.0
+
+
+def test_count_by_value(sc):
+    out = sc.parallelize(["a", "b", "a", "a"], 2).count_by_value()
+    assert out == {"a": 3, "b": 1}
+
+
+def test_foreach_side_effect(sc):
+    seen = []
+    sc.parallelize(range(5), 2).foreach(seen.append)
+    assert sorted(seen) == list(range(5))
+
+
+def test_save_as_text_file(sc):
+    rdd = sc.parallelize([f"line{i}" for i in range(10)], 2)
+    rdd.save_as_text_file("/out/result")
+    assert sc.hdfs.exists("/out/result")
+    assert sorted(sc.hdfs.read_records("/out/result")) == sorted(
+        f"line{i}" for i in range(10)
+    )
+
+
+# ------------------------------------------------------------------ internals
+def test_slice_evenly_covers_all():
+    slices = _slice_evenly(list(range(10)), 3)
+    assert [len(s) for s in slices] == [4, 3, 3]
+    assert [x for s in slices for x in s] == list(range(10))
+
+
+def test_slice_evenly_more_slices_than_items():
+    slices = _slice_evenly([1, 2], 5)
+    assert len(slices) == 5
+    assert sum(len(s) for s in slices) == 2
+
+
+def test_slice_evenly_validation():
+    with pytest.raises(ValueError):
+        _slice_evenly([1], 0)
+
+
+def test_rdd_requires_positive_partitions(sc):
+    with pytest.raises(ValueError):
+        sc.parallelize([1], 0)
+
+
+def test_persist_requires_caching_level(sc):
+    from repro.spark.storage_level import NONE
+
+    rdd = sc.parallelize([1], 1)
+    with pytest.raises(ValueError):
+        rdd.persist(NONE)

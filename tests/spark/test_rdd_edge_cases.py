@@ -1,0 +1,120 @@
+"""RDD edge cases: empty data, degenerate partitions, odd parameters."""
+
+import pytest
+
+
+def test_empty_rdd_through_full_pipeline(sc):
+    rdd = sc.parallelize([], 3)
+    assert rdd.collect() == []
+    assert rdd.count() == 0
+    assert rdd.map(lambda x: x).filter(lambda x: True).collect() == []
+
+
+def test_empty_shuffle(sc):
+    out = sc.parallelize([], 2).reduce_by_key(lambda a, b: a + b).collect()
+    assert out == []
+
+
+def test_single_record_many_partitions(sc):
+    rdd = sc.parallelize([42], 8)
+    assert rdd.count() == 1
+    assert rdd.glom().map(len).collect().count(1) == 1
+
+
+def test_take_beyond_length(sc):
+    assert sc.parallelize([1, 2], 2).take(100) == [1, 2]
+
+
+def test_sample_zero_fraction(sc):
+    assert sc.parallelize(range(100), 4).sample(0.0).collect() == []
+
+
+def test_sample_full_fraction(sc):
+    out = sc.parallelize(range(100), 4).sample(1.0).collect()
+    assert len(out) >= 95  # hash threshold keeps ~all
+
+
+def test_sort_single_partition(sc):
+    out = sc.parallelize([(3, "c"), (1, "a"), (2, "b")], 1).sort_by_key(
+        num_partitions=1
+    ).collect()
+    assert [k for k, _ in out] == [1, 2, 3]
+
+
+def test_sort_all_equal_keys(sc):
+    data = [(7, i) for i in range(20)]
+    out = sc.parallelize(data, 4).sort_by_key(num_partitions=4).collect()
+    assert len(out) == 20
+    assert all(k == 7 for k, _ in out)
+
+
+def test_union_of_three(sc):
+    a = sc.parallelize([1], 1)
+    b = sc.parallelize([2], 1)
+    c = sc.parallelize([3], 1)
+    assert a.union(b).union(c).collect() == [1, 2, 3]
+
+
+def test_aggregate_by_key_zero_not_shared(sc):
+    """Mutable zero values must not leak between keys (deepcopy)."""
+    data = [("a", 1), ("b", 2), ("a", 3)]
+    out = dict(
+        sc.parallelize(data, 2)
+        .aggregate_by_key([], lambda acc, v: acc + [v], lambda x, y: x + y)
+        .collect()
+    )
+    assert sorted(out["a"]) == [1, 3]
+    assert out["b"] == [2]
+
+
+def test_join_with_no_common_keys(sc):
+    left = sc.parallelize([("x", 1)], 1)
+    right = sc.parallelize([("y", 2)], 1)
+    assert left.join(right).collect() == []
+
+
+def test_repartition_to_one(sc):
+    out = sc.parallelize(range(50), 5).repartition(1)
+    assert out.num_partitions == 1
+    assert sorted(out.collect()) == list(range(50))
+
+
+def test_chained_cache_and_unpersist(sc):
+    base = sc.parallelize(range(100), 4).cache()
+    derived = base.map(lambda x: x * 2).cache()
+    assert derived.sum() == sum(2 * x for x in range(100))
+    base.unpersist()
+    # Derived cache still valid; base recomputes transparently.
+    assert derived.sum() == sum(2 * x for x in range(100))
+    assert base.count() == 100
+
+
+def test_rdd_set_name_and_repr(sc):
+    rdd = sc.parallelize([1], 1).set_name("my-data")
+    assert rdd.name == "my-data"
+    assert "my-data" in repr(rdd)
+
+
+def test_map_partitions_with_generator_output(sc):
+    out = sc.parallelize(range(6), 2).map_partitions(
+        lambda part: (x * 10 for x in part)
+    ).collect()
+    assert out == [x * 10 for x in range(6)]
+
+
+def test_characterize_progress_callback():
+    from repro.core.characterization import characterize
+
+    seen = []
+    characterize(
+        workloads=("repartition",), sizes=("tiny",), tiers=(0,),
+        progress=lambda c: seen.append(c.describe()),
+    )
+    assert seen == ["repartition-tiny tier0 E1xC40 MBA100%"]
+
+
+def test_violin_with_fixed_domain():
+    from repro.analysis.violin import format_violin_row
+
+    row = format_violin_row("x", [5.0, 6.0], domain=(0.0, 10.0))
+    assert "M" in row

@@ -1,0 +1,150 @@
+"""Wide (shuffle) pair-RDD operations."""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.spark.partitioner import HashPartitioner
+
+
+DATA = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5), ("a", 6)]
+
+
+def test_reduce_by_key(sc):
+    out = dict(sc.parallelize(DATA, 3).reduce_by_key(lambda a, b: a + b).collect())
+    expected = defaultdict(int)
+    for k, v in DATA:
+        expected[k] += v
+    assert out == dict(expected)
+
+
+def test_group_by_key(sc):
+    out = dict(sc.parallelize(DATA, 3).group_by_key().collect())
+    assert sorted(out["a"]) == [1, 3, 6]
+    assert sorted(out["b"]) == [2, 5]
+    assert out["c"] == [4]
+
+
+def test_combine_by_key_computes_means(sc):
+    rdd = sc.parallelize(DATA, 3)
+    sums = rdd.combine_by_key(
+        create_combiner=lambda v: (v, 1),
+        merge_value=lambda acc, v: (acc[0] + v, acc[1] + 1),
+        merge_combiners=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+    )
+    means = dict(sums.map_values(lambda sc_: sc_[0] / sc_[1]).collect())
+    assert means["a"] == pytest.approx(10 / 3)
+    assert means["b"] == pytest.approx(3.5)
+
+
+def test_aggregate_by_key(sc):
+    out = dict(
+        sc.parallelize(DATA, 2)
+        .aggregate_by_key([], lambda acc, v: acc + [v], lambda a, b: a + b)
+        .collect()
+    )
+    assert sorted(out["a"]) == [1, 3, 6]
+
+
+def test_map_values_preserves_keys(sc):
+    out = sc.parallelize(DATA, 2).map_values(lambda v: v * 10).collect()
+    assert out == [(k, v * 10) for k, v in DATA]
+
+
+def test_flat_map_values(sc):
+    out = sc.parallelize([("k", [1, 2]), ("j", [3])], 2).flat_map_values(
+        lambda vs: vs
+    ).collect()
+    assert sorted(out) == [("j", 3), ("k", 1), ("k", 2)]
+
+
+def test_sort_by_key_total_order(sc):
+    import random
+
+    rng = random.Random(3)
+    data = [(rng.randint(0, 1000), i) for i in range(500)]
+    out = sc.parallelize(data, 4).sort_by_key(num_partitions=4).collect()
+    keys = [k for k, _ in out]
+    assert keys == sorted(keys)
+    assert Counter(keys) == Counter(k for k, _ in data)
+
+
+def test_sort_by_key_descending(sc):
+    out = sc.parallelize([(i, None) for i in (3, 1, 2)], 2).sort_by_key(
+        ascending=False
+    ).collect()
+    assert [k for k, _ in out] == [3, 2, 1]
+
+
+def test_sort_by_custom_key(sc):
+    out = sc.parallelize(["ccc", "a", "bb"], 2).sort_by(len).collect()
+    assert out == ["a", "bb", "ccc"]
+
+
+def test_partition_by_places_keys_consistently(sc):
+    partitioner = HashPartitioner(4)
+    rdd = sc.parallelize(DATA, 3).partition_by(partitioner)
+    assert rdd.num_partitions == 4
+    parts = rdd.glom().collect()
+    for idx, part in enumerate(parts):
+        for key, _ in part:
+            assert partitioner.partition(key) == idx
+
+
+def test_partition_by_same_partitioner_is_noop(sc):
+    partitioner = HashPartitioner(4)
+    rdd = sc.parallelize(DATA, 3).partition_by(partitioner)
+    assert rdd.partition_by(HashPartitioner(4)) is rdd
+
+
+def test_repartition_preserves_records(sc):
+    data = list(range(100))
+    out = sc.parallelize(data, 4).repartition(7)
+    assert out.num_partitions == 7
+    assert sorted(out.collect()) == data
+    sizes = [len(p) for p in out.glom().collect()]
+    assert max(sizes) - min(sizes) <= 2  # round-robin balance
+
+
+def test_join(sc):
+    left = sc.parallelize([("x", 1), ("y", 2), ("x", 3)], 2)
+    right = sc.parallelize([("x", "A"), ("z", "B")], 2)
+    out = sorted(left.join(right).collect())
+    assert out == [("x", (1, "A")), ("x", (3, "A"))]
+
+
+def test_left_outer_join(sc):
+    left = sc.parallelize([("x", 1), ("y", 2)], 2)
+    right = sc.parallelize([("x", "A")], 2)
+    out = dict(left.left_outer_join(right).collect())
+    assert out == {"x": (1, "A"), "y": (2, None)}
+
+
+def test_cogroup(sc):
+    left = sc.parallelize([("k", 1), ("k", 2), ("j", 3)], 2)
+    right = sc.parallelize([("k", "a")], 2)
+    out = dict(left.cogroup(right).collect())
+    assert sorted(out["k"][0]) == [1, 2]
+    assert out["k"][1] == ["a"]
+    assert out["j"] == ([3], [])
+
+
+def test_count_by_key(sc):
+    out = sc.parallelize(DATA, 3).count_by_key()
+    assert out == {"a": 3, "b": 2, "c": 1}
+
+
+def test_chained_shuffles(sc):
+    """Multiple dependent shuffles in one lineage."""
+    words = ["the cat", "the dog", "a cat"]
+    counts = (
+        sc.parallelize(words, 2)
+        .flat_map(str.split)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .map(lambda kv: (kv[1], kv[0]))
+        .group_by_key()
+    )
+    by_count = dict(counts.collect())
+    assert sorted(by_count[2]) == ["cat", "the"]
+    assert sorted(by_count[1]) == ["a", "dog"]

@@ -1,0 +1,80 @@
+"""Timeline export (chrome://tracing format)."""
+
+import json
+
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.timeline import (
+    build_trace_events,
+    export_timeline,
+    timeline_summary,
+)
+
+
+@pytest.fixture
+def busy_sc():
+    sc = SparkContext(conf=SparkConf(memory_tier=2, default_parallelism=4,
+                                     num_executors=2, executor_cores=4))
+    sc.parallelize([(i % 5, i) for i in range(500)], 4).reduce_by_key(
+        lambda a, b: a + b
+    ).collect()
+    return sc
+
+
+def test_trace_events_cover_all_tasks(busy_sc):
+    events = build_trace_events(busy_sc)
+    task_events = [e for e in events if e.get("ph") == "X"]
+    n_tasks = len(busy_sc.jobs[0].all_tasks())
+    assert len(task_events) == n_tasks
+    for event in task_events:
+        assert event["dur"] > 0
+        assert event["ts"] >= 0
+        assert "random_reads" in event["args"]
+
+
+def test_trace_has_executor_metadata(busy_sc):
+    events = build_trace_events(busy_sc)
+    meta = [e for e in events if e.get("ph") == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert names == {"executor-0", "executor-1"}
+
+
+def test_lanes_do_not_overlap(busy_sc):
+    events = [e for e in build_trace_events(busy_sc) if e.get("ph") == "X"]
+    by_lane: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for event in events:
+        by_lane.setdefault((event["pid"], event["tid"]), []).append(
+            (event["ts"], event["ts"] + event["dur"])
+        )
+    for intervals in by_lane.values():
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-6  # no overlap within a lane
+
+
+def test_export_writes_valid_json(busy_sc, tmp_path):
+    out = tmp_path / "trace.json"
+    n = export_timeline(busy_sc, out)
+    assert n == len(busy_sc.jobs[0].all_tasks())
+    payload = json.loads(out.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) >= n
+
+
+def test_summary_metrics(busy_sc):
+    summary = timeline_summary(busy_sc)
+    assert summary["makespan"] > 0
+    assert summary["task_time"] > 0
+    assert summary["parallelism"] > 0.5
+    assert 0 <= summary["dispatch_share"] < 1
+
+
+def test_summary_empty_context():
+    sc = SparkContext(conf=SparkConf())
+    summary = timeline_summary(sc)
+    assert summary == {
+        "makespan": 0.0, "task_time": 0.0, "parallelism": 0.0,
+        "dispatch_share": 0.0,
+    }

@@ -1,0 +1,70 @@
+"""The unified-memory shuffle extension (SparkConf.unified_shuffle)."""
+
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+
+
+def make_sc(unified: bool, executors: int = 4) -> SparkContext:
+    return SparkContext(
+        conf=SparkConf(
+            memory_tier=2,
+            num_executors=executors,
+            default_parallelism=8,
+            unified_shuffle=unified,
+        )
+    )
+
+
+DATA = [(i % 13, i) for i in range(2000)]
+
+
+def shuffle_job(sc: SparkContext):
+    return dict(
+        sc.parallelize(DATA, 8).reduce_by_key(lambda a, b: a + b).collect()
+    )
+
+
+def test_results_identical():
+    assert shuffle_job(make_sc(False)) == shuffle_job(make_sc(True))
+
+
+def test_no_remote_fetches_when_unified():
+    sc = make_sc(True)
+    shuffle_job(sc)
+    tasks = sc.jobs[-1].all_tasks()
+    assert sum(m.remote_fetches for m in tasks) == 0
+    assert sum(m.local_fetches for m in tasks) > 0
+
+
+def test_stock_mode_has_remote_fetches():
+    sc = make_sc(False)
+    shuffle_job(sc)
+    assert sum(m.remote_fetches for m in sc.jobs[-1].all_tasks()) > 0
+
+
+def test_unified_faster_with_many_executors():
+    stock = make_sc(False)
+    shuffle_job(stock)
+    unified = make_sc(True)
+    shuffle_job(unified)
+    assert unified.total_job_time() < stock.total_job_time()
+
+
+def test_unified_neutral_for_single_executor():
+    """With one executor every fetch is already local; the remaining gain
+    is only the skipped deserialization — small, never negative."""
+    stock = make_sc(False, executors=1)
+    shuffle_job(stock)
+    unified = make_sc(True, executors=1)
+    shuffle_job(unified)
+    assert unified.total_job_time() <= stock.total_job_time()
+
+
+def test_shuffle_bytes_still_accounted():
+    sc = make_sc(True)
+    shuffle_job(sc)
+    tasks = sc.jobs[-1].all_tasks()
+    assert sum(m.shuffle_bytes_read for m in tasks) > 0
+    assert sum(m.shuffle_bytes_written for m in tasks) > 0

@@ -1,0 +1,157 @@
+"""Telemetry: ipmctl counters, RAPL energy, derived events, collector."""
+
+import pytest
+
+from repro.memory.device import AccessProfile, MemoryDevice
+from repro.memory.technology import OPTANE_DCPM
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.events import (
+    SYSTEM_EVENTS,
+    check_complete,
+    derive_system_events,
+    event_vector,
+)
+from repro.telemetry.ipmctl import IpmctlReader
+from repro.telemetry.rapl import RaplReader
+
+
+# --------------------------------------------------------------------- ipmctl
+def test_ipmctl_reports_deltas(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=2)
+    reader = IpmctlReader([device])
+    device.record(AccessProfile(random_reads=100, random_writes=40))
+    totals = reader.totals()
+    assert totals.media_reads == 100
+    assert totals.media_writes == 40
+    assert totals.write_ratio == pytest.approx(40 / 140)
+
+    reader.reset()
+    assert reader.totals().media_reads == 0
+    device.record(AccessProfile(random_reads=10))
+    assert reader.totals().media_reads == 10
+
+
+def test_ipmctl_per_dimm_breakdown(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=4)
+    reader = IpmctlReader([device])
+    device.record(AccessProfile(random_reads=400))
+    perf = reader.read()
+    assert len(perf) == 4
+    assert all(p.media_reads == 100 for p in perf)
+
+
+def test_ipmctl_show_performance_format(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=1)
+    reader = IpmctlReader([device])
+    device.record(AccessProfile(random_writes=5))
+    text = reader.show_performance()
+    assert "DimmID" in text
+    assert "nvm/dimm0" in text
+
+
+def test_ipmctl_requires_devices():
+    with pytest.raises(ValueError):
+        IpmctlReader([])
+
+
+# ----------------------------------------------------------------------- rapl
+def test_rapl_window_energy(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=2)
+    reader = RaplReader(env, [device])
+
+    def traffic(env):
+        yield from device.access(AccessProfile(bytes_written=64 * 1000))
+
+    env.process(traffic(env))
+    env.run()
+    reports = reader.read()
+    assert len(reports) == 1
+    report = reports[0]
+    assert report.elapsed == pytest.approx(env.now)
+    assert report.write_joules > 0
+    assert reader.total_joules() == report.total_joules
+    assert reader.by_device()["nvm"].device_name == "nvm"
+
+
+def test_rapl_reset_window(env):
+    device = MemoryDevice(env, "nvm", OPTANE_DCPM, dimm_count=1)
+    reader = RaplReader(env, [device])
+    device.record(AccessProfile(bytes_read=64 * 500))
+    reader.reset()
+    assert reader.read()[0].read_joules == 0.0
+
+
+# --------------------------------------------------------------------- events
+def test_event_set_complete():
+    events = derive_system_events(
+        {
+            "compute_ops": 1e6,
+            "bytes_read": 1e6,
+            "bytes_written": 5e5,
+            "random_reads": 1e4,
+            "random_writes": 5e3,
+            "records_read": 1e3,
+            "records_written": 1e3,
+            "num_tasks": 8,
+            "shuffle_bytes_written": 1e5,
+            "shuffle_bytes_read": 1e5,
+            "duration": 0.05,
+        }
+    )
+    check_complete(events)
+    assert set(events) == set(SYSTEM_EVENTS)
+    assert all(v >= 0 for v in events.values())
+    vector = event_vector(events)
+    assert len(vector) == len(SYSTEM_EVENTS)
+
+
+def test_events_scale_with_work():
+    small = derive_system_events({"compute_ops": 1e5, "records_read": 100, "duration": 0.01})
+    large = derive_system_events({"compute_ops": 1e7, "records_read": 10000, "duration": 0.5})
+    assert large["instructions"] > small["instructions"]
+    assert large["cpu_cycles"] > small["cpu_cycles"]
+
+
+def test_check_complete_rejects_missing():
+    with pytest.raises(KeyError):
+        check_complete({"instructions": 1.0})
+
+
+# ------------------------------------------------------------------- collector
+def test_collector_full_window():
+    sc = SparkContext(conf=SparkConf(memory_tier=2, default_parallelism=4))
+    collector = TelemetryCollector(sc.env, sc.machine)
+    collector.start(sc)
+    sc.parallelize([(i % 7, i) for i in range(1000)], 4).reduce_by_key(
+        lambda a, b: a + b
+    ).collect()
+    sample = collector.stop(sc)
+    assert sample.elapsed > 0
+    assert sample.nvm_media_reads > 0
+    assert sample.nvm_media_writes > 0
+    assert 0 < sample.nvm_write_ratio < 1
+    assert sample.events["instructions"] > 0
+    assert sample.energy_of("numa2-nvm4") > 0
+    assert sample.energy_of("bogus") == 0.0
+
+
+def test_collector_stop_before_start_raises():
+    sc = SparkContext()
+    collector = TelemetryCollector(sc.env, sc.machine)
+    with pytest.raises(RuntimeError):
+        collector.stop(sc)
+
+
+def test_collector_windows_are_isolated():
+    sc = SparkContext(conf=SparkConf(memory_tier=2, default_parallelism=2))
+    collector = TelemetryCollector(sc.env, sc.machine)
+    collector.start(sc)
+    sc.parallelize(range(100), 2).count()
+    first = collector.stop(sc)
+    collector.start(sc)
+    second = collector.stop(sc)
+    assert second.elapsed == 0.0
+    assert second.nvm_media_reads == 0
+    assert first.nvm_media_reads > 0

@@ -1,0 +1,66 @@
+"""The self-contained PEP 517/660 build backend."""
+
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "_build_backend"))
+import repro_build_backend as backend  # noqa: E402
+
+
+def test_requires_are_empty():
+    assert backend.get_requires_for_build_wheel() == []
+    assert backend.get_requires_for_build_editable() == []
+
+
+def test_build_wheel_contains_package(tmp_path):
+    name = backend.build_wheel(str(tmp_path))
+    assert name == "repro-1.0.0-py3-none-any.whl"
+    names = zipfile.ZipFile(tmp_path / name).namelist()
+    assert "repro/__init__.py" in names
+    assert "repro/spark/rdd.py" in names
+    assert "repro-1.0.0.dist-info/METADATA" in names
+    assert "repro-1.0.0.dist-info/RECORD" in names
+    assert not any("__pycache__" in n for n in names)
+
+
+def test_build_editable_points_at_src(tmp_path):
+    name = backend.build_editable(str(tmp_path))
+    archive = zipfile.ZipFile(tmp_path / name)
+    pth = archive.read("__editable__.repro-1.0.0.pth").decode().strip()
+    assert pth.endswith("src")
+    assert (Path(pth) / "repro" / "__init__.py").exists()
+
+
+def test_metadata_declares_numpy(tmp_path):
+    backend.build_wheel(str(tmp_path))
+    archive = zipfile.ZipFile(tmp_path / "repro-1.0.0-py3-none-any.whl")
+    metadata = archive.read("repro-1.0.0.dist-info/METADATA").decode()
+    assert "Requires-Dist: numpy>=1.24" in metadata
+    assert "Name: repro" in metadata
+
+
+def test_prepare_metadata(tmp_path):
+    dist_info = backend.prepare_metadata_for_build_wheel(str(tmp_path))
+    assert (tmp_path / dist_info / "METADATA").exists()
+    assert (tmp_path / dist_info / "WHEEL").exists()
+
+
+def test_record_hashes_are_valid(tmp_path):
+    import base64
+    import hashlib
+
+    name = backend.build_wheel(str(tmp_path))
+    archive = zipfile.ZipFile(tmp_path / name)
+    record = archive.read("repro-1.0.0.dist-info/RECORD").decode()
+    for line in record.strip().splitlines():
+        arcname, digest, _size = line.split(",")
+        if not digest:
+            continue
+        data = archive.read(arcname)
+        expected = base64.urlsafe_b64encode(
+            hashlib.sha256(data).digest()
+        ).rstrip(b"=").decode()
+        assert digest == f"sha256={expected}", arcname

@@ -1,0 +1,78 @@
+"""CLI entry point (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sort" in out and "pagerank" in out
+    assert "websearch" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "77.8" in out
+    assert "0.47" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "repartition", "--size", "tiny", "--tier", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "verified      : True" in out
+    assert "NVM reads" in out
+
+
+def test_tiers_command(capsys):
+    assert main(["tiers", "repartition", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Tier 3" in out and "vs T0" in out
+
+
+def test_mba_command(capsys):
+    assert main(["mba", "repartition", "--size", "tiny", "--tier", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "MBA level" in out
+    assert "latency-bound" in out
+
+
+def test_invalid_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "terasort"])
+
+
+def test_unified_shuffle_flag_speeds_up_shuffles():
+    """The discussion-section engine extension must help, not hurt."""
+    from repro.spark.conf import SparkConf
+    from repro.spark.context import SparkContext
+
+    def run(unified: bool) -> tuple[float, int]:
+        sc = SparkContext(
+            conf=SparkConf(
+                memory_tier=2,
+                default_parallelism=8,
+                num_executors=4,
+                unified_shuffle=unified,
+            )
+        )
+        out = (
+            sc.parallelize([(i % 40, i) for i in range(4000)], 8)
+            .group_by_key()
+            .count()
+        )
+        remote = sum(m.remote_fetches for m in sc.jobs[-1].all_tasks())
+        return sc.total_job_time(), remote, out
+
+    stock_time, stock_remote, stock_out = run(False)
+    unified_time, unified_remote, unified_out = run(True)
+    assert unified_out == stock_out == 40
+    assert unified_remote == 0 < stock_remote
+    assert unified_time < stock_time

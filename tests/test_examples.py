@@ -1,0 +1,53 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The slower sweeps (tier_exploration over large sizes, executor_tuning's
+full grid, capacity_planning) are exercised through their underlying
+APIs elsewhere; here the quick examples run as real subprocesses so the
+documented entry points cannot rot.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Tier 0 (local DRAM)" in out
+    assert "NVDIMM media reads" in out
+    assert "slower" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "kmeans-custom" in out
+    assert out.count("yes") >= 4  # verified on all four tiers
+
+
+def test_performance_prediction():
+    out = run_example("performance_prediction.py")
+    assert "r(latency)" in out
+    assert "R^2" in out
+    assert "predicted" in out
+
+
+def test_examples_all_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text(encoding="utf-8")
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""')), script
+        assert '__main__' in text, script

@@ -1,0 +1,85 @@
+"""End-to-end integration: sweep → persist → reload → re-derive → report.
+
+Exercises the full downstream-user pipeline across module boundaries:
+experiments run, results persist as JSON lines, a fresh process-level
+view reloads them and re-derives the paper's summary metrics, and the
+markdown report renders from the same data.
+"""
+
+import pytest
+
+from repro.analysis.reporting import characterization_report
+from repro.analysis.resultstore import ResultStore
+from repro.core.characterization import characterize, tier_gap_summary
+from repro.core.correlation import pearson
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return characterize(workloads=("repartition", "lda"), sizes=("tiny",))
+
+
+def test_store_roundtrip_preserves_summary_metrics(sweep, tmp_path):
+    store = ResultStore(tmp_path / "sweep.jsonl")
+    for result in sweep.results:
+        store.append(result)
+
+    rows = store.load()
+    assert len(rows) == len(sweep.results)
+
+    # Re-derive the tier gaps from the persisted rows alone.
+    def persisted_time(workload, size, tier):
+        for row in rows:
+            config = row["config"]
+            if (config["workload"], config["size"], config["tier"]) == (
+                workload, size, tier,
+            ):
+                return row["execution_time"]
+        raise KeyError((workload, size, tier))
+
+    live_gaps = tier_gap_summary(sweep)
+    for tier in (1, 2, 3):
+        gaps = []
+        for workload in ("repartition", "lda"):
+            base = persisted_time(workload, "tiny", 0)
+            remote = persisted_time(workload, "tiny", tier)
+            gaps.append((remote - base) / remote)
+        persisted_gap = 100.0 * sum(gaps) / len(gaps)
+        assert persisted_gap == pytest.approx(live_gaps[tier], abs=1e-9)
+
+
+def test_persisted_events_support_correlation(sweep, tmp_path):
+    store = ResultStore(tmp_path / "events.jsonl")
+    for result in sweep.results:
+        store.append(result)
+    rows = [r for r in store.load() if r["config"]["tier"] == 2]
+    times = [r["execution_time"] for r in rows]
+    misses = [r["events"]["llc_load_misses"] for r in rows]
+    # Two workloads, one size: the correlation is defined and bounded.
+    r = pearson(misses, times)
+    assert -1.0 <= r <= 1.0
+
+
+def test_report_renders_from_live_sweep(sweep):
+    report = characterization_report(sweep, title="Integration sweep")
+    assert "repartition" in report and "lda" in report
+    assert "Tier 0 beats Tier 3" in report
+    # lda's NVM ratio exceeds repartition's in the rendered table.
+    lda_row = next(l for l in report.splitlines() if "| lda |" in l)
+    rep_row = next(l for l in report.splitlines() if "| repartition |" in l)
+    lda_t2 = float(lda_row.split("|")[-3].strip().rstrip("x"))
+    rep_t2 = float(rep_row.split("|")[-3].strip().rstrip("x"))
+    assert lda_t2 > rep_t2
+
+
+def test_sweep_is_internally_consistent(sweep):
+    for result in sweep.results:
+        assert result.verified
+        assert result.execution_time > 0
+        if result.config.tier in (2, 3):
+            assert result.nvm_reads + result.nvm_writes > 0
+        else:
+            assert result.nvm_reads + result.nvm_writes == 0
+        assert result.telemetry.elapsed == pytest.approx(
+            result.execution_time, rel=1e-6
+        )

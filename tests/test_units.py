@@ -1,0 +1,49 @@
+"""Unit conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_time_roundtrip():
+    assert units.ns_to_s(100) == pytest.approx(1e-7)
+    assert units.s_to_ns(units.ns_to_s(77.8)) == pytest.approx(77.8)
+
+
+def test_bandwidth_roundtrip():
+    assert units.gbps_to_bps(39.3) == pytest.approx(39.3e9)
+    assert units.bps_to_gbps(units.gbps_to_bps(10.7)) == pytest.approx(10.7)
+
+
+def test_capacity_helpers():
+    assert units.mib(1) == 1024**2
+    assert units.gib(2) == 2 * 1024**3
+
+
+@given(st.floats(min_value=1e-12, max_value=1e12, allow_nan=False))
+def test_conversions_are_inverse(value):
+    assert units.s_to_ns(units.ns_to_s(value)) == pytest.approx(value)
+    assert units.bps_to_gbps(units.gbps_to_bps(value)) == pytest.approx(value)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2048) == "2 KiB"
+    assert "MiB" in units.fmt_bytes(5 * units.MB)
+    assert "GiB" in units.fmt_bytes(3 * units.GB)
+    assert "TiB" in units.fmt_bytes(5 * 1024**4)
+
+
+def test_fmt_time_scales():
+    assert "ns" in units.fmt_time(5e-9)
+    assert "us" in units.fmt_time(5e-6)
+    assert "ms" in units.fmt_time(5e-3)
+    assert units.fmt_time(5.0) == "5.00 s"
+    assert "min" in units.fmt_time(300.0)
+
+
+def test_granularities():
+    assert units.CACHE_LINE == 64
+    assert units.NVM_MEDIA_GRANULE == 256

@@ -1,0 +1,84 @@
+"""Extension workloads (wordcount, kmeans) — outside the paper's seven."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.workloads.registry import (
+    EXTENSION_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    all_workloads,
+    get_workload,
+)
+from repro.workloads.ml_kmeans import _farthest_point_init
+
+
+def fresh_sc():
+    return SparkContext(conf=SparkConf(memory_tier=0))
+
+
+def test_extensions_registered_but_not_in_paper_set():
+    assert set(EXTENSION_WORKLOAD_NAMES) == {"wordcount", "kmeans"}
+    assert not set(EXTENSION_WORKLOAD_NAMES) & set(WORKLOAD_NAMES)
+    for name in EXTENSION_WORKLOAD_NAMES:
+        assert get_workload(name).name == name
+
+
+def test_all_workloads_flag():
+    assert len(all_workloads()) == 7
+    assert len(all_workloads(include_extensions=True)) == 9
+
+
+def test_wordcount_counts_exactly():
+    sc = fresh_sc()
+    workload = get_workload("wordcount")
+    result = workload.run(sc, "tiny")
+    assert result.verified
+    expected = Counter()
+    for line in sc.hdfs.read_records(workload.input_path("tiny")):
+        expected.update(line.split())
+    assert result.output == dict(expected)
+
+
+def test_wordcount_zipf_distribution_visible():
+    result = get_workload("wordcount").run(fresh_sc(), "tiny")
+    counts = sorted(result.output.values(), reverse=True)
+    assert counts[0] > 5 * counts[len(counts) // 2]  # heavy head
+
+
+@pytest.mark.parametrize("size", ["tiny", "small"])
+def test_kmeans_converges(size):
+    result = get_workload("kmeans").run(fresh_sc(), size)
+    assert result.verified
+    assert result.output["centroids"].shape[0] == 4
+
+
+def test_farthest_point_init_spreads_seeds():
+    rng = np.random.default_rng(5)
+    points = np.vstack(
+        [rng.normal(loc=c, scale=0.1, size=(20, 2)) for c in ((0, 0), (10, 0), (0, 10), (10, 10))]
+    )
+    seeds = _farthest_point_init(points, 4)
+    # One seed near each true corner cluster.
+    corners = np.array([(0, 0), (10, 0), (0, 10), (10, 10)], dtype=float)
+    for corner in corners:
+        assert min(np.linalg.norm(seeds - corner, axis=1)) < 1.0
+
+
+def test_extensions_run_on_nvm_tier():
+    for name in EXTENSION_WORKLOAD_NAMES:
+        sc = SparkContext(conf=SparkConf(memory_tier=2))
+        result = get_workload(name).run(sc, "tiny")
+        assert result.verified, name
+
+
+def test_extension_tier_sensitivity():
+    def run(name, tier):
+        sc = SparkContext(conf=SparkConf(memory_tier=tier))
+        return get_workload(name).run(sc, "small").execution_time
+
+    for name in EXTENSION_WORKLOAD_NAMES:
+        assert run(name, 2) > run(name, 0), name

@@ -1,0 +1,154 @@
+"""Workload correctness: every app computes a verifiably right answer."""
+
+import pytest
+
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    all_workloads,
+    get_workload,
+)
+from repro.workloads.base import SIZE_ORDER, SizeProfile, Workload
+from repro.workloads.registry import register_workload
+
+
+def fresh_sc(**kwargs) -> SparkContext:
+    return SparkContext(conf=SparkConf(memory_tier=0, **kwargs))
+
+
+# -------------------------------------------------------------------- registry
+def test_registry_has_the_papers_seven():
+    assert set(WORKLOAD_NAMES) == {
+        "sort", "repartition", "als", "bayes", "rf", "lda", "pagerank",
+    }
+
+
+def test_registry_lookup_and_instances():
+    sort = get_workload("sort")
+    assert sort.name == "sort"
+    assert get_workload("sort") is not sort  # fresh instances
+    with pytest.raises(KeyError):
+        get_workload("terasort")
+
+
+def test_all_workloads_have_three_sizes():
+    for workload in all_workloads():
+        assert set(workload.sizes) == set(SIZE_ORDER)
+        assert workload.category in ("micro", "ml", "websearch")
+
+
+def test_register_custom_workload():
+    class Custom(Workload):
+        name = "custom-test"
+        category = "micro"
+        sizes = {"tiny": SizeProfile("tiny", {"n": 1})}
+
+    register_workload(Custom)
+    assert isinstance(get_workload("custom-test"), Custom)
+
+
+def test_register_unnamed_rejected():
+    class Anonymous(Workload):
+        name = ""
+
+    with pytest.raises(ValueError):
+        register_workload(Anonymous)
+
+
+def test_size_profile_params():
+    profile = SizeProfile("tiny", {"n": 5})
+    assert profile.param("n") == 5
+    with pytest.raises(KeyError):
+        profile.param("missing")
+    with pytest.raises(ValueError):
+        SizeProfile("bad", partitions=0)
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(KeyError):
+        get_workload("sort").profile("huge")
+
+
+# --------------------------------------------------------- per-app correctness
+def test_sort_produces_sorted_output():
+    result = get_workload("sort").run(fresh_sc(), "tiny")
+    assert result.verified
+    records = list(result.output)
+    assert records == sorted(records)
+
+
+def test_repartition_balances_partitions():
+    result = get_workload("repartition").run(fresh_sc(), "tiny")
+    assert result.verified
+    assert sum(result.output) == 300  # tiny record count
+
+
+def test_als_reduces_rmse_below_noise_floor():
+    result = get_workload("als").run(fresh_sc(), "tiny")
+    assert result.verified
+    assert result.output["rmse"] < 0.8
+
+
+def test_bayes_beats_chance():
+    result = get_workload("bayes").run(fresh_sc(), "tiny")
+    assert result.verified
+    assert result.output["accuracy"] > 0.5  # 5 classes → chance is 0.2
+
+
+def test_rf_trains_full_forest():
+    result = get_workload("rf").run(fresh_sc(), "tiny")
+    assert result.verified
+    assert result.output["trees"] == 8
+    assert result.output["accuracy"] > 0.8  # separable two-class data
+
+
+def test_lda_improves_likelihood_monotonically_overall():
+    result = get_workload("lda").run(fresh_sc(), "tiny")
+    assert result.verified
+    logliks = result.output["loglik"]
+    assert logliks[-1] > logliks[0]
+
+
+def test_pagerank_mass_and_ranking():
+    result = get_workload("pagerank").run(fresh_sc(), "tiny")
+    assert result.verified
+    ranks = result.output["ranks"]
+    assert len(ranks) == 50
+    # Total rank mass ≈ N for the damping formulation used.
+    assert sum(ranks.values()) == pytest.approx(50, rel=0.2)
+    assert all(r >= 0.15 - 1e-9 for r in ranks.values())
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_every_workload_records_time_and_records(name):
+    result = get_workload(name).run(fresh_sc(), "tiny")
+    assert result.execution_time > 0
+    assert result.records_processed > 0
+    assert result.workload == name
+    assert result.size == "tiny"
+
+
+def test_workload_results_deterministic():
+    r1 = get_workload("sort").run(fresh_sc(), "tiny")
+    r2 = get_workload("sort").run(fresh_sc(), "tiny")
+    assert r1.execution_time == r2.execution_time
+    assert list(r1.output) == list(r2.output)
+
+
+def test_prepare_is_idempotent_within_context():
+    sc = fresh_sc()
+    workload = get_workload("sort")
+    workload.run(sc, "tiny")
+    # Second run reuses the staged input (prepare would raise on re-create).
+    result = workload.run(sc, "tiny")
+    assert result.verified
+
+
+def test_workload_on_nvm_is_slower_but_correct():
+    dram = get_workload("bayes").run(fresh_sc(), "tiny")
+    sc_nvm = SparkContext(conf=SparkConf(memory_tier=2))
+    nvm = get_workload("bayes").run(sc_nvm, "tiny")
+    assert nvm.verified
+    assert nvm.output["accuracy"] == dram.output["accuracy"]
+    assert nvm.execution_time > dram.execution_time
