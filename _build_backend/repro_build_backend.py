@@ -1,0 +1,187 @@
+"""Self-contained PEP 517/660 build backend for the ``repro`` package.
+
+``pyproject.toml`` points here via ``backend-path``, so ``pip install -e .``
+(and plain wheel builds) work with the standard library alone — no
+``setuptools``/``wheel`` download is needed, which matters in the offline
+environments this testbed targets.
+
+The backend produces:
+
+- a regular wheel (:func:`build_wheel`) packaging everything under
+  ``src/repro``;
+- an editable wheel (:func:`build_editable`) that installs a single
+  ``__editable__.repro-<version>.pth`` file pointing at ``src``;
+- the ``*.dist-info`` metadata tree (:func:`prepare_metadata_for_build_wheel`);
+- a minimal sdist (:func:`build_sdist`).
+
+Wheel records follow the binary-distribution spec: each RECORD row is
+``path,sha256=<urlsafe-b64-no-pad>,size`` and the RECORD file itself is
+listed with empty digest and size.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import os
+import tarfile
+import zipfile
+from pathlib import Path
+
+NAME = "repro"
+VERSION = "1.0.0"
+REQUIRES_PYTHON = ">=3.10"
+DEPENDENCIES = ("numpy>=1.24",)
+SUMMARY = (
+    "Reproduction of 'On the Implications of Heterogeneous Memory Tiering "
+    "on Spark In-Memory Analytics' (IPPS 2023)"
+)
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+_DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+_WHEEL_NAME = f"{NAME}-{VERSION}-py3-none-any.whl"
+_EXCLUDED_DIRS = {"__pycache__", ".pytest_cache"}
+_EXCLUDED_SUFFIXES = {".pyc", ".pyo"}
+
+
+# -- PEP 517 hook: build requirements -----------------------------------------
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+# -- metadata -----------------------------------------------------------------
+def _metadata_text() -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {NAME}",
+        f"Version: {VERSION}",
+        f"Summary: {SUMMARY}",
+        "License: MIT",
+        f"Requires-Python: {REQUIRES_PYTHON}",
+    ]
+    lines.extend(f"Requires-Dist: {dep}" for dep in DEPENDENCIES)
+    readme = _ROOT / "README.md"
+    if readme.exists():
+        lines.append("Description-Content-Type: text/markdown")
+        lines.append("")
+        lines.append(readme.read_text(encoding="utf-8"))
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_text(editable: bool) -> str:
+    generator = f"{NAME}_build_backend ({VERSION})"
+    return (
+        "Wheel-Version: 1.0\n"
+        f"Generator: {generator}\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    """Write ``repro-<version>.dist-info/{METADATA,WHEEL}``; return its name."""
+    dist_info = Path(metadata_directory) / _DIST_INFO
+    dist_info.mkdir(parents=True, exist_ok=True)
+    (dist_info / "METADATA").write_text(_metadata_text(), encoding="utf-8")
+    (dist_info / "WHEEL").write_text(_wheel_text(editable=False), encoding="utf-8")
+    return _DIST_INFO
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    return prepare_metadata_for_build_wheel(metadata_directory, config_settings)
+
+
+# -- wheel assembly -----------------------------------------------------------
+def _package_files() -> list[tuple[str, Path]]:
+    """(archive name, source path) for every packaged file, sorted."""
+    members: list[tuple[str, Path]] = []
+    for path in sorted((_SRC / NAME).rglob("*")):
+        if not path.is_file():
+            continue
+        if any(part in _EXCLUDED_DIRS for part in path.parts):
+            continue
+        if path.suffix in _EXCLUDED_SUFFIXES:
+            continue
+        members.append((path.relative_to(_SRC).as_posix(), path))
+    return members
+
+
+def _digest(data: bytes) -> str:
+    raw = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(raw).rstrip(b"=").decode()
+
+
+def _write_wheel(
+    wheel_directory: str, payload: list[tuple[str, bytes]], editable: bool
+) -> str:
+    """Assemble a deterministic wheel from in-memory payload members."""
+    record_name = f"{_DIST_INFO}/RECORD"
+    members = list(payload)
+    members.append(
+        (f"{_DIST_INFO}/METADATA", _metadata_text().encode("utf-8"))
+    )
+    members.append(
+        (f"{_DIST_INFO}/WHEEL", _wheel_text(editable).encode("utf-8"))
+    )
+
+    record = io.StringIO()
+    writer = csv.writer(record, lineterminator="\n")
+    for arcname, data in members:
+        writer.writerow([arcname, _digest(data), len(data)])
+    writer.writerow([record_name, "", ""])
+
+    out = Path(wheel_directory) / _WHEEL_NAME
+    # Fixed timestamps keep repeated builds byte-identical.
+    stamp = (2023, 1, 1, 0, 0, 0)
+    with zipfile.ZipFile(out, "w", zipfile.ZIP_DEFLATED) as archive:
+        for arcname, data in members:
+            archive.writestr(zipfile.ZipInfo(arcname, stamp), data)
+        archive.writestr(
+            zipfile.ZipInfo(record_name, stamp), record.getvalue()
+        )
+    return _WHEEL_NAME
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    payload = [
+        (arcname, path.read_bytes()) for arcname, path in _package_files()
+    ]
+    return _write_wheel(wheel_directory, payload, editable=False)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """PEP 660 editable wheel: one ``.pth`` entry pointing at ``src``."""
+    pth = f"__editable__.{NAME}-{VERSION}.pth"
+    payload = [(pth, (str(_SRC) + os.linesep).encode("utf-8"))]
+    return _write_wheel(wheel_directory, payload, editable=True)
+
+
+# -- sdist --------------------------------------------------------------------
+def build_sdist(sdist_directory, config_settings=None):
+    """Minimal source distribution: package sources + project files."""
+    base = f"{NAME}-{VERSION}"
+    out = Path(sdist_directory) / f"{base}.tar.gz"
+    extras = ["pyproject.toml", "README.md", "setup.py"]
+    with tarfile.open(out, "w:gz") as archive:
+        for arcname, path in _package_files():
+            archive.add(path, arcname=f"{base}/src/{arcname}")
+        backend = Path(__file__)
+        archive.add(
+            backend, arcname=f"{base}/_build_backend/{backend.name}"
+        )
+        for extra in extras:
+            path = _ROOT / extra
+            if path.exists():
+                archive.add(path, arcname=f"{base}/{extra}")
+    return out.name

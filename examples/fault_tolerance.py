@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Fault injection and straggler mitigation on the simulated cluster.
+
+Runs the same word-count under four seeded failure regimes — task
+crashes, a lost executor, shuffle fetch failures, and stragglers with
+speculative execution — and shows that the scheduler's mitigation
+machinery (bounded task retry, stage resubmission, blacklisting,
+speculation) always recovers the exact no-fault answer, at a measurable
+schedule cost.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import SparkConf, SparkContext
+from repro.faults import FaultConfig
+from repro.units import fmt_time
+
+WORDS = ("spark", "memory", "tier", "dram", "nvm", "optane", "numa") * 2000
+
+
+def word_count(
+    label: str,
+    faults: FaultConfig | None = None,
+    tier: int = 0,
+    speculation: bool = False,
+    warm_up: bool = False,
+) -> list:
+    conf = SparkConf(
+        memory_tier=tier,
+        num_executors=4,
+        executor_cores=4,
+        default_parallelism=8,
+        faults=faults,
+        speculation=speculation,
+        speculation_interval=1e-3,
+    )
+    sc = SparkContext(conf=conf)
+    if warm_up:
+        # Absorb the one-off JVM start-up cost so task durations reflect
+        # steady-state work — otherwise every first-job task looks
+        # equally "slow" and speculation has nothing to single out.
+        sc.parallelize(range(100), 8).map(lambda x: x).collect()
+    counts = (
+        sc.parallelize(WORDS, 8)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+
+    print(f"\n--- {label} ---")
+    print(f"  distinct words   : {len(counts)}")
+    print(f"  total counted    : {sum(c for _, c in counts)}")
+    print(f"  simulated time   : {fmt_time(sc.total_job_time())}")
+    mitigation: dict[str, int] = {}
+    for job in sc.jobs:
+        for key, value in job.mitigation_summary().items():
+            mitigation[key] = mitigation.get(key, 0) + value
+    for key, value in sorted(mitigation.items()):
+        if value:
+            print(f"  {key:18s} : {int(value)}")
+    sc.stop()
+    return sorted(counts)
+
+
+def main() -> None:
+    print("Fault tolerance: one word-count, four failure regimes")
+
+    baseline = word_count("no faults")
+
+    crashy = word_count(
+        "task crashes (retry with backoff)",
+        faults=FaultConfig(seed=7, task_crash_prob=0.15),
+    )
+    assert crashy == baseline, "retries must reproduce the no-fault answer"
+
+    lossy = word_count(
+        "executor loss (blacklist + stage resubmission)",
+        faults=FaultConfig(seed=2, executor_loss_prob=0.9),
+    )
+    assert lossy == baseline, "executor loss must not change the answer"
+
+    fetchy = word_count(
+        "fetch failures (recompute lost map output)",
+        faults=FaultConfig(seed=3, fetch_fail_prob=0.4),
+    )
+    assert fetchy == baseline, "recomputed shuffles must match"
+
+    slow = word_count(
+        "stragglers + speculation (NVM-remote tier)",
+        faults=FaultConfig(seed=4, straggler_prob=0.12, straggler_multiplier=10.0),
+        tier=3,
+        speculation=True,
+        warm_up=True,
+    )
+    assert slow == baseline, "speculative winners must match"
+
+    print(
+        "\nEvery regime converged on the identical result — the point of "
+        "Spark's lineage-based fault tolerance. The counters above show "
+        "what each recovery cost the schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

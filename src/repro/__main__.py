@@ -44,6 +44,23 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_faults(args: argparse.Namespace) -> "FaultConfig | None":
+    probs = (
+        args.crash_prob, args.loss_prob, args.fetch_fail_prob, args.straggler_prob
+    )
+    if not any(p > 0 for p in probs):
+        return None
+    from repro.faults.config import FaultConfig
+
+    return FaultConfig(
+        seed=args.fault_seed,
+        task_crash_prob=args.crash_prob,
+        executor_loss_prob=args.loss_prob,
+        fetch_fail_prob=args.fetch_fail_prob,
+        straggler_prob=args.straggler_prob,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         workload=args.workload,
@@ -52,6 +69,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_executors=args.executors,
         executor_cores=args.cores,
         mba_percent=args.mba,
+        faults=_build_faults(args),
+        speculation=args.speculate,
     )
     result = run_experiment(config)
     print(f"configuration : {config.describe()}")
@@ -62,6 +81,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"NVM writes    : {result.nvm_writes:,}")
     for name, report in sorted(result.telemetry.energy.items()):
         print(f"energy {name:14s}: {report.total_joules:.3f} J")
+    if config.faults is not None or config.speculation:
+        print("fault tolerance:")
+        for key, value in sorted(result.mitigation.items()):
+            print(f"  {key:20s}: {int(value)}")
     return 0 if result.verified else 1
 
 
@@ -184,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--executors", type=int, default=1)
     run_parser.add_argument("--cores", type=int, default=40)
     run_parser.add_argument("--mba", type=int, default=100)
+    fault_group = run_parser.add_argument_group(
+        "fault injection", "seeded failures injected into the simulated cluster"
+    )
+    fault_group.add_argument("--fault-seed", type=int, default=0)
+    fault_group.add_argument("--crash-prob", type=float, default=0.0,
+                             help="per-attempt task crash probability")
+    fault_group.add_argument("--loss-prob", type=float, default=0.0,
+                             help="per-task-set executor loss probability")
+    fault_group.add_argument("--fetch-fail-prob", type=float, default=0.0,
+                             help="per-fetch shuffle failure probability")
+    fault_group.add_argument("--straggler-prob", type=float, default=0.0,
+                             help="per-attempt straggler probability")
+    fault_group.add_argument("--speculate", action="store_true",
+                             help="enable speculative execution of slow tasks")
     run_parser.set_defaults(fn=_cmd_run)
 
     with_workload(sub.add_parser("tiers", help="sweep all tiers")).set_defaults(

@@ -6,6 +6,7 @@ import typing as t
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.topology import DEFAULT_EXECUTOR_SOCKET, paper_testbed
+from repro.faults.config import FaultConfig
 from repro.memory.mba import BandwidthAllocator
 from repro.sim import Environment
 from repro.spark.conf import SparkConf
@@ -26,6 +27,10 @@ class ExperimentConfig:
     mba_percent: int = 100
     cpu_socket: int = DEFAULT_EXECUTOR_SOCKET
     label: str = ""
+    #: Optional seeded fault-injection plan (None disables injection).
+    faults: FaultConfig | None = None
+    #: Enable speculative re-execution of straggling tasks.
+    speculation: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.tier <= 3:
@@ -41,13 +46,15 @@ class ExperimentConfig:
             executor_cores=self.executor_cores,
             memory_tier=self.tier,
             cpu_socket=self.cpu_socket,
+            faults=self.faults,
+            speculation=self.speculation,
         )
 
     def with_options(self, **kwargs: t.Any) -> "ExperimentConfig":
         return replace(self, **kwargs)
 
     def key(self) -> tuple:
-        return (
+        key = (
             self.workload,
             self.size,
             self.tier,
@@ -55,6 +62,11 @@ class ExperimentConfig:
             self.executor_cores,
             self.mba_percent,
         )
+        # Fault-free configs keep their historical keys (stable caches);
+        # injection/speculation configs get distinguishing components.
+        if self.faults is not None or self.speculation:
+            key += (self.faults, self.speculation)
+        return key
 
     def describe(self) -> str:
         return (
@@ -74,6 +86,10 @@ class ExperimentResult:
     telemetry: TelemetrySample
     records_processed: int = 0
     detail: dict[str, float] = field(default_factory=dict)
+    #: Fault-tolerance counters aggregated across the measured jobs
+    #: (task_attempts, task_failures, speculative_launched/_wins,
+    #: executors_lost, fetch_failures, resubmitted_stages).
+    mitigation: dict[str, float] = field(default_factory=dict)
 
     @property
     def events(self) -> dict[str, float]:
@@ -120,6 +136,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         outcome = workload.run(sc, config.size)
         sample = collector.stop(sc)
 
+    mitigation: dict[str, float] = {}
+    for job in sc.jobs:
+        for key, value in job.mitigation_summary().items():
+            mitigation[key] = mitigation.get(key, 0) + value
     sc.stop()
     return ExperimentResult(
         config=config,
@@ -127,6 +147,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         verified=outcome.verified,
         telemetry=sample,
         records_processed=outcome.records_processed,
+        mitigation=mitigation,
     )
 
 

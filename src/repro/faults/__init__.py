@@ -1,0 +1,42 @@
+"""Fault injection and straggler modelling for the Spark reproduction.
+
+The paper binds executors to progressively slower memory tiers and
+measures how task durations stretch; at production scale the same
+stretching manifests as stragglers and failures that real Spark masks
+with task retries, stage resubmission, blacklisting and speculative
+execution.  This package supplies the *injection* side of that story:
+
+- :class:`FaultConfig` — probabilities, caps and the RNG seed;
+- :class:`FaultInjector` — seeded draws for task crashes, executor
+  losses, block-fetch failures and tier-latency spikes;
+- the failure taxonomy in :mod:`repro.faults.errors`.
+
+The *mitigation* side (bounded retries, speculation, blacklisting,
+stage resubmission) lives in :mod:`repro.spark.scheduler` and
+:mod:`repro.spark.dag`, and reports its counters through
+:mod:`repro.spark.metrics`.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.errors import (
+    ExecutorLostError,
+    FaultError,
+    FetchFailedError,
+    StageAbortedError,
+    TaskCrashedError,
+    TaskSetAbortedError,
+)
+from repro.faults.injector import FAULT_KINDS, FaultInjector, TaskFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "ExecutorLostError",
+    "FaultConfig",
+    "FaultError",
+    "FaultInjector",
+    "FetchFailedError",
+    "StageAbortedError",
+    "TaskCrashedError",
+    "TaskFault",
+    "TaskSetAbortedError",
+]

@@ -1,0 +1,117 @@
+"""Fault-injection configuration (an immutable value object).
+
+Lives on :class:`~repro.spark.conf.SparkConf` as ``conf.faults``; a
+``None``/all-zero config disables injection entirely, in which case the
+engine's event sequence is byte-identical to a build without this
+subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+import typing as t
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Probabilities and caps for every injected failure class.
+
+    Attributes
+    ----------
+    seed:
+        Seed for the injector's private RNG.  All fault decisions draw
+        from this stream and **never** from wall-clock state, so a fixed
+        ``(SparkConf, seed)`` pair reproduces the exact same failure
+        schedule, timeline and metrics on every run.
+    task_crash_prob:
+        Per task-attempt probability that the attempt dies after doing a
+        random fraction of its work (modelled after executor-side task
+        crashes that Spark retries up to ``spark.task.maxFailures``).
+    executor_loss_prob:
+        Per executor, per task-set probability that the executor process
+        is killed partway through the stage.  Running attempts fail with
+        :class:`~repro.faults.errors.ExecutorLostError` and the
+        executor's registered shuffle map outputs are invalidated, which
+        later forces parent-stage resubmission.
+    executor_loss_delay:
+        Scale (seconds of simulated time) for when within the stage a
+        doomed executor dies; the actual delay is ``U(0,1) * delay``.
+    fetch_fail_prob:
+        Per reduce-side fetch probability that one already-registered
+        map output is declared lost mid-fetch (block-fetch failure).
+    straggler_prob:
+        Per task-attempt probability of a tier-latency spike: the
+        attempt's memory-bound phase is stretched by
+        ``straggler_multiplier`` — the raw material for speculative
+        execution.
+    straggler_multiplier:
+        Duration multiplier applied to a straggling attempt's paid
+        memory/compute time (> 1).
+    max_task_crashes / max_executor_losses / max_fetch_failures /
+    max_stragglers:
+        Hard caps on how many of each fault the injector will ever
+        issue (``None`` = unbounded).  Caps keep probabilistic configs
+        from compounding past the scheduler's bounded retry budgets.
+    """
+
+    seed: int = 0
+    task_crash_prob: float = 0.0
+    executor_loss_prob: float = 0.0
+    executor_loss_delay: float = 5e-3
+    fetch_fail_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_multiplier: float = 4.0
+    max_task_crashes: int | None = None
+    max_executor_losses: int = 1
+    max_fetch_failures: int = 2
+    max_stragglers: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "task_crash_prob",
+            "executor_loss_prob",
+            "fetch_fail_prob",
+            "straggler_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.straggler_multiplier < 1.0:
+            raise ValueError("straggler_multiplier must be >= 1")
+        if self.executor_loss_delay < 0:
+            raise ValueError("executor_loss_delay must be non-negative")
+        for name in (
+            "max_task_crashes",
+            "max_executor_losses",
+            "max_fetch_failures",
+            "max_stragglers",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0 or None, got {value}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class can actually fire."""
+        return (
+            self.task_crash_prob > 0
+            or self.executor_loss_prob > 0
+            or self.fetch_fail_prob > 0
+            or self.straggler_prob > 0
+        )
+
+    def with_options(self, **kwargs: t.Any) -> "FaultConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for label, value in (
+            ("crash", self.task_crash_prob),
+            ("loss", self.executor_loss_prob),
+            ("fetch", self.fetch_fail_prob),
+            ("straggle", self.straggler_prob),
+        ):
+            if value > 0:
+                parts.append(f"{label}={value:g}")
+        return f"FaultConfig({', '.join(parts)})"

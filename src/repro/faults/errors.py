@@ -1,0 +1,74 @@
+"""Failure types raised by the fault-injection and recovery machinery.
+
+All of them subclass :class:`RuntimeError` so pre-existing driver-side
+error handling (and tests matching ``RuntimeError``) keeps working.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for injected and recovery-path failures."""
+
+
+class TaskCrashedError(FaultError):
+    """A task attempt died mid-execution (JVM crash, OOM-kill, seg-fault)."""
+
+    def __init__(self, task_id: int, attempt: int, executor_id: int) -> None:
+        super().__init__(
+            f"task {task_id} attempt {attempt} crashed on executor {executor_id}"
+        )
+        self.task_id = task_id
+        self.attempt = attempt
+        self.executor_id = executor_id
+
+
+class ExecutorLostError(FaultError):
+    """An executor process disappeared (host reboot, OOM-killer, preemption)."""
+
+    def __init__(self, executor_id: int, reason: str = "executor lost") -> None:
+        super().__init__(f"executor {executor_id} lost: {reason}")
+        self.executor_id = executor_id
+
+
+class FetchFailedError(FaultError):
+    """A reducer could not fetch a map output segment.
+
+    Spark semantics: the map output is treated as lost, the producing map
+    stage is resubmitted for the missing partitions, and the reduce stage
+    retries afterwards.
+    """
+
+    def __init__(
+        self, shuffle_id: int, map_partition: int, reason: str = ""
+    ) -> None:
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"fetch failed: shuffle {shuffle_id} map partition "
+            f"{map_partition}{detail}"
+        )
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+
+
+class TaskSetAbortedError(FaultError):
+    """A task exhausted ``task_max_failures`` attempts; the job aborts."""
+
+    def __init__(self, task_id: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"task {task_id} failed {attempts} attempt(s); aborting job: {cause}"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class StageAbortedError(FaultError):
+    """A stage exceeded ``stage_max_attempts`` resubmissions."""
+
+    def __init__(self, stage_id: int, attempts: int) -> None:
+        super().__init__(
+            f"stage {stage_id} aborted after {attempts} attempt(s)"
+        )
+        self.stage_id = stage_id
+        self.attempts = attempts

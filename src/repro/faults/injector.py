@@ -1,0 +1,141 @@
+"""The seeded fault injector.
+
+One injector lives on a :class:`~repro.spark.context.SparkContext` (when
+``conf.faults`` is set) and is consulted at three deterministic points:
+
+- **task-attempt launch** (scheduler): draw a per-attempt fault — crash
+  after a partial amount of work, or a tier-latency spike that stretches
+  the attempt into a straggler;
+- **task-set start** (scheduler): draw which executors die during the
+  stage and when;
+- **reduce-side fetch** (shuffle manager): decide whether a registered
+  map output is lost mid-fetch.
+
+Every decision draws from one private ``random.Random(seed)`` stream and
+nothing else, so a fixed seed reproduces the exact fault schedule; the
+simulation stays bit-deterministic with injection enabled.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as t
+from dataclasses import dataclass
+
+from repro.faults.config import FaultConfig
+
+#: Fault counter keys, in display order.
+FAULT_KINDS: tuple[str, ...] = (
+    "task_crashes",
+    "executor_losses",
+    "fetch_failures",
+    "stragglers",
+)
+
+
+@dataclass(frozen=True)
+class TaskFault:
+    """A fault bound to one task attempt.
+
+    ``kind == "crash"``: the attempt performs ``work_fraction`` of its
+    cost, then raises :class:`~repro.faults.errors.TaskCrashedError`.
+    ``kind == "straggler"``: the attempt's paid time is stretched by
+    ``multiplier`` (a tier-latency spike under contention).
+    """
+
+    kind: str
+    work_fraction: float = 1.0
+    multiplier: float = 1.0
+
+
+class FaultInjector:
+    """Draws fault decisions from a seeded RNG and counts what it issued."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _capped(self, kind: str, cap: int | None) -> bool:
+        return cap is not None and self.injected[kind] >= cap
+
+    def counts(self) -> dict[str, int]:
+        """Copy of the injected-fault counters."""
+        return dict(self.injected)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # -- per-attempt faults --------------------------------------------------
+    def draw_task_fault(self, speculative: bool = False) -> TaskFault | None:
+        """Fault for one task attempt, or ``None`` for a clean run.
+
+        Speculative clones are deliberately exempt from crash injection
+        (they exist to verify the takeover path); they can still straggle.
+        """
+        config = self.config
+        if (
+            not speculative
+            and config.task_crash_prob > 0
+            and not self._capped("task_crashes", config.max_task_crashes)
+            and self.rng.random() < config.task_crash_prob
+        ):
+            self.injected["task_crashes"] += 1
+            # Die somewhere in the middle of the work, never at 0 or 100%.
+            return TaskFault(
+                kind="crash", work_fraction=0.2 + 0.6 * self.rng.random()
+            )
+        if (
+            config.straggler_prob > 0
+            and not self._capped("stragglers", config.max_stragglers)
+            and self.rng.random() < config.straggler_prob
+        ):
+            self.injected["stragglers"] += 1
+            return TaskFault(
+                kind="straggler", multiplier=config.straggler_multiplier
+            )
+        return None
+
+    # -- executor loss -------------------------------------------------------
+    def draw_executor_losses(
+        self, executor_ids: t.Sequence[int]
+    ) -> list[tuple[int, float]]:
+        """``(executor_id, delay)`` kills to schedule for one task set.
+
+        At least one executor always survives: the draw never dooms the
+        full pool, so a stage can finish without executor replacement.
+        """
+        config = self.config
+        if config.executor_loss_prob <= 0:
+            return []
+        losses: list[tuple[int, float]] = []
+        survivors = len(executor_ids)
+        for executor_id in sorted(executor_ids):
+            if survivors <= 1:
+                break
+            if self._capped("executor_losses", config.max_executor_losses):
+                break
+            if self.rng.random() < config.executor_loss_prob:
+                delay = self.rng.random() * config.executor_loss_delay
+                losses.append((executor_id, delay))
+                self.injected["executor_losses"] += 1
+                survivors -= 1
+        return losses
+
+    # -- fetch failure -------------------------------------------------------
+    def draw_fetch_failure(
+        self, registered_map_partitions: t.Sequence[int]
+    ) -> int | None:
+        """Map partition whose output is lost mid-fetch, or ``None``."""
+        config = self.config
+        if (
+            config.fetch_fail_prob <= 0
+            or not registered_map_partitions
+            or self._capped("fetch_failures", config.max_fetch_failures)
+            or self.rng.random() >= config.fetch_fail_prob
+        ):
+            return None
+        self.injected["fetch_failures"] += 1
+        return self.rng.choice(sorted(registered_map_partitions))

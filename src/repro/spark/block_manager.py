@@ -89,6 +89,13 @@ class BlockManager:
 
             self._disk[victim] = (data, len(data) * estimate_record_bytes(data))
 
+    def drop_all(self) -> None:
+        """Executor loss: every cached block dies with the process."""
+        for block in list(self._data):
+            self.memory.release_rdd(block.rdd_id)
+        self._data.clear()
+        self._disk.clear()
+
     def evict_rdd(self, rdd_id: int) -> float:
         """Unpersist support: drop all blocks of one RDD (memory + disk)."""
         freed = self.memory.release_rdd(rdd_id)

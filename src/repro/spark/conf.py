@@ -5,6 +5,7 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field, replace
 
+from repro.faults.config import FaultConfig
 from repro.units import MB, gib
 
 
@@ -57,6 +58,32 @@ class SparkConf:
         the block-transfer service — no cross-executor copy, no
         serialization round trip.  Off by default (stock Spark
         behaviour).
+    task_max_failures:
+        ``spark.task.maxFailures``: attempts per task before the job
+        aborts with the last failure.
+    stage_max_attempts:
+        ``spark.stage.maxConsecutiveAttempts``: submissions per stage
+        (fetch-failure resubmissions) before the job aborts.
+    task_retry_backoff:
+        Simulated delay before a failed task's retry attempt launches.
+    blacklist_max_failures:
+        Task failures on one executor before the scheduler stops
+        assigning new work to it (``spark.blacklist.*``); 0 disables
+        blacklisting.
+    speculation:
+        ``spark.speculation``: once ``speculation_quantile`` of a stage
+        has finished, tasks running longer than ``speculation_multiplier
+        × median`` successful duration get a speculative clone on
+        another executor; the first finisher wins and the loser is
+        killed.
+    speculation_interval:
+        Simulated period (seconds) between speculation checks while a
+        stage has unfinished tasks.
+    faults:
+        Optional :class:`~repro.faults.config.FaultConfig` enabling the
+        seeded fault injector (task crashes, executor loss, fetch
+        failures, tier-latency spikes).  ``None`` disables injection and
+        leaves the event sequence untouched.
     """
 
     num_executors: int = 1
@@ -72,6 +99,15 @@ class SparkConf:
     task_control_writes: int = 3000
     shuffle_chunk_bytes: int = 4 * MB
     unified_shuffle: bool = False
+    task_max_failures: int = 4
+    stage_max_attempts: int = 4
+    task_retry_backoff: float = 1e-3
+    blacklist_max_failures: int = 2
+    speculation: bool = False
+    speculation_multiplier: float = 1.5
+    speculation_quantile: float = 0.75
+    speculation_interval: float = 5e-3
+    faults: FaultConfig | None = None
     extra: dict[str, t.Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -95,6 +131,20 @@ class SparkConf:
             raise ValueError("task_control_writes must be non-negative")
         if self.shuffle_chunk_bytes <= 0:
             raise ValueError("shuffle_chunk_bytes must be positive")
+        if self.task_max_failures < 1:
+            raise ValueError("task_max_failures must be >= 1")
+        if self.stage_max_attempts < 1:
+            raise ValueError("stage_max_attempts must be >= 1")
+        if self.task_retry_backoff < 0:
+            raise ValueError("task_retry_backoff must be non-negative")
+        if self.blacklist_max_failures < 0:
+            raise ValueError("blacklist_max_failures must be non-negative")
+        if self.speculation_multiplier < 1.0:
+            raise ValueError("speculation_multiplier must be >= 1")
+        if not 0 < self.speculation_quantile <= 1:
+            raise ValueError("speculation_quantile must be in (0, 1]")
+        if self.speculation_interval <= 0:
+            raise ValueError("speculation_interval must be positive")
 
     @property
     def total_task_slots(self) -> int:

@@ -6,6 +6,7 @@ import typing as t
 
 from repro.cluster.node import Machine
 from repro.cluster.topology import paper_testbed
+from repro.faults.injector import FaultInjector
 from repro.hdfs.filesystem import HdfsClient
 from repro.sim import Environment
 from repro.spark.conf import SparkConf
@@ -45,9 +46,22 @@ class SparkContext:
         self.hdfs = hdfs if hdfs is not None else HdfsClient(self.env)
         self.app_name = app_name
         self.shuffle_manager = ShuffleManager()
+        #: Seeded fault injector, when the configuration enables one; all
+        #: injected faults (and only injected faults) draw from its RNG.
+        self.fault_injector = (
+            FaultInjector(self.conf.faults)
+            if self.conf.faults is not None and self.conf.faults.enabled
+            else None
+        )
+        self.shuffle_manager.fault_injector = self.fault_injector
         self.dag = DAGScheduler(self)
         self.task_scheduler = TaskScheduler(
-            self.env, self.conf, self.machine, self.shuffle_manager, self.hdfs
+            self.env,
+            self.conf,
+            self.machine,
+            self.shuffle_manager,
+            self.hdfs,
+            injector=self.fault_injector,
         )
         self.jobs: list[JobMetrics] = []
         self._rdd_counter = 0

@@ -5,6 +5,13 @@ Walks the final RDD's lineage, cutting a new stage at every
 construction algorithm), deduplicating stages by shuffle id, and skipping
 map stages whose shuffle output is already materialized (which is how
 iterative workloads reuse earlier shuffles).
+
+Stage-level fault tolerance lives here: a
+:class:`~repro.faults.errors.FetchFailedError` surfaced by a task set
+marks the producing map outputs as lost, so the parent map stage is
+resubmitted for exactly the missing partitions before the failed stage
+retries (bounded by ``SparkConf.stage_max_attempts`` submissions per
+stage, then :class:`~repro.faults.errors.StageAbortedError`).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import typing as t
 from itertools import count
 
+from repro.faults.errors import StageAbortedError
 from repro.spark.dependency import NarrowDependency, ShuffleDependency
 from repro.spark.metrics import JobMetrics, StageMetrics
 from repro.spark.stage import Stage, topological_order
@@ -33,6 +41,9 @@ class DAGScheduler:
         #: Stage cache keyed by shuffle id so shared lineage maps to one
         #: physical stage per shuffle (as in Spark).
         self._shuffle_stages: dict[int, Stage] = {}
+        #: Task-set submissions per stage id (bounds fetch-failure
+        #: resubmission via ``SparkConf.stage_max_attempts``).
+        self._stage_submissions: dict[int, int] = {}
 
     # -- stage graph construction ------------------------------------------------
     def _parent_stages(self, rdd: "RDD") -> list[Stage]:
@@ -106,13 +117,13 @@ class DAGScheduler:
                 stage.shuffle_dep.shuffle_id  # type: ignore[union-attr]
             ):
                 continue  # output already materialized by an earlier job
-            stage_metrics = self._run_stage(
+            self._run_stage(
                 stage,
                 result_func,
                 results,
+                job,
                 hdfs_path=None if stage.is_shuffle_map else hdfs_path,
             )
-            job.stages.append(stage_metrics)
 
         job.complete_time = env.now
         return results, job
@@ -122,15 +133,70 @@ class DAGScheduler:
         stage: Stage,
         result_func: t.Callable[[list[t.Any]], t.Any],
         results: list[t.Any],
+        job: JobMetrics,
         hdfs_path: str | None = None,
-    ) -> StageMetrics:
-        """Submit one stage's tasks and block (in sim time) until done."""
+    ) -> None:
+        """Drive one stage to completion, resubmitting after lost output.
+
+        A map stage's outstanding work is whatever the shuffle registry
+        reports missing (never run, or invalidated by executor loss /
+        fetch failure); a result stage tracks finished partitions
+        directly.  Each fetch failure first recomputes the producing map
+        stage's missing partitions, then the loop re-evaluates what is
+        left to run.
+        """
+        conf = self.sc.conf
+        done: set[int] = set()
+        while True:
+            if stage.is_shuffle_map:
+                partitions = self.sc.shuffle_manager.missing_partitions(
+                    stage.shuffle_dep.shuffle_id  # type: ignore[union-attr]
+                )
+            else:
+                partitions = [
+                    p for p in range(stage.num_tasks) if p not in done
+                ]
+            if not partitions:
+                return
+            submissions = self._stage_submissions.get(stage.stage_id, 0)
+            if submissions >= conf.stage_max_attempts:
+                raise StageAbortedError(stage.stage_id, submissions)
+            fetch_failure = self._submit_stage_attempt(
+                stage, partitions, result_func, results, done, job, hdfs_path
+            )
+            if fetch_failure is not None:
+                # Lost map output: recompute the producing (ancestor) map
+                # stage before the next submission of this stage.
+                self._run_stage(
+                    self._shuffle_stages[fetch_failure.shuffle_id],
+                    result_func,
+                    results,
+                    job,
+                    hdfs_path=None,
+                )
+
+    def _submit_stage_attempt(
+        self,
+        stage: Stage,
+        partitions: list[int],
+        result_func: t.Callable[[list[t.Any]], t.Any],
+        results: list[t.Any],
+        done: set[int],
+        job: JobMetrics,
+        hdfs_path: str | None,
+    ) -> t.Any:
+        """Run one task set for ``partitions``; returns any fetch failure."""
         env = self.sc.env
+        submissions = self._stage_submissions.get(stage.stage_id, 0)
+        self._stage_submissions[stage.stage_id] = submissions + 1
+        if submissions > 0:
+            job.resubmitted_stages += 1
         metrics = StageMetrics(
             stage_id=stage.stage_id,
             name=stage.describe(),
-            num_tasks=stage.num_tasks,
+            num_tasks=len(partitions),
             submit_time=env.now,
+            attempt=submissions,
         )
         tasks = [
             Task(
@@ -141,12 +207,23 @@ class DAGScheduler:
                 shuffle_dep=stage.shuffle_dep,
                 result_func=None if stage.is_shuffle_map else result_func,
             )
-            for p in range(stage.num_tasks)
+            for p in partitions
         ]
-        outputs = self.sc.task_scheduler.run_task_set(tasks, hdfs_path=hdfs_path)
-        if not stage.is_shuffle_map:
-            for task, output in zip(tasks, outputs):
-                results[task.partition] = output
-        metrics.tasks = [task.metrics for task in tasks]
+        outcome = self.sc.task_scheduler.run_task_set(
+            tasks, hdfs_path=hdfs_path
+        )
+        for i, task in enumerate(tasks):
+            if outcome.done[i]:
+                done.add(task.partition)
+                if not stage.is_shuffle_map:
+                    results[task.partition] = outcome.results[i]
+        metrics.tasks = [m for m in outcome.winners if m is not None]
+        metrics.attempts = list(outcome.attempts)
+        metrics.task_failures = outcome.task_failures
+        metrics.speculative_launched = outcome.speculative_launched
+        metrics.speculative_wins = outcome.speculative_wins
+        metrics.executors_lost = outcome.executors_lost
+        metrics.fetch_failures = outcome.fetch_failures
         metrics.complete_time = env.now
-        return metrics
+        job.stages.append(metrics)
+        return outcome.fetch_failure

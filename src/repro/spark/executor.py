@@ -26,6 +26,7 @@ import typing as t
 
 from repro.cluster.node import BoundMemory
 from repro.cluster.socket import Socket
+from repro.faults.errors import ExecutorLostError, TaskCrashedError
 from repro.memory.allocator import MembindAllocator
 from repro.memory.device import AccessProfile
 from repro.sim import Environment, Resource
@@ -35,6 +36,7 @@ from repro.spark.memory_manager import UnifiedMemoryManager
 from repro.spark.task import Task, TaskContext
 
 if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import TaskFault
     from repro.hdfs.filesystem import HdfsClient
     from repro.spark.shuffle import ShuffleManager
 
@@ -97,6 +99,10 @@ class Executor:
         self.allocator = MembindAllocator(memory.device)
         self._heap = self.allocator.allocate(conf.executor_memory)
         self.tasks_run = 0
+        #: False once the executor process has been killed (fault
+        #: injection); dead executors refuse new tasks and their cached
+        #: blocks and shuffle outputs are gone.
+        self.alive = True
         #: JVM startup event: triggered once the executor has launched;
         #: every task waits on it.  Created lazily so startup lands inside
         #: the first job's measured window (as in a real spark-submit).
@@ -158,6 +164,20 @@ class Executor:
             self._startup_done = self.env.process(self._startup())
         return self._startup_done
 
+    def kill(self) -> None:
+        """Executor-loss fault: the process is gone.
+
+        Cached blocks die with the heap, and the membind reservation is
+        returned to the device.  The scheduler is responsible for
+        interrupting in-flight task attempts and invalidating this
+        executor's shuffle map outputs.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.block_manager.drop_all()
+        self.allocator.free_all()
+
     def _control_traffic(self) -> t.Generator:
         """Task launch/teardown control-plane writes on the bound tier.
 
@@ -207,14 +227,30 @@ class Executor:
         return None
 
     # -- task lifecycle --------------------------------------------------------------
-    def run_task(self, task: Task, hdfs_path: str | None = None) -> t.Generator:
-        """Simulation process executing one task end to end."""
+    def run_task(
+        self,
+        task: Task,
+        hdfs_path: str | None = None,
+        fault: "TaskFault | None" = None,
+    ) -> t.Generator:
+        """Simulation process executing one task attempt end to end.
+
+        ``fault`` (from the injector) can make this attempt crash after a
+        fraction of its work, or stretch its memory-bound phase into a
+        straggler (tier-latency spike).
+        """
         env = self.env
         task.metrics.task_id = task.task_id
         task.metrics.stage_id = task.stage_id
         task.metrics.partition = task.partition
         task.metrics.executor_id = self.executor_id
+        task.metrics.attempt = task.attempt
+        task.metrics.speculative = task.speculative
         task.metrics.launch_time = env.now
+        crash = fault is not None and fault.kind == "crash"
+
+        if not self.alive:
+            raise ExecutorLostError(self.executor_id, "assigned to dead executor")
 
         yield self.ensure_started()
 
@@ -228,6 +264,9 @@ class Executor:
                 yield dreq
                 yield env.timeout(self.conf.task_dispatch_overhead)
             task.metrics.dispatch_wait = env.now - dispatch_started
+            # Straggler faults stretch everything the attempt does from
+            # here on (control traffic, evaluation, memory payment).
+            work_started = env.now
             # Control-plane writes happen outside the critical section
             # (parallel across in-flight tasks, serialized only by the
             # device queue itself).
@@ -241,8 +280,14 @@ class Executor:
 
                 ctx = TaskContext(executor=self)
                 ctx.metrics = task.metrics
-                result = self._evaluate(task, ctx)
+                # A crashing attempt must leave no shuffle output behind.
+                result = self._evaluate(task, ctx, register=not crash)
                 ops, profile = ctx.drain_profile()
+                if crash:
+                    # Die partway through: only a fraction of the work
+                    # (and its memory traffic) actually happened.
+                    ops *= fault.work_fraction
+                    profile = profile.scaled(fault.work_fraction)
 
                 # Timed HDFS reads queued by source RDDs.  HDFS I/O moves
                 # through the OS page cache, which `numactl --membind`
@@ -293,6 +338,23 @@ class Executor:
                         core_stream_bw=self.socket.cpu.core_stream_bandwidth,
                     )
 
+                if fault is not None and fault.kind == "straggler":
+                    # Tier-latency spike: everything the attempt did since
+                    # dispatch is stretched by the configured multiplier —
+                    # exactly the raw material speculation exists for.
+                    stretch = (env.now - work_started) * (
+                        fault.multiplier - 1.0
+                    )
+                    if stretch > 0:
+                        yield env.timeout(stretch)
+
+                if crash:
+                    task.metrics.finish_time = env.now
+                    task.metrics.status = "FAILED"
+                    raise TaskCrashedError(
+                        task.task_id, task.attempt, self.executor_id
+                    )
+
                 # Timed HDFS output write, when this job saves a file
                 # (page-cache staging on the bound tier + disk transfer).
                 if hdfs_path is not None and self.hdfs is not None and result:
@@ -311,17 +373,27 @@ class Executor:
         self.tasks_run += 1
         return result
 
-    def _evaluate(self, task: Task, ctx: TaskContext) -> t.Any:
-        """Eagerly evaluate the task's partition pipeline (real data)."""
+    def _evaluate(
+        self, task: Task, ctx: TaskContext, register: bool = True
+    ) -> t.Any:
+        """Eagerly evaluate the task's partition pipeline (real data).
+
+        ``register=False`` (a crashing attempt) still pays the map-side
+        costs incurred so far but leaves no shuffle output behind.
+        """
         data = task.rdd.iterator(task.partition, ctx)
         if task.is_shuffle_map:
-            self._write_shuffle_output(task, data, ctx)
+            self._write_shuffle_output(task, data, ctx, register=register)
             return len(data)
         assert task.result_func is not None, "result task without a function"
         return task.result_func(data)
 
     def _write_shuffle_output(
-        self, task: Task, data: list[t.Any], ctx: TaskContext
+        self,
+        task: Task,
+        data: list[t.Any],
+        ctx: TaskContext,
+        register: bool = True,
     ) -> None:
         """Map-side shuffle: combine, bucket, register, charge."""
         dep = task.shuffle_dep
@@ -355,13 +427,14 @@ class Executor:
             ctx.metrics.spill_bytes += shortfall
 
         try:
-            self.shuffle_manager.add_map_output(
-                dep.shuffle_id,
-                task.partition,
-                self.executor_id,
-                buckets,
-                record_bytes=record_bytes,
-            )
+            if register:
+                self.shuffle_manager.add_map_output(
+                    dep.shuffle_id,
+                    task.partition,
+                    self.executor_id,
+                    buckets,
+                    record_bytes=record_bytes,
+                )
         finally:
             self.memory_manager.release_execution(granted)
 

@@ -18,6 +18,11 @@ class TaskMetrics:
     stage_id: int = -1
     partition: int = -1
     executor_id: int = -1
+    attempt: int = 0
+    speculative: bool = False
+    #: Final attempt state: ``SUCCESS``, ``FAILED`` (crash/user error/
+    #: executor loss) or ``KILLED`` (speculation loser, task-set abort).
+    status: str = "SUCCESS"
     launch_time: float = 0.0
     finish_time: float = 0.0
     records_read: int = 0
@@ -50,21 +55,51 @@ class TaskMetrics:
 
 @dataclass
 class StageMetrics:
-    """Aggregate over the tasks of one stage."""
+    """Aggregate over the tasks of one stage (one submission attempt).
+
+    ``tasks`` holds the *winning* attempt per completed task (the
+    pre-fault-tolerance notion of "the stage's tasks"); ``attempts``
+    holds every attempt launched, including failed, killed and
+    speculative ones, so mitigation overhead stays measurable.
+    """
 
     stage_id: int
     name: str = ""
     num_tasks: int = 0
     submit_time: float = 0.0
     complete_time: float = 0.0
+    attempt: int = 0
     tasks: list[TaskMetrics] = field(default_factory=list)
+    attempts: list[TaskMetrics] = field(default_factory=list)
+    task_failures: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    executors_lost: int = 0
+    fetch_failures: int = 0
 
     @property
     def duration(self) -> float:
         return max(0.0, self.complete_time - self.submit_time)
 
+    @property
+    def num_attempts(self) -> int:
+        """Attempts launched, including retries and speculative clones."""
+        return len(self.attempts) if self.attempts else len(self.tasks)
+
+    @property
+    def task_retries(self) -> int:
+        """Non-speculative re-launches (attempt number > 0)."""
+        return sum(
+            1 for m in self.attempts if m.attempt > 0 and not m.speculative
+        )
+
     def total(self, attr: str) -> float:
         return float(sum(getattr(m, attr) for m in self.tasks))
+
+    def total_attempts(self, attr: str) -> float:
+        """Sum over every attempt (mitigation overhead included)."""
+        source = self.attempts if self.attempts else self.tasks
+        return float(sum(getattr(m, attr) for m in source))
 
 
 @dataclass
@@ -76,6 +111,8 @@ class JobMetrics:
     submit_time: float = 0.0
     complete_time: float = 0.0
     stages: list[StageMetrics] = field(default_factory=list)
+    #: Stage submissions beyond the first (fetch-failure recovery).
+    resubmitted_stages: int = 0
 
     @property
     def duration(self) -> float:
@@ -84,8 +121,32 @@ class JobMetrics:
     def all_tasks(self) -> list[TaskMetrics]:
         return [task for stage in self.stages for task in stage.tasks]
 
+    def all_attempts(self) -> list[TaskMetrics]:
+        """Every attempt of every stage, failed and speculative included."""
+        return [
+            attempt
+            for stage in self.stages
+            for attempt in (stage.attempts if stage.attempts else stage.tasks)
+        ]
+
     def total(self, attr: str) -> float:
         return float(sum(getattr(m, attr) for m in self.all_tasks()))
+
+    def mitigation_summary(self) -> dict[str, float]:
+        """Fault-tolerance counters aggregated over the job's stages."""
+        stages = self.stages
+        attempts = self.all_attempts()
+        return {
+            "task_attempts": float(len(attempts)),
+            "task_failures": float(sum(s.task_failures for s in stages)),
+            "speculative_launched": float(
+                sum(s.speculative_launched for s in stages)
+            ),
+            "speculative_wins": float(sum(s.speculative_wins for s in stages)),
+            "executors_lost": float(sum(s.executors_lost for s in stages)),
+            "fetch_failures": float(sum(s.fetch_failures for s in stages)),
+            "resubmitted_stages": float(self.resubmitted_stages),
+        }
 
     def summary(self) -> dict[str, float]:
         """Flat event dictionary (input to the Fig. 5 correlations)."""
@@ -106,6 +167,7 @@ class JobMetrics:
             "spill_bytes": self.total("spill_bytes"),
             "dispatch_wait": self.total("dispatch_wait"),
             "cpu_wait": self.total("cpu_wait"),
+            **self.mitigation_summary(),
         }
 
 

@@ -1,20 +1,100 @@
-"""Task scheduler: places task sets onto executors and awaits them."""
+"""Task scheduler: places task sets onto executors and awaits them.
+
+Beyond placement, this layer owns Spark's task-level fault tolerance:
+
+- **retries** — a failed attempt is relaunched (on a different executor
+  when one exists) until ``SparkConf.task_max_failures`` is exhausted,
+  at which point the job aborts with the last failure as cause;
+- **executor loss** — injected kills interrupt the executor's running
+  attempts, invalidate its shuffle map outputs and cached blocks, and
+  the orphaned tasks retry elsewhere;
+- **blacklisting** — executors accumulating
+  ``SparkConf.blacklist_max_failures`` task failures stop receiving new
+  work while healthier executors remain;
+- **speculation** — once ``speculation_quantile`` of a task set has
+  finished, attempts running longer than ``speculation_multiplier ×
+  median`` successful duration get a clone on another executor; the
+  first finisher wins and the loser is killed;
+- **fetch failures** — surfaced to the DAG scheduler (not retried here):
+  the producing map stage must be resubmitted first.
+
+With no fault injector attached and speculation disabled the scheduler
+creates exactly the same simulation processes, in the same order, as the
+fault-oblivious scheduler it replaced — the no-fault event sequence (and
+therefore every simulated time) is bit-identical.
+"""
 
 from __future__ import annotations
 
 import typing as t
+from dataclasses import dataclass, field
 
 from repro.cluster.node import Machine
 from repro.cluster.numactl import NumactlBinding
+from repro.faults.errors import (
+    ExecutorLostError,
+    FetchFailedError,
+    TaskSetAbortedError,
+)
 from repro.memory.tiers import tier_by_id
-from repro.sim import Environment
+from repro.sim import Environment, Interrupt, Process
+from repro.sim.events import Initialize
 from repro.spark.conf import SparkConf
 from repro.spark.executor import Executor
+from repro.spark.metrics import TaskMetrics
 from repro.spark.task import Task
 
 if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.hdfs.filesystem import HdfsClient
     from repro.spark.shuffle import ShuffleManager
+
+#: Interrupt cause delivered to speculation losers.
+SPECULATION_KILL = "speculation: a faster attempt won"
+
+
+@dataclass
+class TaskSetResult:
+    """Outcome of one task-set submission (one stage attempt).
+
+    ``results``/``done``/``winners`` are indexed by position in the
+    submitted task list; ``attempts`` holds the metrics of *every*
+    attempt launched (failed, killed and speculative included).
+    """
+
+    results: list[t.Any]
+    done: list[bool]
+    winners: list[TaskMetrics | None]
+    attempts: list[TaskMetrics] = field(default_factory=list)
+    task_failures: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    executors_lost: int = 0
+    fetch_failures: int = 0
+    #: First fetch failure observed; the DAG scheduler resubmits the
+    #: producing map stage when set.
+    fetch_failure: FetchFailedError | None = None
+
+    @property
+    def complete(self) -> bool:
+        return all(self.done)
+
+
+@dataclass
+class _Attempt:
+    """Bookkeeping for one live task attempt."""
+
+    index: int
+    task: Task
+    executor: Executor
+    created_at: float
+
+
+def _median(sorted_values: list[float]) -> float:
+    mid = len(sorted_values) // 2
+    if len(sorted_values) % 2:
+        return sorted_values[mid]
+    return 0.5 * (sorted_values[mid - 1] + sorted_values[mid])
 
 
 class TaskScheduler:
@@ -28,6 +108,9 @@ class TaskScheduler:
     - ``"least_loaded"``: each task goes to the executor with the least
       outstanding assigned work (record-count estimate).  Better when
       partition sizes are skewed — stragglers stop pinning one executor.
+
+    Dead (``Executor.alive == False``) and blacklisted executors are
+    excluded from placement while alternatives exist.
     """
 
     def __init__(
@@ -37,10 +120,13 @@ class TaskScheduler:
         machine: Machine,
         shuffle_manager: "ShuffleManager",
         hdfs: "HdfsClient | None" = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.env = env
         self.conf = conf
         self.machine = machine
+        self.shuffle_manager = shuffle_manager
+        self.injector = injector
         binding = NumactlBinding(conf.cpu_socket, tier_by_id(conf.memory_tier))
         socket, memory = binding.resolve(machine)
         self.executors = [
@@ -55,20 +141,70 @@ class TaskScheduler:
             )
             for i in range(conf.num_executors)
         ]
+        #: Task failures per executor (blacklisting evidence).
+        self.executor_failures: dict[int, int] = {}
+        #: Executors no longer offered new tasks.
+        self.blacklisted: set[int] = set()
 
+    # -- executor pools ------------------------------------------------------------
+    def alive_executors(self) -> list[Executor]:
+        return [ex for ex in self.executors if ex.alive]
+
+    def _healthy_pool(self) -> list[Executor]:
+        """Executors eligible for new work (with graceful degradation)."""
+        pool = [
+            ex
+            for ex in self.executors
+            if ex.alive and ex.executor_id not in self.blacklisted
+        ]
+        return pool or self.alive_executors() or list(self.executors)
+
+    def _pick_executor(
+        self,
+        live: dict[Process, _Attempt],
+        exclude: Executor | None = None,
+    ) -> Executor:
+        """Healthy executor with the fewest live attempts (determinstic).
+
+        ``exclude`` (the executor an attempt just failed on, or the one
+        running the original of a speculative clone) is avoided whenever
+        another candidate exists.
+        """
+        pool = self._healthy_pool()
+        others = [ex for ex in pool if ex is not exclude]
+        candidates = others or pool
+
+        def load(executor: Executor) -> int:
+            return sum(1 for rec in live.values() if rec.executor is executor)
+
+        return min(candidates, key=lambda ex: (load(ex), ex.executor_id))
+
+    def _note_executor_failure(self, executor: Executor) -> None:
+        """Blacklist bookkeeping after a (non-loss) task failure."""
+        count = self.executor_failures.get(executor.executor_id, 0) + 1
+        self.executor_failures[executor.executor_id] = count
+        if self.conf.blacklist_max_failures <= 0:
+            return
+        others = [
+            ex
+            for ex in self._healthy_pool()
+            if ex.executor_id != executor.executor_id
+        ]
+        if count >= self.conf.blacklist_max_failures and others:
+            self.blacklisted.add(executor.executor_id)
+
+    # -- placement -----------------------------------------------------------------
     def _assign(self, tasks: list[Task]) -> list[Executor]:
         """Pick an executor per task according to the configured policy."""
+        pool = self._healthy_pool()
         policy = self.conf.extra.get("scheduler_policy", "round_robin")
         if policy == "round_robin":
-            return [
-                self.executors[i % len(self.executors)]
-                for i in range(len(tasks))
-            ]
+            return [pool[i % len(pool)] for i in range(len(tasks))]
         if policy == "least_loaded":
             # Estimate per-task weight from the partition sizes the stage
             # RDD will read (known for sources; 1 otherwise), then assign
             # greedily heaviest-first to the least-loaded executor.
-            loads = [0.0] * len(self.executors)
+            loads = [0.0] * len(pool)
             weights: list[tuple[float, int]] = []
             for index, task in enumerate(tasks):
                 slices = getattr(task.rdd, "_slices", None)
@@ -82,34 +218,286 @@ class TaskScheduler:
             for weight, index in sorted(weights, key=lambda w: (-w[0], w[1])):
                 target = min(range(len(loads)), key=lambda j: (loads[j], j))
                 loads[target] += weight
-                assignment[index] = self.executors[target]
+                assignment[index] = pool[target]
             return t.cast(list, assignment)
         raise ValueError(f"unknown scheduler_policy {policy!r}")
 
-    def run_task_set(
-        self, tasks: list[Task], hdfs_path: str | None = None
-    ) -> list[t.Any]:
-        """Execute one stage's tasks; blocks (in sim time) until all done.
+    # -- attempt lifecycle ---------------------------------------------------------
+    def _attempt(
+        self,
+        task: Task,
+        executor: Executor,
+        hdfs_path: str | None,
+        fault: t.Any,
+        delay: float,
+    ) -> t.Generator:
+        """Wrapper process around one attempt: it *never* fails.
 
-        Returns per-task results in task order.
+        Every exception is converted into an outcome tuple so conditions
+        the main loop waits on cannot be failed by a dying attempt:
+        ``("ok", result)``, ``("killed", cause)`` (speculation loser),
+        ``("fetch", FetchFailedError)`` or ``("failed", exception)``.
         """
         env = self.env
-        # Stage setup: every executor fetches the stage's closure and
-        # broadcast data before its first task can launch.
-        setup = [env.process(ex.stage_broadcast()) for ex in self.executors]
-        assigned = self._assign(tasks)
-        procs = [
-            env.process(executor.run_task(task, hdfs_path=hdfs_path))
-            for task, executor in zip(tasks, assigned)
-        ]
-        done = env.all_of(setup + procs)
-        env.run(until=done)
-        if not done.ok:
-            # A task raised (user function error, OOM...): surface it at
-            # the driver like Spark's job failure does.
-            raise t.cast(BaseException, done.value)
-        return [proc.value for proc in procs]
+        try:
+            if delay > 0:
+                yield env.timeout(delay)
+            value = yield from executor.run_task(
+                task, hdfs_path=hdfs_path, fault=fault
+            )
+        except Interrupt as interrupt:
+            cause = interrupt.cause
+            task.metrics.finish_time = env.now
+            if isinstance(cause, ExecutorLostError):
+                task.metrics.status = "FAILED"
+                return ("failed", cause)
+            task.metrics.status = "KILLED"
+            return ("killed", cause)
+        except FetchFailedError as exc:
+            task.metrics.finish_time = env.now
+            task.metrics.status = "FAILED"
+            return ("fetch", exc)
+        except Exception as exc:  # noqa: BLE001 - outcome-ified by design
+            task.metrics.finish_time = env.now
+            task.metrics.status = "FAILED"
+            return ("failed", exc)
+        return ("ok", value)
 
+    def _loss_timer(self, executor: Executor, delay: float) -> t.Generator:
+        """Fault-injection process: fires when ``executor`` dies."""
+        yield self.env.timeout(delay)
+        return executor
+
+    def _cancel_attempt(self, proc: Process, cause: object) -> bool:
+        """Interrupt a live attempt.
+
+        Returns ``True`` when the wrapper will deliver a ``killed``
+        outcome; ``False`` when the process had not even started (its
+        generator cannot catch the interrupt) and was withdrawn — the
+        caller must drop it from the live set itself.
+        """
+        if not proc.is_alive:
+            return True  # already finishing this instant; outcome in flight
+        if isinstance(proc.target, Initialize):
+            proc.interrupt(cause)
+            proc.defuse()
+            return False
+        proc.interrupt(cause)
+        return True
+
+    def _on_executor_loss(
+        self,
+        executor: Executor,
+        live: dict[Process, _Attempt],
+        result: TaskSetResult,
+    ) -> None:
+        """An injected kill fired: tear the executor down mid-stage."""
+        if not executor.alive:
+            return
+        executor.kill()
+        result.executors_lost += 1
+        # Its shuffle map outputs are gone; downstream fetches will see
+        # the shuffles as incomplete and trigger recomputation.
+        self.shuffle_manager.remove_executor_outputs(executor.executor_id)
+        for proc, rec in list(live.items()):
+            if rec.executor is not executor or not proc.is_alive:
+                continue
+            if isinstance(proc.target, Initialize):
+                # Not started: it will observe the dead executor at launch
+                # and fail with ExecutorLostError on its own.
+                continue
+            proc.interrupt(
+                ExecutorLostError(executor.executor_id, "injected executor loss")
+            )
+
+    def _check_speculation(
+        self,
+        live: dict[Process, _Attempt],
+        result: TaskSetResult,
+        speculated: list[bool],
+        launch: t.Callable[..., Process],
+    ) -> None:
+        """Clone slow attempts once enough of the task set has finished."""
+        conf = self.conf
+        completed = sum(result.done)
+        if completed < 1 or completed < conf.speculation_quantile * len(
+            result.done
+        ):
+            return
+        durations = sorted(
+            m.duration for m in result.winners if m is not None
+        )
+        threshold = conf.speculation_multiplier * _median(durations)
+        for proc, rec in list(live.items()):
+            if (
+                rec.task.speculative
+                or speculated[rec.index]
+                or result.done[rec.index]
+                or not proc.is_alive
+            ):
+                continue
+            started = max(rec.created_at, rec.task.metrics.launch_time)
+            if self.env.now - started <= threshold:
+                continue
+            speculated[rec.index] = True
+            result.speculative_launched += 1
+            launch(
+                rec.index,
+                self._pick_executor(live, exclude=rec.executor),
+                speculative=True,
+            )
+
+    # -- task-set execution ---------------------------------------------------------
+    def run_task_set(
+        self, tasks: list[Task], hdfs_path: str | None = None
+    ) -> TaskSetResult:
+        """Execute one stage's tasks; blocks (in sim time) until resolved.
+
+        Drives every task to success, kills speculation losers, retries
+        failures within ``task_max_failures``, and returns early-ish only
+        for fetch failures (in-flight zombie attempts are still drained
+        so simulated time stays well-defined).  Raises
+        :class:`TaskSetAbortedError` when a task exhausts its attempts.
+        """
+        env = self.env
+        conf = self.conf
+        n = len(tasks)
+        result = TaskSetResult(
+            results=[None] * n, done=[False] * n, winners=[None] * n
+        )
+
+        # Stage setup: every live executor fetches the stage's closure and
+        # broadcast data before its first task can launch.
+        setup = [
+            env.process(ex.stage_broadcast()) for ex in self.alive_executors()
+        ]
+        assigned = self._assign(tasks)
+
+        live: dict[Process, _Attempt] = {}
+        attempt_counter = [0] * n
+        failures = [0] * n
+        speculated = [False] * n
+
+        def launch(
+            index: int,
+            executor: Executor,
+            speculative: bool = False,
+            delay: float = 0.0,
+        ) -> Process:
+            attempt_no = attempt_counter[index]
+            attempt_counter[index] += 1
+            base = tasks[index]
+            task = (
+                base
+                if attempt_no == 0 and not speculative
+                else base.for_attempt(attempt_no, speculative=speculative)
+            )
+            fault = (
+                self.injector.draw_task_fault(speculative=speculative)
+                if self.injector is not None
+                else None
+            )
+            proc = env.process(
+                self._attempt(task, executor, hdfs_path, fault, delay)
+            )
+            live[proc] = _Attempt(index, task, executor, env.now)
+            return proc
+
+        for index, executor in enumerate(assigned):
+            launch(index, executor)
+
+        killers: list[tuple[Process, Executor]] = []
+        if self.injector is not None:
+            alive_ids = [ex.executor_id for ex in self.alive_executors()]
+            for executor_id, delay in self.injector.draw_executor_losses(
+                alive_ids
+            ):
+                executor = self.executors[executor_id]
+                killers.append(
+                    (env.process(self._loss_timer(executor, delay)), executor)
+                )
+
+        spec_timer = (
+            env.timeout(conf.speculation_interval) if conf.speculation else None
+        )
+
+        while live:
+            watch: list = list(live) + [proc for proc, _ in killers]
+            if spec_timer is not None:
+                watch.append(spec_timer)
+            env.run(until=env.any_of(watch))
+
+            for entry in [kv for kv in killers if kv[0].triggered]:
+                killers.remove(entry)
+                self._on_executor_loss(entry[1], live, result)
+
+            for proc in [p for p in list(live) if p.triggered]:
+                rec = live.pop(proc)
+                result.attempts.append(rec.task.metrics)
+                kind, payload = t.cast(tuple, proc.value)
+                index = rec.index
+                if kind == "ok":
+                    if result.done[index]:
+                        # Dead heat: another attempt won this very instant.
+                        rec.task.metrics.status = "KILLED"
+                        continue
+                    result.done[index] = True
+                    result.results[index] = payload
+                    result.winners[index] = rec.task.metrics
+                    if rec.task.speculative:
+                        result.speculative_wins += 1
+                    # First finisher wins: kill sibling attempts.
+                    for other in [
+                        p for p, r in live.items() if r.index == index
+                    ]:
+                        if not self._cancel_attempt(other, SPECULATION_KILL):
+                            loser = live.pop(other)
+                            loser.task.metrics.status = "KILLED"
+                            loser.task.metrics.finish_time = env.now
+                            result.attempts.append(loser.task.metrics)
+                elif kind == "killed":
+                    pass  # speculation loser; metrics already recorded
+                elif kind == "fetch":
+                    result.fetch_failures += 1
+                    if result.fetch_failure is None:
+                        result.fetch_failure = t.cast(
+                            FetchFailedError, payload
+                        )
+                    # Not retried here: the DAG scheduler must resubmit
+                    # the producing map stage first.
+                else:  # "failed"
+                    exc = t.cast(BaseException, payload)
+                    result.task_failures += 1
+                    failures[index] += 1
+                    if not isinstance(exc, ExecutorLostError):
+                        self._note_executor_failure(rec.executor)
+                    if failures[index] >= conf.task_max_failures:
+                        raise TaskSetAbortedError(
+                            tasks[index].task_id, failures[index], exc
+                        )
+                    launch(
+                        index,
+                        self._pick_executor(live, exclude=rec.executor),
+                        delay=conf.task_retry_backoff,
+                    )
+
+            if spec_timer is not None and spec_timer.processed:
+                if live:
+                    self._check_speculation(live, result, speculated, launch)
+                    spec_timer = env.timeout(conf.speculation_interval)
+                else:
+                    spec_timer = None
+
+        for _, executor in killers:
+            # The task set outran the scheduled kill: apply the loss at
+            # stage end so later stages still observe the dead executor.
+            self._on_executor_loss(executor, live, result)
+
+        # The stage is not over until every executor's setup finished too.
+        env.run(until=env.all_of(setup))
+        return result
+
+    # -- cache bookkeeping ------------------------------------------------------------
     def total_cached_bytes(self) -> float:
         return sum(ex.block_manager.cached_bytes for ex in self.executors)
 

@@ -16,7 +16,11 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field
 
+from repro.faults.errors import FetchFailedError
 from repro.spark.serializer import estimate_record_bytes
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -42,6 +46,8 @@ class _ShuffleState:
     num_maps_expected: int
     # map_partition -> reduce_partition -> segment
     outputs: dict[int, dict[int, ShuffleSegment]] = field(default_factory=dict)
+    # map_partition -> executor that produced it (survives empty buckets)
+    mappers: dict[int, int] = field(default_factory=dict)
 
     @property
     def num_maps_registered(self) -> int:
@@ -51,12 +57,26 @@ class _ShuffleState:
     def is_complete(self) -> bool:
         return self.num_maps_registered >= self.num_maps_expected
 
+    def missing_partitions(self) -> list[int]:
+        """Map partitions whose output is absent (never run, or lost)."""
+        return [
+            p for p in range(self.num_maps_expected) if p not in self.outputs
+        ]
+
 
 class ShuffleManager:
-    """Registry of map outputs, keyed by shuffle id."""
+    """Registry of map outputs, keyed by shuffle id.
+
+    When a :class:`~repro.faults.injector.FaultInjector` is attached
+    (``fault_injector``), reduce-side fetches may be hit by injected
+    block-fetch failures: one registered map output is dropped and a
+    :class:`~repro.faults.errors.FetchFailedError` is raised, which the
+    DAG scheduler answers by resubmitting the producing map stage.
+    """
 
     def __init__(self) -> None:
         self._shuffles: dict[int, _ShuffleState] = {}
+        self.fault_injector: "FaultInjector | None" = None
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
         """Announce a shuffle before its map stage runs (idempotent)."""
@@ -98,17 +118,67 @@ class ShuffleManager:
             )
             total += nbytes
         state.outputs[map_partition] = segments
+        state.mappers[map_partition] = mapper_executor
         return total
+
+    def missing_partitions(self, shuffle_id: int) -> list[int]:
+        """Map partitions that must (re)run before this shuffle is readable."""
+        state = self._shuffles.get(shuffle_id)
+        if state is None:
+            raise KeyError(f"shuffle {shuffle_id} was never registered")
+        return state.missing_partitions()
+
+    def unregister_map_output(self, shuffle_id: int, map_partition: int) -> None:
+        """Drop one map output (lost block); the shuffle becomes incomplete."""
+        state = self._shuffles.get(shuffle_id)
+        if state is None:
+            return
+        state.outputs.pop(map_partition, None)
+        state.mappers.pop(map_partition, None)
+
+    def remove_executor_outputs(self, executor_id: int) -> int:
+        """Invalidate every map output a lost executor produced.
+
+        Returns the number of map outputs dropped.  Later fetches (or
+        stage submissions) observe the shuffles as incomplete and trigger
+        recomputation of exactly the missing partitions.
+        """
+        dropped = 0
+        for state in self._shuffles.values():
+            victims = [
+                p for p, ex in state.mappers.items() if ex == executor_id
+            ]
+            for partition in victims:
+                state.outputs.pop(partition, None)
+                state.mappers.pop(partition, None)
+                dropped += 1
+        return dropped
 
     def fetch(self, shuffle_id: int, reduce_partition: int) -> list[ShuffleSegment]:
         """All segments a reducer needs, in map-partition order."""
         state = self._shuffles.get(shuffle_id)
         if state is None:
             raise KeyError(f"shuffle {shuffle_id} was never registered")
+        if self.fault_injector is not None and state.is_complete:
+            victim = self.fault_injector.draw_fetch_failure(
+                list(state.outputs)
+            )
+            if victim is not None:
+                # Injected block-fetch failure: the segment is treated as
+                # lost (Spark semantics) so the map stage must rerun it.
+                self.unregister_map_output(shuffle_id, victim)
+                raise FetchFailedError(
+                    shuffle_id, victim, reason="injected block-fetch failure"
+                )
         if not state.is_complete:
-            raise RuntimeError(
-                f"shuffle {shuffle_id} fetch before map stage completed "
-                f"({state.num_maps_registered}/{state.num_maps_expected})"
+            missing = state.missing_partitions()
+            raise FetchFailedError(
+                shuffle_id,
+                missing[0],
+                reason=(
+                    f"map stage incomplete "
+                    f"({state.num_maps_registered}/{state.num_maps_expected})"
+                ),
             )
         segments: list[ShuffleSegment] = []
         for map_partition in sorted(state.outputs):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import typing as t
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.memory.device import AccessProfile
 from repro.spark.costs import CostSpec
@@ -114,6 +114,11 @@ class Task:
 
     ``shuffle_dep`` set → ShuffleMapTask (materialize map-side buckets);
     otherwise → ResultTask (apply ``result_func`` to the partition data).
+
+    A task may run several times: failed attempts are retried (bounded
+    by ``SparkConf.task_max_failures``) and slow attempts may get a
+    speculative clone.  Each attempt is a distinct shallow copy carrying
+    its own ``metrics`` so concurrent attempts never share accounting.
     """
 
     task_id: int
@@ -123,11 +128,26 @@ class Task:
     shuffle_dep: "ShuffleDependency | None" = None
     result_func: t.Callable[[list[t.Any]], t.Any] | None = None
     metrics: TaskMetrics = field(default_factory=TaskMetrics)
+    attempt: int = 0
+    speculative: bool = False
 
     @property
     def is_shuffle_map(self) -> bool:
         return self.shuffle_dep is not None
 
+    def for_attempt(self, attempt: int, speculative: bool = False) -> "Task":
+        """Shallow clone for one launch, with fresh metrics."""
+        return replace(
+            self,
+            metrics=TaskMetrics(),
+            attempt=attempt,
+            speculative=speculative,
+        )
+
     def describe(self) -> str:
         kind = "ShuffleMapTask" if self.is_shuffle_map else "ResultTask"
-        return f"{kind}(stage={self.stage_id}, partition={self.partition})"
+        spec = ", speculative" if self.speculative else ""
+        return (
+            f"{kind}(stage={self.stage_id}, partition={self.partition}, "
+            f"attempt={self.attempt}{spec})"
+        )

@@ -2,9 +2,12 @@
 
 Renders a :class:`SparkContext`'s recorded jobs as a trace viewable in
 ``chrome://tracing`` / Perfetto: one row per (executor, slot-lane), one
-complete event per task, with dispatch/CPU-wait breakdowns as counters.
-Useful for seeing how tier choice reshapes the task schedule (NVM runs
-visibly stretch the memory-bound phases).
+complete event per task *attempt*, with dispatch/CPU-wait breakdowns as
+counters.  Useful for seeing how tier choice reshapes the task schedule
+(NVM runs visibly stretch the memory-bound phases) — and, with fault
+injection on, how retries, speculative clones and stage resubmissions
+fill the schedule (failed/killed attempts carry their status in the
+event name and args).
 """
 
 from __future__ import annotations
@@ -17,43 +20,57 @@ if t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.spark.context import SparkContext
     from repro.spark.metrics import TaskMetrics
 
+#: Unique key for one attempt (task ids repeat across attempts).
+_AttemptKey = tuple[int, int, bool]
 
-def _lane_assignment(tasks: list["TaskMetrics"]) -> dict[int, int]:
-    """Greedy interval-graph coloring: task_id → lane within executor.
 
-    Tasks overlapping in time get distinct lanes so the trace renders
+def _attempt_key(task: "TaskMetrics") -> _AttemptKey:
+    return (task.task_id, task.attempt, task.speculative)
+
+
+def _lane_assignment(tasks: list["TaskMetrics"]) -> dict[_AttemptKey, int]:
+    """Greedy interval-graph coloring: attempt → lane within executor.
+
+    Attempts overlapping in time get distinct lanes so the trace renders
     without overlaps, mirroring executor slots.
     """
-    lanes: dict[int, int] = {}
+    lanes: dict[_AttemptKey, int] = {}
     # lane → time it frees up, per executor
     free_at: dict[int, list[float]] = {}
-    for task in sorted(tasks, key=lambda m: m.launch_time):
+    for task in sorted(tasks, key=lambda m: (m.launch_time, m.task_id)):
         exec_lanes = free_at.setdefault(task.executor_id, [])
         for lane, available in enumerate(exec_lanes):
             if available <= task.launch_time + 1e-15:
                 exec_lanes[lane] = task.finish_time
-                lanes[task.task_id] = lane
+                lanes[_attempt_key(task)] = lane
                 break
         else:
             exec_lanes.append(task.finish_time)
-            lanes[task.task_id] = len(exec_lanes) - 1
+            lanes[_attempt_key(task)] = len(exec_lanes) - 1
     return lanes
 
 
 def build_trace_events(sc: "SparkContext") -> list[dict[str, t.Any]]:
-    """Chrome trace events for every task of every recorded job."""
+    """Chrome trace events for every task attempt of every recorded job."""
     events: list[dict[str, t.Any]] = []
-    all_tasks = [task for job in sc.jobs for task in job.all_tasks()]
-    lanes = _lane_assignment(all_tasks)
+    all_attempts = [task for job in sc.jobs for task in job.all_attempts()]
+    lanes = _lane_assignment(all_attempts)
 
     for job in sc.jobs:
         for stage in job.stages:
-            for task in stage.tasks:
-                tid = lanes.get(task.task_id, 0)
+            for task in stage.attempts if stage.attempts else stage.tasks:
+                tid = lanes.get(_attempt_key(task), 0)
+                suffix = ""
+                if task.speculative:
+                    suffix += "/spec"
+                if task.attempt > 0 and not task.speculative:
+                    suffix += f"/retry{task.attempt}"
+                if task.status != "SUCCESS":
+                    suffix += f"/{task.status.lower()}"
                 events.append(
                     {
-                        "name": f"stage{task.stage_id}/p{task.partition}",
-                        "cat": "task",
+                        "name": f"stage{task.stage_id}/p{task.partition}{suffix}",
+                        "cat": "task" if task.status == "SUCCESS" else "attempt",
                         "ph": "X",  # complete event
                         "ts": task.launch_time * 1e6,  # microseconds
                         "dur": task.duration * 1e6,
@@ -63,6 +80,9 @@ def build_trace_events(sc: "SparkContext") -> list[dict[str, t.Any]]:
                             "job": job.job_id,
                             "stage": task.stage_id,
                             "partition": task.partition,
+                            "attempt": task.attempt,
+                            "speculative": task.speculative,
+                            "status": task.status,
                             "records_read": task.records_read,
                             "bytes_read": task.bytes_read,
                             "bytes_written": task.bytes_written,
@@ -99,23 +119,40 @@ def export_timeline(sc: "SparkContext", path: str | Path) -> int:
 def timeline_summary(sc: "SparkContext") -> dict[str, float]:
     """Schedule-quality metrics derived from the timeline.
 
-    ``makespan`` is total job wall time; ``task_time`` the summed task
-    durations; ``parallelism`` their ratio (effective concurrent tasks);
-    ``dispatch_share`` the fraction of task time spent waiting on the
-    executor dispatcher.
+    ``makespan`` is total job wall time; ``task_time`` the summed winning
+    task durations; ``parallelism`` their ratio (effective concurrent
+    tasks); ``dispatch_share`` the fraction of task time spent waiting
+    on the executor dispatcher.  ``attempt_time`` sums *every* attempt
+    (retries, speculative clones, failures) and ``wasted_share`` is the
+    fraction of attempt time that did not produce a winning result — the
+    schedule-level price of injected faults and mitigation.  The
+    fault-tolerance counters from
+    :meth:`~repro.spark.metrics.JobMetrics.mitigation_summary` are
+    aggregated across jobs and merged in.
     """
     tasks = [task for job in sc.jobs for task in job.all_tasks()]
+    attempts = [task for job in sc.jobs for task in job.all_attempts()]
     if not tasks:
         return {"makespan": 0.0, "task_time": 0.0, "parallelism": 0.0,
-                "dispatch_share": 0.0}
+                "dispatch_share": 0.0, "attempt_time": 0.0,
+                "wasted_share": 0.0}
     start = min(t_.launch_time for t_ in tasks)
     end = max(t_.finish_time for t_ in tasks)
     makespan = end - start
     task_time = sum(t_.duration for t_ in tasks)
     dispatch = sum(t_.dispatch_wait for t_ in tasks)
-    return {
+    attempt_time = sum(t_.duration for t_ in attempts) if attempts else task_time
+    summary = {
         "makespan": makespan,
         "task_time": task_time,
         "parallelism": task_time / makespan if makespan > 0 else 0.0,
         "dispatch_share": dispatch / task_time if task_time > 0 else 0.0,
+        "attempt_time": attempt_time,
+        "wasted_share": (
+            (attempt_time - task_time) / attempt_time if attempt_time > 0 else 0.0
+        ),
     }
+    for job in sc.jobs:
+        for key, value in job.mitigation_summary().items():
+            summary[key] = summary.get(key, 0) + value
+    return summary

@@ -1,0 +1,232 @@
+"""Failure-matrix tests for the fault-injection subsystem.
+
+Every memory tier crossed with every fault class must converge on the
+exact no-fault answer, with the mitigation counters accounting for what
+was injected: task crashes are absorbed by bounded retry, executor loss
+by blacklisting plus parent-stage resubmission, fetch failures by
+recomputing the lost map output, and stragglers by speculative clones.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.faults.errors import (
+    StageAbortedError,
+    TaskSetAbortedError,
+)
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+
+TIERS = (0, 1, 2, 3)
+
+WORDS = ("spark", "memory", "tier", "dram", "nvm", "optane", "numa") * 500
+
+
+def run_shuffle_job(
+    tier: int,
+    faults: FaultConfig | None = None,
+    speculation: bool = False,
+    warm_up: bool = False,
+):
+    """Key-grouped sum on ``tier``; returns (sorted results, context)."""
+    conf = SparkConf(
+        memory_tier=tier,
+        num_executors=2,
+        executor_cores=4,
+        default_parallelism=8,
+        faults=faults,
+        speculation=speculation,
+        speculation_interval=1e-3,
+    )
+    sc = SparkContext(conf=conf)
+    if warm_up:
+        sc.parallelize(range(100), 8).map(lambda x: x).collect()
+    result = (
+        sc.parallelize(range(2000), 8)
+        .map(lambda x: (x % 50, x))
+        .reduce_by_key(operator.add)
+        .collect()
+    )
+    return sorted(result), sc
+
+
+def mitigation(sc: SparkContext) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for job in sc.jobs:
+        for key, value in job.mitigation_summary().items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """No-fault answers per tier (identical across tiers, but computed
+    per tier so a tier-specific corruption cannot hide)."""
+    answers = {}
+    for tier in TIERS:
+        result, sc = run_shuffle_job(tier)
+        answers[tier] = result
+        sc.stop()
+    return answers
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_task_crashes_are_retried(tier, baselines):
+    result, sc = run_shuffle_job(
+        tier, faults=FaultConfig(seed=7, task_crash_prob=0.25)
+    )
+    assert result == baselines[tier]
+    counters = mitigation(sc)
+    injected = sc.fault_injector.counts()
+    assert injected["task_crashes"] >= 1
+    # Crashes are the only enabled fault, so every recorded task failure
+    # is one injected crash and vice versa.
+    assert counters["task_failures"] == injected["task_crashes"]
+    assert counters["task_attempts"] == 16 + injected["task_crashes"]
+    sc.stop()
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_executor_loss_is_survived(tier, baselines):
+    result, sc = run_shuffle_job(
+        tier, faults=FaultConfig(seed=2, executor_loss_prob=0.9)
+    )
+    assert result == baselines[tier]
+    counters = mitigation(sc)
+    injected = sc.fault_injector.counts()
+    assert injected["executor_losses"] == 1  # capped at max_executor_losses
+    assert counters["executors_lost"] == 1
+    # The doomed executor really is dead, and at least one survived.
+    alive = [e for e in sc.executors if e.alive]
+    assert len(alive) == len(sc.executors) - 1
+    sc.stop()
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_fetch_failures_trigger_recompute(tier, baselines):
+    result, sc = run_shuffle_job(
+        tier, faults=FaultConfig(seed=3, fetch_fail_prob=0.4)
+    )
+    assert result == baselines[tier]
+    counters = mitigation(sc)
+    injected = sc.fault_injector.counts()
+    assert injected["fetch_failures"] >= 1
+    # One injected loss can cascade into several observed failures (the
+    # shuffle stays incomplete until the map side is recomputed).
+    assert counters["fetch_failures"] >= injected["fetch_failures"]
+    assert counters["resubmitted_stages"] >= 1
+    sc.stop()
+
+
+def test_speculation_clones_beat_stragglers(baselines):
+    result, sc = run_shuffle_job(
+        3,
+        faults=FaultConfig(
+            seed=4, straggler_prob=0.12, straggler_multiplier=10.0
+        ),
+        speculation=True,
+        warm_up=True,
+    )
+    assert result == baselines[3]
+    counters = mitigation(sc)
+    injected = sc.fault_injector.counts()
+    assert injected["stragglers"] >= 1
+    assert counters["speculative_launched"] >= 1
+    assert counters["speculative_wins"] >= 1
+    assert counters["speculative_wins"] <= counters["speculative_launched"]
+    # Losing twins are recorded as KILLED attempts, never as failures.
+    assert counters["task_failures"] == 0
+    sc.stop()
+
+
+def test_wordcount_acceptance_under_executor_loss():
+    """The acceptance scenario: WordCount survives losing an executor."""
+    conf = SparkConf(
+        num_executors=4,
+        executor_cores=4,
+        default_parallelism=8,
+        faults=FaultConfig(seed=2, executor_loss_prob=0.9),
+    )
+    sc = SparkContext(conf=conf)
+    counts = dict(
+        sc.parallelize(WORDS, 8)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(operator.add)
+        .collect()
+    )
+    assert counts == {word: 500 for word in set(WORDS)}
+    counters = mitigation(sc)
+    assert counters["executors_lost"] == 1
+    assert counters["task_attempts"] > 16  # retries actually happened
+    sc.stop()
+
+
+def test_blacklisting_avoids_flaky_executor():
+    _, sc = run_shuffle_job(0)
+    scheduler = sc.task_scheduler
+    flaky = scheduler.executors[0]
+    for _ in range(sc.conf.blacklist_max_failures):
+        scheduler._note_executor_failure(flaky)
+    assert flaky.executor_id in scheduler.blacklisted
+    assert flaky not in scheduler._healthy_pool()
+    sc.stop()
+
+
+def test_last_executor_is_never_blacklisted():
+    conf = SparkConf(num_executors=1, executor_cores=4)
+    sc = SparkContext(conf=conf)
+    scheduler = sc.task_scheduler
+    only = scheduler.executors[0]
+    for _ in range(5):
+        scheduler._note_executor_failure(only)
+    assert only.executor_id not in scheduler.blacklisted
+    sc.stop()
+
+
+def test_task_set_aborts_after_bounded_retries():
+    faults = FaultConfig(seed=1, task_crash_prob=1.0)
+    conf = SparkConf(
+        num_executors=2, executor_cores=4, default_parallelism=4, faults=faults
+    )
+    sc = SparkContext(conf=conf)
+    with pytest.raises(TaskSetAbortedError) as excinfo:
+        sc.parallelize(range(100), 4).map(lambda x: x).collect()
+    assert excinfo.value.attempts == sc.conf.task_max_failures
+    sc.stop()
+
+
+def test_stage_aborts_after_bounded_resubmissions():
+    faults = FaultConfig(seed=1, fetch_fail_prob=1.0, max_fetch_failures=None)
+    conf = SparkConf(
+        num_executors=2, executor_cores=4, default_parallelism=4, faults=faults
+    )
+    sc = SparkContext(conf=conf)
+    with pytest.raises(StageAbortedError):
+        (
+            sc.parallelize(range(100), 4)
+            .map(lambda x: (x % 5, x))
+            .reduce_by_key(operator.add)
+            .collect()
+        )
+    sc.stop()
+
+
+def test_lost_executor_cache_is_recomputed(baselines):
+    """Cached blocks die with their executor; lineage recomputes them."""
+    faults = FaultConfig(seed=2, executor_loss_prob=0.9)
+    conf = SparkConf(
+        num_executors=2,
+        executor_cores=4,
+        default_parallelism=8,
+        faults=faults,
+    )
+    sc = SparkContext(conf=conf)
+    cached = sc.parallelize(range(2000), 8).map(lambda x: (x % 50, x)).cache()
+    first = sorted(cached.reduce_by_key(operator.add).collect())
+    second = sorted(cached.reduce_by_key(operator.add).collect())
+    assert first == second == baselines[0]
+    sc.stop()

@@ -76,5 +76,5 @@ def test_summary_empty_context():
     summary = timeline_summary(sc)
     assert summary == {
         "makespan": 0.0, "task_time": 0.0, "parallelism": 0.0,
-        "dispatch_share": 0.0,
+        "dispatch_share": 0.0, "attempt_time": 0.0, "wasted_share": 0.0,
     }

@@ -46,6 +46,13 @@ def test_performance_prediction():
     assert "predicted" in out
 
 
+def test_fault_tolerance():
+    out = run_example("fault_tolerance.py")
+    assert "executors_lost" in out
+    assert "speculative_wins" in out
+    assert "identical result" in out
+
+
 def test_examples_all_have_docstrings_and_main():
     for script in EXAMPLES.glob("*.py"):
         text = script.read_text(encoding="utf-8")
