@@ -11,6 +11,7 @@ import pytest
 
 from conftest import save_report
 from repro.analysis.violin import format_violin_row
+from repro.core.experiment import ExperimentConfig
 from repro.core.sweeps import mba_sweep
 from repro.workloads import WORKLOAD_NAMES
 
@@ -29,7 +30,10 @@ def sweeps():
     out = {}
     for workload in WORKLOAD_NAMES:
         for size in SIZES:
-            out[(workload, size)] = mba_sweep(workload, size, tier=2, levels=LEVELS)
+            out[(workload, size)] = mba_sweep(
+                ExperimentConfig(workload=workload, size=size, tier=2),
+                levels=LEVELS,
+            )
     return out
 
 

@@ -17,6 +17,7 @@ import pytest
 
 from conftest import save_report
 from repro.analysis.heatmap import format_heatmap
+from repro.core.experiment import ExperimentConfig
 from repro.core.sweeps import CORE_GRID, EXECUTOR_GRID, executor_core_sweep
 
 WORKLOADS = ("sort", "rf", "lda", "pagerank")
@@ -28,7 +29,8 @@ def grids():
     for workload in WORKLOADS:
         for size in ("small", "large"):
             out[(workload, size)] = executor_core_sweep(
-                workload, size, tier=2, executors=EXECUTOR_GRID, cores=CORE_GRID
+                ExperimentConfig(workload=workload, size=size, tier=2),
+                executors=EXECUTOR_GRID, cores=CORE_GRID,
             )
     return out
 
@@ -111,8 +113,9 @@ def test_more_cores_not_always_faster(grids):
 
 def test_dram_tier_tolerates_executor_scaling():
     """The contention effect is NVM-specific (Takeaway 6)."""
-    dram = executor_core_sweep("sort", "small", tier=0, executors=(1, 8), cores=(40,))
-    nvm = executor_core_sweep("sort", "small", tier=2, executors=(1, 8), cores=(40,))
+    base = ExperimentConfig(workload="sort", size="small")
+    dram = executor_core_sweep(base, tier=0, executors=(1, 8), cores=(40,))
+    nvm = executor_core_sweep(base, tier=2, executors=(1, 8), cores=(40,))
     dram_ratio = dram.times[(8, 40)] / dram.times[(1, 40)]
     nvm_ratio = nvm.times[(8, 40)] / nvm.times[(1, 40)]
     assert nvm_ratio > dram_ratio

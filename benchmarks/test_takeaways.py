@@ -18,23 +18,30 @@ from repro.core.guidelines import (
     takeaway7_large_workloads_scale,
     takeaway8_predictability,
 )
+from repro.core.experiment import ExperimentConfig
 from repro.core.sweeps import executor_core_sweep, mba_sweep
 
 
 @pytest.fixture(scope="module")
 def findings(fig2_grid):
     mba = [
-        mba_sweep(workload, "small", tier=2, levels=(10, 50, 100))
+        mba_sweep(
+            ExperimentConfig(workload=workload, size="small", tier=2),
+            levels=(10, 50, 100),
+        )
         for workload in ("sort", "lda", "bayes")
     ]
     sort_small = executor_core_sweep(
-        "sort", "small", tier=2, executors=(1, 2, 4, 8), cores=(40,)
+        ExperimentConfig(workload="sort", size="small", tier=2),
+        executors=(1, 2, 4, 8), cores=(40,),
     )
     pagerank_small = executor_core_sweep(
-        "pagerank", "small", tier=2, executors=(1, 8), cores=(40,)
+        ExperimentConfig(workload="pagerank", size="small", tier=2),
+        executors=(1, 8), cores=(40,),
     )
     pagerank_large = executor_core_sweep(
-        "pagerank", "large", tier=2, executors=(1, 8), cores=(40,)
+        ExperimentConfig(workload="pagerank", size="large", tier=2),
+        executors=(1, 8), cores=(40,),
     )
     return [
         takeaway1_remote_tolerance(fig2_grid),

@@ -11,7 +11,7 @@ Run:  python examples/custom_workload.py
 
 import numpy as np
 
-from repro import ExperimentConfig, run_experiment
+from repro import api
 from repro.analysis.tables import format_table
 from repro.spark.context import SparkContext
 from repro.spark.costs import CostSpec
@@ -93,13 +93,11 @@ class KMeansWorkload(Workload):
 def main() -> None:
     print("Registered custom workload 'kmeans-custom'; characterizing across tiers.\n")
     rows = []
-    for tier in range(4):
-        result = run_experiment(
-            ExperimentConfig(workload="kmeans-custom", size="small", tier=tier)
-        )
+    base = api.config(workload="kmeans-custom", size="small")
+    for result in api.sweep(base, axis="tier", values=range(4)):
         rows.append(
             [
-                f"Tier {tier}",
+                f"Tier {result.config.tier}",
                 fmt_time(result.execution_time),
                 "yes" if result.verified else "NO",
                 f"{result.nvm_reads + result.nvm_writes:,}",

@@ -9,7 +9,7 @@ Takeaway 3).
 Run:  python examples/energy_analysis.py
 """
 
-from repro import ExperimentConfig, run_experiment
+from repro import api
 from repro.analysis.tables import format_table
 from repro.cluster.topology import paper_testbed
 from repro.memory.wear import WearTracker
@@ -26,8 +26,8 @@ def energy_comparison() -> None:
     rows = []
     for workload in WORKLOADS:
         for size in ("small", "large"):
-            dram = run_experiment(ExperimentConfig(workload=workload, size=size, tier=0))
-            nvm = run_experiment(ExperimentConfig(workload=workload, size=size, tier=2))
+            base = api.config(workload=workload, size=size)
+            dram, nvm = api.sweep(base, axis="tier", values=(0, 2))
             dram_j = dram.telemetry.energy["numa1-dram"].per_dimm_joules
             nvm_j = nvm.telemetry.energy["numa2-nvm4"].per_dimm_joules
             rows.append(

@@ -5,26 +5,32 @@ Reproduces a slice of the paper's Fig. 4: sweeps executor count × cores
 per executor for a workload bound to the socket-attached Optane tier,
 renders the speedup heatmap, and prints a tuning recommendation.
 
-Run:  python examples/executor_tuning.py [workload] [size]
-      (defaults: sort small)
+Run:  python examples/executor_tuning.py [workload] [size] [workers]
+      (defaults: sort small, serial execution)
 """
 
 import sys
 
+from repro import api
 from repro.analysis.heatmap import format_heatmap
 from repro.core.sweeps import executor_core_sweep
 from repro.units import fmt_time
 
 
-def tune(workload: str, size: str) -> None:
+def tune(workload: str, size: str, workers: int | None = None) -> None:
     executors = (1, 2, 4, 8)
     cores = (5, 10, 20, 40)
     print(
         f"Sweeping {workload}-{size} on Tier 2 (Optane) over "
-        f"executors {executors} x cores {cores}...\n"
+        f"executors {executors} x cores {cores}"
+        + (f" across {workers} workers" if workers else "")
+        + "...\n"
     )
     grid = executor_core_sweep(
-        workload, size, tier=2, executors=executors, cores=cores
+        api.config(workload=workload, size=size, tier=2),
+        executors=executors,
+        cores=cores,
+        workers=workers,
     )
 
     values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}
@@ -64,4 +70,5 @@ def tune(workload: str, size: str) -> None:
 if __name__ == "__main__":
     workload = sys.argv[1] if len(sys.argv) > 1 else "sort"
     size = sys.argv[2] if len(sys.argv) > 2 else "small"
-    tune(workload, size)
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else None
+    tune(workload, size, workers)

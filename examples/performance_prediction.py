@@ -8,7 +8,7 @@ that make the linear approach work (Figs. 5-6).
 Run:  python examples/performance_prediction.py
 """
 
-from repro import ExperimentConfig, run_experiment
+from repro import api
 from repro.analysis.tables import format_table
 from repro.core.correlation import hardware_spec_correlation
 from repro.core.prediction import LinearTierPredictor, predict_cross_tier
@@ -19,11 +19,13 @@ WORKLOADS = ("sort", "bayes", "pagerank")
 
 def main() -> None:
     print("Measuring every tier for", ", ".join(WORKLOADS), "(small size)...")
-    results = [
-        run_experiment(ExperimentConfig(workload=workload, size="small", tier=tier))
-        for workload in WORKLOADS
-        for tier in range(4)
-    ]
+    results = api.campaign(
+        [
+            api.config(workload=workload, size="small", tier=tier)
+            for workload in WORKLOADS
+            for tier in range(4)
+        ]
+    ).results
 
     # Fig. 6: specs correlate almost perfectly with execution time.
     hw = hardware_spec_correlation(results)

@@ -11,7 +11,7 @@ Run:  python examples/tier_exploration.py [workload]
 
 import sys
 
-from repro import ExperimentConfig, run_experiment
+from repro import api
 from repro.analysis.tables import format_table
 from repro.memory.tiers import table1_tiers
 from repro.units import fmt_time
@@ -28,12 +28,11 @@ def explore(workload: str) -> None:
 
     rows = []
     for size in ("tiny", "small", "large"):
+        base = api.config(workload=workload, size=size)
         times = {}
         accesses = {}
-        for tier_id in range(4):
-            result = run_experiment(
-                ExperimentConfig(workload=workload, size=size, tier=tier_id)
-            )
+        for result in api.sweep(base, axis="tier", values=range(4)):
+            tier_id = result.config.tier
             assert result.verified, f"{workload}-{size} failed on tier {tier_id}"
             times[tier_id] = result.execution_time
             accesses[tier_id] = result.nvm_reads + result.nvm_writes

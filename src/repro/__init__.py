@@ -7,12 +7,22 @@ running real HiBench-style workloads on top of it, and the paper's full
 characterization pipeline (tier sweeps, ipmctl/RAPL/MBA emulation,
 Pearson analyses, executor/core tuning grids, prediction models).
 
-Quick start::
+Quick start — the :mod:`repro.api` facade is the documented entry point::
 
-    from repro import ExperimentConfig, run_experiment
+    from repro import api
 
-    result = run_experiment(ExperimentConfig(workload="sort", size="small", tier=2))
+    result = api.run("sort", size="small", tier=2)
     print(result.execution_time, result.nvm_reads, result.nvm_writes)
+
+    # One axis of a base config (everything else flows through):
+    base = api.config(workload="lda", size="small")
+    across_tiers = api.sweep(base, axis="tier", values=range(4))
+
+    # Arbitrary point sets: parallel, cached, resumable:
+    report = api.campaign(
+        [base.with_options(tier=t) for t in (0, 2)],
+        workers=4, cache_dir=".campaign-cache",
+    )
 
 Subpackages
 -----------
@@ -24,20 +34,30 @@ Subpackages
 ``repro.workloads``   the 7 HiBench-style applications (Table II)
 ``repro.telemetry``   ipmctl / RAPL / perf-event emulation
 ``repro.core``        characterization, sweeps, correlation, prediction
+``repro.runner``      parallel cached campaign execution
 ``repro.analysis``    stats, tables, text figures, result stores
 """
 
+from repro import api
+from repro.api import campaign, run, sweep
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.runner.campaign import CampaignReport, CampaignRunner
 from repro.spark.conf import SparkConf
 from repro.spark.context import SparkContext
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignReport",
+    "CampaignRunner",
     "ExperimentConfig",
     "ExperimentResult",
     "SparkConf",
     "SparkContext",
     "__version__",
+    "api",
+    "campaign",
+    "run",
     "run_experiment",
+    "sweep",
 ]

@@ -12,8 +12,15 @@ Commands
     Sweep executors × cores on a tier (mini Fig. 4) and print a heatmap.
 ``mba WORKLOAD``
     Sweep Intel MBA levels (mini Fig. 3).
+``campaign WORKLOAD [WORKLOAD ...]``
+    Run the cross-product of workloads × sizes × tiers (× executors ×
+    cores × MBA levels) through the parallel cached campaign runner.
 ``list``
     List the registered workloads and their size profiles.
+
+Sweep commands accept ``--workers N`` to fan points across a process
+pool and ``--cache-dir DIR`` to reuse a content-addressed result cache;
+``campaign --resume`` continues an interrupted campaign from its cache.
 """
 
 from __future__ import annotations
@@ -21,9 +28,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import api
 from repro.analysis.heatmap import format_heatmap
 from repro.analysis.tables import format_table
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.core.microbench import measure_tier_specs
 from repro.core.sweeps import executor_core_sweep, mba_sweep
 from repro.units import fmt_time
@@ -61,6 +69,17 @@ def _build_faults(args: argparse.Namespace) -> "FaultConfig | None":
     )
 
 
+def _progress_printer(args: argparse.Namespace):
+    """Progress/ETA lines on stderr (suppressed with --quiet)."""
+    if getattr(args, "quiet", False):
+        return None
+
+    def show(progress) -> None:
+        print(progress.describe(), file=sys.stderr)
+
+    return show
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         workload=args.workload,
@@ -72,7 +91,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=_build_faults(args),
         speculation=args.speculate,
     )
-    result = run_experiment(config)
+    result = api.run(config)
     print(f"configuration : {config.describe()}")
     print(f"verified      : {result.verified}")
     print(f"execution time: {fmt_time(result.execution_time)}")
@@ -89,15 +108,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_tiers(args: argparse.Namespace) -> int:
+    base_config = ExperimentConfig(workload=args.workload, size=args.size)
+    results = api.sweep(
+        base_config, axis="tier", values=range(4),
+        workers=args.workers, cache_dir=args.cache_dir,
+    )
     rows = []
     base = None
-    for tier in range(4):
-        result = run_experiment(
-            ExperimentConfig(workload=args.workload, size=args.size, tier=tier)
-        )
+    for result in results:
         base = base or result.execution_time
         rows.append([
-            f"Tier {tier}", fmt_time(result.execution_time),
+            f"Tier {result.config.tier}", fmt_time(result.execution_time),
             f"{result.execution_time / base:.2f}x",
             f"{result.nvm_reads + result.nvm_writes:,}",
         ])
@@ -112,7 +133,9 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     executors = (1, 2, 4, 8)
     cores = (5, 10, 20, 40)
     grid = executor_core_sweep(
-        args.workload, args.size, tier=args.tier, executors=executors, cores=cores
+        ExperimentConfig(workload=args.workload, size=args.size, tier=args.tier),
+        executors=executors, cores=cores,
+        workers=args.workers, cache_dir=args.cache_dir,
     )
     values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}
     print(format_heatmap(
@@ -124,7 +147,10 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 
 
 def _cmd_mba(args: argparse.Namespace) -> int:
-    sweep = mba_sweep(args.workload, args.size, tier=args.tier)
+    sweep = mba_sweep(
+        ExperimentConfig(workload=args.workload, size=args.size, tier=args.tier),
+        workers=args.workers, cache_dir=args.cache_dir,
+    )
     rows = [[f"{level}%", fmt_time(time)] for level, time in sorted(sweep.times.items())]
     print(format_table(
         ["MBA level", "time"], rows,
@@ -135,18 +161,70 @@ def _cmd_mba(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    base = ExperimentConfig(workload=args.workloads[0])
+    configs = [
+        base.with_options(
+            workload=workload, size=size, tier=tier,
+            num_executors=executors, executor_cores=cores, mba_percent=mba,
+        )
+        for workload in args.workloads
+        for size in args.sizes
+        for tier in args.tiers
+        for executors in args.executors
+        for cores in args.cores
+        for mba in args.mba_levels
+    ]
+    report = api.campaign(
+        configs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        progress=_progress_printer(args),
+    )
+    rows = [
+        [
+            point.config.describe(),
+            point.status,
+            fmt_time(point.result.execution_time) if point.result else "-",
+            "yes" if point.result and point.result.verified else
+            ("no" if point.result else "-"),
+        ]
+        for point in report.points
+    ]
+    print(format_table(
+        ["configuration", "status", "time", "verified"], rows,
+        title=f"campaign over {len(configs)} points",
+    ))
+    summary = report.summary()
+    for key in ("points", "executed", "cache_hits", "deduplicated", "failures"):
+        print(f"{key:13s}: {summary[key]}")
+    print(f"{'elapsed':13s}: {summary['elapsed_s']}s")
+    for point in report.failures:
+        print(f"FAILED {point.config.describe()}: {point.error}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import characterization_report
     from repro.core.characterization import characterize
-    from repro.core.sweeps import executor_core_sweep, mba_sweep
 
     workloads = tuple(args.workloads) if args.workloads else ("sort", "lda")
     sizes = ("tiny", "small")
     print(f"characterizing {workloads} x {sizes} x 4 tiers...", file=sys.stderr)
     run = characterize(workloads=workloads, sizes=sizes)
-    sweeps = [mba_sweep(w, "small", tier=2, levels=(10, 50, 100)) for w in workloads]
+    sweeps = [
+        mba_sweep(
+            ExperimentConfig(workload=w, size="small", tier=2),
+            levels=(10, 50, 100),
+        )
+        for w in workloads
+    ]
     grids = [
-        executor_core_sweep(w, "small", tier=2, executors=(1, 4, 8), cores=(40,))
+        executor_core_sweep(
+            ExperimentConfig(workload=w, size="small", tier=2),
+            executors=(1, 4, 8), cores=(40,),
+        )
         for w in workloads
     ]
     report = characterization_report(run, mba_sweeps=sweeps, grids=grids)
@@ -203,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tier", type=int, default=0, choices=(0, 1, 2, 3))
         return p
 
+    def with_runner(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: serial)")
+        p.add_argument("--cache-dir", default=None,
+                       help="content-addressed result cache directory")
+        return p
+
     run_parser = with_workload(sub.add_parser("run", help="run one configuration"))
     run_parser.add_argument("--executors", type=int, default=1)
     run_parser.add_argument("--cores", type=int, default=40)
@@ -223,15 +308,41 @@ def build_parser() -> argparse.ArgumentParser:
                              help="enable speculative execution of slow tasks")
     run_parser.set_defaults(fn=_cmd_run)
 
-    with_workload(sub.add_parser("tiers", help="sweep all tiers")).set_defaults(
+    with_runner(with_workload(sub.add_parser("tiers", help="sweep all tiers"))).set_defaults(
         fn=_cmd_tiers
     )
-    with_workload(sub.add_parser("grid", help="executors x cores grid")).set_defaults(
+    with_runner(with_workload(sub.add_parser("grid", help="executors x cores grid"))).set_defaults(
         fn=_cmd_grid
     )
-    with_workload(sub.add_parser("mba", help="MBA bandwidth sweep")).set_defaults(
+    with_runner(with_workload(sub.add_parser("mba", help="MBA bandwidth sweep"))).set_defaults(
         fn=_cmd_mba
     )
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="cross-product campaign through the parallel cached runner",
+    )
+    campaign_parser.add_argument(
+        "workloads", nargs="+", choices=WORKLOAD_NAMES, metavar="workload"
+    )
+    campaign_parser.add_argument(
+        "--sizes", nargs="+", default=["small"], choices=SIZE_ORDER
+    )
+    campaign_parser.add_argument(
+        "--tiers", nargs="+", type=int, default=[0, 1, 2, 3],
+        choices=(0, 1, 2, 3),
+    )
+    campaign_parser.add_argument("--executors", nargs="+", type=int, default=[1])
+    campaign_parser.add_argument("--cores", nargs="+", type=int, default=[40])
+    campaign_parser.add_argument("--mba-levels", nargs="+", type=int, default=[100])
+    campaign_parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse results already in --cache-dir (continue an "
+             "interrupted campaign); default clears the cache first",
+    )
+    campaign_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress progress lines on stderr")
+    with_runner(campaign_parser).set_defaults(fn=_cmd_campaign)
 
     report_parser = sub.add_parser(
         "report", help="generate a markdown characterization report"

@@ -1,0 +1,130 @@
+"""The unified experiment API — the documented entry point.
+
+Three verbs cover the whole exploration workflow:
+
+- :func:`run` — one point: ``run(config)`` or ``run("sort", tier=2)``.
+- :func:`sweep` — vary one axis of a base config:
+  ``sweep(base, axis="tier", values=(0, 1, 2, 3))``.
+- :func:`campaign` — any iterable of configs through the parallel,
+  cached, failure-isolated campaign runner (:mod:`repro.runner`).
+
+Everything here is re-exported from the top-level ``repro`` package::
+
+    from repro import api
+
+    base = api.config(workload="lda", size="small")
+    tiers = api.sweep(base, axis="tier", values=range(4))
+    report = api.campaign(
+        [base.with_options(tier=t, mba_percent=m)
+         for t in (0, 2) for m in (10, 50, 100)],
+        workers=4, cache_dir=".campaign-cache",
+    )
+
+The older surfaces (``repro.core.experiment.run_experiment``,
+``repro.core.sweeps.mba_sweep(workload, size, tier)``,
+``run_experiments``) keep working as thin shims over this API.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.runner.campaign import (
+    CampaignProgress,
+    CampaignReport,
+    CampaignRunner,
+    run_campaign,
+)
+
+__all__ = [
+    "campaign",
+    "config",
+    "run",
+    "sweep",
+]
+
+
+def config(workload: str, **fields: t.Any) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` (keyword convenience)."""
+    return ExperimentConfig(workload=workload, **fields)
+
+
+def run(
+    experiment: ExperimentConfig | str, /, **overrides: t.Any
+) -> ExperimentResult:
+    """Execute one experiment point.
+
+    ``experiment`` is either a full :class:`ExperimentConfig` (with
+    optional field overrides applied via :func:`dataclasses.replace`) or
+    a workload name with the remaining fields as keywords::
+
+        api.run("sort", size="tiny", tier=2)
+        api.run(base, mba_percent=50)
+    """
+    if isinstance(experiment, ExperimentConfig):
+        resolved = replace(experiment, **overrides) if overrides else experiment
+    else:
+        resolved = ExperimentConfig(workload=experiment, **overrides)
+    return run_experiment(resolved)
+
+
+def sweep(
+    base: ExperimentConfig | str,
+    axis: str,
+    values: t.Iterable[t.Any],
+    *,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    resume: bool = True,
+    progress: t.Callable[[CampaignProgress], None] | None = None,
+) -> list[ExperimentResult]:
+    """Vary one config field across ``values``; results in value order.
+
+    The base's other fields — ``faults``, ``speculation``,
+    ``cpu_socket``, executor geometry — flow through to every point.  A
+    failing point raises (a sweep is all-or-nothing); use
+    :func:`campaign` for per-point failure isolation.
+    """
+    if isinstance(base, str):
+        base = ExperimentConfig(workload=base)
+    configs = [replace(base, **{axis: value}) for value in values]
+    report = run_campaign(
+        configs,
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
+        progress=progress,
+    )
+    report.raise_on_failure()
+    return report.results
+
+
+def campaign(
+    configs: t.Iterable[ExperimentConfig],
+    *,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    resume: bool = True,
+    progress: t.Callable[[CampaignProgress], None] | None = None,
+    runner: CampaignRunner | None = None,
+) -> CampaignReport:
+    """Execute a campaign of experiment points.
+
+    Fans points across ``workers`` processes (serial when ``None``/0/1;
+    an N-worker campaign is value-identical to the serial run), reuses
+    ``cache_dir``'s content-addressed cache (``resume=False`` clears it
+    first), isolates per-point failures in the report, and invokes
+    ``progress`` with completed/ETA counts after every point.
+    """
+    if runner is not None:
+        return runner.run(configs)
+    return run_campaign(
+        configs,
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
+        progress=progress,
+    )

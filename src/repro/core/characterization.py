@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import typing as t
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.core.experiment import (
-    ExperimentConfig,
-    ExperimentResult,
-    run_experiment,
-)
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.runner.campaign import CampaignRunner, run_campaign
 from repro.workloads.base import SIZE_ORDER
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -64,16 +62,37 @@ def characterize(
     sizes: t.Sequence[str] = SIZE_ORDER,
     tiers: t.Sequence[int] = (0, 1, 2, 3),
     progress: t.Callable[[ExperimentConfig], None] | None = None,
+    *,
+    base: ExperimentConfig | None = None,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    runner: CampaignRunner | None = None,
 ) -> CharacterizationRun:
-    """Run the full Fig. 2 grid with the paper's default Spark config."""
+    """Run the full Fig. 2 grid with the paper's default Spark config.
+
+    The grid is submitted as one campaign: ``workers`` fans it out over
+    a process pool, ``cache_dir`` makes it resumable, and ``base``
+    supplies the non-grid fields (faults, speculation, cpu_socket) of
+    every point.  Defaults preserve the historical serial behaviour.
+    """
+    template = base if base is not None else ExperimentConfig(workload="sort")
+    configs = [
+        template.with_options(workload=workload, size=size, tier=tier)
+        for workload in workloads
+        for size in sizes
+        for tier in tiers
+    ]
+    if progress is not None:
+        for config in configs:
+            progress(config)
+    if runner is not None:
+        report = runner.run(configs)
+    else:
+        report = run_campaign(configs, workers=workers, cache_dir=cache_dir)
+    report.raise_on_failure()
     run = CharacterizationRun()
-    for workload in workloads:
-        for size in sizes:
-            for tier in tiers:
-                config = ExperimentConfig(workload=workload, size=size, tier=tier)
-                if progress is not None:
-                    progress(config)
-                run.add(run_experiment(config))
+    for result in report.results:
+        run.add(result)
     return run
 
 

@@ -1,15 +1,27 @@
-"""Parameter sweeps: MBA throttling (Fig. 3), executors × cores (Fig. 4)."""
+"""Parameter sweeps: MBA throttling (Fig. 3), executors × cores (Fig. 4).
+
+Both sweeps take a **base** :class:`ExperimentConfig` and vary one or
+two axes with :func:`dataclasses.replace`, so every other field of the
+base — ``cpu_socket``, ``label``, ``faults``, ``speculation`` — flows
+through to each point.  Points are submitted through the campaign
+runner (:mod:`repro.runner`), so a sweep can fan out across a process
+pool and reuse a content-addressed cache; the default stays serial and
+uncached.
+
+The pre-runner signatures (``mba_sweep("sort", "small", tier=2)``) keep
+working: a workload-name string is accepted with a
+``DeprecationWarning`` and converted to a base config.
+"""
 
 from __future__ import annotations
 
 import typing as t
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
-from repro.core.experiment import (
-    ExperimentConfig,
-    ExperimentResult,
-    run_experiment,
-)
+from repro.core.experiment import ExperimentConfig
+from repro.runner.campaign import CampaignReport, CampaignRunner, run_campaign
 
 #: The MBA levels the paper sweeps (Intel hardware steps).
 MBA_LEVELS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
@@ -20,14 +32,65 @@ CORE_GRID = (5, 10, 20, 40)
 FIG4_WORKLOADS = ("sort", "rf", "lda", "pagerank")
 
 
+def _resolve_base(
+    base: ExperimentConfig | str,
+    size: str | None,
+    tier: int | None,
+    default_tier: int = 2,
+) -> ExperimentConfig:
+    """Normalize either calling convention to one base config.
+
+    With an :class:`ExperimentConfig`, explicit ``size``/``tier``
+    arguments override the base's values; with a workload-name string
+    (deprecated), they fill in a fresh config.
+    """
+    if isinstance(base, ExperimentConfig):
+        overrides: dict[str, t.Any] = {}
+        if size is not None:
+            overrides["size"] = size
+        if tier is not None:
+            overrides["tier"] = tier
+        return replace(base, **overrides) if overrides else base
+    warnings.warn(
+        "passing a workload name to a sweep is deprecated; pass a base "
+        "ExperimentConfig (e.g. sweep(ExperimentConfig(workload='sort')))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExperimentConfig(
+        workload=base,
+        size="small" if size is None else size,
+        tier=default_tier if tier is None else tier,
+    )
+
+
+def _run_points(
+    configs: t.Sequence[ExperimentConfig],
+    workers: int | None,
+    cache_dir: str | Path | None,
+    runner: CampaignRunner | None,
+) -> CampaignReport:
+    """Submit a sweep's points; sweeps are all-or-nothing, so any point
+    failure propagates (campaign callers wanting isolation use
+    :mod:`repro.runner` directly)."""
+    if runner is not None:
+        report = runner.run(configs)
+    else:
+        report = run_campaign(configs, workers=workers, cache_dir=cache_dir)
+    report.raise_on_failure()
+    return report
+
+
 @dataclass
 class MbaSweep:
-    """Execution times across MBA levels for one workload/size/tier."""
+    """Execution times across MBA levels for one base configuration."""
 
     workload: str
     size: str
     tier: int
     times: dict[int, float] = field(default_factory=dict)
+    #: The base config the sweep varied (None for hand-built instances).
+    base: ExperimentConfig | None = None
 
     def spread(self) -> float:
         """(max − min) / min across levels — Fig. 3's 'insensitivity'."""
@@ -37,26 +100,33 @@ class MbaSweep:
 
 
 def mba_sweep(
-    workload: str,
-    size: str,
-    tier: int = 2,
+    base: ExperimentConfig | str,
+    size: str | None = None,
+    tier: int | None = None,
     levels: t.Sequence[int] = MBA_LEVELS,
+    *,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    runner: CampaignRunner | None = None,
 ) -> MbaSweep:
-    """Fig. 3: run one workload under each bandwidth cap."""
-    sweep = MbaSweep(workload=workload, size=size, tier=tier)
-    for level in levels:
-        result = run_experiment(
-            ExperimentConfig(
-                workload=workload, size=size, tier=tier, mba_percent=level
-            )
-        )
+    """Fig. 3: run one base configuration under each bandwidth cap."""
+    resolved = _resolve_base(base, size, tier)
+    configs = [replace(resolved, mba_percent=level) for level in levels]
+    report = _run_points(configs, workers, cache_dir, runner)
+    sweep = MbaSweep(
+        workload=resolved.workload,
+        size=resolved.size,
+        tier=resolved.tier,
+        base=resolved,
+    )
+    for level, result in zip(levels, report.results):
         sweep.times[level] = result.execution_time
     return sweep
 
 
 @dataclass
 class ExecutorCoreGrid:
-    """Fig. 4 heatmap data for one workload/size/tier.
+    """Fig. 4 heatmap data for one base configuration.
 
     ``speedup[(executors, cores)]`` is baseline_time / cell_time, with
     the paper's baseline of 1 executor × 40 cores (values < 1 are
@@ -68,6 +138,8 @@ class ExecutorCoreGrid:
     tier: int
     times: dict[tuple[int, int], float] = field(default_factory=dict)
     baseline: tuple[int, int] = (1, 40)
+    #: The base config the sweep varied (None for hand-built instances).
+    base: ExperimentConfig | None = None
 
     @property
     def baseline_time(self) -> float:
@@ -90,27 +162,36 @@ class ExecutorCoreGrid:
 
 
 def executor_core_sweep(
-    workload: str,
-    size: str,
-    tier: int = 2,
+    base: ExperimentConfig | str,
+    size: str | None = None,
+    tier: int | None = None,
     executors: t.Sequence[int] = EXECUTOR_GRID,
     cores: t.Sequence[int] = CORE_GRID,
     progress: t.Callable[[ExperimentConfig], None] | None = None,
+    *,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    runner: CampaignRunner | None = None,
 ) -> ExecutorCoreGrid:
-    """Fig. 4: sweep the executors × cores grid on one tier."""
-    grid = ExecutorCoreGrid(workload=workload, size=size, tier=tier)
+    """Fig. 4: sweep the executors × cores grid for one base config."""
+    resolved = _resolve_base(base, size, tier)
+    grid = ExecutorCoreGrid(
+        workload=resolved.workload,
+        size=resolved.size,
+        tier=resolved.tier,
+        base=resolved,
+    )
     cells = {(e, c) for e in executors for c in cores}
     cells.add(grid.baseline)
-    for n_executors, n_cores in sorted(cells):
-        config = ExperimentConfig(
-            workload=workload,
-            size=size,
-            tier=tier,
-            num_executors=n_executors,
-            executor_cores=n_cores,
-        )
-        if progress is not None:
+    ordered = sorted(cells)
+    configs = [
+        replace(resolved, num_executors=n_executors, executor_cores=n_cores)
+        for n_executors, n_cores in ordered
+    ]
+    if progress is not None:
+        for config in configs:
             progress(config)
-        result = run_experiment(config)
-        grid.times[(n_executors, n_cores)] = result.execution_time
+    report = _run_points(configs, workers, cache_dir, runner)
+    for cell, result in zip(ordered, report.results):
+        grid.times[cell] = result.execution_time
     return grid

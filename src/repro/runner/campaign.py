@@ -1,0 +1,358 @@
+"""Parallel, cached, fault-isolated execution of experiment campaigns.
+
+Every figure in the paper is a *sweep* — Fig. 2's workloads × sizes ×
+tiers grid, Fig. 3's ten MBA levels, Fig. 4's executors × cores grids —
+and every point is a pure function of its :class:`ExperimentConfig`
+(each ``run_experiment`` builds a fresh seeded testbed, so results never
+depend on execution order or co-resident runs).  That purity is what
+this module exploits:
+
+- **fan-out** — points run across a ``concurrent.futures`` process
+  pool; an N-worker campaign is value-identical to the serial loop;
+- **content-addressed caching** — each completed point is stored under
+  :func:`~repro.runner.hashing.config_hash` in a
+  :class:`~repro.runner.cache.ResultCache`, so re-submitting an
+  identical point is a lookup and an interrupted campaign resumes where
+  it stopped;
+- **failure isolation** — a crashing point records its error and the
+  campaign keeps going; the report separates results from failures;
+- **progress** — a callback receives completed/total counts and an ETA
+  after every resolved point.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import typing as t
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.runner.cache import ResultCache
+from repro.runner.hashing import config_hash
+
+#: How each campaign point got its value.
+STATUS_EXECUTED = "executed"
+STATUS_CACHED = "cached"
+STATUS_DEDUPED = "deduped"
+STATUS_FAILED = "failed"
+
+
+def _execute_point(config: ExperimentConfig) -> ExperimentResult:
+    """Worker entry point (module-level so it pickles into the pool)."""
+    return run_experiment(config)
+
+
+@dataclass
+class CampaignPoint:
+    """Outcome of one submitted configuration."""
+
+    index: int
+    config: ExperimentConfig
+    result: ExperimentResult | None = None
+    error: str | None = None
+    status: str = STATUS_EXECUTED
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class CampaignProgress:
+    """Snapshot handed to the progress callback after each point."""
+
+    completed: int
+    total: int
+    executed: int
+    cached: int
+    failed: int
+    elapsed: float
+    #: Mean wall-seconds per *executed* point so far (cache hits are free).
+    seconds_per_point: float
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.completed
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.completed / self.total if self.total else 100.0
+
+    @property
+    def eta_seconds(self) -> float:
+        return self.remaining * self.seconds_per_point
+
+    def describe(self) -> str:
+        return (
+            f"[{self.completed}/{self.total}] {self.percent:5.1f}% | "
+            f"executed {self.executed}, cached {self.cached}, "
+            f"failed {self.failed} | eta {self.eta_seconds:.1f}s"
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign produced, in submission order."""
+
+    points: list[CampaignPoint] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        """Successful results, submission-ordered (failures skipped)."""
+        return [p.result for p in self.points if p.result is not None]
+
+    @property
+    def failures(self) -> list[CampaignPoint]:
+        return [p for p in self.points if p.error is not None]
+
+    @property
+    def executed(self) -> int:
+        return sum(p.status == STATUS_EXECUTED for p in self.points)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(p.status == STATUS_CACHED for p in self.points)
+
+    @property
+    def deduplicated(self) -> int:
+        return sum(p.status == STATUS_DEDUPED for p in self.points)
+
+    def result_for(self, config: ExperimentConfig) -> ExperimentResult:
+        key = config_hash(config)
+        for point in self.points:
+            if point.result is not None and config_hash(point.config) == key:
+                return point.result
+        raise KeyError(f"no successful result for {config.describe()}")
+
+    def raise_on_failure(self) -> None:
+        """Re-raise the first captured error (for all-or-nothing callers)."""
+        for point in self.failures:
+            raise CampaignError(
+                f"{point.config.describe()} failed: {point.error}"
+            )
+
+    def summary(self) -> dict[str, int | float]:
+        return {
+            "points": len(self.points),
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "failures": len(self.failures),
+            "elapsed_s": round(self.elapsed, 3),
+        }
+
+
+class CampaignError(RuntimeError):
+    """A campaign point failed and the caller demanded completeness."""
+
+
+class CampaignRunner:
+    """Supervises one pool of workers across any number of campaigns.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width.  ``0``/``1`` (or ``None``) runs points
+        serially in-process — bit-identical results either way, because
+        experiments are pure; the pool only changes wall-clock time.
+    cache_dir:
+        Directory for the content-addressed result cache (``None``
+        disables caching).
+    resume:
+        With a cache: ``True`` (default) reuses results already present
+        — the resumption path after an interrupted campaign.  ``False``
+        clears the cache first, forcing every point to execute (it is
+        still written, so the *next* run can resume).
+    progress:
+        Optional callback receiving a :class:`CampaignProgress` after
+        every resolved point.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | Path | None = None,
+        resume: bool = True,
+        progress: t.Callable[[CampaignProgress], None] | None = None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers or 0
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if self.cache is not None:
+            if resume:
+                self.cache.load()
+            else:
+                self.cache.clear()
+        self.progress = progress
+
+    # ------------------------------------------------------------------ public
+    def run(self, configs: t.Iterable[ExperimentConfig]) -> CampaignReport:
+        """Execute every configuration; never raises for a point failure.
+
+        The report's ``points`` come back in submission order no matter
+        how the pool interleaved execution, so downstream indexing is
+        deterministic.
+        """
+        points = [
+            CampaignPoint(index=i, config=c) for i, c in enumerate(configs)
+        ]
+        report = CampaignReport(points=points)
+        started = time.monotonic()
+
+        pending = self._resolve_cached(points)
+        primaries, aliases = self._deduplicate(pending)
+        self._emit_progress(report, started)
+
+        if primaries:
+            if self.workers > 1:
+                self._run_pool(primaries, report, started)
+            else:
+                self._run_serial(primaries, report, started)
+            self._resolve_aliases(aliases, report, started)
+
+        report.elapsed = time.monotonic() - started
+        return report
+
+    # ---------------------------------------------------------------- phases
+    def _resolve_cached(self, points: list[CampaignPoint]) -> list[CampaignPoint]:
+        """Fill cache hits; return the points that still need execution."""
+        if self.cache is None:
+            return list(points)
+        pending: list[CampaignPoint] = []
+        for point in points:
+            hit = self.cache.get(point.config)
+            if hit is not None:
+                point.result = hit
+                point.status = STATUS_CACHED
+            else:
+                pending.append(point)
+        return pending
+
+    def _deduplicate(
+        self, pending: list[CampaignPoint]
+    ) -> tuple[list[CampaignPoint], dict[int, CampaignPoint]]:
+        """Identical configs execute once; later copies alias the first."""
+        primaries: list[CampaignPoint] = []
+        first_by_key: dict[str, CampaignPoint] = {}
+        aliases: dict[int, CampaignPoint] = {}
+        for point in pending:
+            key = config_hash(point.config)
+            primary = first_by_key.get(key)
+            if primary is None:
+                first_by_key[key] = point
+                primaries.append(point)
+            else:
+                aliases[point.index] = primary
+        return primaries, aliases
+
+    def _run_serial(
+        self,
+        primaries: list[CampaignPoint],
+        report: CampaignReport,
+        started: float,
+    ) -> None:
+        for point in primaries:
+            try:
+                self._record(point, _execute_point(point.config))
+            except Exception as exc:  # noqa: BLE001 - point isolation
+                point.error = f"{type(exc).__name__}: {exc}"
+                point.status = STATUS_FAILED
+            self._emit_progress(report, started)
+
+    def _run_pool(
+        self,
+        primaries: list[CampaignPoint],
+        report: CampaignReport,
+        started: float,
+    ) -> None:
+        width = min(self.workers, len(primaries))
+        with ProcessPoolExecutor(max_workers=width) as pool:
+            futures: dict[Future, CampaignPoint] = {
+                pool.submit(_execute_point, point.config): point
+                for point in primaries
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    point = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        point.error = self._format_error(exc)
+                        point.status = STATUS_FAILED
+                    else:
+                        self._record(point, future.result())
+                    self._emit_progress(report, started)
+
+    def _resolve_aliases(
+        self,
+        aliases: dict[int, CampaignPoint],
+        report: CampaignReport,
+        started: float,
+    ) -> None:
+        for index, primary in aliases.items():
+            point = report.points[index]
+            if primary.result is not None:
+                point.result = primary.result
+                point.status = STATUS_DEDUPED
+            else:
+                point.error = primary.error
+                point.status = STATUS_FAILED
+            self._emit_progress(report, started)
+
+    # --------------------------------------------------------------- helpers
+    def _record(self, point: CampaignPoint, result: ExperimentResult) -> None:
+        point.result = result
+        point.status = STATUS_EXECUTED
+        if self.cache is not None:
+            self.cache.put(point.config, result)
+
+    @staticmethod
+    def _format_error(exc: BaseException) -> str:
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        return detail or type(exc).__name__
+
+    def _emit_progress(self, report: CampaignReport, started: float) -> None:
+        if self.progress is None:
+            return
+        resolved = [
+            p for p in report.points if p.result is not None or p.error is not None
+        ]
+        executed = sum(p.status == STATUS_EXECUTED for p in resolved)
+        cached = sum(p.status in (STATUS_CACHED, STATUS_DEDUPED) for p in resolved)
+        failed = sum(p.status == STATUS_FAILED for p in resolved)
+        elapsed = time.monotonic() - started
+        live = executed + failed
+        per_point = elapsed / live if live else 0.0
+        self.progress(
+            CampaignProgress(
+                completed=len(resolved),
+                total=len(report.points),
+                executed=executed,
+                cached=cached,
+                failed=failed,
+                elapsed=elapsed,
+                seconds_per_point=per_point,
+            )
+        )
+
+
+def run_campaign(
+    configs: t.Iterable[ExperimentConfig],
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    resume: bool = True,
+    progress: t.Callable[[CampaignProgress], None] | None = None,
+) -> CampaignReport:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(
+        workers=workers, cache_dir=cache_dir, resume=resume, progress=progress
+    )
+    return runner.run(configs)

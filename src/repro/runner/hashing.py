@@ -1,0 +1,30 @@
+"""Content-addressed keys for experiment configurations.
+
+A campaign cache must key on *everything* that changes an experiment's
+outcome — workload, size, tier, executor geometry, MBA level, CPU
+socket, the full fault plan and speculation — while staying stable
+across processes and Python versions (``hash()`` is salted per process,
+so it cannot address an on-disk cache).  The key here is the SHA-256 of
+the canonical JSON form of the full config dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.analysis.resultstore import config_to_dict
+from repro.core.experiment import ExperimentConfig
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """Stable hex digest addressing one point of the exploration space.
+
+    Two configs hash equal iff every field (including ``faults`` and
+    ``speculation``) is equal, so a cache hit is safe to substitute for
+    re-execution: experiments are pure functions of their config.
+    """
+    canonical = json.dumps(
+        config_to_dict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

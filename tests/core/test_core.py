@@ -73,7 +73,8 @@ def test_run_experiments_batch_with_progress():
     configs = [
         ExperimentConfig(workload="sort", size="tiny", tier=t) for t in (0, 2)
     ]
-    results = run_experiments(configs, progress=seen.append)
+    with pytest.warns(DeprecationWarning, match="repro.api.campaign"):
+        results = run_experiments(configs, progress=seen.append)
     assert len(results) == 2
     assert seen == configs
 
@@ -168,16 +169,39 @@ def test_leave_one_tier_out_prediction(tier_sweep_results):
 
 # --------------------------------------------------------------------- sweeps
 def test_mba_sweep_insensitive(quick_levels=(10, 50, 100)):
-    sweep = mba_sweep("repartition", "tiny", tier=2, levels=quick_levels)
+    base = ExperimentConfig(workload="repartition", size="tiny", tier=2)
+    sweep = mba_sweep(base, levels=quick_levels)
     assert set(sweep.times) == set(quick_levels)
+    assert sweep.base == base
     assert sweep.spread() < 0.3
     # Less bandwidth can never help.
     assert sweep.times[10] >= sweep.times[100]
 
 
+def test_mba_sweep_legacy_signature_deprecated():
+    with pytest.warns(DeprecationWarning, match="base ExperimentConfig"):
+        sweep = mba_sweep("repartition", "tiny", tier=2, levels=(50, 100))
+    assert set(sweep.times) == {50, 100}
+    assert sweep.workload == "repartition" and sweep.tier == 2
+
+
+def test_sweeps_propagate_base_fields():
+    """cpu_socket / label / speculation must flow through every point."""
+    base = ExperimentConfig(
+        workload="repartition", size="tiny", tier=2, label="probe",
+        speculation=True,
+    )
+    sweep = mba_sweep(base, levels=(100,))
+    assert sweep.base is not None
+    assert sweep.base.label == "probe" and sweep.base.speculation
+    grid = executor_core_sweep(base, executors=(1,), cores=(40,))
+    assert grid.base is not None and grid.base.label == "probe"
+
+
 def test_executor_core_sweep_grid():
     grid = executor_core_sweep(
-        "repartition", "tiny", tier=2, executors=(1, 4), cores=(20, 40)
+        ExperimentConfig(workload="repartition", size="tiny", tier=2),
+        executors=(1, 4), cores=(20, 40),
     )
     assert (1, 40) in grid.times
     assert grid.baseline_time > 0

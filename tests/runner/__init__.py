@@ -1,0 +1,1 @@
+"""Campaign runner subsystem tests."""

@@ -1,0 +1,65 @@
+"""ResultCache: hit/miss, durability, resume and corruption tolerance."""
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.runner.cache import CACHE_FILE, ResultCache
+
+
+def _point(tier: int = 0) -> ExperimentConfig:
+    return ExperimentConfig(workload="repartition", size="tiny", tier=tier)
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = _point()
+    assert config not in cache
+    assert cache.get(config) is None
+
+    result = run_experiment(config)
+    cache.put(config, result)
+    assert config in cache and len(cache) == 1
+    hit = cache.get(config)
+    assert hit is not None
+    assert hit.execution_time == result.execution_time
+    assert hit.config == config
+
+
+def test_cache_is_durable_across_instances(tmp_path):
+    config = _point(tier=2)
+    ResultCache(tmp_path).put(config, run_experiment(config))
+    assert (tmp_path / CACHE_FILE).exists()
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.load() == 1
+    assert config in fresh
+    assert _point(tier=0) not in fresh
+
+
+def test_put_is_idempotent(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = _point()
+    result = run_experiment(config)
+    cache.put(config, result)
+    cache.put(config, result)
+    assert len(ResultCache(tmp_path)) == 1
+
+
+def test_clear_empties_the_store(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = _point()
+    cache.put(config, run_experiment(config))
+    cache.clear()
+    assert len(cache) == 0
+    assert ResultCache(tmp_path).load() == 0
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    """An unclean shutdown can truncate the last line; resume must survive."""
+    cache = ResultCache(tmp_path)
+    config = _point()
+    cache.put(config, run_experiment(config))
+    with (tmp_path / CACHE_FILE).open("a", encoding="utf-8") as fh:
+        fh.write('{"key": "abc", "trunc')
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.load() == 1
+    assert config in fresh

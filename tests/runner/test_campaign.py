@@ -1,0 +1,192 @@
+"""CampaignRunner: parallelism, caching/resume, ordering, isolation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resultstore import ResultStore
+from repro.core.experiment import ExperimentConfig
+from repro.runner import (
+    CampaignError,
+    CampaignRunner,
+    run_campaign,
+)
+
+#: The Fig. 4 axes, shrunk to the tiny size for test speed.
+FIG4_GRID = [
+    ExperimentConfig(
+        workload="repartition", size="tiny", tier=tier,
+        num_executors=executors, executor_cores=cores,
+    )
+    for tier in (0, 2)
+    for executors in (1, 4)
+    for cores in (10, 40)
+]
+
+
+def store_rows(results, path):
+    """Serialize results through a ResultStore and read the rows back."""
+    store = ResultStore(path)
+    for result in results:
+        store.append(result)
+    return store.load()
+
+
+# ------------------------------------------------------------------ identity
+def test_parallel_campaign_value_identical_to_serial(tmp_path):
+    """Acceptance: a 4-worker Fig. 4 campaign == the serial loop."""
+    serial = run_campaign(FIG4_GRID)
+    parallel = run_campaign(FIG4_GRID, workers=4)
+    assert len(serial.results) == len(parallel.results) == len(FIG4_GRID)
+    assert store_rows(serial.results, tmp_path / "serial.jsonl") == store_rows(
+        parallel.results, tmp_path / "parallel.jsonl"
+    )
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    points=st.lists(
+        st.tuples(
+            st.sampled_from([0, 1, 2, 3]),
+            st.sampled_from([50, 100]),
+            st.sampled_from([1, 4]),
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_worker_count_never_changes_values(tmp_path_factory, points):
+    """Property: results are a pure function of the config list, not of
+    the pool width."""
+    configs = [
+        ExperimentConfig(
+            workload="repartition", size="tiny", tier=tier,
+            mba_percent=mba, num_executors=executors,
+        )
+        for tier, mba, executors in points
+    ]
+    tmp_path = tmp_path_factory.mktemp("prop")
+    serial = run_campaign(configs)
+    parallel = run_campaign(configs, workers=4)
+    assert store_rows(serial.results, tmp_path / "s.jsonl") == store_rows(
+        parallel.results, tmp_path / "p.jsonl"
+    )
+
+
+def test_results_come_back_in_submission_order():
+    configs = [
+        ExperimentConfig(workload="repartition", size="tiny", tier=tier)
+        for tier in (3, 0, 2, 1)
+    ]
+    report = run_campaign(configs, workers=4)
+    assert [p.config.tier for p in report.points] == [3, 0, 2, 1]
+    assert [r.config.tier for r in report.results] == [3, 0, 2, 1]
+    assert [p.index for p in report.points] == [0, 1, 2, 3]
+
+
+# ------------------------------------------------------------- cache / resume
+def test_rerun_is_all_cache_hits(tmp_path):
+    """Acceptance: an immediate re-run executes 0 experiments."""
+    cache_dir = tmp_path / "cache"
+    first = run_campaign(FIG4_GRID, workers=2, cache_dir=cache_dir)
+    assert first.executed == len(FIG4_GRID) and first.cache_hits == 0
+
+    rerun = run_campaign(FIG4_GRID, workers=2, cache_dir=cache_dir)
+    assert rerun.executed == 0
+    assert rerun.cache_hits == len(FIG4_GRID)
+    assert store_rows(first.results, tmp_path / "a.jsonl") == store_rows(
+        rerun.results, tmp_path / "b.jsonl"
+    )
+
+
+def test_partial_cache_resumes_the_remainder(tmp_path):
+    """Interrupted-campaign semantics: finished points replay from the
+    cache, only the rest execute."""
+    cache_dir = tmp_path / "cache"
+    half = FIG4_GRID[: len(FIG4_GRID) // 2]
+    run_campaign(half, cache_dir=cache_dir)
+
+    full = run_campaign(FIG4_GRID, cache_dir=cache_dir)
+    assert full.cache_hits == len(half)
+    assert full.executed == len(FIG4_GRID) - len(half)
+    assert len(full.results) == len(FIG4_GRID)
+
+
+def test_resume_false_clears_the_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    run_campaign(FIG4_GRID[:2], cache_dir=cache_dir)
+    fresh = run_campaign(FIG4_GRID[:2], cache_dir=cache_dir, resume=False)
+    assert fresh.executed == 2 and fresh.cache_hits == 0
+    # ... but the fresh run re-populated it for the next resume.
+    again = run_campaign(FIG4_GRID[:2], cache_dir=cache_dir)
+    assert again.executed == 0 and again.cache_hits == 2
+
+
+def test_duplicate_points_execute_once():
+    config = ExperimentConfig(workload="repartition", size="tiny")
+    report = run_campaign([config, config, config])
+    assert report.executed == 1
+    assert report.deduplicated == 2
+    assert len(report.results) == 3
+    times = {r.execution_time for r in report.results}
+    assert len(times) == 1
+
+
+# --------------------------------------------------------- failure isolation
+def test_one_crashed_point_does_not_kill_the_campaign():
+    bad = ExperimentConfig(workload="repartition", size="no-such-size")
+    configs = [FIG4_GRID[0], bad, FIG4_GRID[1]]
+    for workers in (None, 2):
+        report = run_campaign(configs, workers=workers)
+        assert len(report.results) == 2
+        assert len(report.failures) == 1
+        failed = report.failures[0]
+        assert failed.index == 1
+        assert failed.error is not None and "no-such-size" in failed.error
+        assert report.points[0].ok and report.points[2].ok
+        with pytest.raises(CampaignError, match="no-such-size"):
+            report.raise_on_failure()
+
+
+def test_failed_points_are_not_cached(tmp_path):
+    cache_dir = tmp_path / "cache"
+    bad = ExperimentConfig(workload="repartition", size="no-such-size")
+    run_campaign([bad], cache_dir=cache_dir)
+    rerun = run_campaign([bad], cache_dir=cache_dir)
+    assert rerun.cache_hits == 0
+    assert len(rerun.failures) == 1
+
+
+def test_result_for_lookup():
+    report = run_campaign(FIG4_GRID[:3])
+    target = FIG4_GRID[1]
+    assert report.result_for(target).config == target
+    with pytest.raises(KeyError):
+        report.result_for(ExperimentConfig(workload="sort", size="large"))
+
+
+# ----------------------------------------------------------------- progress
+def test_progress_reports_counts_and_eta():
+    snapshots = []
+    runner = CampaignRunner(workers=0, progress=snapshots.append)
+    runner.run(FIG4_GRID[:3])
+    assert snapshots  # emitted at least once per resolved point
+    final = snapshots[-1]
+    assert final.completed == final.total == 3
+    assert final.executed == 3 and final.failed == 0
+    assert final.percent == pytest.approx(100.0)
+    assert final.eta_seconds == pytest.approx(0.0)
+    assert "3/3" in final.describe()
+    # completed counts never decrease
+    assert all(
+        a.completed <= b.completed for a, b in zip(snapshots, snapshots[1:])
+    )
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError):
+        CampaignRunner(workers=-1)

@@ -1,0 +1,98 @@
+"""Content-addressed config keys: stability and full-field sensitivity."""
+
+import json
+
+import pytest
+
+from repro.analysis.resultstore import (
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.faults import FaultConfig
+from repro.runner.hashing import config_hash
+
+
+def test_hash_is_stable_for_equal_configs():
+    a = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    b = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    assert a is not b
+    assert config_hash(a) == config_hash(b)
+    assert len(config_hash(a)) == 64  # sha256 hex
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"size": "small"},
+        {"tier": 3},
+        {"num_executors": 2},
+        {"executor_cores": 20},
+        {"mba_percent": 50},
+        {"cpu_socket": 0},
+        {"label": "probe"},
+        {"speculation": True},
+        {"faults": FaultConfig(seed=1, task_crash_prob=0.1)},
+    ],
+)
+def test_every_field_changes_the_hash(override):
+    """The PR-2 bugfix: cpu_socket/label/faults/speculation must key the
+    cache — a config differing only there is a different experiment."""
+    base = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    assert config_hash(base) != config_hash(base.with_options(**override))
+
+
+def test_fault_seed_changes_the_hash():
+    base = ExperimentConfig(
+        workload="sort", size="tiny", faults=FaultConfig(seed=1, task_crash_prob=0.1)
+    )
+    other = base.with_options(faults=FaultConfig(seed=2, task_crash_prob=0.1))
+    assert config_hash(base) != config_hash(other)
+
+
+# ------------------------------------------------------------- serialization
+def test_config_round_trip_full_fidelity():
+    config = ExperimentConfig(
+        workload="lda", size="small", tier=3, num_executors=4,
+        executor_cores=10, mba_percent=50, cpu_socket=0, label="x",
+        faults=FaultConfig(seed=9, straggler_prob=0.2), speculation=True,
+    )
+    restored = config_from_dict(config_to_dict(config))
+    assert restored == config
+    assert config_hash(restored) == config_hash(config)
+
+
+def test_config_dict_is_json_round_trippable():
+    config = ExperimentConfig(workload="sort", faults=FaultConfig(seed=3))
+    via_json = json.loads(json.dumps(config_to_dict(config)))
+    assert config_from_dict(via_json) == config
+
+
+def test_config_from_dict_tolerates_legacy_rows():
+    """Rows written before PR 2 lack the new fields; defaults apply."""
+    legacy = {
+        "workload": "sort", "size": "tiny", "tier": 2,
+        "num_executors": 1, "executor_cores": 40, "mba_percent": 100,
+    }
+    config = config_from_dict(legacy)
+    assert config.faults is None and config.speculation is False
+    assert config.label == ""
+
+
+def test_result_round_trip_value_identical():
+    result = run_experiment(
+        ExperimentConfig(workload="repartition", size="tiny", tier=2)
+    )
+    restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+    assert restored.config == result.config
+    assert restored.execution_time == result.execution_time
+    assert restored.verified == result.verified
+    assert restored.events == result.events
+    assert restored.nvm_reads == result.nvm_reads
+    assert restored.nvm_writes == result.nvm_writes
+    assert restored.telemetry.elapsed == result.telemetry.elapsed
+    for name, report in result.telemetry.energy.items():
+        assert restored.telemetry.energy[name] == report
+    assert result_to_dict(restored) == result_to_dict(result)

@@ -49,6 +49,40 @@ def test_invalid_workload_rejected():
         main(["run", "terasort"])
 
 
+def test_campaign_command_with_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = [
+        "campaign", "repartition", "--sizes", "tiny", "--tiers", "0", "2",
+        "--workers", "2", "--cache-dir", cache_dir, "--quiet",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "campaign over 2 points" in out
+    assert "executed     : 2" in out
+    assert "cache_hits   : 0" in out
+
+    # Immediate resumed re-run: all points replay from the cache.
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "executed     : 0" in out
+    assert "cache_hits   : 2" in out
+
+
+def test_campaign_command_without_cache(capsys):
+    assert main(["campaign", "repartition", "--sizes", "tiny",
+                 "--tiers", "0", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "failures     : 0" in out
+    assert "verified" in out
+
+
+def test_tiers_command_accepts_workers(capsys):
+    assert main(["tiers", "repartition", "--size", "tiny",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Tier 3" in out and "vs T0" in out
+
+
 def test_unified_shuffle_flag_speeds_up_shuffles():
     """The discussion-section engine extension must help, not hurt."""
     from repro.spark.conf import SparkConf

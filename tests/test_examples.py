@@ -46,6 +46,13 @@ def test_performance_prediction():
     assert "predicted" in out
 
 
+def test_campaign_runner():
+    out = run_example("campaign_runner.py")
+    assert "value-identical to serial: True" in out
+    assert "0 executed" in out
+    assert "failure isolation" in out
+
+
 def test_fault_tolerance():
     out = run_example("fault_tolerance.py")
     assert "executors_lost" in out
