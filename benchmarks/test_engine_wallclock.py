@@ -1,0 +1,157 @@
+"""Engine wall-clock benchmark — how fast the simulator itself runs.
+
+Every other benchmark in this directory measures *simulated* quantities
+(execution time, traffic, energy) that are pinned bit-for-bit by the
+engine-invariance tests.  This module instead measures the *host*
+wall-clock cost of producing them on a representative slice of the
+Fig. 2 grid, and gates against the committed baseline so hot-path
+regressions are caught before they land.
+
+Artifacts:
+
+- ``benchmarks/BENCH_engine.json`` — machine-readable measurements
+  (overridable via ``BENCH_ENGINE_JSON``); CI uploads it as an artifact.
+- ``benchmarks/baseline_engine.json`` — committed reference numbers.
+  Regenerate deliberately with ``BENCH_UPDATE_BASELINE=1``.
+
+Point selection: ``BENCH_POINTS="workload:size:tier,..."`` restricts the
+run (the CI smoke step uses two points); the default set covers all
+seven paper workloads.  Wall-clock numbers vary across machines, so the
+regression gate only fails on a >50 % slowdown against baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.workloads import datagen
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Representative slice of the Fig. 2 grid: every paper workload on the
+#: fastest and slowest tier, plus the two heaviest workloads at scale.
+DEFAULT_POINTS: tuple[tuple[str, str, int], ...] = (
+    ("sort", "small", 0),
+    ("sort", "small", 3),
+    ("repartition", "small", 0),
+    ("repartition", "small", 3),
+    ("als", "small", 0),
+    ("als", "small", 3),
+    ("bayes", "small", 0),
+    ("bayes", "small", 3),
+    ("rf", "small", 0),
+    ("rf", "small", 3),
+    ("lda", "small", 0),
+    ("lda", "small", 3),
+    ("pagerank", "small", 0),
+    ("pagerank", "small", 3),
+    ("lda", "large", 3),
+    ("pagerank", "large", 3),
+)
+
+#: Best-of-N timing: absorbs one-off warmup noise without long runs.
+ROUNDS = 2
+
+#: Fail only on a >50 % slowdown — wall-clock baselines travel across
+#: machines, so the gate must tolerate hardware variance.
+REGRESSION_LIMIT = 1.5
+
+BASELINE_PATH = Path(__file__).parent / "baseline_engine.json"
+
+
+def selected_points() -> list[tuple[str, str, int]]:
+    spec = os.environ.get("BENCH_POINTS", "").strip()
+    if not spec:
+        return list(DEFAULT_POINTS)
+    points = []
+    for chunk in spec.split(","):
+        workload, size, tier = chunk.strip().split(":")
+        points.append((workload, size, int(tier)))
+    return points
+
+
+def point_key(workload: str, size: str, tier: int) -> str:
+    return f"{workload}-{size}-t{tier}"
+
+
+def time_point(workload: str, size: str, tier: int) -> dict:
+    config = ExperimentConfig(workload=workload, size=size, tier=tier)
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        # Each round pays the full cost, including input generation.
+        datagen.clear_cache()
+        t0 = time.perf_counter()
+        result = run_experiment(config)
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None and result.verified, (workload, size, tier)
+    return {
+        "wall_s": best,
+        "simulated_s": result.execution_time,
+        "events": sum(result.telemetry.events.values()),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements() -> dict:
+    points = {
+        point_key(*point): time_point(*point) for point in selected_points()
+    }
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "rounds": ROUNDS,
+        "python": platform.python_version(),
+        "points": points,
+        "total_wall_s": sum(p["wall_s"] for p in points.values()),
+    }
+
+
+def test_emit_bench_json(measurements):
+    """Persist the measurement artifact (and optionally the baseline)."""
+    out = Path(
+        os.environ.get("BENCH_ENGINE_JSON", Path(__file__).parent / "BENCH_engine.json")
+    )
+    out.write_text(json.dumps(measurements, indent=1, sort_keys=True) + "\n")
+    if os.environ.get("BENCH_UPDATE_BASELINE"):
+        BASELINE_PATH.write_text(
+            json.dumps(measurements, indent=1, sort_keys=True) + "\n"
+        )
+    assert out.exists()
+
+
+def test_wallclock_regression_gate(measurements):
+    """No measured point may regress >50 % against the committed baseline."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed baseline (regenerate with BENCH_UPDATE_BASELINE=1)")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    regressions = []
+    for key, point in measurements["points"].items():
+        reference = baseline["points"].get(key)
+        if reference is None:
+            continue
+        ratio = point["wall_s"] / reference["wall_s"]
+        if ratio > REGRESSION_LIMIT:
+            regressions.append(f"{key}: {ratio:.2f}x baseline")
+    assert not regressions, "; ".join(regressions)
+
+
+def test_simulated_values_match_baseline(measurements):
+    """Wall-clock may drift across hosts; simulated seconds must not."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed baseline")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for key, point in measurements["points"].items():
+        reference = baseline["points"].get(key)
+        if reference is None:
+            continue
+        assert point["simulated_s"] == pytest.approx(
+            reference["simulated_s"], rel=1e-12
+        ), key
+        assert point["events"] == reference["events"], key

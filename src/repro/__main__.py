@@ -91,7 +91,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=_build_faults(args),
         speculation=args.speculate,
     )
-    result = api.run(config)
+    prof = None
+    if args.profile or args.profile_json:
+        from repro import perf
+
+        with perf.profile() as prof:
+            result = api.run(config)
+    else:
+        result = api.run(config)
     print(f"configuration : {config.describe()}")
     print(f"verified      : {result.verified}")
     print(f"execution time: {fmt_time(result.execution_time)}")
@@ -104,6 +111,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("fault tolerance:")
         for key, value in sorted(result.mitigation.items()):
             print(f"  {key:20s}: {int(value)}")
+    if prof is not None:
+        print()
+        print("perf profile (exclusive wall clock, repro.perf):")
+        print(prof.format())
+        if args.profile_json:
+            prof.to_json(args.profile_json)
+            print(f"profile JSON written to {args.profile_json}")
     return 0 if result.verified else 1
 
 
@@ -292,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--executors", type=int, default=1)
     run_parser.add_argument("--cores", type=int, default=40)
     run_parser.add_argument("--mba", type=int, default=100)
+    run_parser.add_argument("--profile", action="store_true",
+                            help="attribute wall clock per engine subsystem (repro.perf)")
+    run_parser.add_argument("--profile-json", default=None, metavar="PATH",
+                            help="also dump the perf profile as JSON to PATH")
     fault_group = run_parser.add_argument_group(
         "fault injection", "seeded failures injected into the simulated cluster"
     )

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessCounters:
     """Running totals of memory traffic into a DIMM, device or tier.
 

@@ -1,0 +1,32 @@
+"""``repro.perf`` — lightweight profiling harness for the engine.
+
+Answers "where does the wall clock go?" with per-subsystem call counts
+and exclusive wall-clock seconds (sim kernel vs RDD compute vs shuffle
+vs memory model vs data generation), printable as a table or dumped as
+JSON.  See docs/PERFORMANCE.md for the workflow and the JSON schema.
+
+Typical use::
+
+    from repro import perf
+
+    with perf.profile() as prof:
+        run_experiment(config)
+    print(prof.format())
+    prof.to_json("profile.json")
+
+or from the CLI::
+
+    python -m repro run lda --size small --tier 2 --profile
+"""
+
+from repro.perf.instrument import active_profile, install, profile, uninstall
+from repro.perf.profiler import PROFILE_SCHEMA_VERSION, PerfProfile
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "PerfProfile",
+    "active_profile",
+    "install",
+    "profile",
+    "uninstall",
+]

@@ -1,0 +1,123 @@
+"""Exclusive wall-clock attribution for the engine's hot subsystems.
+
+A :class:`PerfProfile` keeps one ``(calls, wall_s)`` pair per subsystem.
+Attribution is *exclusive*: when an instrumented span (say the shuffle
+writer) runs inside another instrumented span (the sim kernel's
+``step``), the inner time is charged to the inner subsystem only, so
+the per-subsystem seconds add up to at most the measured total instead
+of double-counting nested frames.  The bookkeeping is a plain span
+stack — ``enter`` pauses the parent, ``exit`` resumes it — so the
+overhead is two ``perf_counter()`` reads per instrumented call and the
+engine pays nothing at all while no profile is active (instrumentation
+is installed by swapping methods in, not by permanent hooks; see
+:mod:`repro.perf.instrument`).
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+from time import perf_counter
+
+#: Version tag written into every JSON dump so downstream tooling can
+#: detect schema changes (documented in docs/PERFORMANCE.md).
+PROFILE_SCHEMA_VERSION = 1
+
+
+class PerfProfile:
+    """Per-subsystem call counts and exclusive wall-clock seconds."""
+
+    __slots__ = ("calls", "wall_s", "_stack", "_t_start", "_t_stop")
+
+    def __init__(self) -> None:
+        self.calls: dict[str, int] = {}
+        self.wall_s: dict[str, float] = {}
+        # Span stack of [subsystem, last_resume_time] pairs.
+        self._stack: list[list] = []
+        self._t_start: float | None = None
+        self._t_stop: float | None = None
+
+    # -- span bookkeeping (hot; called from instrumented wrappers) ---------------
+    def enter(self, name: str) -> None:
+        now = perf_counter()
+        stack = self._stack
+        if stack:
+            parent = stack[-1]
+            self.wall_s[parent[0]] = (
+                self.wall_s.get(parent[0], 0.0) + now - parent[1]
+            )
+        self.calls[name] = self.calls.get(name, 0) + 1
+        stack.append([name, now])
+
+    def exit(self) -> None:
+        now = perf_counter()
+        name, resumed = self._stack.pop()
+        self.wall_s[name] = self.wall_s.get(name, 0.0) + now - resumed
+        if self._stack:
+            self._stack[-1][1] = now
+
+    # -- window -------------------------------------------------------------------
+    def start(self) -> None:
+        self._t_start = perf_counter()
+
+    def stop(self) -> None:
+        self._t_stop = perf_counter()
+
+    @property
+    def total_wall_s(self) -> float:
+        """Wall seconds of the profiled window (0 before ``stop``)."""
+        if self._t_start is None or self._t_stop is None:
+            return 0.0
+        return self._t_stop - self._t_start
+
+    @property
+    def attributed_wall_s(self) -> float:
+        return sum(self.wall_s.values())
+
+    # -- output ---------------------------------------------------------------------
+    def to_dict(self) -> dict[str, t.Any]:
+        """JSON-ready view (schema documented in docs/PERFORMANCE.md)."""
+        total = self.total_wall_s
+        subsystems = {}
+        for name in sorted(self.wall_s, key=self.wall_s.get, reverse=True):
+            seconds = self.wall_s[name]
+            subsystems[name] = {
+                "calls": self.calls.get(name, 0),
+                "wall_s": seconds,
+                "share": seconds / total if total else 0.0,
+            }
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "total_wall_s": total,
+            "attributed_wall_s": self.attributed_wall_s,
+            "subsystems": subsystems,
+        }
+
+    def to_json(self, path: str | None = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def format(self) -> str:
+        """Human-readable table for the CLI."""
+        total = self.total_wall_s
+        lines = [
+            f"{'subsystem':<22} {'calls':>10} {'wall (s)':>10} {'share':>7}",
+            "-" * 52,
+        ]
+        for name in sorted(self.wall_s, key=self.wall_s.get, reverse=True):
+            seconds = self.wall_s[name]
+            share = f"{seconds / total * 100:5.1f}%" if total else "    -"
+            lines.append(
+                f"{name:<22} {self.calls.get(name, 0):>10,} "
+                f"{seconds:>10.3f} {share:>7}"
+            )
+        lines.append("-" * 52)
+        lines.append(
+            f"{'attributed':<22} {'':>10} {self.attributed_wall_s:>10.3f}"
+        )
+        if total:
+            lines.append(f"{'total window':<22} {'':>10} {total:>10.3f}")
+        return "\n".join(lines)

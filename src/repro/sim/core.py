@@ -21,6 +21,8 @@ class Environment:
     which makes simulations fully deterministic.
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []

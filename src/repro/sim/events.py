@@ -33,6 +33,11 @@ class Event:
         The environment this event belongs to.
     """
 
+    # The kernel allocates one Event (or subclass) per scheduled
+    # happening — slots keep that allocation dict-free.  Subclasses that
+    # add state must declare their own __slots__ to stay dict-free.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[t.Callable[["Event"], None]] | None = []
@@ -125,6 +130,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed ``delay`` of simulated time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -142,6 +149,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Immediately-scheduled event that starts a new :class:`Process`."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "t.Any") -> None:
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -152,6 +161,8 @@ class Initialize(Event):
 
 class ConditionValue:
     """Result of a condition: an ordered mapping of triggered events."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -193,6 +204,8 @@ class Condition(Event):
     The ``evaluate`` callable decides, given the component events and the
     count of triggered ones, whether the condition holds.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -251,12 +264,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that succeeds once every component event succeeds."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: t.Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that succeeds as soon as one component event succeeds."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: t.Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

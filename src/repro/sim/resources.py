@@ -38,6 +38,8 @@ class Request(Event):
         # released automatically
     """
 
+    __slots__ = ("resource", "priority", "time_requested", "time_granted")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env)
         self.resource = resource

@@ -72,12 +72,23 @@ class Store:
                 progressed = True
 
 
+class FilterGet(Event):
+    """Get event carrying the predicate it selects items with."""
+
+    __slots__ = ("_filter",)
+
+    def __init__(
+        self, env: "Environment", filter: t.Callable[[object], bool]  # noqa: A002
+    ) -> None:
+        super().__init__(env)
+        self._filter = filter
+
+
 class FilterStore(Store):
     """A :class:`Store` whose ``get`` can select items by predicate."""
 
     def get(self, filter: t.Callable[[object], bool] | None = None) -> Event:  # noqa: A002
-        ev = Event(self.env)
-        ev._filter = filter or (lambda item: True)  # type: ignore[attr-defined]
+        ev = FilterGet(self.env, filter or (lambda item: True))
         self._getters.append(ev)
         self._settle()
         return ev

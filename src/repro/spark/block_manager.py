@@ -26,6 +26,11 @@ class BlockManager:
         self._data: dict[BlockId, list[t.Any]] = {}
         #: Disk-resident blocks: block → (records, serialized bytes).
         self._disk: dict[BlockId, tuple[list[t.Any], float]] = {}
+        #: Per-block record-size estimate, written when the block is
+        #: cached (the owning RDD's cached estimate) and reused on every
+        #: later spill of the same block instead of re-sampling the
+        #: records per eviction.
+        self._record_bytes: dict[BlockId, float] = {}
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -70,6 +75,7 @@ class BlockManager:
                 for victim in evicted:
                     self._spill_or_drop(victim, rdd.storage_level.use_disk)
                 self._data[block] = data
+                self._record_bytes[block] = rdd.record_bytes
                 ctx.charge_stream_write(nbytes, records=len(data))
                 if not rdd.storage_level.deserialized:
                     ctx.charge(ops=serialization_ops(nbytes))
@@ -85,9 +91,15 @@ class BlockManager:
         """Evicted memory block: spill to disk when the level allows."""
         data = self._data.pop(victim, None)
         if spill_to_disk and data is not None and victim not in self._disk:
-            from repro.spark.serializer import estimate_record_bytes
+            record_bytes = self._record_bytes.get(victim)
+            if record_bytes is None:
+                # Block cached before this manager tracked sizes (or via
+                # a test shortcut): sample once and remember per block.
+                from repro.spark.serializer import estimate_record_bytes
 
-            self._disk[victim] = (data, len(data) * estimate_record_bytes(data))
+                record_bytes = estimate_record_bytes(data)
+                self._record_bytes[victim] = record_bytes
+            self._disk[victim] = (data, len(data) * record_bytes)
 
     def drop_all(self) -> None:
         """Executor loss: every cached block dies with the process."""
@@ -95,6 +107,7 @@ class BlockManager:
             self.memory.release_rdd(block.rdd_id)
         self._data.clear()
         self._disk.clear()
+        self._record_bytes.clear()
 
     def evict_rdd(self, rdd_id: int) -> float:
         """Unpersist support: drop all blocks of one RDD (memory + disk)."""
@@ -103,6 +116,8 @@ class BlockManager:
             del self._data[block]
         for block in [b for b in self._disk if b.rdd_id == rdd_id]:
             del self._disk[block]
+        for block in [b for b in self._record_bytes if b.rdd_id == rdd_id]:
+            del self._record_bytes[block]
         return freed
 
     @property

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import typing as t
 import zlib
+from bisect import bisect_left
 
 
 def _portable_hash(key: t.Any) -> int:
@@ -37,6 +38,16 @@ class Partitioner:
     def partition(self, key: t.Any) -> int:
         raise NotImplementedError
 
+    def partition_all(self, keys: t.Sequence[t.Any]) -> list[int]:
+        """Partition indices for a batch of keys.
+
+        Equals ``[self.partition(k) for k in keys]`` by contract (the
+        property tests pin this); subclasses override with batched
+        paths that avoid one Python call per key.
+        """
+        partition = self.partition
+        return [partition(key) for key in keys]
+
     def __eq__(self, other: object) -> bool:
         return (
             type(self) is type(other)
@@ -52,6 +63,26 @@ class HashPartitioner(Partitioner):
 
     def partition(self, key: t.Any) -> int:
         return _portable_hash(key) % self.num_partitions
+
+    def partition_all(self, keys: t.Sequence[t.Any]) -> list[int]:
+        # Homogeneous batches (the common case: one key type per RDD)
+        # inline _portable_hash's branch for that type; mixed batches
+        # fall back to the generic per-key path.  Exact-type checks keep
+        # bool (hashes like int but sizes differently elsewhere) and
+        # str/bytes subclasses on the generic path.
+        n = self.num_partitions
+        if len(keys) > 8:
+            kinds = set(map(type, keys))
+            if kinds == {str}:
+                crc32 = zlib.crc32
+                return [crc32(key.encode("utf-8")) % n for key in keys]
+            if kinds == {int}:
+                return [hash(key) % n for key in keys]
+            if kinds == {bytes}:
+                crc32 = zlib.crc32
+                return [crc32(key) % n for key in keys]
+        portable_hash = _portable_hash
+        return [portable_hash(key) % n for key in keys]
 
 
 class RangePartitioner(Partitioner):
@@ -96,15 +127,13 @@ class RangePartitioner(Partitioner):
         return cls(len(unique) + 1, unique)
 
     def partition(self, key: t.Any) -> int:
-        # Binary search over the bounds.
-        lo, hi = 0, len(self.bounds)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if key <= self.bounds[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        return lo
+        # First partition whose upper bound admits the key — exactly
+        # bisect_left's "count of bounds strictly below key".
+        return bisect_left(self.bounds, key)
+
+    def partition_all(self, keys: t.Sequence[t.Any]) -> list[int]:
+        bounds = self.bounds
+        return [bisect_left(bounds, key) for key in keys]
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -126,6 +155,10 @@ class ReversedPartitioner(Partitioner):
 
     def partition(self, key: t.Any) -> int:
         return self.num_partitions - 1 - self.inner.partition(key)
+
+    def partition_all(self, keys: t.Sequence[t.Any]) -> list[int]:
+        mirror = self.num_partitions - 1
+        return [mirror - index for index in self.inner.partition_all(keys)]
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, ReversedPartitioner) and self.inner == other.inner

@@ -592,13 +592,18 @@ def _make_map_side_combiner(
 ) -> t.Callable[[list[tuple[t.Any, t.Any]]], list[tuple[t.Any, t.Any]]]:
     """Build the map-side pre-aggregation function for a shuffle."""
 
+    missing = object()
+
     def combine(records: list[tuple[t.Any, t.Any]]) -> list[tuple[t.Any, t.Any]]:
         table: dict[t.Any, t.Any] = {}
+        get = table.get
         for key, value in records:
-            if key in table:
-                table[key] = merge_value(table[key], value)
-            else:
-                table[key] = create_combiner(value)
+            existing = get(key, missing)
+            table[key] = (
+                create_combiner(value)
+                if existing is missing
+                else merge_value(existing, value)
+            )
         return list(table.items())
 
     return combine

@@ -39,7 +39,21 @@ def sizeof_value(value: t.Any) -> float:
     if isinstance(value, (str, bytes, bytearray)):
         return float(sys.getsizeof(value))
     if isinstance(value, (tuple, list)):
-        return 56.0 + 8.0 * len(value) + sum(sizeof_value(v) for v in value)
+        n = len(value)
+        if n > SAMPLE_SIZE:
+            # Large grouped values (e.g. group_by_key lists) would make
+            # one record cost O(len) to measure.  Homogeneous primitive
+            # containers have a closed form identical to full recursion;
+            # anything else falls back to the same strided sampling the
+            # top-level estimator uses (statistically equivalent).
+            kinds = set(map(type, value))
+            if kinds <= {int, float, complex}:
+                return 56.0 + 8.0 * n + 16.0 * n
+            step = max(1, n // SAMPLE_SIZE)
+            sample = [value[i] for i in range(0, n, step)][:SAMPLE_SIZE]
+            mean = sum(sizeof_value(v) for v in sample) / len(sample)
+            return 56.0 + 8.0 * n + mean * n
+        return 56.0 + 8.0 * n + sum(sizeof_value(v) for v in value)
     if isinstance(value, (set, frozenset)):
         return 216.0 + sum(sizeof_value(v) for v in value)
     if isinstance(value, dict):

@@ -100,14 +100,17 @@ class ShuffleManager:
     ) -> float:
         """Store one map task's buckets; returns total bytes written."""
         state = self._shuffles[shuffle_id]
+        if record_bytes is None:
+            # The executor normally supplies the RDD's cached estimate;
+            # direct callers get one sampled estimate for the whole map
+            # output instead of a fresh sample per reduce bucket.
+            record_bytes = estimate_record_bytes(
+                [record for records in buckets.values() for record in records]
+            )
         segments: dict[int, ShuffleSegment] = {}
         total = 0.0
         for reduce_partition, records in buckets.items():
-            nbytes = (
-                len(records) * record_bytes
-                if record_bytes is not None
-                else len(records) * estimate_record_bytes(records)
-            )
+            nbytes = len(records) * record_bytes
             segments[reduce_partition] = ShuffleSegment(
                 shuffle_id=shuffle_id,
                 map_partition=map_partition,

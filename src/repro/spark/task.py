@@ -24,6 +24,19 @@ class TaskContext:
     into simulated time on its socket and bound memory tier.
     """
 
+    __slots__ = (
+        "executor",
+        "compute_ops",
+        "bytes_read",
+        "bytes_written",
+        "random_reads",
+        "random_writes",
+        "metrics",
+        "pending_hdfs_reads",
+        "pending_disk_writes",
+        "pending_disk_reads",
+    )
+
     def __init__(self, executor: "Executor | None" = None) -> None:
         self.executor = executor
         self.compute_ops = 0.0
@@ -108,7 +121,7 @@ class TaskContext:
         return ops, profile
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One schedulable unit: evaluate one partition of one stage.
 

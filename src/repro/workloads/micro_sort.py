@@ -8,6 +8,7 @@ HiBench's Sort reads text from HDFS, sorts it with a total-order shuffle
 from __future__ import annotations
 
 import typing as t
+from itertools import repeat
 
 from repro.spark.context import SparkContext
 from repro.spark.costs import CostSpec
@@ -44,7 +45,10 @@ class SortWorkload(Workload):
     def execute(self, sc: SparkContext, size: str) -> tuple[t.Any, int]:
         profile = self.profile(size)
         lines = sc.text_file(self.input_path(size), profile.partitions)
-        keyed = lines.map(lambda line: (line, None))
+        keyed = lines.map_partitions(
+            lambda part: list(zip(part, repeat(None))),
+            name="map",
+        )
         ordered = keyed.sort_by_key(num_partitions=profile.partitions)
         # Keep lineage pipelined; override only the final sort kernel cost.
         ordered.cost = SORT_KERNEL.with_pressure(profile.llc_pressure)  # type: ignore[attr-defined]

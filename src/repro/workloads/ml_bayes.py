@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import typing as t
 from collections import defaultdict
+from itertools import repeat
 
 from repro.spark.context import SparkContext
 from repro.spark.costs import CostSpec
@@ -98,15 +99,29 @@ class BayesWorkload(Workload):
         vocabulary = profile.param("vocabulary")
         priors = {c: math.log(n / n_docs) for c, n in class_counts.items()}
 
-        def log_likelihood(label: int, word: str) -> float:
-            count = word_counts.get((label, word), 0)
-            return math.log((count + 1.0) / (class_tokens[label] + vocabulary))
+        # Smoothed log-likelihood tables: the same math.log terms the
+        # per-token lookup computed, evaluated once per (class, word)
+        # pair instead of once per token occurrence.  Scoring keeps the
+        # left-to-right summation order, so scores are bit-identical.
+        log_default = {
+            c: math.log(1.0 / (class_tokens[c] + vocabulary)) for c in priors
+        }
+        log_tables: dict[int, dict[str, float]] = {c: {} for c in priors}
+        for (label, word), count in word_counts.items():
+            log_tables[label][word] = math.log(
+                (count + 1.0) / (class_tokens[label] + vocabulary)
+            )
 
         def classify(doc: tuple[int, list[str]]) -> tuple[int, int]:
             label, words = doc
             best, best_score = -1, -math.inf
             for c in priors:
-                score = priors[c] + sum(log_likelihood(c, w) for w in words)
+                table_get = log_tables[c].get
+                # map() keeps the same left-to-right summation order as
+                # the per-token loop while dispatching lookups in C.
+                score = priors[c] + sum(
+                    map(table_get, words, repeat(log_default[c]))
+                )
                 if score > best_score:
                     best, best_score = c, score
             return label, best

@@ -83,43 +83,65 @@ class LdaWorkload(Workload):
             doc_id: rng.integers(0, n_topics, size=len(words))
             for doc_id, words in sc.hdfs.read_records(self.input_path(size))
         }
-        topic_word = np.zeros((n_topics, vocabulary))
+        # Word-major counts: the sampler reads one word's topic row per
+        # token, so keeping rows contiguous avoids a strided column
+        # gather on every access (element values are unchanged).
+        word_topic = np.zeros((vocabulary, n_topics))
         topic_totals = np.zeros(n_topics)
         doc_topic = np.zeros((n_docs, n_topics))
         for doc_id, words in sc.hdfs.read_records(self.input_path(size)):
             for word, topic in zip(words, assignments[doc_id]):
-                topic_word[topic, word] += 1
+                word_topic[word, topic] += 1
                 topic_totals[topic] += 1
                 doc_topic[doc_id, topic] += 1
+
+        beta_vocab = BETA * vocabulary
 
         def gibbs_pass(
             part: list[tuple[int, list[int]]], seed: int
         ) -> list[tuple[int, float]]:
             """Resample one partition's tokens; returns (doc, log-lik)."""
             local_rng = np.random.default_rng(seed)
+            uniform = local_rng.random
+            log = np.log
+            total = np.add.reduce
+            counts = word_topic
+            totals = topic_totals
             out = []
             for doc_id, words in part:
-                topics = assignments[doc_id]
+                topics = assignments[doc_id].tolist()
+                dt_row = doc_topic[doc_id]
+                # One bulk draw per document: ``random(n)`` consumes the
+                # bit generator exactly as n scalar ``random()`` calls do,
+                # so every token sees the same uniform variate.
+                draws = uniform(len(words)).tolist()
                 loglik = 0.0
                 for i, word in enumerate(words):
                     k_old = topics[i]
+                    row = counts[word]
                     # Remove token from counts.
-                    topic_word[k_old, word] -= 1
-                    topic_totals[k_old] -= 1
-                    doc_topic[doc_id, k_old] -= 1
-                    # Full conditional.
-                    p = (
-                        (topic_word[:, word] + BETA)
-                        / (topic_totals + BETA * vocabulary)
-                        * (doc_topic[doc_id] + ALPHA)
-                    )
-                    p /= p.sum()
-                    k_new = int(local_rng.choice(n_topics, p=p))
+                    row[k_old] -= 1
+                    totals[k_old] -= 1
+                    dt_row[k_old] -= 1
+                    # Full conditional; in-place ops reuse the first
+                    # temporary but round identically per element.
+                    p = row + BETA
+                    p /= totals + beta_vocab
+                    p *= dt_row + ALPHA
+                    p /= total(p)
+                    # Exact replica of rng.choice(n_topics, p=p): choice
+                    # samples cdf.searchsorted(random(), 'right') on the
+                    # renormalized cumulative sum; inlining it skips
+                    # choice's per-call validation of p.
+                    cdf = p.cumsum()
+                    cdf /= cdf[-1]
+                    k_new = int(cdf.searchsorted(draws[i], side="right"))
                     topics[i] = k_new
-                    topic_word[k_new, word] += 1
-                    topic_totals[k_new] += 1
-                    doc_topic[doc_id, k_new] += 1
-                    loglik += float(np.log(p[k_new]))
+                    row[k_new] += 1
+                    totals[k_new] += 1
+                    dt_row[k_new] += 1
+                    loglik += float(log(p.item(k_new)))
+                assignments[doc_id] = np.asarray(topics)
                 out.append((doc_id, loglik))
             return out
 
@@ -133,7 +155,7 @@ class LdaWorkload(Workload):
             ).collect()
             logliks.append(sum(ll for _, ll in results))
 
-        coherence = self._top_word_concentration(topic_word)
+        coherence = self._top_word_concentration(word_topic.T)
         return (
             {"loglik": logliks, "concentration": coherence},
             tokens_total * ITERATIONS,

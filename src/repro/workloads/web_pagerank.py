@@ -29,6 +29,17 @@ DAMPING = 0.85
 ITERATIONS = 5
 
 
+def _contributions(kv: tuple[t.Any, tuple[list, float]]) -> list:
+    """Scatter a page's rank share to its link targets.
+
+    The share divides the same operands once instead of once per target;
+    IEEE division is deterministic, so every emitted value is unchanged.
+    """
+    links, rank = kv[1]
+    share = rank / len(links)
+    return [(target, share) for target in links]
+
+
 class PageRankWorkload(Workload):
     name = "pagerank"
     category = "websearch"
@@ -62,9 +73,7 @@ class PageRankWorkload(Workload):
 
         for _ in range(ITERATIONS):
             contributions = links.join(ranks, profile.partitions).flat_map(
-                lambda kv: [
-                    (target, kv[1][1] / len(kv[1][0])) for target in kv[1][0]
-                ],
+                _contributions,
                 cost=CONTRIB_COST.with_pressure(profile.llc_pressure),
             )
             ranks = contributions.reduce_by_key(

@@ -1,0 +1,107 @@
+"""Unit tests for the ``repro.perf`` profiling harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.perf.profiler import PROFILE_SCHEMA_VERSION, PerfProfile
+from repro.sim.core import Environment
+from repro.spark.executor import Executor
+
+
+# ------------------------------------------------------------------- profile core
+
+def test_exclusive_attribution_does_not_double_count():
+    prof = PerfProfile()
+    prof.start()
+    prof.enter("outer")
+    prof.enter("inner")
+    prof.exit()
+    prof.exit()
+    prof.stop()
+    assert prof.calls == {"outer": 1, "inner": 1}
+    # Exclusive spans sum to at most the window: the inner span's time
+    # was subtracted from the outer's, not counted twice.
+    assert prof.attributed_wall_s <= prof.total_wall_s
+    assert all(seconds >= 0.0 for seconds in prof.wall_s.values())
+
+
+def test_to_dict_schema():
+    prof = PerfProfile()
+    prof.start()
+    prof.enter("sub")
+    prof.exit()
+    prof.stop()
+    payload = prof.to_dict()
+    assert payload["schema"] == PROFILE_SCHEMA_VERSION
+    assert set(payload) == {
+        "schema", "total_wall_s", "attributed_wall_s", "subsystems",
+    }
+    assert set(payload["subsystems"]["sub"]) == {"calls", "wall_s", "share"}
+    assert payload["subsystems"]["sub"]["calls"] == 1
+
+
+def test_to_json_writes_file(tmp_path):
+    prof = PerfProfile()
+    prof.start()
+    prof.enter("sub")
+    prof.exit()
+    prof.stop()
+    out = tmp_path / "profile.json"
+    text = prof.to_json(str(out))
+    assert json.loads(out.read_text()) == json.loads(text)
+
+
+def test_format_renders_table():
+    prof = PerfProfile()
+    prof.start()
+    prof.enter("sim.kernel")
+    prof.exit()
+    prof.stop()
+    table = prof.format()
+    assert "sim.kernel" in table
+    assert "attributed" in table
+
+
+# -------------------------------------------------------------- instrumentation
+
+def test_install_uninstall_restores_originals():
+    step_before = Environment.step
+    evaluate_before = Executor._evaluate
+    with perf.profile() as prof:
+        assert perf.active_profile() is prof
+        assert Environment.step is not step_before
+    assert perf.active_profile() is None
+    assert Environment.step is step_before
+    assert Executor._evaluate is evaluate_before
+
+
+def test_double_install_rejected():
+    with perf.profile():
+        with pytest.raises(RuntimeError):
+            perf.install(PerfProfile())
+
+
+def test_uninstall_without_install_is_noop():
+    perf.uninstall()
+    assert perf.active_profile() is None
+
+
+def test_profiled_experiment_attributes_subsystems():
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    baseline = run_experiment(config)
+    with perf.profile() as prof:
+        profiled = run_experiment(config)
+    # Profiling is observational: simulated outputs are unchanged.
+    assert profiled.execution_time == baseline.execution_time
+    assert profiled.telemetry.events == baseline.telemetry.events
+    # All major subsystems show up with plausible accounting.
+    for subsystem in ("sim.kernel", "rdd.compute", "spark.shuffle", "memory.model"):
+        assert prof.calls.get(subsystem, 0) > 0, subsystem
+        assert prof.wall_s.get(subsystem, 0.0) >= 0.0, subsystem
+    assert prof.total_wall_s > 0.0
+    assert prof.attributed_wall_s <= prof.total_wall_s
