@@ -18,6 +18,15 @@ Point selection: ``BENCH_POINTS="workload:size:tier,..."`` restricts the
 run (the CI smoke step uses two points); the default set covers all
 seven paper workloads.  Wall-clock numbers vary across machines, so the
 regression gate only fails on a >50 % slowdown against baseline.
+
+Campaign-level measurement: the full 84-point Fig. 2 grid is also timed
+as one campaign three ways — every point simulated in full
+(``reuse_traces=False``), cold trace reuse (one capture per behaviour
+class, the rest replayed), and warm trace reuse (every replayable point
+served from artifacts written by the cold pass).  The traced campaigns
+must be value-identical to the direct one and the cold pass ≥ 2× faster;
+``BENCH_CAMPAIGN="workload:size,..."`` shrinks the grid (CI smoke) and
+``BENCH_CAMPAIGN=off`` skips it.
 """
 
 from __future__ import annotations
@@ -25,15 +34,19 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.analysis.resultstore import result_to_dict
 from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.workloads import datagen
+from repro.runner import run_campaign
+from repro.workloads import WORKLOAD_NAMES, datagen
+from repro.workloads.base import SIZE_ORDER
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: Representative slice of the Fig. 2 grid: every paper workload on the
 #: fastest and slowest tier, plus the two heaviest workloads at scale.
@@ -99,18 +112,87 @@ def time_point(workload: str, size: str, tier: int) -> dict:
     }
 
 
+def campaign_grid() -> list[ExperimentConfig]:
+    """The campaign benchmark's configs: a workload×size set × 4 tiers."""
+    spec = os.environ.get("BENCH_CAMPAIGN", "").strip()
+    if spec.lower() in ("off", "0", "none"):
+        return []
+    if spec:
+        pairs = [tuple(chunk.strip().split(":")) for chunk in spec.split(",")]
+    else:
+        pairs = [(w, s) for w in WORKLOAD_NAMES for s in SIZE_ORDER]
+    return [
+        ExperimentConfig(workload=workload, size=size, tier=tier)
+        for workload, size in pairs
+        for tier in (0, 1, 2, 3)
+    ]
+
+
+def time_campaign() -> dict | None:
+    """Time the Fig. 2 grid campaign direct vs cold/warm trace reuse.
+
+    Returns ``None`` when ``BENCH_CAMPAIGN=off``.  The traced passes are
+    asserted value-identical to the direct pass point by point, so the
+    wall-clock comparison never trades correctness for speed.
+    """
+    grid = campaign_grid()
+    if not grid:
+        return None
+
+    datagen.clear_cache()
+    t0 = time.perf_counter()
+    direct = run_campaign(grid, reuse_traces=False)
+    direct_wall = time.perf_counter() - t0
+    direct.raise_on_failure()
+
+    with tempfile.TemporaryDirectory(prefix="bench-traces-") as trace_dir:
+        datagen.clear_cache()
+        t0 = time.perf_counter()
+        cold = run_campaign(grid, trace_dir=trace_dir)
+        cold_wall = time.perf_counter() - t0
+        cold.raise_on_failure()
+
+        datagen.clear_cache()
+        t0 = time.perf_counter()
+        warm = run_campaign(grid, trace_dir=trace_dir)
+        warm_wall = time.perf_counter() - t0
+        warm.raise_on_failure()
+
+    reference = [result_to_dict(r) for r in direct.results]
+    for label, report in (("cold", cold), ("warm", warm)):
+        assert [
+            result_to_dict(r) for r in report.results
+        ] == reference, f"{label} trace-reuse campaign is not value-identical"
+    assert warm.replayed == len(grid), "warm pass should replay every point"
+
+    return {
+        "points": len(grid),
+        "behaviour_classes": cold.captured,
+        "direct_wall_s": direct_wall,
+        "traced_cold_wall_s": cold_wall,
+        "traced_warm_wall_s": warm_wall,
+        "cold_speedup": direct_wall / cold_wall,
+        "warm_speedup": direct_wall / warm_wall,
+        "cold_replayed": cold.replayed,
+    }
+
+
 @pytest.fixture(scope="module")
 def measurements() -> dict:
     points = {
         point_key(*point): time_point(*point) for point in selected_points()
     }
-    return {
+    data = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "rounds": ROUNDS,
         "python": platform.python_version(),
         "points": points,
         "total_wall_s": sum(p["wall_s"] for p in points.values()),
     }
+    campaign = time_campaign()
+    if campaign is not None:
+        data["campaign"] = campaign
+    return data
 
 
 def test_emit_bench_json(measurements):
@@ -140,6 +222,22 @@ def test_wallclock_regression_gate(measurements):
         if ratio > REGRESSION_LIMIT:
             regressions.append(f"{key}: {ratio:.2f}x baseline")
     assert not regressions, "; ".join(regressions)
+
+
+def test_campaign_trace_reuse_speedup(measurements):
+    """Trace reuse must at least halve the campaign's wall clock.
+
+    Only gated on the full default grid — a shrunk ``BENCH_CAMPAIGN``
+    (the CI smoke) has too few replays per capture for a stable ratio,
+    so there the fixture's value-identity assertions are the test.
+    """
+    campaign = measurements.get("campaign")
+    if campaign is None:
+        pytest.skip("campaign benchmark disabled (BENCH_CAMPAIGN=off)")
+    if os.environ.get("BENCH_CAMPAIGN", "").strip():
+        return  # shrunk grid: identity checked, ratio not meaningful
+    assert campaign["cold_speedup"] >= 2.0, campaign
+    assert campaign["warm_speedup"] >= campaign["cold_speedup"], campaign
 
 
 def test_simulated_values_match_baseline(measurements):

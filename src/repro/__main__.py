@@ -21,6 +21,9 @@ Commands
 Sweep commands accept ``--workers N`` to fan points across a process
 pool and ``--cache-dir DIR`` to reuse a content-addressed result cache;
 ``campaign --resume`` continues an interrupted campaign from its cache.
+By default sweeps compute each workload once and replay its captured
+trace at every other tier/MBA/socket point (bit-identical, much
+faster); ``--no-reuse-traces`` forces full simulation of every point.
 """
 
 from __future__ import annotations
@@ -126,6 +129,7 @@ def _cmd_tiers(args: argparse.Namespace) -> int:
     results = api.sweep(
         base_config, axis="tier", values=range(4),
         workers=args.workers, cache_dir=args.cache_dir,
+        reuse_traces=args.reuse_traces,
     )
     rows = []
     base = None
@@ -150,6 +154,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         ExperimentConfig(workload=args.workload, size=args.size, tier=args.tier),
         executors=executors, cores=cores,
         workers=args.workers, cache_dir=args.cache_dir,
+        reuse_traces=args.reuse_traces,
     )
     values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}
     print(format_heatmap(
@@ -164,6 +169,7 @@ def _cmd_mba(args: argparse.Namespace) -> int:
     sweep = mba_sweep(
         ExperimentConfig(workload=args.workload, size=args.size, tier=args.tier),
         workers=args.workers, cache_dir=args.cache_dir,
+        reuse_traces=args.reuse_traces,
     )
     rows = [[f"{level}%", fmt_time(time)] for level, time in sorted(sweep.times.items())]
     print(format_table(
@@ -195,6 +201,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=_progress_printer(args),
+        reuse_traces=args.reuse_traces,
     )
     rows = [
         [
@@ -211,7 +218,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         title=f"campaign over {len(configs)} points",
     ))
     summary = report.summary()
-    for key in ("points", "executed", "cache_hits", "deduplicated", "failures"):
+    for key in ("points", "executed", "captured", "replayed", "cache_hits",
+                "deduplicated", "failures"):
         print(f"{key:13s}: {summary[key]}")
     print(f"{'elapsed':13s}: {summary['elapsed_s']}s")
     for point in report.failures:
@@ -300,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool width (default: serial)")
         p.add_argument("--cache-dir", default=None,
                        help="content-addressed result cache directory")
+        p.add_argument("--no-reuse-traces", dest="reuse_traces",
+                       action="store_false",
+                       help="simulate every point in full instead of "
+                            "replaying captured workload traces")
         return p
 
     run_parser = with_workload(sub.add_parser("run", help="run one configuration"))

@@ -80,13 +80,17 @@ def sweep(
     cache_dir: str | Path | None = None,
     resume: bool = True,
     progress: t.Callable[[CampaignProgress], None] | None = None,
+    reuse_traces: bool = True,
 ) -> list[ExperimentResult]:
     """Vary one config field across ``values``; results in value order.
 
     The base's other fields — ``faults``, ``speculation``,
     ``cpu_socket``, executor geometry — flow through to every point.  A
     failing point raises (a sweep is all-or-nothing); use
-    :func:`campaign` for per-point failure isolation.
+    :func:`campaign` for per-point failure isolation.  Sweeping a
+    timing-only axis (``tier``, ``mba_percent``, ``cpu_socket``)
+    computes the workload once and replays it at every other value
+    unless ``reuse_traces`` is off.
     """
     if isinstance(base, str):
         base = ExperimentConfig(workload=base)
@@ -97,6 +101,7 @@ def sweep(
         cache_dir=cache_dir,
         resume=resume,
         progress=progress,
+        reuse_traces=reuse_traces,
     )
     report.raise_on_failure()
     return report.results
@@ -110,6 +115,8 @@ def campaign(
     resume: bool = True,
     progress: t.Callable[[CampaignProgress], None] | None = None,
     runner: CampaignRunner | None = None,
+    reuse_traces: bool = True,
+    trace_dir: str | Path | None = None,
 ) -> CampaignReport:
     """Execute a campaign of experiment points.
 
@@ -118,6 +125,15 @@ def campaign(
     ``cache_dir``'s content-addressed cache (``resume=False`` clears it
     first), isolates per-point failures in the report, and invokes
     ``progress`` with completed/ETA counts after every point.
+
+    With ``reuse_traces`` (the default), each behaviour class of
+    configs — same workload/size/executor geometry, any tier/MBA/socket
+    — runs the real computation once, and every other point replays the
+    captured trace through the timing model (:mod:`repro.trace`);
+    replayed points are bit-identical to direct simulation.  Artifacts
+    live in ``trace_dir`` (default ``<cache_dir>/traces``).  Configs
+    whose behaviour is timing-dependent (faults, speculation) always
+    simulate in full, as does any point whose replay diverges.
     """
     if runner is not None:
         return runner.run(configs)
@@ -127,4 +143,6 @@ def campaign(
         cache_dir=cache_dir,
         resume=resume,
         progress=progress,
+        reuse_traces=reuse_traces,
+        trace_dir=trace_dir,
     )

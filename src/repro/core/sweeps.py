@@ -69,6 +69,7 @@ def _run_points(
     workers: int | None,
     cache_dir: str | Path | None,
     runner: CampaignRunner | None,
+    reuse_traces: bool = True,
 ) -> CampaignReport:
     """Submit a sweep's points; sweeps are all-or-nothing, so any point
     failure propagates (campaign callers wanting isolation use
@@ -76,7 +77,12 @@ def _run_points(
     if runner is not None:
         report = runner.run(configs)
     else:
-        report = run_campaign(configs, workers=workers, cache_dir=cache_dir)
+        report = run_campaign(
+            configs,
+            workers=workers,
+            cache_dir=cache_dir,
+            reuse_traces=reuse_traces,
+        )
     report.raise_on_failure()
     return report
 
@@ -108,11 +114,16 @@ def mba_sweep(
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     runner: CampaignRunner | None = None,
+    reuse_traces: bool = True,
 ) -> MbaSweep:
-    """Fig. 3: run one base configuration under each bandwidth cap."""
+    """Fig. 3: run one base configuration under each bandwidth cap.
+
+    MBA levels only throttle device bandwidth, so with ``reuse_traces``
+    the workload computes once and the other levels replay its trace.
+    """
     resolved = _resolve_base(base, size, tier)
     configs = [replace(resolved, mba_percent=level) for level in levels]
-    report = _run_points(configs, workers, cache_dir, runner)
+    report = _run_points(configs, workers, cache_dir, runner, reuse_traces)
     sweep = MbaSweep(
         workload=resolved.workload,
         size=resolved.size,
@@ -172,8 +183,14 @@ def executor_core_sweep(
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     runner: CampaignRunner | None = None,
+    reuse_traces: bool = True,
 ) -> ExecutorCoreGrid:
-    """Fig. 4: sweep the executors × cores grid for one base config."""
+    """Fig. 4: sweep the executors × cores grid for one base config.
+
+    Executor geometry changes behaviour (task placement, shuffle
+    locality), so each grid cell is its own behaviour class — trace
+    reuse helps here only when the same cells recur across tiers.
+    """
     resolved = _resolve_base(base, size, tier)
     grid = ExecutorCoreGrid(
         workload=resolved.workload,
@@ -191,7 +208,7 @@ def executor_core_sweep(
     if progress is not None:
         for config in configs:
             progress(config)
-    report = _run_points(configs, workers, cache_dir, runner)
+    report = _run_points(configs, workers, cache_dir, runner, reuse_traces)
     for cell, result in zip(ordered, report.results):
         grid.times[cell] = result.execution_time
     return grid

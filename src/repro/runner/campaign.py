@@ -17,11 +17,19 @@ this module exploits:
 - **failure isolation** — a crashing point records its error and the
   campaign keeps going; the report separates results from failures;
 - **progress** — a callback receives completed/total counts and an ETA
-  after every resolved point.
+  after every resolved point;
+- **trace reuse** — the sweep axes (tier, MBA level, CPU socket) change
+  *timing*, not behaviour, so the expensive workload computation runs
+  once per behaviour class (:mod:`repro.trace` captures it) and every
+  other grid point replays the captured trace through the DES
+  scheduling + memory timing model — bit-identical to direct
+  simulation, several times faster.  Trace artifacts live beside the
+  result cache (``<cache_dir>/traces/``).
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 import traceback
 import typing as t
@@ -33,16 +41,44 @@ from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experi
 from repro.runner.cache import ResultCache
 from repro.runner.hashing import config_hash
 
-#: How each campaign point got its value.
+#: How each campaign point got its value.  "Live" points — computed in
+#: this run rather than read back — are split by *how* they were
+#: computed: a plain full simulation, a full simulation that also
+#: captured a reusable trace, or a trace replay.
 STATUS_EXECUTED = "executed"
+STATUS_CAPTURED = "captured"
+STATUS_REPLAYED = "replayed"
 STATUS_CACHED = "cached"
 STATUS_DEDUPED = "deduped"
 STATUS_FAILED = "failed"
 
+#: Statuses meaning "this run actually computed the point".
+LIVE_STATUSES = (STATUS_EXECUTED, STATUS_CAPTURED, STATUS_REPLAYED)
 
-def _execute_point(config: ExperimentConfig) -> ExperimentResult:
-    """Worker entry point (module-level so it pickles into the pool)."""
-    return run_experiment(config)
+#: ``run_with_trace``'s ``how`` tag → campaign point status.
+_TRACE_STATUS = {
+    "captured": STATUS_CAPTURED,
+    "replayed": STATUS_REPLAYED,
+    "direct": STATUS_EXECUTED,
+}
+
+
+def _execute_point(
+    config: ExperimentConfig, trace_root: str | None = None
+) -> tuple[ExperimentResult, str]:
+    """Worker entry point (module-level so it pickles into the pool).
+
+    With a trace root, resolves the point through the trace store —
+    replaying an existing artifact, capturing a new one, or falling back
+    to direct simulation when the config's behaviour is timing-dependent
+    (faults, speculation) or a replay diverges.
+    """
+    if trace_root is None:
+        return run_experiment(config), STATUS_EXECUTED
+    from repro.trace import TraceStore, run_with_trace
+
+    result, how = run_with_trace(config, TraceStore(trace_root))
+    return result, _TRACE_STATUS[how]
 
 
 @dataclass
@@ -111,7 +147,18 @@ class CampaignReport:
 
     @property
     def executed(self) -> int:
-        return sum(p.status == STATUS_EXECUTED for p in self.points)
+        """Points computed live this run (direct, captured or replayed)."""
+        return sum(p.status in LIVE_STATUSES for p in self.points)
+
+    @property
+    def captured(self) -> int:
+        """Full simulations that also recorded a reusable trace."""
+        return sum(p.status == STATUS_CAPTURED for p in self.points)
+
+    @property
+    def replayed(self) -> int:
+        """Points re-timed from a captured trace (no recomputation)."""
+        return sum(p.status == STATUS_REPLAYED for p in self.points)
 
     @property
     def cache_hits(self) -> int:
@@ -139,6 +186,8 @@ class CampaignReport:
         return {
             "points": len(self.points),
             "executed": self.executed,
+            "captured": self.captured,
+            "replayed": self.replayed,
             "cache_hits": self.cache_hits,
             "deduplicated": self.deduplicated,
             "failures": len(self.failures),
@@ -166,10 +215,22 @@ class CampaignRunner:
         With a cache: ``True`` (default) reuses results already present
         — the resumption path after an interrupted campaign.  ``False``
         clears the cache first, forcing every point to execute (it is
-        still written, so the *next* run can resume).
+        still written, so the *next* run can resume).  Trace artifacts
+        are *not* cleared — they never change values (replay is
+        bit-identical and version-keyed), only wall-clock time.
     progress:
         Optional callback receiving a :class:`CampaignProgress` after
         every resolved point.
+    reuse_traces:
+        ``True`` (default) runs each behaviour class of configs through
+        the full engine once and replays the captured trace for every
+        other tier/MBA/socket point — value-identical, much faster.
+        ``False`` simulates every point in full.
+    trace_dir:
+        Override for the trace-artifact directory.  Defaults to
+        ``<cache_dir>/traces``; without a cache, a private temporary
+        directory scoped to this runner's lifetime (traces still
+        dedupe across the runner's campaigns, just not across runs).
     """
 
     def __init__(
@@ -178,6 +239,8 @@ class CampaignRunner:
         cache_dir: str | Path | None = None,
         resume: bool = True,
         progress: t.Callable[[CampaignProgress], None] | None = None,
+        reuse_traces: bool = True,
+        trace_dir: str | Path | None = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
@@ -189,6 +252,18 @@ class CampaignRunner:
             else:
                 self.cache.clear()
         self.progress = progress
+        self._trace_tmp: tempfile.TemporaryDirectory | None = None
+        if not reuse_traces:
+            self.trace_root: Path | None = None
+        elif trace_dir is not None:
+            self.trace_root = Path(trace_dir)
+        elif cache_dir is not None:
+            self.trace_root = Path(cache_dir) / "traces"
+        else:
+            self._trace_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-traces-"
+            )
+            self.trace_root = Path(self._trace_tmp.name)
 
     # ------------------------------------------------------------------ public
     def run(self, configs: t.Iterable[ExperimentConfig]) -> CampaignReport:
@@ -209,10 +284,11 @@ class CampaignRunner:
         self._emit_progress(report, started)
 
         if primaries:
-            if self.workers > 1:
-                self._run_pool(primaries, report, started)
-            else:
-                self._run_serial(primaries, report, started)
+            for wave in self._plan_waves(primaries):
+                if self.workers > 1:
+                    self._run_pool(wave, report, started)
+                else:
+                    self._run_serial(wave, report, started)
             self._resolve_aliases(aliases, report, started)
 
         report.elapsed = time.monotonic() - started
@@ -250,15 +326,50 @@ class CampaignRunner:
                 aliases[point.index] = primary
         return primaries, aliases
 
+    def _plan_waves(
+        self, primaries: list[CampaignPoint]
+    ) -> list[list[CampaignPoint]]:
+        """Order points so trace captures land before their replays.
+
+        Wave 1 holds one representative per behaviour class still
+        missing a trace artifact (it captures while running) plus every
+        non-replayable point; wave 2 holds the rest, which replay the
+        artifacts wave 1 just wrote.  Without trace reuse there is a
+        single wave.  Waves only affect scheduling — results are
+        value-identical either way.
+        """
+        if self.trace_root is None:
+            return [primaries]
+        from repro.trace import TraceStore, is_replayable_config, trace_key
+
+        store = TraceStore(self.trace_root)
+        lead: list[CampaignPoint] = []
+        follow: list[CampaignPoint] = []
+        capturing: set[str] = set()
+        for point in primaries:
+            replayable, _ = is_replayable_config(point.config)
+            if not replayable:
+                lead.append(point)
+                continue
+            key = trace_key(point.config)
+            if key in capturing or store.exists(point.config):
+                follow.append(point)
+            else:
+                capturing.add(key)
+                lead.append(point)
+        return [wave for wave in (lead, follow) if wave]
+
     def _run_serial(
         self,
         primaries: list[CampaignPoint],
         report: CampaignReport,
         started: float,
     ) -> None:
+        trace_root = None if self.trace_root is None else str(self.trace_root)
         for point in primaries:
             try:
-                self._record(point, _execute_point(point.config))
+                result, status = _execute_point(point.config, trace_root)
+                self._record(point, result, status)
             except Exception as exc:  # noqa: BLE001 - point isolation
                 point.error = f"{type(exc).__name__}: {exc}"
                 point.status = STATUS_FAILED
@@ -271,9 +382,10 @@ class CampaignRunner:
         started: float,
     ) -> None:
         width = min(self.workers, len(primaries))
+        trace_root = None if self.trace_root is None else str(self.trace_root)
         with ProcessPoolExecutor(max_workers=width) as pool:
             futures: dict[Future, CampaignPoint] = {
-                pool.submit(_execute_point, point.config): point
+                pool.submit(_execute_point, point.config, trace_root): point
                 for point in primaries
             }
             outstanding = set(futures)
@@ -286,7 +398,8 @@ class CampaignRunner:
                         point.error = self._format_error(exc)
                         point.status = STATUS_FAILED
                     else:
-                        self._record(point, future.result())
+                        result, status = future.result()
+                        self._record(point, result, status)
                     self._emit_progress(report, started)
 
     def _resolve_aliases(
@@ -306,9 +419,14 @@ class CampaignRunner:
             self._emit_progress(report, started)
 
     # --------------------------------------------------------------- helpers
-    def _record(self, point: CampaignPoint, result: ExperimentResult) -> None:
+    def _record(
+        self,
+        point: CampaignPoint,
+        result: ExperimentResult,
+        status: str = STATUS_EXECUTED,
+    ) -> None:
         point.result = result
-        point.status = STATUS_EXECUTED
+        point.status = status
         if self.cache is not None:
             self.cache.put(point.config, result)
 
@@ -325,7 +443,7 @@ class CampaignRunner:
         resolved = [
             p for p in report.points if p.result is not None or p.error is not None
         ]
-        executed = sum(p.status == STATUS_EXECUTED for p in resolved)
+        executed = sum(p.status in LIVE_STATUSES for p in resolved)
         cached = sum(p.status in (STATUS_CACHED, STATUS_DEDUPED) for p in resolved)
         failed = sum(p.status == STATUS_FAILED for p in resolved)
         elapsed = time.monotonic() - started
@@ -350,9 +468,16 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     resume: bool = True,
     progress: t.Callable[[CampaignProgress], None] | None = None,
+    reuse_traces: bool = True,
+    trace_dir: str | Path | None = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(
-        workers=workers, cache_dir=cache_dir, resume=resume, progress=progress
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
+        progress=progress,
+        reuse_traces=reuse_traces,
+        trace_dir=trace_dir,
     )
     return runner.run(configs)

@@ -5,7 +5,15 @@ outcome — workload, size, tier, executor geometry, MBA level, CPU
 socket, the full fault plan and speculation — while staying stable
 across processes and Python versions (``hash()`` is salted per process,
 so it cannot address an on-disk cache).  The key here is the SHA-256 of
-the canonical JSON form of the full config dict.
+the canonical JSON form of the full config dict, salted with the
+running :data:`~repro.version.ENGINE_VERSION`.
+
+The engine version matters because a result is a function of the
+*config and the engine that produced it*: a cost-model or scheduler
+change makes every cached row stale even though the configs are
+unchanged.  Folding the version into the key turns "stale" into "miss"
+— an upgraded engine re-executes instead of silently serving numbers
+the current code would never produce.
 """
 
 from __future__ import annotations
@@ -15,16 +23,20 @@ import json
 
 from repro.analysis.resultstore import config_to_dict
 from repro.core.experiment import ExperimentConfig
+from repro.version import ENGINE_VERSION
 
 
 def config_hash(config: ExperimentConfig) -> str:
     """Stable hex digest addressing one point of the exploration space.
 
     Two configs hash equal iff every field (including ``faults`` and
-    ``speculation``) is equal, so a cache hit is safe to substitute for
-    re-execution: experiments are pure functions of their config.
+    ``speculation``) is equal *and* the engine version matches, so a
+    cache hit is safe to substitute for re-execution: experiments are
+    pure functions of their config under a fixed engine.
     """
     canonical = json.dumps(
-        config_to_dict(config), sort_keys=True, separators=(",", ":")
+        {"engine": ENGINE_VERSION, "config": config_to_dict(config)},
+        sort_keys=True,
+        separators=(",", ":"),
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

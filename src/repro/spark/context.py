@@ -39,12 +39,18 @@ class SparkContext:
         conf: SparkConf | None = None,
         hdfs: HdfsClient | None = None,
         app_name: str = "repro-app",
+        trace_recorder: "t.Any | None" = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         self.machine = machine if machine is not None else paper_testbed(self.env)
         self.conf = conf if conf is not None else SparkConf()
         self.hdfs = hdfs if hdfs is not None else HdfsClient(self.env)
         self.app_name = app_name
+        #: Optional :class:`repro.trace.capture.TraceRecorder`; when set,
+        #: the DAG scheduler and executors report jobs/stages/task
+        #: residues to it as they run (observation only — a recorded run
+        #: is bit-identical to an unrecorded one).
+        self.trace_recorder = trace_recorder
         self.shuffle_manager = ShuffleManager()
         #: Seeded fault injector, when the configuration enables one; all
         #: injected faults (and only injected faults) draw from its RNG.
@@ -62,6 +68,7 @@ class SparkContext:
             self.shuffle_manager,
             self.hdfs,
             injector=self.fault_injector,
+            recorder=trace_recorder,
         )
         self.jobs: list[JobMetrics] = []
         self._rdd_counter = 0

@@ -109,6 +109,9 @@ class DAGScheduler:
         job = JobMetrics(
             job_id=next(self._job_ids), name=name, submit_time=env.now
         )
+        recorder = self.sc.trace_recorder
+        if recorder is not None:
+            recorder.begin_job(job.job_id, name)
         final_stage = self.build_stages(final_rdd)
 
         results: list[t.Any] = [None] * final_stage.num_tasks
@@ -126,6 +129,8 @@ class DAGScheduler:
             )
 
         job.complete_time = env.now
+        if recorder is not None:
+            recorder.end_job()
         return results, job
 
     def _run_stage(
@@ -209,9 +214,21 @@ class DAGScheduler:
             )
             for p in partitions
         ]
+        recorder = self.sc.trace_recorder
+        if recorder is not None:
+            recorder.begin_task_set(
+                stage_id=stage.stage_id,
+                name=metrics.name,
+                attempt=submissions,
+                hdfs_path=hdfs_path,
+                is_shuffle_map=stage.is_shuffle_map,
+                tasks=tasks,
+            )
         outcome = self.sc.task_scheduler.run_task_set(
             tasks, hdfs_path=hdfs_path
         )
+        if recorder is not None:
+            recorder.end_task_set(tasks, outcome)
         for i, task in enumerate(tasks):
             if outcome.done[i]:
                 done.add(task.partition)

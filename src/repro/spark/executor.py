@@ -79,6 +79,7 @@ class Executor:
         memory: BoundMemory,
         shuffle_manager: "ShuffleManager",
         hdfs: "HdfsClient | None" = None,
+        recorder: t.Any | None = None,
     ) -> None:
         self.env = env
         self.executor_id = executor_id
@@ -87,6 +88,10 @@ class Executor:
         self.memory = memory
         self.shuffle_manager = shuffle_manager
         self.hdfs = hdfs
+        #: Optional trace recorder: receives each task's evaluation
+        #: residue for the trace-once/replay-many engine (observation
+        #: only; never alters the simulation).
+        self.recorder = recorder
         self.slots = Resource(
             env, capacity=conf.executor_cores, name=f"executor{executor_id}-slots"
         )
@@ -384,9 +389,13 @@ class Executor:
         data = task.rdd.iterator(task.partition, ctx)
         if task.is_shuffle_map:
             self._write_shuffle_output(task, data, ctx, register=register)
-            return len(data)
-        assert task.result_func is not None, "result task without a function"
-        return task.result_func(data)
+            result: t.Any = len(data)
+        else:
+            assert task.result_func is not None, "result task without a function"
+            result = task.result_func(data)
+        if self.recorder is not None:
+            self.recorder.record_evaluation(task, ctx, result)
+        return result
 
     def _write_shuffle_output(
         self,

@@ -121,6 +121,7 @@ class TaskScheduler:
         shuffle_manager: "ShuffleManager",
         hdfs: "HdfsClient | None" = None,
         injector: "FaultInjector | None" = None,
+        recorder: t.Any | None = None,
     ) -> None:
         self.env = env
         self.conf = conf
@@ -138,6 +139,7 @@ class TaskScheduler:
                 memory=memory,
                 shuffle_manager=shuffle_manager,
                 hdfs=hdfs,
+                recorder=recorder,
             )
             for i in range(conf.num_executors)
         ]

@@ -1,0 +1,51 @@
+"""Trace-once, replay-many: decouple computation from tier timing.
+
+The paper's methodology re-runs identical workload computations across
+memory tiers (Fig. 2), MBA levels (Fig. 3) and executor geometries
+(Fig. 4) — only the timing/energy model differs between grid points.
+This package splits the engine accordingly:
+
+- :mod:`repro.trace.capture` — Phase 1: one full run through the real
+  engine, recording each task's behavioural residue plus DAG structure
+  and workload outputs (:class:`~repro.trace.records.WorkloadTrace`);
+- :mod:`repro.trace.replay` — Phase 2: re-run only the DES scheduling
+  and memory timing/energy model over the captured residues for any
+  tier/MBA/socket configuration, bit-identical to direct simulation;
+- :mod:`repro.trace.store` — content-addressed gzipped artifacts stored
+  beside the campaign result cache.
+
+Entry points: :func:`capture_experiment`, :func:`replay_experiment`,
+:func:`run_with_trace` (store-mediated capture-or-replay with automatic
+fallback to full simulation on divergence).
+"""
+
+from repro.trace.capture import TraceRecorder, behavior_dict, capture_experiment
+from repro.trace.records import JobTrace, TaskSetTrace, WorkloadTrace
+from repro.trace.replay import (
+    ReplayDivergence,
+    ReplayRDD,
+    TracePlayer,
+    check_compatible,
+    is_replayable_config,
+    replay_experiment,
+    run_with_trace,
+)
+from repro.trace.store import TraceStore, trace_key
+
+__all__ = [
+    "JobTrace",
+    "ReplayDivergence",
+    "ReplayRDD",
+    "TracePlayer",
+    "TraceRecorder",
+    "TraceStore",
+    "TaskSetTrace",
+    "WorkloadTrace",
+    "behavior_dict",
+    "capture_experiment",
+    "check_compatible",
+    "is_replayable_config",
+    "replay_experiment",
+    "run_with_trace",
+    "trace_key",
+]

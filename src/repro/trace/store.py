@@ -1,0 +1,142 @@
+"""Content-addressed on-disk store for captured workload traces.
+
+Artifacts live beside the campaign's :class:`~repro.runner.cache.ResultCache`
+(``<cache_dir>/traces/``), one gzipped pickle per behaviour key::
+
+    <root>/<trace_key>.trace.pkl.gz
+
+The key is the SHA-256 of the canonical JSON of the config's *behaviour*
+fields (workload, size, executor geometry, faults, speculation — tier,
+MBA level, CPU socket and label excluded) plus the engine and trace
+format versions, so any config sharing the behaviour resolves to the
+same artifact and artifacts from older engines simply miss.
+
+Writes are atomic (temp file + rename): two campaign workers capturing
+the same behaviour key race harmlessly — both write identical content.
+Loads go through a small per-process LRU keyed on the artifact's stat
+signature, so a serial campaign replaying one behaviour class across
+twelve tier/MBA points decompresses its artifact once, not twelve
+times (a rewritten artifact changes the signature and misses).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import typing as t
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.trace.capture import behavior_dict
+from repro.trace.records import WorkloadTrace
+from repro.version import ENGINE_VERSION, TRACE_FORMAT_VERSION
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.experiment import ExperimentConfig
+
+_SUFFIX = ".trace.pkl.gz"
+
+#: Fast compression: artifacts are write-once/read-many scratch files,
+#: so cheap level-1 deflate beats spending capture time on ratio.
+_GZIP_LEVEL = 1
+
+#: Per-process load cache: (path, mtime_ns, size) -> WorkloadTrace.
+_LOAD_CACHE: "OrderedDict[tuple[str, int, int], WorkloadTrace]" = OrderedDict()
+_LOAD_CACHE_LIMIT = 8
+
+
+def trace_key(config: "ExperimentConfig") -> str:
+    """Stable hex digest addressing one behaviour class of configs.
+
+    Configs differing only in tier/MBA/socket/label share a key (their
+    traces are interchangeable); a new engine or trace-format version
+    changes every key, invalidating stale artifacts wholesale.
+    """
+    canonical = json.dumps(
+        {
+            "engine": ENGINE_VERSION,
+            "trace_format": TRACE_FORMAT_VERSION,
+            "behavior": behavior_dict(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceStore:
+    """Directory of trace artifacts keyed by :func:`trace_key`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, config: "ExperimentConfig") -> Path:
+        return self.root / f"{trace_key(config)}{_SUFFIX}"
+
+    def exists(self, config: "ExperimentConfig") -> bool:
+        return self.path_for(config).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(
+            p.name[: -len(_SUFFIX)] for p in self.root.glob(f"*{_SUFFIX}")
+        )
+
+    def save(self, config: "ExperimentConfig", trace: WorkloadTrace) -> Path:
+        """Atomically persist one sealed trace artifact."""
+        target = self.path_for(config)
+        payload = gzip.compress(
+            pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL), _GZIP_LEVEL
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def load(self, config: "ExperimentConfig") -> WorkloadTrace | None:
+        """The stored trace for this config's behaviour, or ``None``.
+
+        Missing, unreadable, corrupted, version-skewed or
+        checksum-failing artifacts all resolve to a miss — the caller
+        captures (or simulates) instead of trusting a stale trace.
+        """
+        path = self.path_for(config)
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        cache_key = (str(path), stat.st_mtime_ns, stat.st_size)
+        cached = _LOAD_CACHE.get(cache_key)
+        if cached is not None:
+            _LOAD_CACHE.move_to_end(cache_key)
+            return cached
+        try:
+            trace = pickle.loads(gzip.decompress(path.read_bytes()))
+        except Exception:  # noqa: BLE001 - corrupt artifact == miss
+            return None
+        if not isinstance(trace, WorkloadTrace):
+            return None
+        if (
+            trace.format_version != TRACE_FORMAT_VERSION
+            or trace.engine_version != ENGINE_VERSION
+            or not trace.intact
+        ):
+            return None
+        _LOAD_CACHE[cache_key] = trace
+        while len(_LOAD_CACHE) > _LOAD_CACHE_LIMIT:
+            _LOAD_CACHE.popitem(last=False)
+        return trace

@@ -1,0 +1,21 @@
+"""Engine and artifact-format version constants.
+
+``ENGINE_VERSION`` changes whenever the simulation engine's observable
+outputs could change (new cost model, scheduler semantics, telemetry
+derivation).  It is folded into every content-addressed key — result
+cache rows and trace artifacts — so artifacts produced by an older
+engine *miss* instead of silently serving stale values.
+
+``TRACE_FORMAT_VERSION`` changes when the on-disk layout of captured
+workload traces (:mod:`repro.trace`) changes; old artifacts are then
+treated as absent and re-captured.
+"""
+
+from __future__ import annotations
+
+#: Bump when simulated times/counters/energy could differ from the
+#: previous release for the same :class:`ExperimentConfig`.
+ENGINE_VERSION = "4"
+
+#: Bump when :class:`repro.trace.records.WorkloadTrace` layout changes.
+TRACE_FORMAT_VERSION = 1

@@ -176,14 +176,7 @@ REFERENCE_EXPERIMENTS = [
 ]
 
 
-@pytest.mark.parametrize(
-    "point,expected_time,expected_records,energy_pin,dimm_pin",
-    REFERENCE_EXPERIMENTS,
-    ids=["-".join(map(str, e[0])) for e in REFERENCE_EXPERIMENTS],
-)
-def test_experiment_pinned(point, expected_time, expected_records, energy_pin, dimm_pin):
-    workload, size, tier = point
-    result = run_experiment(ExperimentConfig(workload=workload, size=size, tier=tier))
+def _assert_matches_pins(result, expected_time, expected_records, energy_pin, dimm_pin):
     assert result.verified
     assert result.records_processed == expected_records
     assert result.execution_time == pytest.approx(expected_time, rel=1e-12)
@@ -199,6 +192,40 @@ def test_experiment_pinned(point, expected_time, expected_records, energy_pin, d
         assert perf.media_writes == expected["media_writes"]
         assert perf.bytes_read == expected["bytes_read"]
         assert perf.bytes_written == expected["bytes_written"]
+
+
+@pytest.mark.parametrize(
+    "point,expected_time,expected_records,energy_pin,dimm_pin",
+    REFERENCE_EXPERIMENTS,
+    ids=["-".join(map(str, e[0])) for e in REFERENCE_EXPERIMENTS],
+)
+def test_experiment_pinned(point, expected_time, expected_records, energy_pin, dimm_pin):
+    workload, size, tier = point
+    result = run_experiment(ExperimentConfig(workload=workload, size=size, tier=tier))
+    _assert_matches_pins(result, expected_time, expected_records, energy_pin, dimm_pin)
+
+
+@pytest.mark.parametrize(
+    "point,expected_time,expected_records,energy_pin,dimm_pin",
+    REFERENCE_EXPERIMENTS,
+    ids=["replay-" + "-".join(map(str, e[0])) for e in REFERENCE_EXPERIMENTS],
+)
+def test_replay_matches_pinned_experiments(
+    point, expected_time, expected_records, energy_pin, dimm_pin
+):
+    """Trace replay extends the value-identical guarantee: capturing the
+    workload on a *different* tier and replaying it onto the pinned one
+    must land exactly on the seed engine's golden numbers."""
+    from repro.trace import capture_experiment, replay_experiment
+
+    workload, size, tier = point
+    capture_config = ExperimentConfig(
+        workload=workload, size=size, tier=(tier + 2) % 4
+    )
+    _, trace = capture_experiment(capture_config)
+    assert trace is not None
+    result = replay_experiment(capture_config.with_options(tier=tier), trace)
+    _assert_matches_pins(result, expected_time, expected_records, energy_pin, dimm_pin)
 
 
 # ------------------------------------------------- batched vs naive properties

@@ -44,6 +44,18 @@ def test_every_field_changes_the_hash(override):
     assert config_hash(base) != config_hash(base.with_options(**override))
 
 
+def test_engine_version_keys_the_hash(monkeypatch):
+    """The PR-4 bugfix: cached results are engine outputs, so a new
+    engine version must invalidate them — stale rows become misses
+    instead of silently serving another engine's numbers."""
+    import repro.runner.hashing as hashing
+
+    base = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    before = config_hash(base)
+    monkeypatch.setattr(hashing, "ENGINE_VERSION", hashing.ENGINE_VERSION + "-next")
+    assert config_hash(base) != before
+
+
 def test_fault_seed_changes_the_hash():
     base = ExperimentConfig(
         workload="sort", size="tiny", faults=FaultConfig(seed=1, task_crash_prob=0.1)

@@ -1,0 +1,120 @@
+"""Content-addressed trace artifacts: keys, round trips, miss semantics."""
+
+from __future__ import annotations
+
+import gzip
+import os
+import pickle
+
+from repro.analysis.resultstore import result_to_dict
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.trace import TraceStore, capture_experiment, replay_experiment, trace_key
+import repro.trace.store as store_module
+
+
+def make_trace(config):
+    _, trace = capture_experiment(config)
+    assert trace is not None
+    return trace
+
+
+# ------------------------------------------------------------------- keying
+
+def test_key_is_tier_insensitive_and_behaviour_sensitive():
+    base = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    assert trace_key(base) == trace_key(
+        base.with_options(tier=3, mba_percent=40, cpu_socket=0, label="probe")
+    )
+    assert trace_key(base) != trace_key(base.with_options(workload="repartition"))
+    assert trace_key(base) != trace_key(base.with_options(num_executors=2))
+    assert len(trace_key(base)) == 64  # sha256 hex
+
+
+def test_key_folds_engine_version(monkeypatch):
+    base = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    before = trace_key(base)
+    monkeypatch.setattr(store_module, "ENGINE_VERSION", "999-future")
+    assert trace_key(base) != before
+
+
+# --------------------------------------------------------------- round trip
+
+def test_save_load_round_trip_supports_replay(tmp_path):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    trace = make_trace(config)
+    store = TraceStore(tmp_path)
+    path = store.save(config, trace)
+    assert path.exists()
+    assert store.exists(config)
+    assert store.keys() == [trace_key(config)]
+
+    loaded = store.load(config.with_options(tier=3))  # timing twin hits
+    assert loaded is not None
+    assert loaded.checksum == trace.checksum and loaded.intact
+    target = config.with_options(tier=3)
+    assert result_to_dict(replay_experiment(target, loaded)) == result_to_dict(
+        run_experiment(target)
+    )
+
+
+def test_save_leaves_no_temp_files(tmp_path):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    store = TraceStore(tmp_path)
+    store.save(config, make_trace(config))
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+    assert leftovers == []
+
+
+# ------------------------------------------------------------ miss semantics
+
+def test_missing_and_corrupt_artifacts_miss(tmp_path):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    store = TraceStore(tmp_path)
+    assert store.load(config) is None  # missing
+
+    store.save(config, make_trace(config))
+    path = store.path_for(config)
+    path.write_bytes(b"not a gzip stream")
+    assert store.load(config) is None  # unreadable
+
+    path.write_bytes(gzip.compress(pickle.dumps({"not": "a trace"})))
+    assert store.load(config) is None  # wrong payload type
+
+
+def test_tampered_residues_fail_the_checksum_on_load(tmp_path):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    store = TraceStore(tmp_path)
+    trace = make_trace(config)
+    trace.jobs[-1].task_sets[0].floats["compute_ops"][0] += 1.0  # post-seal
+    store.save(config, trace)
+    assert store.load(config) is None
+
+
+def test_version_skewed_artifact_misses_via_its_key(tmp_path, monkeypatch):
+    """A new engine version changes every key, so old artifacts simply
+    stop resolving — no artifact parsing or deletion involved."""
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    store = TraceStore(tmp_path)
+    store.save(config, make_trace(config))
+    assert store.load(config) is not None
+    monkeypatch.setattr(store_module, "ENGINE_VERSION", "999-future")
+    assert store.load(config) is None
+
+
+# ---------------------------------------------------------------- load cache
+
+def test_load_cache_returns_same_object_until_rewrite(tmp_path):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    store = TraceStore(tmp_path)
+    store.save(config, make_trace(config))
+    first = store.load(config)
+    assert store.load(config) is first  # served from the LRU
+
+    # Rewriting the artifact changes its stat signature -> fresh load.
+    replacement = make_trace(config)
+    store.save(config, replacement)
+    path = store.path_for(config)
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    fresh = store.load(config)
+    assert fresh is not None and fresh is not first
