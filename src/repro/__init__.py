@@ -35,12 +35,14 @@ Subpackages
 ``repro.telemetry``   ipmctl / RAPL / perf-event emulation
 ``repro.core``        characterization, sweeps, correlation, prediction
 ``repro.runner``      parallel cached campaign execution
+``repro.obs``         span tracing, metrics registry, Chrome-trace export
 ``repro.analysis``    stats, tables, text figures, result stores
 """
 
 from repro import api
 from repro.api import campaign, run, sweep
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.obs import ObsConfig, Observer
 from repro.runner.campaign import CampaignReport, CampaignRunner
 from repro.spark.conf import SparkConf
 from repro.spark.context import SparkContext
@@ -52,6 +54,8 @@ __all__ = [
     "CampaignRunner",
     "ExperimentConfig",
     "ExperimentResult",
+    "ObsConfig",
+    "Observer",
     "SparkConf",
     "SparkContext",
     "__version__",

@@ -24,6 +24,12 @@ pool and ``--cache-dir DIR`` to reuse a content-addressed result cache;
 By default sweeps compute each workload once and replay its captured
 trace at every other tier/MBA/socket point (bit-identical, much
 faster); ``--no-reuse-traces`` forces full simulation of every point.
+
+Observability (:mod:`repro.obs`): ``run --trace-out trace.json`` writes
+a Chrome/Perfetto span trace, ``--metrics-json`` the unified metrics
+registry, ``--timeline`` a terminal stage timeline; ``campaign`` takes
+the same ``--trace-out``/``--metrics-json`` flags and merges the
+per-point artifacts into campaign-level files.
 """
 
 from __future__ import annotations
@@ -83,6 +89,22 @@ def _progress_printer(args: argparse.Namespace):
     return show
 
 
+def _build_observer(args: argparse.Namespace):
+    """Observer for the ``run`` command's --trace-out/--metrics-json/--timeline."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_json = getattr(args, "metrics_json", None)
+    timeline = getattr(args, "timeline", False)
+    if not (trace_out or metrics_json or timeline):
+        return None
+    from repro.obs import ObsConfig, Observer
+
+    return Observer(
+        ObsConfig(
+            trace_path=trace_out, metrics_path=metrics_json, timeline=timeline
+        )
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         workload=args.workload,
@@ -94,14 +116,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=_build_faults(args),
         speculation=args.speculate,
     )
+    observer = _build_observer(args)
     prof = None
     if args.profile or args.profile_json:
         from repro import perf
 
         with perf.profile() as prof:
-            result = api.run(config)
+            result = api.run(config, observe=observer)
     else:
-        result = api.run(config)
+        result = api.run(config, observe=observer)
     print(f"configuration : {config.describe()}")
     print(f"verified      : {result.verified}")
     print(f"execution time: {fmt_time(result.execution_time)}")
@@ -114,6 +137,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("fault tolerance:")
         for key, value in sorted(result.mitigation.items()):
             print(f"  {key:20s}: {int(value)}")
+    if observer is not None:
+        if observer.config.timeline:
+            print()
+            print(observer.timeline_text())
+        if observer.config.trace_path:
+            print(f"trace written to {observer.config.trace_path}")
+        if observer.config.metrics_path:
+            print(f"metrics written to {observer.config.metrics_path}")
     if prof is not None:
         print()
         print("perf profile (exclusive wall clock, repro.perf):")
@@ -195,6 +226,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for cores in args.cores
         for mba in args.mba_levels
     ]
+    observe = None
+    if args.trace_out or args.metrics_json:
+        from repro.obs import ObsConfig
+
+        observe = ObsConfig(
+            trace_path=args.trace_out, metrics_path=args.metrics_json
+        )
     report = api.campaign(
         configs,
         workers=args.workers,
@@ -202,6 +240,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=_progress_printer(args),
         reuse_traces=args.reuse_traces,
+        observe=observe,
     )
     rows = [
         [
@@ -222,6 +261,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "deduplicated", "failures"):
         print(f"{key:13s}: {summary[key]}")
     print(f"{'elapsed':13s}: {summary['elapsed_s']}s")
+    for kind, path in sorted(report.artifacts.items()):
+        print(f"merged {kind} written to {path}")
     for point in report.failures:
         print(f"FAILED {point.config.describe()}: {point.error}", file=sys.stderr)
     return 1 if report.failures else 0
@@ -322,6 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="attribute wall clock per engine subsystem (repro.perf)")
     run_parser.add_argument("--profile-json", default=None, metavar="PATH",
                             help="also dump the perf profile as JSON to PATH")
+    run_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="write a Chrome/Perfetto trace.json of the "
+                                 "run's spans (repro.obs)")
+    run_parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                            help="write the run's unified metrics registry "
+                                 "as flat JSON")
+    run_parser.add_argument("--timeline", action="store_true",
+                            help="print a terminal stage-timeline summary")
     fault_group = run_parser.add_argument_group(
         "fault injection", "seeded failures injected into the simulated cluster"
     )
@@ -372,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument("--quiet", action="store_true",
                                  help="suppress progress lines on stderr")
+    campaign_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                                 help="merge per-point span traces into one "
+                                      "Chrome/Perfetto trace.json")
+    campaign_parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                                 help="merge per-point metrics into one flat "
+                                      "campaign metrics JSON")
     with_runner(campaign_parser).set_defaults(fn=_cmd_campaign)
 
     report_parser = sub.add_parser(

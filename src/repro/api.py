@@ -53,7 +53,10 @@ def config(workload: str, **fields: t.Any) -> ExperimentConfig:
 
 
 def run(
-    experiment: ExperimentConfig | str, /, **overrides: t.Any
+    experiment: ExperimentConfig | str,
+    /,
+    observe: t.Any = None,
+    **overrides: t.Any,
 ) -> ExperimentResult:
     """Execute one experiment point.
 
@@ -63,12 +66,25 @@ def run(
 
         api.run("sort", size="tiny", tier=2)
         api.run(base, mba_percent=50)
+
+    ``observe`` opts into the :mod:`repro.obs` observability layer:
+    ``True`` collects spans/metrics in memory, an
+    :class:`~repro.obs.ObsConfig` additionally writes the configured
+    artifacts, and a live :class:`~repro.obs.Observer` is used as-is
+    (inspect its ``tracer``/``registry`` afterwards).  Observation never
+    changes simulated results.
     """
     if isinstance(experiment, ExperimentConfig):
         resolved = replace(experiment, **overrides) if overrides else experiment
     else:
         resolved = ExperimentConfig(workload=experiment, **overrides)
-    return run_experiment(resolved)
+    from repro.obs import coerce_observer
+
+    observer = coerce_observer(observe)
+    result = run_experiment(resolved, observer=observer)
+    if observer is not None:
+        observer.export({"label": resolved.describe()})
+    return result
 
 
 def sweep(
@@ -81,6 +97,7 @@ def sweep(
     resume: bool = True,
     progress: t.Callable[[CampaignProgress], None] | None = None,
     reuse_traces: bool = True,
+    observe: t.Any = None,
 ) -> list[ExperimentResult]:
     """Vary one config field across ``values``; results in value order.
 
@@ -102,6 +119,7 @@ def sweep(
         resume=resume,
         progress=progress,
         reuse_traces=reuse_traces,
+        observe=observe,
     )
     report.raise_on_failure()
     return report.results
@@ -117,6 +135,7 @@ def campaign(
     runner: CampaignRunner | None = None,
     reuse_traces: bool = True,
     trace_dir: str | Path | None = None,
+    observe: t.Any = None,
 ) -> CampaignReport:
     """Execute a campaign of experiment points.
 
@@ -134,6 +153,12 @@ def campaign(
     live in ``trace_dir`` (default ``<cache_dir>/traces``).  Configs
     whose behaviour is timing-dependent (faults, speculation) always
     simulate in full, as does any point whose replay diverges.
+
+    ``observe`` (``True`` or a :class:`repro.obs.ObsConfig`) makes every
+    live point write per-point span-trace/metrics artifacts and merges
+    them into campaign-level files after the run; see
+    :class:`repro.runner.CampaignRunner`.  Resumed (cached) points are
+    never re-executed and never re-emit artifacts.
     """
     if runner is not None:
         return runner.run(configs)
@@ -145,4 +170,5 @@ def campaign(
         progress=progress,
         reuse_traces=reuse_traces,
         trace_dir=trace_dir,
+        observe=observe,
     )

@@ -116,24 +116,62 @@ class ExperimentResult:
         }
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig, observer: t.Any | None = None
+) -> ExperimentResult:
     """Execute one configuration on a fresh simulated testbed.
 
     Every experiment gets its own environment, machine and Spark context
-    so results are independent and bit-reproducible.
+    so results are independent and bit-reproducible.  An optional
+    :class:`repro.obs.Observer` records spans and metrics along the way;
+    observation never perturbs the run (simulated values are identical
+    with or without one attached).
     """
-    env = Environment()
+    env = (
+        observer.make_environment()
+        if observer is not None
+        else Environment()
+    )
     machine = paper_testbed(env)
-    sc = SparkContext(env=env, machine=machine, conf=config.spark_conf())
+    sc = SparkContext(
+        env=env,
+        machine=machine,
+        conf=config.spark_conf(),
+        observer=observer,
+    )
     workload = get_workload(config.workload)
+    tracer = observer.tracer if observer is not None else None
+    registry = observer.registry if observer is not None else None
+
+    exp_span = None
+    if tracer is not None:
+        exp_span = tracer.begin(
+            config.describe(),
+            cat="experiment",
+            workload=config.workload,
+            size=config.size,
+            tier=config.tier,
+            socket=config.cpu_socket,
+            executors=config.num_executors,
+            cores=config.executor_cores,
+            mba_percent=config.mba_percent,
+        )
 
     # Stage input before the measured window (HiBench prepare phase).
-    workload.prepare(sc, config.size)
+    if tracer is not None:
+        with tracer.span("prepare", cat="phase"):
+            workload.prepare(sc, config.size)
+    else:
+        workload.prepare(sc, config.size)
 
-    collector = TelemetryCollector(env, machine)
+    collector = TelemetryCollector(env, machine, metrics=registry)
     with BandwidthAllocator(machine.devices(), percent=config.mba_percent):
         collector.start(sc)
-        outcome = workload.run(sc, config.size)
+        if tracer is not None:
+            with tracer.span("measure", cat="phase"):
+                outcome = workload.run(sc, config.size)
+        else:
+            outcome = workload.run(sc, config.size)
         sample = collector.stop(sc)
 
     mitigation: dict[str, float] = {}
@@ -141,6 +179,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         for key, value in job.mitigation_summary().items():
             mitigation[key] = mitigation.get(key, 0) + value
     sc.stop()
+    if tracer is not None:
+        tracer.end(exp_span)
+    if registry is not None:
+        registry.set_gauge("experiment.execution_time", outcome.execution_time)
+        registry.set_gauge(
+            "experiment.records_processed", float(outcome.records_processed)
+        )
+        registry.set_gauge("experiment.verified", float(outcome.verified))
+        registry.inc_many(mitigation, prefix="mitigation.")
     return ExperimentResult(
         config=config,
         execution_time=outcome.execution_time,

@@ -55,10 +55,18 @@ class FaultInjector:
         self.config = config
         self.rng = random.Random(config.seed)
         self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: Optional :class:`repro.obs.MetricsRegistry`; injections are
+        #: mirrored into it live as ``faults.<kind>`` counters.
+        self.metrics: t.Any | None = None
 
     # -- bookkeeping ---------------------------------------------------------
     def _capped(self, kind: str, cap: int | None) -> bool:
         return cap is not None and self.injected[kind] >= cap
+
+    def _note(self, kind: str) -> None:
+        self.injected[kind] += 1
+        if self.metrics is not None:
+            self.metrics.inc(f"faults.{kind}")
 
     def counts(self) -> dict[str, int]:
         """Copy of the injected-fault counters."""
@@ -82,7 +90,7 @@ class FaultInjector:
             and not self._capped("task_crashes", config.max_task_crashes)
             and self.rng.random() < config.task_crash_prob
         ):
-            self.injected["task_crashes"] += 1
+            self._note("task_crashes")
             # Die somewhere in the middle of the work, never at 0 or 100%.
             return TaskFault(
                 kind="crash", work_fraction=0.2 + 0.6 * self.rng.random()
@@ -92,7 +100,7 @@ class FaultInjector:
             and not self._capped("stragglers", config.max_stragglers)
             and self.rng.random() < config.straggler_prob
         ):
-            self.injected["stragglers"] += 1
+            self._note("stragglers")
             return TaskFault(
                 kind="straggler", multiplier=config.straggler_multiplier
             )
@@ -120,7 +128,7 @@ class FaultInjector:
             if self.rng.random() < config.executor_loss_prob:
                 delay = self.rng.random() * config.executor_loss_delay
                 losses.append((executor_id, delay))
-                self.injected["executor_losses"] += 1
+                self._note("executor_losses")
                 survivors -= 1
         return losses
 
@@ -137,5 +145,5 @@ class FaultInjector:
             or self.rng.random() >= config.fetch_fail_prob
         ):
             return None
-        self.injected["fetch_failures"] += 1
+        self._note("fetch_failures")
         return self.rng.choice(sorted(registered_map_partitions))

@@ -1,0 +1,141 @@
+"""Observation configuration and the per-run :class:`Observer`.
+
+An :class:`ObsConfig` says *what to keep* (trace JSON, metrics JSON, a
+terminal timeline, per-point campaign artifacts); an :class:`Observer`
+is the live object threaded through one run — it owns the
+:class:`~repro.obs.span.Tracer` and
+:class:`~repro.obs.registry.MetricsRegistry` every engine hook writes
+into, and knows how to export them.
+
+The whole subsystem is opt-in: ``observe=None`` (everywhere) means no
+observer exists and every hook short-circuits on an ``is None`` test —
+the engine's simulated outputs are bit-identical either way, and its
+wall clock is within noise of the unobserved build.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.export import (
+    export_chrome_trace,
+    export_metrics_json,
+    format_stage_timeline,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.span import Tracer
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What one observed run (or campaign) should produce.
+
+    All fields are optional: an empty config still collects spans and
+    metrics in memory (inspect ``observer.tracer`` / ``.registry``), it
+    just writes no artifacts.
+    """
+
+    #: Chrome/Perfetto ``trace.json`` output path (run: the run's trace;
+    #: campaign: the merged campaign trace).
+    trace_path: str | None = None
+    #: Flat metrics JSON output path.
+    metrics_path: str | None = None
+    #: Print a terminal stage-timeline summary after the run.
+    timeline: bool = False
+    #: Count DES-kernel events via
+    #: :class:`~repro.obs.simhooks.ObservedEnvironment`.
+    sim_events: bool = True
+    #: Campaign-only: directory for per-point artifacts
+    #: (``<config_hash>.trace.json`` / ``.metrics.json``).  Defaults to
+    #: ``<cache_dir>/obs`` when the campaign has a cache.
+    artifact_dir: str | None = None
+
+
+class Observer:
+    """Tracer + registry for one observed run, with export plumbing."""
+
+    def __init__(self, config: ObsConfig | None = None) -> None:
+        self.config = config if config is not None else ObsConfig()
+        self.tracer = Tracer()
+        self.registry = MetricsRegistry()
+
+    # -- engine wiring ---------------------------------------------------------
+    def make_environment(self, initial_time: float = 0.0) -> "Environment":
+        """The simulation environment an observed experiment should use."""
+        if self.config.sim_events:
+            from repro.obs.simhooks import ObservedEnvironment
+
+            return ObservedEnvironment(self.registry, initial_time)
+        from repro.sim.core import Environment
+
+        return Environment(initial_time)
+
+    def bind(self, env: "Environment") -> None:
+        """Stamp all future spans with ``env``'s simulated clock."""
+        self.tracer.bind_clock(lambda: env.now)
+
+    def reset(self) -> None:
+        """Drop everything recorded so far (fresh tracer, empty registry).
+
+        Used when an observed attempt is abandoned and rerun — e.g. a
+        trace replay that diverges and falls back to full simulation —
+        so the final artifacts describe only the run that counted.
+        """
+        self.tracer = Tracer()
+        self.registry.reset()
+
+    # -- output ---------------------------------------------------------------
+    def export(
+        self, run_info: t.Mapping[str, t.Any] | None = None
+    ) -> dict[str, str]:
+        """Write whatever artifacts the config asks for.
+
+        Returns ``{"trace": path}`` / ``{"metrics": path}`` for the
+        files actually written.
+        """
+        written: dict[str, str] = {}
+        label = None
+        if run_info:
+            label = str(run_info.get("label") or "") or None
+        if self.config.trace_path:
+            export_chrome_trace(self.tracer, self.config.trace_path, label=label)
+            written["trace"] = str(Path(self.config.trace_path))
+        if self.config.metrics_path:
+            export_metrics_json(
+                self.registry, self.config.metrics_path, extra=run_info
+            )
+            written["metrics"] = str(Path(self.config.metrics_path))
+        return written
+
+    def timeline_text(self, width: int = 48) -> str:
+        return format_stage_timeline(self.tracer, width=width)
+
+
+#: What callers may pass as ``observe=``.
+ObserveArg = t.Union[None, bool, ObsConfig, Observer]
+
+
+def coerce_observer(observe: ObserveArg) -> Observer | None:
+    """Normalize the ``observe=`` argument to an Observer (or None).
+
+    ``None``/``False`` → disabled; ``True`` → in-memory-only observer;
+    an :class:`ObsConfig` → a fresh observer for it; an
+    :class:`Observer` → itself.
+    """
+    if observe is None or observe is False:
+        return None
+    if observe is True:
+        return Observer()
+    if isinstance(observe, Observer):
+        return observe
+    if isinstance(observe, ObsConfig):
+        return Observer(observe)
+    raise TypeError(
+        f"observe= must be None, bool, ObsConfig or Observer, "
+        f"got {type(observe).__name__}"
+    )

@@ -1,0 +1,294 @@
+"""Observability exporters.
+
+Three consumers of one observed run:
+
+- :func:`export_chrome_trace` — Chrome/Perfetto ``trace.json``
+  (``chrome://tracing`` or https://ui.perfetto.dev): one process track
+  per executor (labelled with its memory tier and socket), one for the
+  driver, and one counter track per sampled tier device;
+- :func:`export_metrics_json` — the flat, schema-versioned metrics
+  payload of the run's :class:`~repro.obs.registry.MetricsRegistry`;
+- :func:`format_stage_timeline` — a terminal stage-timeline summary.
+
+:func:`merge_chrome_traces` folds the per-point artifacts of a campaign
+into one multi-process trace (each point keeps its own pid namespace and
+is labelled with its configuration).
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.span import DRIVER_TRACK, Span, Tracer
+from repro.version import OBS_SCHEMA_VERSION
+
+#: ``otherData.schema`` of every exported trace payload.
+TRACE_SCHEMA = "repro.obs.trace"
+
+
+# --------------------------------------------------------------- track layout
+def _track_order(tracer: Tracer) -> list[str]:
+    """Deterministic track → pid order: driver, executors, the rest."""
+    tracks: set[str] = {DRIVER_TRACK}
+    for span in tracer.spans:
+        tracks.add(span.track)
+    for instant in tracer.instants:
+        tracks.add(instant.track)
+
+    def sort_key(track: str) -> tuple:
+        if track == DRIVER_TRACK:
+            return (0, 0, track)
+        if track.startswith("executor-"):
+            suffix = track.split("-", 1)[1]
+            if suffix.isdigit():
+                return (1, int(suffix), track)
+        return (2, 0, track)
+
+    return sorted(tracks, key=sort_key)
+
+
+def _lane_assignment(spans: list[Span]) -> dict[int, int]:
+    """Greedy interval coloring: span_id → lane within its track.
+
+    Concurrent task attempts on one executor get distinct lanes so the
+    trace renders without overlap; phases inherit their task's lane and
+    nest by time containment.
+    """
+    lanes: dict[int, int] = {}
+    free_at: dict[str, list[float]] = {}
+    top_level = [s for s in spans if s.cat == "task"]
+    for span in sorted(top_level, key=lambda s: (s.begin, s.span_id)):
+        track_lanes = free_at.setdefault(span.track, [])
+        end = span.end if span.end is not None else span.begin
+        for lane, available in enumerate(track_lanes):
+            if available <= span.begin + 1e-15:
+                track_lanes[lane] = end
+                lanes[span.span_id] = lane
+                break
+        else:
+            track_lanes.append(end)
+            lanes[span.span_id] = len(track_lanes) - 1
+    # Phases ride on their parent task's lane.
+    for span in spans:
+        if span.cat == "phase" and span.parent_id in lanes:
+            lanes[span.span_id] = lanes[span.parent_id]
+    return lanes
+
+
+# ------------------------------------------------------------- chrome export
+def build_trace_events(tracer: Tracer) -> list[dict[str, t.Any]]:
+    """Chrome trace-event list for one tracer's recorded run."""
+    events: list[dict[str, t.Any]] = []
+    tracks = _track_order(tracer)
+    pids = {track: pid for pid, track in enumerate(tracks)}
+    lanes = _lane_assignment(tracer.spans)
+
+    for span in tracer.spans:
+        end = span.end if span.end is not None else span.begin
+        args: dict[str, t.Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.begin * 1e6,
+                "dur": (end - span.begin) * 1e6,
+                "pid": pids[span.track],
+                "tid": lanes.get(span.span_id, 0),
+                "args": args,
+            }
+        )
+
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": "marker",
+                "ph": "i",
+                "s": "p",
+                "ts": instant.time * 1e6,
+                "pid": pids[instant.track],
+                "tid": 0,
+                "args": dict(instant.attrs),
+            }
+        )
+
+    # Counter tracks: one process per sampled counter group (devices).
+    counter_names = sorted({sample.name for sample in tracer.samples})
+    counter_pids = {
+        name: len(tracks) + i for i, name in enumerate(counter_names)
+    }
+    for sample in tracer.samples:
+        events.append(
+            {
+                "name": sample.name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": sample.time * 1e6,
+                "pid": counter_pids[sample.name],
+                "args": {k: sample.values[k] for k in sorted(sample.values)},
+            }
+        )
+
+    for track in tracks:
+        events.append(_process_meta(pids[track], track, pids[track]))
+    for name in counter_names:
+        events.append(
+            _process_meta(counter_pids[name], f"device {name}", counter_pids[name])
+        )
+    return events
+
+
+def _process_meta(pid: int, name: str, sort_index: int) -> dict[str, t.Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name, "sort_index": sort_index},
+    }
+
+
+def trace_payload(
+    tracer: Tracer, label: str | None = None
+) -> dict[str, t.Any]:
+    """The full ``trace.json`` document for one tracer."""
+    return {
+        "traceEvents": build_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "version": OBS_SCHEMA_VERSION,
+            "label": label or "",
+            "clock": "simulated-seconds",
+        },
+    }
+
+
+def export_chrome_trace(
+    tracer: Tracer, path: str | Path, label: str | None = None
+) -> int:
+    """Write the Chrome-trace JSON; returns the number of span events."""
+    tracer.finish()
+    payload = trace_payload(tracer, label=label)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")
+
+
+def merge_chrome_traces(
+    parts: t.Iterable[tuple[str, str | Path]], path: str | Path
+) -> int:
+    """Merge per-point campaign traces into one Perfetto document.
+
+    ``parts`` is ``(label, trace_path)`` per point; each point's events
+    are moved into a private pid range and its process names prefixed
+    with the label, so the merged trace shows one process group per
+    campaign point.  Missing files are skipped (a point that failed, or
+    was cached from a run without observability).  Returns the number of
+    points merged.
+    """
+    events: list[dict[str, t.Any]] = []
+    merged = 0
+    base = 0
+    for label, part_path in parts:
+        part_path = Path(part_path)
+        if not part_path.exists():
+            continue
+        payload = json.loads(part_path.read_text(encoding="utf-8"))
+        part_events = payload.get("traceEvents", [])
+        max_pid = 0
+        for event in part_events:
+            pid = int(event.get("pid", 0))
+            max_pid = max(max_pid, pid)
+            moved = dict(event)
+            moved["pid"] = base + pid
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                args = dict(event.get("args", {}))
+                args["name"] = f"{label} · {args.get('name', '')}"
+                args["sort_index"] = base + pid
+                moved["args"] = args
+            events.append(moved)
+        base += max_pid + 2
+        merged += 1
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "version": OBS_SCHEMA_VERSION,
+            "label": "campaign",
+            "clock": "simulated-seconds",
+            "points": merged,
+        },
+    }
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return merged
+
+
+# ------------------------------------------------------------- metrics export
+def export_metrics_json(
+    registry: MetricsRegistry,
+    path: str | Path,
+    extra: t.Mapping[str, t.Any] | None = None,
+) -> Path:
+    """Write the registry's schema-versioned flat metrics JSON."""
+    payload = registry.to_dict()
+    if extra:
+        payload["run"] = dict(extra)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_metrics_json(path: str | Path) -> MetricsRegistry:
+    """Read a metrics JSON file back into a registry (schema-checked)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return MetricsRegistry.from_dict(payload)
+
+
+# ------------------------------------------------------------ terminal view
+def format_stage_timeline(tracer: Tracer, width: int = 48) -> str:
+    """ASCII stage timeline: one bar per stage span, on the run's window."""
+    tracer.finish()
+    stages = tracer.by_category("stage")
+    if not stages:
+        return "(no stage spans recorded)"
+    t0 = min(s.begin for s in stages)
+    t1 = max(s.end if s.end is not None else s.begin for s in stages)
+    window = max(t1 - t0, 1e-12)
+    tasks_by_parent: dict[int | None, int] = {}
+    for span in tracer.by_category("task"):
+        tasks_by_parent[span.parent_id] = (
+            tasks_by_parent.get(span.parent_id, 0) + 1
+        )
+    name_width = min(36, max(len(s.name) for s in stages))
+    lines = [
+        f"stage timeline over {window:.6f}s simulated "
+        f"({len(stages)} stage submissions)"
+    ]
+    for span in sorted(stages, key=lambda s: (s.begin, s.span_id)):
+        end = span.end if span.end is not None else span.begin
+        left = int(round((span.begin - t0) / window * width))
+        right = max(left + 1, int(round((end - t0) / window * width)))
+        bar = " " * left + "#" * (right - left)
+        bar = bar.ljust(width)
+        n_tasks = tasks_by_parent.get(span.span_id, 0)
+        lines.append(
+            f"{span.name[:name_width]:<{name_width}} |{bar}| "
+            f"{span.duration:.6f}s  {n_tasks} attempts"
+        )
+    return "\n".join(lines)

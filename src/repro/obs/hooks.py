@@ -1,0 +1,104 @@
+"""Shared span-emission helpers for the engine's hook sites.
+
+The driver-side control flow opens stack spans directly; these helpers
+cover the retrospective side — task attempts simulated concurrently and
+the per-device counter samples taken at stage boundaries — so the task
+scheduler, DAG scheduler and trace replayer emit identical span shapes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.obs.span import Span, Tracer
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Machine
+    from repro.spark.conf import SparkConf
+    from repro.spark.metrics import TaskMetrics
+
+
+def task_span_name(metrics: "TaskMetrics") -> str:
+    """Display name of one attempt (mirrors the legacy timeline names)."""
+    suffix = ""
+    if metrics.speculative:
+        suffix += "/spec"
+    if metrics.attempt > 0 and not metrics.speculative:
+        suffix += f"/retry{metrics.attempt}"
+    if metrics.status != "SUCCESS":
+        suffix += f"/{metrics.status.lower()}"
+    return f"stage{metrics.stage_id}/p{metrics.partition}{suffix}"
+
+
+def emit_task_set_spans(
+    tracer: Tracer,
+    conf: "SparkConf",
+    attempts: t.Iterable["TaskMetrics"],
+    parent: Span | None = None,
+) -> list[Span]:
+    """Emit one task span (plus its phase children) per finished attempt.
+
+    Called after a task set resolves, when every attempt's begin/end and
+    phase stamps are known; ``parent`` defaults to the tracer's open
+    stage span.  Tier/socket attribution comes from the Spark conf (all
+    executors share one numactl binding).
+    """
+    spans: list[Span] = []
+    for metrics in attempts:
+        track = f"executor-{metrics.executor_id}"
+        span = tracer.emit(
+            task_span_name(metrics),
+            cat="task",
+            begin=metrics.launch_time,
+            end=metrics.finish_time,
+            parent=parent,
+            track=track,
+            task_id=metrics.task_id,
+            stage_id=metrics.stage_id,
+            partition=metrics.partition,
+            attempt=metrics.attempt,
+            speculative=metrics.speculative,
+            status=metrics.status,
+            executor=metrics.executor_id,
+            tier=conf.memory_tier,
+            socket=conf.cpu_socket,
+            records_read=metrics.records_read,
+            bytes_read=metrics.bytes_read,
+            bytes_written=metrics.bytes_written,
+            shuffle_bytes_read=metrics.shuffle_bytes_read,
+            shuffle_bytes_written=metrics.shuffle_bytes_written,
+            spill_bytes=metrics.spill_bytes,
+            dispatch_wait_ms=metrics.dispatch_wait * 1e3,
+            cpu_wait_ms=metrics.cpu_wait * 1e3,
+        )
+        spans.append(span)
+        for phase_name, begin, end in metrics.phases:
+            tracer.emit(
+                phase_name,
+                cat="phase",
+                begin=begin,
+                end=end,
+                parent=span,
+                track=track,
+                tier=conf.memory_tier,
+            )
+    return spans
+
+
+def sample_device_counters(tracer: Tracer, machine: "Machine") -> None:
+    """Snapshot every memory device's cumulative traffic counters.
+
+    Taken at stage boundaries, these render as one Perfetto counter
+    track per tier device — the Fig. 5/6 raw material on a timeline.
+    """
+    for device in machine.devices():
+        counters = device.counters
+        tracer.sample(
+            device.name,
+            {
+                "bytes_read": counters.bytes_read,
+                "bytes_written": counters.bytes_written,
+                "media_reads": counters.media_reads,
+                "media_writes": counters.media_writes,
+            },
+        )

@@ -1,0 +1,168 @@
+"""The unified metrics registry.
+
+One :class:`MetricsRegistry` per observed run collects what every
+subsystem measures — simulation-kernel event counts, scheduler
+fault-tolerance counters, shuffle traffic, injected faults, telemetry
+events, DIMM counters and energy — under dotted names
+(``"shuffle.bytes_written"``, ``"faults.task_crashes"``,
+``"sim.events_processed"``...), replacing the per-subsystem dict
+plumbing with one mergeable, resettable store.
+
+Three instrument kinds:
+
+- **counters** — monotonically accumulated floats (:meth:`inc`);
+- **gauges** — last-written values (:meth:`set_gauge`);
+- **histograms** — observed samples, summarized on export
+  (:meth:`observe`).
+
+Registries merge (campaign-level roll-ups sum per-point registries) and
+round-trip through a schema-versioned dict (:meth:`to_dict` /
+:meth:`from_dict`) — the payload of the flat metrics JSON exporter.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.version import OBS_SCHEMA_VERSION
+
+#: ``schema`` field of every exported metrics payload.
+METRICS_SCHEMA = "repro.obs.metrics"
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Summary statistics over one histogram's observed samples."""
+
+    count: int
+    sum: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms under dotted metric names."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._histograms: dict[str, list[float]] = {}
+
+    # -- instruments ---------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> float:
+        """Add ``value`` to counter ``name``; returns the new total."""
+        total = self.counters.get(name, 0.0) + value
+        self.counters[name] = total
+        return total
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self._histograms.setdefault(name, []).append(float(value))
+
+    def inc_many(self, values: t.Mapping[str, float], prefix: str = "") -> None:
+        """Bulk counter increment (``prefix`` is prepended to each key)."""
+        for key, value in values.items():
+            self.inc(f"{prefix}{key}", float(value))
+
+    # -- reads ---------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float | None:
+        return self.gauges.get(name)
+
+    def histogram(self, name: str) -> HistogramSummary:
+        samples = self._histograms.get(name, [])
+        if not samples:
+            return HistogramSummary(count=0, sum=0.0, min=0.0, max=0.0)
+        return HistogramSummary(
+            count=len(samples),
+            sum=float(sum(samples)),
+            min=min(samples),
+            max=max(samples),
+        )
+
+    def samples(self, name: str) -> list[float]:
+        """Raw observed values of one histogram (copy)."""
+        return list(self._histograms.get(name, []))
+
+    @property
+    def names(self) -> list[str]:
+        """Every metric name in the registry, sorted."""
+        return sorted(
+            set(self.counters) | set(self.gauges) | set(self._histograms)
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self._histograms.clear()
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (in place; returns self).
+
+        Counters sum, histograms concatenate, and gauges take ``other``'s
+        value (last writer wins — a gauge is a point-in-time reading).
+        """
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, value in other.gauges.items():
+            self.gauges[name] = value
+        for name, samples in other._histograms.items():
+            self._histograms.setdefault(name, []).extend(samples)
+        return self
+
+    # -- (de)serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, t.Any]:
+        """Schema-versioned flat payload (the metrics JSON exporter body)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "version": OBS_SCHEMA_VERSION,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                name: self.histogram(name).to_dict()
+                for name in sorted(self._histograms)
+            },
+            "samples": {
+                name: list(values)
+                for name, values in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output.
+
+        Raises :class:`ValueError` on an unknown schema so stale or
+        foreign files fail loudly instead of merging garbage.
+        """
+        if payload.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"not a {METRICS_SCHEMA} payload: {payload.get('schema')!r}"
+            )
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry.counters[name] = float(value)
+        for name, value in payload.get("gauges", {}).items():
+            registry.gauges[name] = float(value)
+        for name, values in payload.get("samples", {}).items():
+            registry._histograms[name] = [float(v) for v in values]
+        return registry

@@ -1,0 +1,238 @@
+"""Simulated-clock span tracing.
+
+A :class:`Span` is one named interval on the *simulated* clock —
+experiment, job, stage, task attempt or intra-task phase — with a parent
+link, a display track and free-form attributes.  The :class:`Tracer`
+records spans two ways:
+
+- **stack spans** (:meth:`Tracer.begin` / :meth:`Tracer.end`, or the
+  :meth:`Tracer.span` context manager) for the driver-side control flow,
+  which is strictly nested in simulated time (experiment → job → stage);
+- **retrospective spans** (:meth:`Tracer.emit`) for work that ran
+  concurrently inside the discrete-event simulation — task attempts and
+  their phases are emitted once their begin/end stamps are known, with
+  an explicit parent.
+
+Tracing is observation-only: a tracer never creates simulation events,
+never draws randomness and never touches model state, so a traced run is
+bit-identical to an untraced one.  When tracing is disabled there simply
+is no tracer object — engine hooks are ``if tracer is not None`` guards
+that cost one attribute test.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from itertools import count
+
+#: Span categories, outermost first (the canonical nesting order).
+CATEGORIES = ("experiment", "phase", "job", "stage", "task")
+
+#: Display track for driver-side spans (jobs, stages, experiment).
+DRIVER_TRACK = "driver"
+
+
+@dataclass
+class Span:
+    """One named interval on the simulated clock."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    cat: str
+    begin: float
+    end: float | None = None
+    track: str = DRIVER_TRACK
+    attrs: dict[str, t.Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.begin
+
+
+@dataclass
+class Instant:
+    """A zero-duration marker event (executor loss, fetch failure...)."""
+
+    name: str
+    time: float
+    track: str = DRIVER_TRACK
+    attrs: dict[str, t.Any] = field(default_factory=dict)
+
+
+@dataclass
+class CounterSample:
+    """One timestamped sample of a named counter group (a device's
+    cumulative traffic, sampled at stage boundaries)."""
+
+    name: str
+    time: float
+    values: dict[str, float] = field(default_factory=dict)
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Tracer:
+    """Collects spans, instants and counter samples for one run."""
+
+    def __init__(self, clock: t.Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else _zero_clock
+        self._ids = count()
+        self._stack: list[Span] = []
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.samples: list[CounterSample] = []
+
+    # -- clock ---------------------------------------------------------------
+    def bind_clock(self, clock: t.Callable[[], float]) -> None:
+        """Point the tracer at a simulation clock (``lambda: env.now``)."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- stack spans ---------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        """Innermost open stack span (parent for retrospective emits)."""
+        return self._stack[-1] if self._stack else None
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "phase",
+        track: str = DRIVER_TRACK,
+        **attrs: t.Any,
+    ) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent,
+            name=name,
+            cat=cat,
+            begin=self._clock(),
+            track=track,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span | None = None) -> None:
+        """Close the innermost open span (which must be ``span`` if given)."""
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        top = self._stack.pop()
+        if span is not None and top is not span:
+            raise RuntimeError(
+                f"span nesting violation: closing {span.name!r} but "
+                f"{top.name!r} is innermost"
+            )
+        top.end = self._clock()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = "phase",
+        track: str = DRIVER_TRACK,
+        **attrs: t.Any,
+    ) -> t.Iterator[Span]:
+        opened = self.begin(name, cat, track=track, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    # -- retrospective spans -------------------------------------------------
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        begin: float,
+        end: float,
+        parent: Span | None = None,
+        track: str = DRIVER_TRACK,
+        **attrs: t.Any,
+    ) -> Span:
+        """Record a completed span whose interval is already known.
+
+        ``parent`` defaults to the innermost open stack span, which is
+        how concurrently-simulated task attempts land under the stage
+        that submitted them.
+        """
+        if parent is None:
+            parent = self.current
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            cat=cat,
+            begin=begin,
+            end=end,
+            track=track,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    # -- markers / samples -----------------------------------------------------
+    def instant(
+        self,
+        name: str,
+        time: float | None = None,
+        track: str = DRIVER_TRACK,
+        **attrs: t.Any,
+    ) -> Instant:
+        marker = Instant(
+            name=name,
+            time=self._clock() if time is None else time,
+            track=track,
+            attrs=attrs,
+        )
+        self.instants.append(marker)
+        return marker
+
+    def sample(
+        self,
+        name: str,
+        values: dict[str, float],
+        time: float | None = None,
+    ) -> CounterSample:
+        sampled = CounterSample(
+            name=name,
+            time=self._clock() if time is None else time,
+            values=dict(values),
+        )
+        self.samples.append(sampled)
+        return sampled
+
+    # -- lifecycle -------------------------------------------------------------
+    def finish(self) -> None:
+        """Close any still-open spans at the current clock (defensive)."""
+        while self._stack:
+            self._stack.pop().end = self._clock()
+
+    def by_category(self, cat: str) -> list[Span]:
+        return [span for span in self.spans if span.cat == cat]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def root(self) -> Span | None:
+        """The first parentless span (normally the experiment span)."""
+        for span in self.spans:
+            if span.parent_id is None:
+                return span
+        return None

@@ -64,7 +64,9 @@ _TRACE_STATUS = {
 
 
 def _execute_point(
-    config: ExperimentConfig, trace_root: str | None = None
+    config: ExperimentConfig,
+    trace_root: str | None = None,
+    obs_dir: str | None = None,
 ) -> tuple[ExperimentResult, str]:
     """Worker entry point (module-level so it pickles into the pool).
 
@@ -72,13 +74,67 @@ def _execute_point(
     replaying an existing artifact, capturing a new one, or falling back
     to direct simulation when the config's behaviour is timing-dependent
     (faults, speculation) or a replay diverges.
-    """
-    if trace_root is None:
-        return run_experiment(config), STATUS_EXECUTED
-    from repro.trace import TraceStore, run_with_trace
 
-    result, how = run_with_trace(config, TraceStore(trace_root))
-    return result, _TRACE_STATUS[how]
+    With an observation directory, the worker builds its own
+    :class:`repro.obs.Observer` and writes this point's artifacts as
+    ``<obs_dir>/<config_hash>.trace.json`` / ``.metrics.json`` — keyed
+    by content hash, so a resumed campaign's cached points never re-emit
+    and re-executed points overwrite with identical content.
+    """
+    observer = None
+    key = None
+    if obs_dir is not None:
+        from repro.obs import ObsConfig, Observer
+
+        key = config_hash(config)
+        root = Path(obs_dir)
+        observer = Observer(
+            ObsConfig(
+                trace_path=str(root / f"{key}.trace.json"),
+                metrics_path=str(root / f"{key}.metrics.json"),
+            )
+        )
+    if trace_root is None:
+        result, status = run_experiment(config, observer=observer), STATUS_EXECUTED
+    else:
+        from repro.trace import TraceStore, run_with_trace
+
+        result, how = run_with_trace(
+            config, TraceStore(trace_root), observer=observer
+        )
+        status = _TRACE_STATUS[how]
+    if observer is not None:
+        observer.export(
+            {
+                "label": config.describe(),
+                "config_hash": key,
+                "status": status,
+            }
+        )
+    return result, status
+
+
+def _coerce_obs_config(observe: t.Any) -> "t.Any | None":
+    """Normalize the campaign-level ``observe=`` argument to an ObsConfig.
+
+    Campaigns build one observer *per point* inside the worker, so the
+    runner keeps only the configuration; passing a live
+    :class:`repro.obs.Observer` uses its config.
+    """
+    if observe is None or observe is False:
+        return None
+    from repro.obs import ObsConfig, Observer
+
+    if observe is True:
+        return ObsConfig()
+    if isinstance(observe, ObsConfig):
+        return observe
+    if isinstance(observe, Observer):
+        return observe.config
+    raise TypeError(
+        f"observe= must be None, bool, ObsConfig or Observer, "
+        f"got {type(observe).__name__}"
+    )
 
 
 @dataclass
@@ -135,6 +191,9 @@ class CampaignReport:
 
     points: list[CampaignPoint] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Observability outputs written for this campaign, when enabled:
+    #: ``{"trace": <merged trace.json>, "metrics": <merged metrics>}``.
+    artifacts: dict[str, str] = field(default_factory=dict)
 
     @property
     def results(self) -> list[ExperimentResult]:
@@ -231,6 +290,17 @@ class CampaignRunner:
         ``<cache_dir>/traces``; without a cache, a private temporary
         directory scoped to this runner's lifetime (traces still
         dedupe across the runner's campaigns, just not across runs).
+    observe:
+        ``None``/``False`` (default) disables observability entirely.
+        ``True`` or an :class:`repro.obs.ObsConfig` makes every live
+        point write span-trace and metrics artifacts keyed by config
+        hash under ``ObsConfig.artifact_dir`` (default
+        ``<cache_dir>/obs``, or a runner-scoped temporary directory
+        without a cache); after each campaign the per-point artifacts
+        are merged into ``ObsConfig.trace_path`` /
+        ``ObsConfig.metrics_path`` when those are set.  Cached points
+        are never re-executed, hence never re-emit artifacts — but
+        artifacts they wrote in an earlier run still join the merge.
     """
 
     def __init__(
@@ -241,6 +311,7 @@ class CampaignRunner:
         progress: t.Callable[[CampaignProgress], None] | None = None,
         reuse_traces: bool = True,
         trace_dir: str | Path | None = None,
+        observe: t.Any = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
@@ -264,6 +335,17 @@ class CampaignRunner:
                 prefix="repro-traces-"
             )
             self.trace_root = Path(self._trace_tmp.name)
+        self.obs = _coerce_obs_config(observe)
+        self._obs_tmp: tempfile.TemporaryDirectory | None = None
+        if self.obs is None:
+            self.obs_dir: Path | None = None
+        elif self.obs.artifact_dir is not None:
+            self.obs_dir = Path(self.obs.artifact_dir)
+        elif cache_dir is not None:
+            self.obs_dir = Path(cache_dir) / "obs"
+        else:
+            self._obs_tmp = tempfile.TemporaryDirectory(prefix="repro-obs-")
+            self.obs_dir = Path(self._obs_tmp.name)
 
     # ------------------------------------------------------------------ public
     def run(self, configs: t.Iterable[ExperimentConfig]) -> CampaignReport:
@@ -291,6 +373,7 @@ class CampaignRunner:
                     self._run_serial(wave, report, started)
             self._resolve_aliases(aliases, report, started)
 
+        self._export_observability(report)
         report.elapsed = time.monotonic() - started
         return report
 
@@ -366,9 +449,12 @@ class CampaignRunner:
         started: float,
     ) -> None:
         trace_root = None if self.trace_root is None else str(self.trace_root)
+        obs_dir = None if self.obs_dir is None else str(self.obs_dir)
         for point in primaries:
             try:
-                result, status = _execute_point(point.config, trace_root)
+                result, status = _execute_point(
+                    point.config, trace_root, obs_dir
+                )
                 self._record(point, result, status)
             except Exception as exc:  # noqa: BLE001 - point isolation
                 point.error = f"{type(exc).__name__}: {exc}"
@@ -383,9 +469,12 @@ class CampaignRunner:
     ) -> None:
         width = min(self.workers, len(primaries))
         trace_root = None if self.trace_root is None else str(self.trace_root)
+        obs_dir = None if self.obs_dir is None else str(self.obs_dir)
         with ProcessPoolExecutor(max_workers=width) as pool:
             futures: dict[Future, CampaignPoint] = {
-                pool.submit(_execute_point, point.config, trace_root): point
+                pool.submit(
+                    _execute_point, point.config, trace_root, obs_dir
+                ): point
                 for point in primaries
             }
             outstanding = set(futures)
@@ -417,6 +506,60 @@ class CampaignRunner:
                 point.error = primary.error
                 point.status = STATUS_FAILED
             self._emit_progress(report, started)
+
+    def _export_observability(self, report: CampaignReport) -> None:
+        """Merge per-point artifacts into the campaign-level outputs.
+
+        Works off the files on disk, so points resolved from the result
+        cache this run (which never re-emit) still contribute whatever
+        an earlier observed run wrote for them.
+        """
+        if self.obs is None or self.obs_dir is None:
+            return
+        from repro.obs import (
+            MetricsRegistry,
+            export_metrics_json,
+            load_metrics_json,
+            merge_chrome_traces,
+        )
+
+        parts: list[tuple[str, Path]] = []
+        seen: set[str] = set()
+        for point in report.points:
+            key = config_hash(point.config)
+            if key in seen:
+                continue
+            seen.add(key)
+            parts.append(
+                (point.config.describe(), self.obs_dir / f"{key}.trace.json")
+            )
+        if self.obs.trace_path:
+            merge_chrome_traces(parts, self.obs.trace_path)
+            report.artifacts["trace"] = str(Path(self.obs.trace_path))
+        if self.obs.metrics_path:
+            merged = MetricsRegistry()
+            merged_points = 0
+            for _, part_path in parts:
+                metrics_path = part_path.with_name(
+                    part_path.name.replace(".trace.json", ".metrics.json")
+                )
+                if not metrics_path.exists():
+                    continue
+                merged.merge(load_metrics_json(metrics_path))
+                merged_points += 1
+            merged.inc("campaign.points_merged", merged_points)
+            merged.inc_many(
+                {
+                    k: float(v)
+                    for k, v in report.summary().items()
+                    if k != "elapsed_s"
+                },
+                prefix="campaign.",
+            )
+            export_metrics_json(
+                merged, self.obs.metrics_path, extra={"label": "campaign"}
+            )
+            report.artifacts["metrics"] = str(Path(self.obs.metrics_path))
 
     # --------------------------------------------------------------- helpers
     def _record(
@@ -470,6 +613,7 @@ def run_campaign(
     progress: t.Callable[[CampaignProgress], None] | None = None,
     reuse_traces: bool = True,
     trace_dir: str | Path | None = None,
+    observe: t.Any = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(
@@ -479,5 +623,6 @@ def run_campaign(
         progress=progress,
         reuse_traces=reuse_traces,
         trace_dir=trace_dir,
+        observe=observe,
     )
     return runner.run(configs)

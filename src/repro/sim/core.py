@@ -1,4 +1,10 @@
-"""The discrete-event :class:`Environment` (event loop)."""
+"""The discrete-event :class:`Environment` (event loop).
+
+This kernel carries no instrumentation: observed runs use
+:class:`repro.obs.simhooks.ObservedEnvironment`, a subclass that counts
+scheduled/processed events into a metrics registry while leaving this
+hot path untouched.
+"""
 
 from __future__ import annotations
 

@@ -40,6 +40,7 @@ class SparkContext:
         hdfs: HdfsClient | None = None,
         app_name: str = "repro-app",
         trace_recorder: "t.Any | None" = None,
+        observer: "t.Any | None" = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         self.machine = machine if machine is not None else paper_testbed(self.env)
@@ -51,7 +52,17 @@ class SparkContext:
         #: residues to it as they run (observation only — a recorded run
         #: is bit-identical to an unrecorded one).
         self.trace_recorder = trace_recorder
+        #: Optional :class:`repro.obs.Observer` bound to this context's
+        #: clock; its tracer/registry fan out to every subsystem below.
+        #: Like the trace recorder, observation never perturbs the
+        #: simulation — observed runs stay bit-identical.
+        self.observer = observer
+        if observer is not None:
+            observer.bind(self.env)
+        self.tracer = observer.tracer if observer is not None else None
+        self.metrics = observer.registry if observer is not None else None
         self.shuffle_manager = ShuffleManager()
+        self.shuffle_manager.metrics = self.metrics
         #: Seeded fault injector, when the configuration enables one; all
         #: injected faults (and only injected faults) draw from its RNG.
         self.fault_injector = (
@@ -60,6 +71,8 @@ class SparkContext:
             else None
         )
         self.shuffle_manager.fault_injector = self.fault_injector
+        if self.fault_injector is not None:
+            self.fault_injector.metrics = self.metrics
         self.dag = DAGScheduler(self)
         self.task_scheduler = TaskScheduler(
             self.env,
@@ -69,6 +82,8 @@ class SparkContext:
             self.hdfs,
             injector=self.fault_injector,
             recorder=trace_recorder,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.jobs: list[JobMetrics] = []
         self._rdd_counter = 0

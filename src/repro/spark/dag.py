@@ -20,6 +20,7 @@ import typing as t
 from itertools import count
 
 from repro.faults.errors import StageAbortedError
+from repro.obs.hooks import sample_device_counters
 from repro.spark.dependency import NarrowDependency, ShuffleDependency
 from repro.spark.metrics import JobMetrics, StageMetrics
 from repro.spark.stage import Stage, topological_order
@@ -112,6 +113,12 @@ class DAGScheduler:
         recorder = self.sc.trace_recorder
         if recorder is not None:
             recorder.begin_job(job.job_id, name)
+        tracer = self.sc.tracer
+        job_span = None
+        if tracer is not None:
+            job_span = tracer.begin(
+                name or f"job-{job.job_id}", cat="job", job_id=job.job_id
+            )
         final_stage = self.build_stages(final_rdd)
 
         results: list[t.Any] = [None] * final_stage.num_tasks
@@ -131,6 +138,10 @@ class DAGScheduler:
         job.complete_time = env.now
         if recorder is not None:
             recorder.end_job()
+        if tracer is not None:
+            tracer.end(job_span)
+        if self.sc.metrics is not None:
+            self.sc.metrics.inc_many(job.summary(), prefix="job.")
         return results, job
 
     def _run_stage(
@@ -224,9 +235,23 @@ class DAGScheduler:
                 is_shuffle_map=stage.is_shuffle_map,
                 tasks=tasks,
             )
+        tracer = self.sc.tracer
+        stage_span = None
+        if tracer is not None:
+            stage_span = tracer.begin(
+                metrics.name or f"stage-{stage.stage_id}",
+                cat="stage",
+                stage_id=stage.stage_id,
+                attempt=submissions,
+                num_tasks=len(partitions),
+                shuffle_map=stage.is_shuffle_map,
+            )
         outcome = self.sc.task_scheduler.run_task_set(
             tasks, hdfs_path=hdfs_path
         )
+        if tracer is not None:
+            tracer.end(stage_span)
+            sample_device_counters(tracer, self.sc.machine)
         if recorder is not None:
             recorder.end_task_set(tasks, outcome)
         for i, task in enumerate(tasks):

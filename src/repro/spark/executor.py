@@ -80,6 +80,7 @@ class Executor:
         shuffle_manager: "ShuffleManager",
         hdfs: "HdfsClient | None" = None,
         recorder: t.Any | None = None,
+        tracer: t.Any | None = None,
     ) -> None:
         self.env = env
         self.executor_id = executor_id
@@ -92,6 +93,12 @@ class Executor:
         #: residue for the trace-once/replay-many engine (observation
         #: only; never alters the simulation).
         self.recorder = recorder
+        #: Optional :class:`repro.obs.Tracer`.  When attached, each task
+        #: attempt stamps its phases (dispatch/fetch/compute/shuffle-
+        #: write/spill) into ``task.metrics.phases`` and executor-level
+        #: work (JVM startup, stage broadcast) is emitted as spans.
+        #: Observation only — no simulation event is ever created here.
+        self.tracer = tracer
         self.slots = Resource(
             env, capacity=conf.executor_cores, name=f"executor{executor_id}-slots"
         )
@@ -149,6 +156,7 @@ class Executor:
         "extra accesses for executor co-operation" effect (Takeaway 6)
         that makes NVM deployments degrade as executors multiply.
         """
+        started = self.env.now
         yield self.env.timeout(STARTUP_CPU_SECONDS)
         profile = AccessProfile(
             bytes_read=STARTUP_STREAM_BYTES,
@@ -161,6 +169,16 @@ class Executor:
             path=self.memory.path,
             core_stream_bw=self.socket.cpu.core_stream_bandwidth,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "jvm-startup",
+                cat="phase",
+                begin=started,
+                end=self.env.now,
+                track=f"executor-{self.executor_id}",
+                tier=self.memory.tier.tier_id,
+                executor=self.executor_id,
+            )
         return None
 
     def ensure_started(self):
@@ -215,6 +233,7 @@ class Executor:
         multiplies with executor count (Takeaway 6).
         """
         yield self.ensure_started()
+        started = self.env.now
         with self.dispatch.request() as req:
             yield req
             yield self.env.timeout(STAGE_SETUP_OVERHEAD)
@@ -228,6 +247,16 @@ class Executor:
                 profile,
                 path=self.memory.path,
                 core_stream_bw=self.socket.cpu.core_stream_bandwidth,
+            )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "stage-broadcast",
+                cat="phase",
+                begin=started,
+                end=self.env.now,
+                track=f"executor-{self.executor_id}",
+                tier=self.memory.tier.tier_id,
+                executor=self.executor_id,
             )
         return None
 
@@ -253,6 +282,9 @@ class Executor:
         task.metrics.speculative = task.speculative
         task.metrics.launch_time = env.now
         crash = fault is not None and fault.kind == "crash"
+        # Phase stamps accumulate only under observation; ``None`` keeps
+        # the hot path to one branch per phase boundary.
+        phases = task.metrics.phases if self.tracer is not None else None
 
         if not self.alive:
             raise ExecutorLostError(self.executor_id, "assigned to dead executor")
@@ -269,6 +301,8 @@ class Executor:
                 yield dreq
                 yield env.timeout(self.conf.task_dispatch_overhead)
             task.metrics.dispatch_wait = env.now - dispatch_started
+            if phases is not None:
+                phases.append(("dispatch", dispatch_started, env.now))
             # Straggler faults stretch everything the attempt does from
             # here on (control traffic, evaluation, memory payment).
             work_started = env.now
@@ -276,6 +310,8 @@ class Executor:
             # (parallel across in-flight tasks, serialized only by the
             # device queue itself).
             yield from self._control_traffic()
+            if phases is not None:
+                phases.append(("control", work_started, env.now))
 
             # Claim a hyperthread for the task's working lifetime.
             cpu_wait_started = env.now
@@ -299,6 +335,12 @@ class Executor:
                 # places on the bound tier: every block read is a disk
                 # transfer *plus* a page-cache write + user-copy read on
                 # the tier device.
+                fetch_started = env.now
+                had_fetch = bool(
+                    ctx.pending_hdfs_reads
+                    or ctx.pending_disk_reads
+                    or ctx.pending_disk_writes
+                )
                 for nbytes in ctx.pending_hdfs_reads:
                     if self.hdfs is not None:
                         yield from self.hdfs.stream_read(int(nbytes))
@@ -327,12 +369,24 @@ class Executor:
                     )
                 ctx.pending_disk_reads.clear()
                 ctx.pending_disk_writes.clear()
+                if phases is not None and had_fetch:
+                    phases.append(("fetch", fetch_started, env.now))
 
+                pay_started = env.now
                 yield from self._pay(ops, profile)
+                if phases is not None:
+                    phases.append(
+                        (
+                            "shuffle-write" if task.is_shuffle_map else "compute",
+                            pay_started,
+                            env.now,
+                        )
+                    )
 
                 # Spill traffic discovered during evaluation (execution
                 # memory shortfall): write out + read back on the tier.
                 if ctx.metrics.spill_bytes > 0:
+                    spill_started = env.now
                     spill = AccessProfile(
                         bytes_read=ctx.metrics.spill_bytes,
                         bytes_written=ctx.metrics.spill_bytes,
@@ -342,6 +396,8 @@ class Executor:
                         path=self.memory.path,
                         core_stream_bw=self.socket.cpu.core_stream_bandwidth,
                     )
+                    if phases is not None:
+                        phases.append(("spill", spill_started, env.now))
 
                 if fault is not None and fault.kind == "straggler":
                     # Tier-latency spike: everything the attempt did since
@@ -351,7 +407,12 @@ class Executor:
                         fault.multiplier - 1.0
                     )
                     if stretch > 0:
+                        stretch_started = env.now
                         yield env.timeout(stretch)
+                        if phases is not None:
+                            phases.append(
+                                ("straggle", stretch_started, env.now)
+                            )
 
                 if crash:
                     task.metrics.finish_time = env.now
@@ -363,6 +424,7 @@ class Executor:
                 # Timed HDFS output write, when this job saves a file
                 # (page-cache staging on the bound tier + disk transfer).
                 if hdfs_path is not None and self.hdfs is not None and result:
+                    output_started = env.now
                     nbytes = int(len(result) * task.rdd.record_bytes)
                     yield from self.memory.device.access(
                         AccessProfile(bytes_read=nbytes, bytes_written=nbytes),
@@ -370,9 +432,14 @@ class Executor:
                         core_stream_bw=self.socket.cpu.core_stream_bandwidth,
                     )
                     yield from self.hdfs.stream_write(nbytes)
+                    if phases is not None:
+                        phases.append(("output", output_started, env.now))
 
             # Teardown: status + metrics write-back.
+            teardown_started = env.now
             yield from self._control_traffic()
+            if phases is not None:
+                phases.append(("teardown", teardown_started, env.now))
 
         task.metrics.finish_time = env.now
         self.tasks_run += 1

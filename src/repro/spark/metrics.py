@@ -43,6 +43,11 @@ class TaskMetrics:
     cache_misses: int = 0
     dispatch_wait: float = 0.0
     cpu_wait: float = 0.0
+    #: Intra-attempt phase stamps ``(name, begin, end)`` on the simulated
+    #: clock — dispatch/fetch/compute/shuffle-write/spill — recorded by
+    #: the executor only while an observer is attached (:mod:`repro.obs`)
+    #: and emitted as child spans of the attempt's task span.
+    phases: list = field(default_factory=list)
 
     @property
     def duration(self) -> float:

@@ -37,6 +37,7 @@ from repro.faults.errors import (
     TaskSetAbortedError,
 )
 from repro.memory.tiers import tier_by_id
+from repro.obs.hooks import emit_task_set_spans
 from repro.sim import Environment, Interrupt, Process
 from repro.sim.events import Initialize
 from repro.spark.conf import SparkConf
@@ -122,12 +123,20 @@ class TaskScheduler:
         hdfs: "HdfsClient | None" = None,
         injector: "FaultInjector | None" = None,
         recorder: t.Any | None = None,
+        tracer: t.Any | None = None,
+        metrics: t.Any | None = None,
     ) -> None:
         self.env = env
         self.conf = conf
         self.machine = machine
         self.shuffle_manager = shuffle_manager
         self.injector = injector
+        #: Optional :class:`repro.obs.Tracer` / ``MetricsRegistry``:
+        #: task-attempt spans are emitted as each task set resolves, and
+        #: fault-tolerance activity (retries, speculation, executor
+        #: loss) is counted into the registry.  Observation only.
+        self.tracer = tracer
+        self.metrics = metrics
         binding = NumactlBinding(conf.cpu_socket, tier_by_id(conf.memory_tier))
         socket, memory = binding.resolve(machine)
         self.executors = [
@@ -140,6 +149,7 @@ class TaskScheduler:
                 shuffle_manager=shuffle_manager,
                 hdfs=hdfs,
                 recorder=recorder,
+                tracer=tracer,
             )
             for i in range(conf.num_executors)
         ]
@@ -298,6 +308,14 @@ class TaskScheduler:
             return
         executor.kill()
         result.executors_lost += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "executor-lost",
+                track=f"executor-{executor.executor_id}",
+                executor=executor.executor_id,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("scheduler.executors_lost")
         # Its shuffle map outputs are gone; downstream fetches will see
         # the shuffles as incomplete and trigger recomputation.
         self.shuffle_manager.remove_executor_outputs(executor.executor_id)
@@ -343,6 +361,8 @@ class TaskScheduler:
                 continue
             speculated[rec.index] = True
             result.speculative_launched += 1
+            if self.metrics is not None:
+                self.metrics.inc("scheduler.speculative_launched")
             launch(
                 rec.index,
                 self._pick_executor(live, exclude=rec.executor),
@@ -403,6 +423,8 @@ class TaskScheduler:
                 self._attempt(task, executor, hdfs_path, fault, delay)
             )
             live[proc] = _Attempt(index, task, executor, env.now)
+            if self.metrics is not None:
+                self.metrics.inc("scheduler.attempts_launched")
             return proc
 
         for index, executor in enumerate(assigned):
@@ -461,6 +483,15 @@ class TaskScheduler:
                     pass  # speculation loser; metrics already recorded
                 elif kind == "fetch":
                     result.fetch_failures += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("scheduler.fetch_failures")
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "fetch-failure",
+                            track=f"executor-{rec.executor.executor_id}",
+                            stage_id=rec.task.metrics.stage_id,
+                            partition=rec.task.metrics.partition,
+                        )
                     if result.fetch_failure is None:
                         result.fetch_failure = t.cast(
                             FetchFailedError, payload
@@ -470,6 +501,8 @@ class TaskScheduler:
                 else:  # "failed"
                     exc = t.cast(BaseException, payload)
                     result.task_failures += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("scheduler.task_failures")
                     failures[index] += 1
                     if not isinstance(exc, ExecutorLostError):
                         self._note_executor_failure(rec.executor)
@@ -497,6 +530,8 @@ class TaskScheduler:
 
         # The stage is not over until every executor's setup finished too.
         env.run(until=env.all_of(setup))
+        if self.tracer is not None:
+            emit_task_set_spans(self.tracer, conf, result.attempts)
         return result
 
     # -- cache bookkeeping ------------------------------------------------------------

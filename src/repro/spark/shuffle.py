@@ -77,6 +77,9 @@ class ShuffleManager:
     def __init__(self) -> None:
         self._shuffles: dict[int, _ShuffleState] = {}
         self.fault_injector: "FaultInjector | None" = None
+        #: Optional :class:`repro.obs.MetricsRegistry`; when attached the
+        #: manager publishes shuffle traffic counters into it.
+        self.metrics: t.Any | None = None
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
         """Announce a shuffle before its map stage runs (idempotent)."""
@@ -122,6 +125,9 @@ class ShuffleManager:
             total += nbytes
         state.outputs[map_partition] = segments
         state.mappers[map_partition] = mapper_executor
+        if self.metrics is not None:
+            self.metrics.inc("shuffle.map_outputs_registered")
+            self.metrics.inc("shuffle.bytes_written", total)
         return total
 
     def missing_partitions(self, shuffle_id: int) -> list[int]:
@@ -188,6 +194,13 @@ class ShuffleManager:
             segment = state.outputs[map_partition].get(reduce_partition)
             if segment is not None and segment.records:
                 segments.append(segment)
+        if self.metrics is not None:
+            self.metrics.inc("shuffle.fetches")
+            self.metrics.inc("shuffle.segments_fetched", len(segments))
+            self.metrics.inc(
+                "shuffle.bytes_fetched",
+                sum(segment.nbytes for segment in segments),
+            )
         return segments
 
     def total_shuffle_bytes(self, shuffle_id: int) -> float:

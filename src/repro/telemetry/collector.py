@@ -58,11 +58,20 @@ class TelemetryCollector:
         sample = collector.stop(sc)
     """
 
-    def __init__(self, env: Environment, machine: Machine) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        machine: Machine,
+        metrics: t.Any | None = None,
+    ) -> None:
         self.env = env
         self.machine = machine
         self.ipmctl = IpmctlReader(machine.devices())
         self.rapl = RaplReader(env, machine.devices())
+        #: Optional :class:`repro.obs.MetricsRegistry`; each ``stop()``
+        #: publishes the window's derived events, DIMM counters and
+        #: per-device energy into it under ``telemetry.*``.
+        self.metrics = metrics
         self._started_at: float | None = None
         self._jobs_before = 0
 
@@ -91,4 +100,18 @@ class TelemetryCollector:
             energy=self.rapl.by_device(),
         )
         self._started_at = None
+        if self.metrics is not None:
+            self.metrics.inc("telemetry.windows")
+            self.metrics.inc("telemetry.elapsed", elapsed)
+            self.metrics.inc_many(events, prefix="telemetry.events.")
+            for perf in sample.dimm_performance:
+                prefix = f"telemetry.dimm.{perf.dimm_id}."
+                self.metrics.inc(prefix + "media_reads", perf.media_reads)
+                self.metrics.inc(prefix + "media_writes", perf.media_writes)
+                self.metrics.inc(prefix + "bytes_read", perf.bytes_read)
+                self.metrics.inc(prefix + "bytes_written", perf.bytes_written)
+            for name, report in sample.energy.items():
+                self.metrics.inc(
+                    f"telemetry.energy.{name}.joules", report.total_joules
+                )
         return sample

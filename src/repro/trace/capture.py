@@ -244,6 +244,7 @@ class TraceRecorder:
 
 def capture_experiment(
     config: ExperimentConfig,
+    observer: t.Any | None = None,
 ) -> tuple[ExperimentResult, WorkloadTrace | None]:
     """Run ``config`` through the real engine, recording its trace.
 
@@ -251,8 +252,14 @@ def capture_experiment(
     the returned result is bit-identical to an unrecorded run.  The
     trace is ``None`` when the run did something replay cannot reproduce
     (fault-tolerance activity, nested jobs, off-job simulated time).
+    An optional :class:`repro.obs.Observer` records spans alongside the
+    trace capture; the two observation channels are independent.
     """
-    env = Environment()
+    env = (
+        observer.make_environment()
+        if observer is not None
+        else Environment()
+    )
     machine = paper_testbed(env)
     recorder = TraceRecorder()
     sc = SparkContext(
@@ -260,17 +267,42 @@ def capture_experiment(
         machine=machine,
         conf=config.spark_conf(),
         trace_recorder=recorder,
+        observer=observer,
     )
     workload = get_workload(config.workload)
+    tracer = sc.tracer
 
-    workload.prepare(sc, config.size)
+    exp_span = None
+    if tracer is not None:
+        exp_span = tracer.begin(
+            config.describe(),
+            cat="experiment",
+            workload=config.workload,
+            size=config.size,
+            tier=config.tier,
+            socket=config.cpu_socket,
+            executors=config.num_executors,
+            cores=config.executor_cores,
+            mba_percent=config.mba_percent,
+            captured=True,
+        )
+
+    if tracer is not None:
+        with tracer.span("prepare", cat="phase"):
+            workload.prepare(sc, config.size)
+    else:
+        workload.prepare(sc, config.size)
     recorder.mark_measured()
 
-    collector = TelemetryCollector(env, machine)
+    collector = TelemetryCollector(env, machine, metrics=sc.metrics)
     with BandwidthAllocator(machine.devices(), percent=config.mba_percent):
         collector.start(sc)
         run_started = env.now
-        outcome = workload.run(sc, config.size)
+        if tracer is not None:
+            with tracer.span("measure", cat="phase"):
+                outcome = workload.run(sc, config.size)
+        else:
+            outcome = workload.run(sc, config.size)
         if outcome.execution_time != env.now - run_started:
             recorder.mark_invalid(
                 "simulated time advanced outside the measured jobs"
@@ -282,6 +314,17 @@ def capture_experiment(
         for key, value in job.mitigation_summary().items():
             mitigation[key] = mitigation.get(key, 0) + value
     sc.stop()
+    if tracer is not None:
+        tracer.end(exp_span)
+    if sc.metrics is not None:
+        sc.metrics.set_gauge(
+            "experiment.execution_time", outcome.execution_time
+        )
+        sc.metrics.set_gauge(
+            "experiment.records_processed", float(outcome.records_processed)
+        )
+        sc.metrics.set_gauge("experiment.verified", float(outcome.verified))
+        sc.metrics.inc_many(mitigation, prefix="mitigation.")
     result = ExperimentResult(
         config=config,
         execution_time=outcome.execution_time,

@@ -29,6 +29,7 @@ import typing as t
 from repro.cluster.topology import paper_testbed
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.memory.mba import BandwidthAllocator
+from repro.obs.hooks import sample_device_counters
 from repro.sim import Environment
 from repro.spark.context import SparkContext
 from repro.spark.metrics import JobMetrics, StageMetrics
@@ -224,11 +225,20 @@ class TracePlayer:
         mitigation summaries see identical structures.
         """
         env = self.sc.env
+        tracer = self.sc.tracer
         job = JobMetrics(
             job_id=job_trace.job_id,
             name=job_trace.name,
             submit_time=env.now,
         )
+        job_span = None
+        if tracer is not None:
+            job_span = tracer.begin(
+                job_trace.name or f"job-{job_trace.job_id}",
+                cat="job",
+                job_id=job_trace.job_id,
+                replayed=True,
+            )
         for ts in job_trace.task_sets:
             if ts.attempt > 0:
                 job.resubmitted_stages += 1
@@ -240,9 +250,22 @@ class TracePlayer:
                 attempt=ts.attempt,
             )
             tasks = self._make_tasks(ts)
+            stage_span = None
+            if tracer is not None:
+                stage_span = tracer.begin(
+                    ts.name or f"stage-{ts.stage_id}",
+                    cat="stage",
+                    stage_id=ts.stage_id,
+                    attempt=ts.attempt,
+                    num_tasks=ts.num_tasks,
+                    replayed=True,
+                )
             outcome = self.sc.task_scheduler.run_task_set(
                 tasks, hdfs_path=ts.hdfs_path
             )
+            if tracer is not None:
+                tracer.end(stage_span)
+                sample_device_counters(tracer, self.sc.machine)
             if (
                 not all(outcome.done)
                 or outcome.task_failures
@@ -265,6 +288,10 @@ class TracePlayer:
             metrics.complete_time = env.now
             job.stages.append(metrics)
         job.complete_time = env.now
+        if tracer is not None:
+            tracer.end(job_span)
+        if self.sc.metrics is not None:
+            self.sc.metrics.inc_many(job.summary(), prefix="job.")
         self.sc.jobs.append(job)
 
     def _make_tasks(self, ts: TaskSetTrace) -> list[Task]:
@@ -286,33 +313,75 @@ class TracePlayer:
 
 
 def replay_experiment(
-    config: ExperimentConfig, trace: WorkloadTrace
+    config: ExperimentConfig,
+    trace: WorkloadTrace,
+    observer: t.Any | None = None,
 ) -> ExperimentResult:
     """Re-time ``trace`` under ``config``; bit-identical to direct sim.
 
     Raises :class:`ReplayDivergence` when the trace cannot reproduce the
     config's behaviour (callers fall back to :func:`run_experiment`).
+    An attached :class:`repro.obs.Observer` records the replayed jobs
+    with the same span shapes a direct simulation produces.
     """
     check_compatible(trace, config)
     if not trace.intact:
         raise ReplayDivergence("trace artifact failed its checksum")
-    env = Environment()
+    env = (
+        observer.make_environment()
+        if observer is not None
+        else Environment()
+    )
     machine = paper_testbed(env)
-    sc = SparkContext(env=env, machine=machine, conf=config.spark_conf())
+    sc = SparkContext(
+        env=env,
+        machine=machine,
+        conf=config.spark_conf(),
+        observer=observer,
+    )
+    tracer = sc.tracer
+    exp_span = None
+    if tracer is not None:
+        exp_span = tracer.begin(
+            config.describe(),
+            cat="experiment",
+            workload=config.workload,
+            size=config.size,
+            tier=config.tier,
+            socket=config.cpu_socket,
+            executors=config.num_executors,
+            cores=config.executor_cores,
+            mba_percent=config.mba_percent,
+            replayed=True,
+        )
     player = TracePlayer(sc, trace)
     try:
         # Prepare-phase jobs ran before MBA throttling and telemetry.
-        player.replay_jobs(trace.jobs[: trace.measured_from])
-        collector = TelemetryCollector(env, machine)
+        if tracer is not None:
+            with tracer.span("prepare", cat="phase"):
+                player.replay_jobs(trace.jobs[: trace.measured_from])
+        else:
+            player.replay_jobs(trace.jobs[: trace.measured_from])
+        collector = TelemetryCollector(
+            env, machine, metrics=sc.metrics
+        )
         with BandwidthAllocator(machine.devices(), percent=config.mba_percent):
             collector.start(sc)
             run_started = env.now
-            player.replay_jobs(trace.jobs[trace.measured_from :])
+            if tracer is not None:
+                with tracer.span("measure", cat="phase"):
+                    player.replay_jobs(trace.jobs[trace.measured_from :])
+            else:
+                player.replay_jobs(trace.jobs[trace.measured_from :])
             execution_time = env.now - run_started
             sample = collector.stop(sc)
     except ReplayDivergence:
+        if tracer is not None:
+            tracer.finish()
         raise
     except Exception as exc:  # noqa: BLE001 - divergence, not a bug report
+        if tracer is not None:
+            tracer.finish()
         raise ReplayDivergence(f"replay failed: {exc}") from exc
 
     mitigation: dict[str, float] = {}
@@ -320,6 +389,15 @@ def replay_experiment(
         for key, value in job.mitigation_summary().items():
             mitigation[key] = mitigation.get(key, 0) + value
     sc.stop()
+    if tracer is not None:
+        tracer.end(exp_span)
+    if sc.metrics is not None:
+        sc.metrics.set_gauge("experiment.execution_time", execution_time)
+        sc.metrics.set_gauge(
+            "experiment.records_processed", float(trace.records_processed)
+        )
+        sc.metrics.set_gauge("experiment.verified", float(trace.verified))
+        sc.metrics.inc_many(mitigation, prefix="mitigation.")
     return ExperimentResult(
         config=config,
         execution_time=execution_time,
@@ -331,7 +409,9 @@ def replay_experiment(
 
 
 def run_with_trace(
-    config: ExperimentConfig, store: "TraceStore"
+    config: ExperimentConfig,
+    store: "TraceStore",
+    observer: t.Any | None = None,
 ) -> tuple[ExperimentResult, str]:
     """Resolve one point through the trace store.
 
@@ -342,14 +422,21 @@ def run_with_trace(
     """
     replayable, _ = is_replayable_config(config)
     if not replayable:
-        return run_experiment(config), "direct"
+        return run_experiment(config, observer=observer), "direct"
     trace = store.load(config)
     if trace is not None:
         try:
-            return replay_experiment(config, trace), "replayed"
+            return (
+                replay_experiment(config, trace, observer=observer),
+                "replayed",
+            )
         except ReplayDivergence:
-            return run_experiment(config), "direct"
-    result, captured = capture_experiment(config)
+            if observer is not None:
+                # The abandoned replay's spans must not pollute the
+                # fallback run's artifacts.
+                observer.reset()
+            return run_experiment(config, observer=observer), "direct"
+    result, captured = capture_experiment(config, observer=observer)
     if captured is not None:
         store.save(config, captured)
     return result, "captured"

@@ -19,3 +19,9 @@ ENGINE_VERSION = "4"
 
 #: Bump when :class:`repro.trace.records.WorkloadTrace` layout changes.
 TRACE_FORMAT_VERSION = 1
+
+#: Bump when the observability artifact layout changes — the flat
+#: metrics JSON payload (:meth:`repro.obs.MetricsRegistry.to_dict`) or
+#: the extra fields the Chrome-trace exporter writes beside
+#: ``traceEvents``.  Readers refuse payloads from other versions.
+OBS_SCHEMA_VERSION = 1

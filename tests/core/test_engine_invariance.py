@@ -228,6 +228,43 @@ def test_replay_matches_pinned_experiments(
     _assert_matches_pins(result, expected_time, expected_records, energy_pin, dimm_pin)
 
 
+@pytest.mark.parametrize(
+    "point,expected_time,expected_records,energy_pin,dimm_pin",
+    REFERENCE_EXPERIMENTS,
+    ids=["observed-" + "-".join(map(str, e[0])) for e in REFERENCE_EXPERIMENTS],
+)
+def test_observed_run_matches_pinned_experiments(
+    point, expected_time, expected_records, energy_pin, dimm_pin
+):
+    """An attached Observer (span tracer + metrics + counted kernel)
+    must leave every golden number untouched — the observability layer's
+    read-only guarantee, pinned against the seed engine."""
+    from repro.obs import ObsConfig, Observer
+
+    workload, size, tier = point
+    observer = Observer(ObsConfig())
+    result = run_experiment(
+        ExperimentConfig(workload=workload, size=size, tier=tier),
+        observer=observer,
+    )
+    _assert_matches_pins(result, expected_time, expected_records, energy_pin, dimm_pin)
+
+    # Cross-check the trace against the engine's own ledger: exactly one
+    # task span per attempt, and the experiment span covers the run.
+    tracer = observer.tracer
+    assert len(tracer.by_category("task")) == result.mitigation["task_attempts"]
+    root = tracer.root()
+    assert root.cat == "experiment"
+    for span in tracer.spans:
+        assert span.end is not None and span.begin <= span.end
+    assert observer.registry.gauge("experiment.execution_time") == (
+        result.execution_time
+    )
+    assert observer.registry.counter("scheduler.attempts_launched") == (
+        result.mitigation["task_attempts"]
+    )
+
+
 # ------------------------------------------------- batched vs naive properties
 
 #: Mixed-type keys exercise the generic fallback; long homogeneous

@@ -1,0 +1,194 @@
+"""Exporters: Chrome-trace schema golden, merging, metrics files, timeline."""
+
+import json
+
+from repro.obs import (
+    OBS_SCHEMA_VERSION,
+    TRACE_SCHEMA,
+    MetricsRegistry,
+    Tracer,
+    build_trace_events,
+    export_chrome_trace,
+    export_metrics_json,
+    format_stage_timeline,
+    load_metrics_json,
+    merge_chrome_traces,
+    trace_payload,
+)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def small_tracer() -> Tracer:
+    """A hand-built run: stage with two overlapping task attempts."""
+    clock = ManualClock()
+    tracer = Tracer(clock)
+    stage = tracer.begin("stage0", cat="stage", stage_id=0)
+    tracer.emit(
+        "stage0/p0", cat="task", begin=0.0, end=2.0,
+        parent=stage, track="executor-0", tier=2,
+    )
+    task = tracer.emit(
+        "stage0/p1", cat="task", begin=0.5, end=1.5,
+        parent=stage, track="executor-0", tier=2,
+    )
+    tracer.emit(
+        "compute", cat="phase", begin=0.75, end=1.25,
+        parent=task, track="executor-0",
+    )
+    tracer.instant("fetch-failure", time=1.0, track="executor-0")
+    tracer.sample("numa2-nvm4", {"bytes_read": 7.0}, time=2.0)
+    clock.t = 2.0
+    tracer.end(stage)
+    return tracer
+
+
+#: The exact Chrome trace-event document for ``small_tracer()``.  This
+#: is the exporter's public contract (Perfetto/chrome://tracing load
+#: it); regenerate only for a deliberate schema change, bumping
+#: OBS_SCHEMA_VERSION.
+GOLDEN_EVENTS = [
+    {
+        "name": "stage0", "cat": "stage", "ph": "X",
+        "ts": 0.0, "dur": 2_000_000.0, "pid": 0, "tid": 0,
+        "args": {"span_id": 0, "parent_id": None, "stage_id": 0},
+    },
+    {
+        "name": "stage0/p0", "cat": "task", "ph": "X",
+        "ts": 0.0, "dur": 2_000_000.0, "pid": 1, "tid": 0,
+        "args": {"span_id": 1, "parent_id": 0, "tier": 2},
+    },
+    {
+        "name": "stage0/p1", "cat": "task", "ph": "X",
+        "ts": 500_000.0, "dur": 1_000_000.0, "pid": 1, "tid": 1,
+        "args": {"span_id": 2, "parent_id": 0, "tier": 2},
+    },
+    {
+        "name": "compute", "cat": "phase", "ph": "X",
+        "ts": 750_000.0, "dur": 500_000.0, "pid": 1, "tid": 1,
+        "args": {"span_id": 3, "parent_id": 2},
+    },
+    {
+        "name": "fetch-failure", "cat": "marker", "ph": "i", "s": "p",
+        "ts": 1_000_000.0, "pid": 1, "tid": 0, "args": {},
+    },
+    {
+        "name": "numa2-nvm4", "cat": "counter", "ph": "C",
+        "ts": 2_000_000.0, "pid": 2, "args": {"bytes_read": 7.0},
+    },
+    {
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": "driver", "sort_index": 0},
+    },
+    {
+        "name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": "executor-0", "sort_index": 1},
+    },
+    {
+        "name": "process_name", "ph": "M", "pid": 2,
+        "args": {"name": "device numa2-nvm4", "sort_index": 2},
+    },
+]
+
+
+def test_chrome_trace_events_match_golden():
+    assert build_trace_events(small_tracer()) == GOLDEN_EVENTS
+
+
+def test_trace_payload_header():
+    payload = trace_payload(small_tracer(), label="golden")
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["otherData"] == {
+        "schema": TRACE_SCHEMA,
+        "version": OBS_SCHEMA_VERSION,
+        "label": "golden",
+        "clock": "simulated-seconds",
+    }
+
+
+def test_export_chrome_trace_writes_json_and_counts_spans(tmp_path):
+    path = tmp_path / "nested" / "trace.json"
+    n = export_chrome_trace(small_tracer(), path, label="x")
+    assert n == 4  # 4 "X" span events
+    payload = json.loads(path.read_text())
+    assert payload["traceEvents"] == GOLDEN_EVENTS
+
+
+def test_overlapping_tasks_get_distinct_lanes_sequential_share():
+    tracer = Tracer()
+    tracer.emit("a", cat="task", begin=0.0, end=1.0, track="executor-0")
+    tracer.emit("b", cat="task", begin=0.5, end=1.5, track="executor-0")
+    tracer.emit("c", cat="task", begin=2.0, end=3.0, track="executor-0")
+    tids = {
+        e["name"]: e["tid"]
+        for e in build_trace_events(tracer)
+        if e.get("ph") == "X"
+    }
+    assert tids["a"] != tids["b"]  # concurrent: separate lanes
+    assert tids["c"] == tids["a"]  # sequential: first lane is free again
+
+
+def test_merge_chrome_traces_offsets_pids_and_skips_missing(tmp_path):
+    part1 = tmp_path / "p1.json"
+    part2 = tmp_path / "p2.json"
+    export_chrome_trace(small_tracer(), part1)
+    export_chrome_trace(small_tracer(), part2)
+    merged_path = tmp_path / "merged.json"
+    n = merge_chrome_traces(
+        [
+            ("tier0", part1),
+            ("gone", tmp_path / "missing.json"),
+            ("tier2", part2),
+        ],
+        merged_path,
+    )
+    assert n == 2
+    payload = json.loads(merged_path.read_text())
+    assert payload["otherData"]["points"] == 2
+    names = [
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    ]
+    assert "tier0 · driver" in names and "tier2 · driver" in names
+    # The two points occupy disjoint pid ranges.
+    pids_of = lambda label: {
+        e["pid"]
+        for e in payload["traceEvents"]
+        if e.get("ph") == "M" and e["args"]["name"].startswith(label)
+    }
+    assert pids_of("tier0") and pids_of("tier0").isdisjoint(pids_of("tier2"))
+
+
+def test_metrics_json_roundtrip(tmp_path):
+    registry = MetricsRegistry()
+    registry.inc("shuffle.bytes_written", 42.0)
+    registry.set_gauge("experiment.execution_time", 1.5)
+    registry.observe("h", 3.0)
+    path = tmp_path / "metrics.json"
+    export_metrics_json(registry, path, extra={"label": "run-1"})
+    payload = json.loads(path.read_text())
+    assert payload["run"] == {"label": "run-1"}
+    rebuilt = load_metrics_json(path)
+    assert rebuilt.counter("shuffle.bytes_written") == 42.0
+    assert rebuilt.gauge("experiment.execution_time") == 1.5
+    assert rebuilt.samples("h") == [3.0]
+
+
+def test_stage_timeline_renders_bars_and_attempt_counts():
+    text = format_stage_timeline(small_tracer(), width=20)
+    lines = text.splitlines()
+    assert "2.000000s simulated" in lines[0]
+    assert "stage0" in lines[1]
+    assert "#" in lines[1]
+    assert "2 attempts" in lines[1]
+
+
+def test_stage_timeline_without_stages():
+    assert "no stage spans" in format_stage_timeline(Tracer())

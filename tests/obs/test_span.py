@@ -1,0 +1,164 @@
+"""Tracer/span semantics: nesting, clock stamping, retrospective emits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Span, Tracer
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class FakeClock:
+    """A monotone clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def tick(self, dt: float = 1.0) -> float:
+        self.t += dt
+        return self.t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_tracer() -> tuple[Tracer, FakeClock]:
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    return tracer, clock
+
+
+# ------------------------------------------------------------------ stack spans
+def test_begin_end_stamps_clock_and_links_parent():
+    tracer, clock = make_tracer()
+    outer = tracer.begin("experiment", cat="experiment")
+    clock.tick(2.0)
+    inner = tracer.begin("job", cat="job")
+    assert inner.parent_id == outer.span_id
+    assert inner.begin == 2.0
+    clock.tick(3.0)
+    tracer.end(inner)
+    tracer.end(outer)
+    assert inner.end == 5.0
+    assert outer.begin == 0.0 and outer.end == 5.0
+    assert not outer.open and outer.duration == 5.0
+
+
+def test_end_without_open_span_raises():
+    tracer, _ = make_tracer()
+    with pytest.raises(RuntimeError):
+        tracer.end()
+
+
+def test_end_out_of_order_raises():
+    tracer, _ = make_tracer()
+    outer = tracer.begin("outer")
+    tracer.begin("inner")
+    with pytest.raises(RuntimeError, match="nesting violation"):
+        tracer.end(outer)
+
+
+def test_span_context_manager_closes_on_exception():
+    tracer, clock = make_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("work"):
+            clock.tick()
+            raise ValueError("boom")
+    (span,) = tracer.spans
+    assert span.end == 1.0
+
+
+def test_finish_closes_all_open_spans_at_current_clock():
+    tracer, clock = make_tracer()
+    tracer.begin("a")
+    tracer.begin("b")
+    clock.tick(7.0)
+    tracer.finish()
+    assert tracer.current is None
+    assert all(span.end == 7.0 for span in tracer.spans)
+
+
+# ------------------------------------------------------------- emitted spans
+def test_emit_defaults_parent_to_open_stack_span():
+    tracer, _ = make_tracer()
+    stage = tracer.begin("stage", cat="stage")
+    task = tracer.emit("task", cat="task", begin=1.0, end=2.0)
+    assert task.parent_id == stage.span_id
+    explicit = tracer.emit(
+        "phase", cat="phase", begin=1.2, end=1.5, parent=task
+    )
+    assert explicit.parent_id == task.span_id
+    tracer.end(stage)
+    orphan = tracer.emit("late", cat="task", begin=0.0, end=1.0)
+    assert orphan.parent_id is None
+
+
+def test_helpers_filter_and_walk():
+    tracer, _ = make_tracer()
+    root = tracer.begin("experiment", cat="experiment")
+    child = tracer.emit("task", cat="task", begin=0.0, end=1.0)
+    tracer.end(root)
+    assert tracer.root() is root
+    assert tracer.by_category("task") == [child]
+    assert tracer.children_of(root) == [child]
+
+
+def test_instants_and_samples_stamp_current_clock():
+    tracer, clock = make_tracer()
+    clock.tick(4.0)
+    marker = tracer.instant("executor-lost", executor=3)
+    sample = tracer.sample("nvm", {"bytes_read": 10.0})
+    assert marker.time == 4.0 and marker.attrs == {"executor": 3}
+    assert sample.time == 4.0 and sample.values == {"bytes_read": 10.0}
+
+
+# ------------------------------------------------------------ property tests
+@given(
+    steps=st.lists(
+        st.tuples(st.booleans(), st.floats(0.0, 10.0)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@SETTINGS
+def test_arbitrary_begin_end_sequences_keep_invariants(steps):
+    """Any begin/end interleaving (ends ignored when empty) yields spans
+    that are clock-monotone and strictly nested within their parents."""
+    tracer, clock = make_tracer()
+    for is_begin, dt in steps:
+        clock.tick(dt)
+        if is_begin:
+            tracer.begin(f"s{len(tracer.spans)}")
+        elif tracer.current is not None:
+            tracer.end()
+    tracer.finish()
+
+    by_id = {span.span_id: span for span in tracer.spans}
+    for span in tracer.spans:
+        assert span.end is not None
+        assert span.begin <= span.end
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            # A child opens after its parent and closes no later.
+            assert parent.begin <= span.begin
+            assert span.end <= parent.end
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.floats(0.0, 10.0)),
+        max_size=40,
+    )
+)
+@SETTINGS
+def test_emitted_spans_preserve_given_interval(intervals):
+    tracer, _ = make_tracer()
+    for i, (begin, width) in enumerate(intervals):
+        span = tracer.emit(f"t{i}", cat="task", begin=begin, end=begin + width)
+        assert isinstance(span, Span)
+        assert span.begin == begin and span.end == begin + width
+    assert len(tracer.spans) == len(intervals)
+    # Span ids are unique and assigned in emission order.
+    ids = [span.span_id for span in tracer.spans]
+    assert ids == sorted(ids) and len(set(ids)) == len(ids)

@@ -190,3 +190,87 @@ def test_progress_reports_counts_and_eta():
 def test_invalid_worker_count_rejected():
     with pytest.raises(ValueError):
         CampaignRunner(workers=-1)
+
+
+# ------------------------------------------------------------ observability
+def test_campaign_writes_per_point_and_merged_artifacts(tmp_path):
+    import json
+
+    from repro.obs import ObsConfig
+    from repro.runner.hashing import config_hash
+
+    configs = FIG4_GRID[:2]
+    obs = ObsConfig(
+        trace_path=str(tmp_path / "merged.trace.json"),
+        metrics_path=str(tmp_path / "merged.metrics.json"),
+        artifact_dir=str(tmp_path / "obs"),
+    )
+    report = run_campaign(configs, observe=obs)
+
+    # One artifact pair per point, keyed by the point's config hash.
+    for config in configs:
+        key = config_hash(config)
+        point_trace = tmp_path / "obs" / f"{key}.trace.json"
+        point_metrics = tmp_path / "obs" / f"{key}.metrics.json"
+        assert point_trace.exists() and point_metrics.exists()
+        payload = json.loads(point_metrics.read_text())
+        assert payload["run"]["config_hash"] == key
+        assert payload["run"]["label"] == config.describe()
+
+    assert report.artifacts == {
+        "trace": obs.trace_path,
+        "metrics": obs.metrics_path,
+    }
+    merged_trace = json.loads((tmp_path / "merged.trace.json").read_text())
+    assert merged_trace["otherData"]["points"] == 2
+    merged_metrics = json.loads((tmp_path / "merged.metrics.json").read_text())
+    assert merged_metrics["counters"]["campaign.points_merged"] == 2.0
+    assert merged_metrics["counters"]["campaign.executed"] == 2.0
+
+
+def test_campaign_observability_does_not_change_results(tmp_path):
+    from repro.obs import ObsConfig
+
+    configs = FIG4_GRID[:3]
+    plain = run_campaign(configs)
+    observed = run_campaign(
+        configs,
+        observe=ObsConfig(artifact_dir=str(tmp_path / "obs")),
+        workers=2,
+    )
+    assert store_rows(plain.results, tmp_path / "plain.jsonl") == store_rows(
+        observed.results, tmp_path / "observed.jsonl"
+    )
+
+
+def test_resumed_campaign_does_not_reemit_artifacts(tmp_path):
+    """Cache hits never re-execute, so their per-point artifacts must
+    survive untouched — while still joining the merged campaign trace."""
+    import json
+
+    from repro.obs import ObsConfig
+    from repro.runner.hashing import config_hash
+
+    configs = FIG4_GRID[:2]
+    cache_dir = tmp_path / "cache"
+    obs = ObsConfig(trace_path=str(tmp_path / "merged.trace.json"))
+    first = run_campaign(configs, cache_dir=cache_dir, observe=obs)
+    assert first.executed == 2
+
+    obs_dir = cache_dir / "obs"
+    point_files = sorted(obs_dir.glob("*.trace.json"))
+    assert len(point_files) == len(configs)
+    before = {p: (p.stat().st_mtime_ns, p.read_bytes()) for p in point_files}
+
+    resumed = run_campaign(configs, cache_dir=cache_dir, observe=obs)
+    assert resumed.cache_hits == 2 and resumed.executed == 0
+    after = {p: (p.stat().st_mtime_ns, p.read_bytes()) for p in point_files}
+    assert after == before  # not rewritten, not even touched
+
+    # The merged trace still covers both (cached) points ...
+    merged = json.loads((tmp_path / "merged.trace.json").read_text())
+    assert merged["otherData"]["points"] == 2
+    # ... and the merged metrics count them as cache hits.
+    assert resumed.artifacts["trace"] == obs.trace_path
+    for config in configs:
+        assert (obs_dir / f"{config_hash(config)}.trace.json").exists()

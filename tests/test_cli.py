@@ -83,6 +83,64 @@ def test_tiers_command_accepts_workers(capsys):
     assert "Tier 3" in out and "vs T0" in out
 
 
+def test_run_command_writes_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert main([
+        "run", "sort", "--size", "tiny", "--tier", "2",
+        "--trace-out", str(trace), "--metrics-json", str(metrics),
+        "--timeline",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace}" in out
+    assert f"metrics written to {metrics}" in out
+    assert "stage timeline" in out
+
+    payload = json.loads(trace.read_text())
+    assert payload["otherData"]["schema"] == "repro.obs.trace"
+    cats = {e.get("cat") for e in payload["traceEvents"]}
+    assert {"experiment", "job", "stage", "task"} <= cats
+
+    from repro.obs import load_metrics_json
+
+    registry = load_metrics_json(metrics)
+    assert registry.counter("scheduler.attempts_launched") > 0
+    assert registry.gauge("experiment.execution_time") > 0
+
+
+def test_run_command_observability_does_not_change_results(capsys):
+    argv = ["run", "sort", "--size", "tiny", "--tier", "2"]
+    assert main(argv) == 0
+    plain = capsys.readouterr().out
+    assert main(argv + ["--timeline"]) == 0
+    observed = capsys.readouterr().out
+    # Every result line (time, NVM counters, ...) is unchanged.
+    assert plain.strip() in observed
+
+
+def test_campaign_command_merges_observability(tmp_path, capsys):
+    import json
+
+    cache_dir = tmp_path / "cache"
+    trace = tmp_path / "campaign.trace.json"
+    metrics = tmp_path / "campaign.metrics.json"
+    assert main([
+        "campaign", "repartition", "--sizes", "tiny", "--tiers", "0", "2",
+        "--cache-dir", str(cache_dir), "--quiet",
+        "--trace-out", str(trace), "--metrics-json", str(metrics),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"merged trace written to {trace}" in out
+    assert f"merged metrics written to {metrics}" in out
+
+    payload = json.loads(trace.read_text())
+    assert payload["otherData"]["points"] == 2
+    merged = json.loads(metrics.read_text())
+    assert merged["counters"]["campaign.points_merged"] == 2.0
+
+
 def test_unified_shuffle_flag_speeds_up_shuffles():
     """The discussion-section engine extension must help, not hurt."""
     from repro.spark.conf import SparkConf

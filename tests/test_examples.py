@@ -60,6 +60,46 @@ def test_fault_tolerance():
     assert "identical result" in out
 
 
+def test_observability(tmp_path):
+    import json
+    import os
+
+    # Run from tmp_path: the example writes its artifacts into cwd.
+    # PYTHONPATH must be absolute since cwd is no longer the repo root.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(EXAMPLES.parent / "src")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "observability.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=tmp_path,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    out = result.stdout
+    assert "bit-identical to the unobserved run" in out
+    assert "stage timeline" in out
+    assert "scheduler.attempts_launched" in out
+
+    trace = json.loads((tmp_path / "obs-trace.json").read_text())
+    assert trace["otherData"]["schema"] == "repro.obs.trace"
+    spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    assert {e["cat"] for e in spans} >= {"experiment", "job", "stage", "task"}
+    # Perfetto-loadable nesting: every parent a span references exists
+    # and encloses its child's interval.
+    by_id = {e["args"]["span_id"]: e for e in spans}
+    for event in spans:
+        parent_id = event["args"]["parent_id"]
+        if parent_id is not None:
+            parent = by_id[parent_id]
+            assert parent["ts"] <= event["ts"]
+            assert event["ts"] + event["dur"] <= (
+                parent["ts"] + parent["dur"] + 1e-6
+            )
+    assert (tmp_path / "obs-metrics.json").exists()
+
+
 def test_examples_all_have_docstrings_and_main():
     for script in EXAMPLES.glob("*.py"):
         text = script.read_text(encoding="utf-8")
