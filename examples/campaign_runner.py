@@ -19,7 +19,7 @@ Run:  python examples/campaign_runner.py
 import tempfile
 import time
 
-from repro import api
+from repro import RunOptions, api
 from repro.analysis.resultstore import result_to_dict
 from repro.units import fmt_time
 
@@ -43,8 +43,9 @@ def main() -> None:
     print(f"serial   : {serial.summary()} ({serial_wall:.2f}s wall)")
 
     with tempfile.TemporaryDirectory() as cache_dir:
+        options = RunOptions(workers=4, cache_dir=cache_dir)
         started = time.perf_counter()
-        parallel = api.campaign(GRID, workers=4, cache_dir=cache_dir)
+        parallel = api.campaign(GRID, options=options)
         parallel_wall = time.perf_counter() - started
         print(f"parallel : {parallel.summary()} ({parallel_wall:.2f}s wall)")
 
@@ -54,7 +55,7 @@ def main() -> None:
         print(f"\n4-worker results value-identical to serial: {identical}")
         assert identical
 
-        resumed = api.campaign(GRID, workers=4, cache_dir=cache_dir)
+        resumed = api.campaign(GRID, options=options)
         print(
             f"re-run   : {resumed.summary()}  "
             f"<- 0 executed, all {resumed.cache_hits} from cache"

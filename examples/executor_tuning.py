@@ -11,7 +11,7 @@ Run:  python examples/executor_tuning.py [workload] [size] [workers]
 
 import sys
 
-from repro import api
+from repro import RunOptions, api
 from repro.analysis.heatmap import format_heatmap
 from repro.core.sweeps import executor_core_sweep
 from repro.units import fmt_time
@@ -30,7 +30,7 @@ def tune(workload: str, size: str, workers: int | None = None) -> None:
         api.config(workload=workload, size=size, tier=2),
         executors=executors,
         cores=cores,
-        workers=workers,
+        options=RunOptions(workers=workers),
     )
 
     values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The async experiment service: many clients, one shared pool.
+
+Three concurrent "clients" (asyncio tasks) submit a burst of
+experiments to one :class:`repro.service.ExperimentService` — including
+duplicates, a mix of priorities, and more work than the pool can start
+at once.  The service:
+
+- **coalesces** duplicate submissions onto one in-flight execution
+  (every duplicate caller gets the *same* result object);
+- schedules by **priority, then fair share** across clients;
+- streams per-job **events** (queued → started → done);
+- answers instantly from the **result cache** on resubmission;
+- applies **backpressure**: the queue is bounded at 4, and a rejected
+  submission surfaces as an explicit ``QueueFullError`` (here the bound
+  is never hit — coalescing absorbs the duplicate half of the burst,
+  which is the point: dedup *is* load shedding).
+
+Everything stays bit-identical to ``api.run`` — the service changes
+*when* work runs, never what it computes.
+
+Run:  python examples/experiment_service.py
+"""
+
+import asyncio
+import tempfile
+
+from repro import RunOptions, api
+from repro.service import ExperimentService, QueueFullError
+from repro.units import fmt_time
+
+#: Four distinct points; clients below submit eight jobs over them, so
+#: half the burst is duplicates the service never recomputes.
+POINTS = [
+    api.config("sort", size="tiny", tier=tier, mba_percent=mba)
+    for tier in (0, 2)
+    for mba in (50, 100)
+]
+
+
+async def client(service, name, submissions, log):
+    """One submitter: fire everything, then await the results."""
+    jobs = []
+    for config, priority in submissions:
+        try:
+            job = await service.submit(config, client=name, priority=priority)
+        except QueueFullError as exc:
+            log.append(f"  [{name}] rejected (backpressure): {exc}")
+            continue
+        jobs.append(job)
+    results = []
+    for job in jobs:
+        result = await job.result()
+        events = " -> ".join(e.kind for e in job.event_log)
+        log.append(
+            f"  [{name}] {job.config.describe()}  status={job.status:9s} "
+            f"events: {events}"
+        )
+        results.append((job, result))
+    return results
+
+
+async def main_async() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        options = RunOptions(cache_dir=cache_dir)
+        async with ExperimentService(
+            options, max_queue=4, heartbeat=0
+        ) as service:
+            print("burst: 3 clients x 8 jobs over 4 distinct configs\n")
+            log: list[str] = []
+            outcomes = await asyncio.gather(
+                client(service, "alice",
+                       [(POINTS[0], 0), (POINTS[1], 0), (POINTS[2], 0)], log),
+                client(service, "bob",
+                       [(POINTS[0], 5), (POINTS[1], 0), (POINTS[3], 0)], log),
+                client(service, "carol",
+                       [(POINTS[0], 0), (POINTS[2], 0)], log),
+            )
+            print("\n".join(sorted(log)))
+
+            summary = service.summary()
+            print(
+                f"\nsubmitted={int(summary['submitted'])} "
+                f"completed={int(summary['completed'])} "
+                f"coalesce_hits={int(summary['coalesce_hits'])} "
+                f"rejected={int(summary['rejected_queue_full'])}"
+            )
+
+            # Duplicates shared one execution AND one result object.
+            by_key = {}
+            for job, result in (pair for out in outcomes for pair in out):
+                by_key.setdefault(job.key, []).append(result)
+            shared = all(
+                all(r is results[0] for r in results)
+                for results in by_key.values()
+            )
+            print(f"duplicate submissions share one result object: {shared}")
+            assert shared
+
+            # And the service is bit-identical to direct execution.
+            job_result = await service.run(POINTS[0])
+            direct = api.run(POINTS[0])
+            identical = job_result.execution_time == direct.execution_time
+            print(
+                f"bit-identical to api.run: {identical} "
+                f"({fmt_time(direct.execution_time)})"
+            )
+            assert identical
+
+            # Resubmission after completion: instant cache answer.
+            cached = await service.submit(POINTS[1])
+            await cached.result()
+            print(f"resubmitted point resolved from cache: "
+                  f"{cached.status == 'cached'}")
+
+        print("\ndrained: every admitted job resolved before shutdown")
+
+
+def main() -> None:
+    asyncio.run(main_async())
+
+
+if __name__ == "__main__":
+    main()

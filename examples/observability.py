@@ -16,7 +16,7 @@ changes a simulated value, then exports the observed run's artifacts:
 Run:  python examples/observability.py
 """
 
-from repro import api
+from repro import RunOptions, api
 from repro.obs import ObsConfig, Observer, load_metrics_json
 
 
@@ -33,7 +33,7 @@ def main() -> None:
         trace_path="obs-trace.json",
         metrics_path="obs-metrics.json",
     ))
-    observed = api.run(config, observe=observer)
+    observed = api.run(config, options=RunOptions(observe=observer))
 
     assert observed.execution_time == plain.execution_time, \
         "observation must never perturb the simulation"

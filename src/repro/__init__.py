@@ -35,19 +35,21 @@ Subpackages
 ``repro.telemetry``   ipmctl / RAPL / perf-event emulation
 ``repro.core``        characterization, sweeps, correlation, prediction
 ``repro.runner``      parallel cached campaign execution
+``repro.service``     async experiment service (coalescing, priorities)
 ``repro.obs``         span tracing, metrics registry, Chrome-trace export
 ``repro.analysis``    stats, tables, text figures, result stores
 """
 
 from repro import api
-from repro.api import campaign, run, sweep
+from repro.api import Session, campaign, config, run, sweep
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.obs import ObsConfig, Observer
+from repro.options import RunOptions
 from repro.runner.campaign import CampaignReport, CampaignRunner
 from repro.spark.conf import SparkConf
 from repro.spark.context import SparkContext
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CampaignReport",
@@ -56,11 +58,14 @@ __all__ = [
     "ExperimentResult",
     "ObsConfig",
     "Observer",
+    "RunOptions",
+    "Session",
     "SparkConf",
     "SparkContext",
     "__version__",
     "api",
     "campaign",
+    "config",
     "run",
     "run_experiment",
     "sweep",

@@ -15,15 +15,22 @@ Commands
 ``campaign WORKLOAD [WORKLOAD ...]``
     Run the cross-product of workloads × sizes × tiers (× executors ×
     cores × MBA levels) through the parallel cached campaign runner.
+``serve`` / ``submit WORKLOAD``
+    Long-lived async experiment service (:mod:`repro.service`) and its
+    client: ``serve`` multiplexes submissions from many concurrent
+    clients onto one shared pool (coalescing duplicates, priority +
+    fair-share scheduling, bounded queues); ``submit --connect
+    HOST:PORT`` sends one configuration and streams its job events.
 ``list``
     List the registered workloads and their size profiles.
 
-Sweep commands accept ``--workers N`` to fan points across a process
-pool and ``--cache-dir DIR`` to reuse a content-addressed result cache;
-``campaign --resume`` continues an interrupted campaign from its cache.
-By default sweeps compute each workload once and replay its captured
-trace at every other tier/MBA/socket point (bit-identical, much
-faster); ``--no-reuse-traces`` forces full simulation of every point.
+Execution flags are *generated* from :class:`repro.RunOptions`
+(``--workers``, ``--cache-dir``, ``--trace-dir``,
+``--resume/--no-resume``, ``--reuse-traces/--no-reuse-traces``, ...),
+so the CLI surface cannot drift from the API surface.  By default
+sweeps compute each workload once and replay its captured trace at
+every other tier/MBA/socket point (bit-identical, much faster);
+``--no-reuse-traces`` forces full simulation of every point.
 
 Observability (:mod:`repro.obs`): ``run --trace-out trace.json`` writes
 a Chrome/Perfetto span trace, ``--metrics-json`` the unified metrics
@@ -43,6 +50,7 @@ from repro.analysis.tables import format_table
 from repro.core.experiment import ExperimentConfig
 from repro.core.microbench import measure_tier_specs
 from repro.core.sweeps import executor_core_sweep, mba_sweep
+from repro.options import RunOptions, add_options_args, options_from_args
 from repro.units import fmt_time
 from repro.workloads import WORKLOAD_NAMES, get_workload
 from repro.workloads.base import SIZE_ORDER
@@ -105,26 +113,7 @@ def _build_observer(args: argparse.Namespace):
     )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        workload=args.workload,
-        size=args.size,
-        tier=args.tier,
-        num_executors=args.executors,
-        executor_cores=args.cores,
-        mba_percent=args.mba,
-        faults=_build_faults(args),
-        speculation=args.speculate,
-    )
-    observer = _build_observer(args)
-    prof = None
-    if args.profile or args.profile_json:
-        from repro import perf
-
-        with perf.profile() as prof:
-            result = api.run(config, observe=observer)
-    else:
-        result = api.run(config, observe=observer)
+def _print_result(config: ExperimentConfig, result) -> None:
     print(f"configuration : {config.describe()}")
     print(f"verified      : {result.verified}")
     print(f"execution time: {fmt_time(result.execution_time)}")
@@ -137,6 +126,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("fault tolerance:")
         for key, value in sorted(result.mitigation.items()):
             print(f"  {key:20s}: {int(value)}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        workload=args.workload,
+        size=args.size,
+        tier=args.tier,
+        num_executors=args.executors,
+        executor_cores=args.cores,
+        mba_percent=args.mba,
+        faults=_build_faults(args),
+        speculation=args.speculate,
+    )
+    observer = _build_observer(args)
+    options = RunOptions(observe=observer)
+    prof = None
+    if args.profile or args.profile_json:
+        from repro import perf
+
+        with perf.profile() as prof:
+            result = api.run(config, options=options)
+    else:
+        result = api.run(config, options=options)
+    _print_result(config, result)
     if observer is not None:
         if observer.config.timeline:
             print()
@@ -159,8 +172,7 @@ def _cmd_tiers(args: argparse.Namespace) -> int:
     base_config = ExperimentConfig(workload=args.workload, size=args.size)
     results = api.sweep(
         base_config, axis="tier", values=range(4),
-        workers=args.workers, cache_dir=args.cache_dir,
-        reuse_traces=args.reuse_traces,
+        options=options_from_args(args),
     )
     rows = []
     base = None
@@ -184,8 +196,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     grid = executor_core_sweep(
         ExperimentConfig(workload=args.workload, size=args.size, tier=args.tier),
         executors=executors, cores=cores,
-        workers=args.workers, cache_dir=args.cache_dir,
-        reuse_traces=args.reuse_traces,
+        options=options_from_args(args),
     )
     values = {(e, c): grid.speedup(e, c) for e in executors for c in cores}
     print(format_heatmap(
@@ -199,8 +210,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 def _cmd_mba(args: argparse.Namespace) -> int:
     sweep = mba_sweep(
         ExperimentConfig(workload=args.workload, size=args.size, tier=args.tier),
-        workers=args.workers, cache_dir=args.cache_dir,
-        reuse_traces=args.reuse_traces,
+        options=options_from_args(args),
     )
     rows = [[f"{level}%", fmt_time(time)] for level, time in sorted(sweep.times.items())]
     print(format_table(
@@ -235,12 +245,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     report = api.campaign(
         configs,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        resume=args.resume,
+        options=options_from_args(args, observe=observe),
         progress=_progress_printer(args),
-        reuse_traces=args.reuse_traces,
-        observe=observe,
     )
     rows = [
         [
@@ -266,6 +272,83 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for point in report.failures:
         print(f"FAILED {point.config.describe()}: {point.error}", file=sys.stderr)
     return 1 if report.failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async experiment service until a client sends ``shutdown``."""
+    import asyncio
+
+    from repro.service import ExperimentService, serve
+
+    service = ExperimentService(
+        options_from_args(args, observe=_build_observer(args)),
+        max_queue=args.max_queue,
+        max_inflight_per_client=args.max_inflight,
+        heartbeat=args.heartbeat,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(serve(service, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    summary = service.summary()
+    for key in ("submitted", "completed", "failed", "cancelled",
+                "coalesce_hits", "cache_hits"):
+        print(f"{key:13s}: {int(summary[key])}")
+    if args.service_metrics:
+        service.export_metrics(args.service_metrics)
+        print(f"service metrics written to {args.service_metrics}")
+    if service.observer is not None:
+        for kind, path in sorted(
+            service.observer.export({"label": "service"}).items()
+        ):
+            print(f"{kind} written to {path}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one configuration to a running ``repro serve`` instance."""
+    from repro.service import RemoteJobFailed, ServiceError, submit_and_stream
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    config = ExperimentConfig(
+        workload=args.workload,
+        size=args.size,
+        tier=args.tier,
+        num_executors=args.executors,
+        executor_cores=args.cores,
+        mba_percent=args.mba,
+    )
+
+    def on_event(event: dict) -> None:
+        if not args.quiet:
+            kind = event.get("event")
+            detail = {
+                k: v for k, v in event.items()
+                if k not in ("event", "job", "time", "result")
+            }
+            print(f"[job {event.get('job')}] {kind} {detail}", file=sys.stderr)
+
+    try:
+        result = submit_and_stream(
+            host, int(port), config,
+            client=args.client, priority=args.priority, on_event=on_event,
+        )
+    except ConnectionError as exc:
+        print(f"connection failed: {exc}", file=sys.stderr)
+        return 2
+    except (RemoteJobFailed, ServiceError) as exc:
+        print(f"submission failed: {exc}", file=sys.stderr)
+        return 1
+    _print_result(config, result)
+    return 0 if result.verified else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -345,15 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
         return p
 
     def with_runner(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
-        p.add_argument("--workers", type=int, default=None,
-                       help="process-pool width (default: serial)")
-        p.add_argument("--cache-dir", default=None,
-                       help="content-addressed result cache directory")
-        p.add_argument("--no-reuse-traces", dest="reuse_traces",
-                       action="store_false",
-                       help="simulate every point in full instead of "
-                            "replaying captured workload traces")
-        return p
+        # Execution flags are generated from the RunOptions fields, so the
+        # CLI cannot drift from the API surface (--priority only means
+        # something to the service, so local commands drop it).
+        return add_options_args(p, exclude=("priority",))
 
     run_parser = with_workload(sub.add_parser("run", help="run one configuration"))
     run_parser.add_argument("--executors", type=int, default=1)
@@ -414,11 +492,6 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--executors", nargs="+", type=int, default=[1])
     campaign_parser.add_argument("--cores", nargs="+", type=int, default=[40])
     campaign_parser.add_argument("--mba-levels", nargs="+", type=int, default=[100])
-    campaign_parser.add_argument(
-        "--resume", action="store_true",
-        help="reuse results already in --cache-dir (continue an "
-             "interrupted campaign); default clears the cache first",
-    )
     campaign_parser.add_argument("--quiet", action="store_true",
                                  help="suppress progress lines on stderr")
     campaign_parser.add_argument("--trace-out", default=None, metavar="PATH",
@@ -428,6 +501,51 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="merge per-point metrics into one flat "
                                       "campaign metrics JSON")
     with_runner(campaign_parser).set_defaults(fn=_cmd_campaign)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the async experiment service (repro.service) over TCP",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="0 picks an ephemeral port (printed "
+                                   "as 'serving on HOST:PORT')")
+    serve_parser.add_argument("--max-queue", type=int, default=64,
+                              help="admission bound on queued jobs; "
+                                   "beyond it submissions are rejected")
+    serve_parser.add_argument("--max-inflight", type=int, default=16,
+                              help="per-client in-flight job cap")
+    serve_parser.add_argument("--heartbeat", type=float, default=0.5,
+                              help="seconds between progress events for "
+                                   "running jobs (0 disables)")
+    serve_parser.add_argument("--service-metrics", default=None, metavar="PATH",
+                              help="write the service metrics registry as "
+                                   "JSON on shutdown")
+    serve_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                              help="write per-job spans as a Chrome/Perfetto "
+                                   "trace.json on shutdown")
+    serve_parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                              help="write the observer metrics registry as "
+                                   "flat JSON on shutdown")
+    add_options_args(serve_parser).set_defaults(fn=_cmd_serve)
+
+    submit_parser = with_workload(
+        sub.add_parser("submit", help="submit one configuration to a "
+                                      "running 'repro serve'")
+    )
+    submit_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                               help="address printed by 'repro serve'")
+    submit_parser.add_argument("--executors", type=int, default=1)
+    submit_parser.add_argument("--cores", type=int, default=40)
+    submit_parser.add_argument("--mba", type=int, default=100)
+    submit_parser.add_argument("--client", default="cli",
+                               help="client name for fair-share scheduling "
+                                    "and the per-client in-flight cap")
+    submit_parser.add_argument("--priority", type=int, default=None,
+                               help="scheduling priority (higher runs first)")
+    submit_parser.add_argument("--quiet", action="store_true",
+                               help="suppress job event lines on stderr")
+    submit_parser.set_defaults(fn=_cmd_submit)
 
     report_parser = sub.add_parser(
         "report", help="generate a markdown characterization report"

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.experiment import ExperimentConfig
+from repro.options import RunOptions
 from repro.runner.campaign import CampaignReport, CampaignRunner, run_campaign
 
 #: The MBA levels the paper sweeps (Intel hardware steps).
@@ -70,12 +71,15 @@ def _run_points(
     cache_dir: str | Path | None,
     runner: CampaignRunner | None,
     reuse_traces: bool = True,
+    options: RunOptions | None = None,
 ) -> CampaignReport:
     """Submit a sweep's points; sweeps are all-or-nothing, so any point
     failure propagates (campaign callers wanting isolation use
     :mod:`repro.runner` directly)."""
     if runner is not None:
         report = runner.run(configs)
+    elif options is not None:
+        report = run_campaign(configs, options=options)
     else:
         report = run_campaign(
             configs,
@@ -115,15 +119,19 @@ def mba_sweep(
     cache_dir: str | Path | None = None,
     runner: CampaignRunner | None = None,
     reuse_traces: bool = True,
+    options: RunOptions | None = None,
 ) -> MbaSweep:
     """Fig. 3: run one base configuration under each bandwidth cap.
 
     MBA levels only throttle device bandwidth, so with ``reuse_traces``
     the workload computes once and the other levels replay its trace.
+    ``options`` (a :class:`repro.RunOptions`) supersedes the individual
+    execution keywords when given.
     """
     resolved = _resolve_base(base, size, tier)
     configs = [replace(resolved, mba_percent=level) for level in levels]
-    report = _run_points(configs, workers, cache_dir, runner, reuse_traces)
+    report = _run_points(configs, workers, cache_dir, runner, reuse_traces,
+                         options)
     sweep = MbaSweep(
         workload=resolved.workload,
         size=resolved.size,
@@ -184,12 +192,14 @@ def executor_core_sweep(
     cache_dir: str | Path | None = None,
     runner: CampaignRunner | None = None,
     reuse_traces: bool = True,
+    options: RunOptions | None = None,
 ) -> ExecutorCoreGrid:
     """Fig. 4: sweep the executors × cores grid for one base config.
 
     Executor geometry changes behaviour (task placement, shuffle
     locality), so each grid cell is its own behaviour class — trace
     reuse helps here only when the same cells recur across tiers.
+    ``options`` supersedes the individual execution keywords when given.
     """
     resolved = _resolve_base(base, size, tier)
     grid = ExecutorCoreGrid(
@@ -208,7 +218,8 @@ def executor_core_sweep(
     if progress is not None:
         for config in configs:
             progress(config)
-    report = _run_points(configs, workers, cache_dir, runner, reuse_traces)
+    report = _run_points(configs, workers, cache_dir, runner, reuse_traces,
+                         options)
     for cell, result in zip(ordered, report.results):
         grid.times[cell] = result.execution_time
     return grid

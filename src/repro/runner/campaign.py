@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.options import RunOptions
 from repro.runner.cache import ResultCache
 from repro.runner.hashing import config_hash
 
@@ -312,7 +313,18 @@ class CampaignRunner:
         reuse_traces: bool = True,
         trace_dir: str | Path | None = None,
         observe: t.Any = None,
+        options: RunOptions | None = None,
     ) -> None:
+        if options is not None:
+            # One RunOptions overrides the individual knobs — the path
+            # api.sweep/campaign and Session take (docs/API.md).
+            kw = options.runner_kwargs()
+            workers = kw["workers"]
+            cache_dir = kw["cache_dir"]
+            resume = kw["resume"]
+            reuse_traces = kw["reuse_traces"]
+            trace_dir = kw["trace_dir"]
+            observe = kw["observe"]
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers or 0
@@ -614,6 +626,7 @@ def run_campaign(
     reuse_traces: bool = True,
     trace_dir: str | Path | None = None,
     observe: t.Any = None,
+    options: RunOptions | None = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(
@@ -624,5 +637,6 @@ def run_campaign(
         reuse_traces=reuse_traces,
         trace_dir=trace_dir,
         observe=observe,
+        options=options,
     )
     return runner.run(configs)

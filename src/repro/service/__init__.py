@@ -1,0 +1,67 @@
+"""``repro.service`` — the async experiment service.
+
+A long-lived :class:`ExperimentService` accepts experiment submissions
+from many concurrent clients and multiplexes them onto one shared
+worker pool, with:
+
+- **admission control & backpressure** — a bounded ready queue and a
+  per-client in-flight cap; rejected submissions raise
+  :class:`QueueFullError` / :class:`ClientLimitError` immediately;
+- **request coalescing** — submissions whose
+  :func:`~repro.runner.hashing.config_hash` matches an in-flight job
+  share its future (and its *identical* result object); cached points
+  resolve instantly;
+- **priority + fair-share scheduling** — higher priority first, ties
+  split fairly across clients, FIFO within a client; queued jobs can be
+  cancelled; :meth:`ExperimentService.drain` finishes admitted work and
+  rejects the rest;
+- **replay-aware dispatch** — the first job of a behaviour class
+  captures its workload trace, same-class jobs are held briefly and
+  then replay it (bit-identical, much faster);
+- **events & metrics** — per-job async event streams
+  (``queued → coalesced/started → progress → done/failed``) and a
+  :mod:`repro.obs` metrics registry (queue depth, coalesce hits,
+  wait/latency histograms) with optional span export.
+
+Entry points: ``async with ExperimentService(options) as service:``
+in-process, :class:`ServiceServer`/:func:`serve` over TCP (the CLI's
+``repro serve``), :class:`ServiceClient`/``repro submit`` from other
+processes, and :meth:`repro.api.Session.service`.  See docs/SERVICE.md.
+"""
+
+from repro.service.client import RemoteJobFailed, ServiceClient, submit_and_stream
+from repro.service.jobs import (
+    EVENT_KINDS,
+    TERMINAL_EVENTS,
+    TERMINAL_STATES,
+    ClientLimitError,
+    Job,
+    JobCancelledError,
+    JobEvent,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service.server import PROTOCOL_VERSION, ServiceServer, serve
+from repro.service.service import DEFAULT_CLIENT, ExperimentService
+
+__all__ = [
+    "DEFAULT_CLIENT",
+    "EVENT_KINDS",
+    "ExperimentService",
+    "Job",
+    "JobEvent",
+    "PROTOCOL_VERSION",
+    "ClientLimitError",
+    "JobCancelledError",
+    "QueueFullError",
+    "RemoteJobFailed",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceServer",
+    "TERMINAL_EVENTS",
+    "TERMINAL_STATES",
+    "serve",
+    "submit_and_stream",
+]

@@ -1,0 +1,204 @@
+"""JSON-lines TCP front end for an :class:`ExperimentService`.
+
+One request per line, one JSON object per line back.  ``submit``
+responses stream the job's whole event sequence; every other op is a
+single response object.  The protocol (versioned as
+:data:`PROTOCOL_VERSION`, full schema in docs/SERVICE.md):
+
+=============  =============================================================
+request                         response
+=============  =============================================================
+``hello``      ``{"ok": true, "protocol": 1, "service": {...summary}}``
+``submit``     ``{"ok": true, "job": id}`` then one line per
+               :class:`~repro.service.jobs.JobEvent`; the terminal
+               ``done`` line carries the serialized result.
+``status``     ``{"ok": true, "summary": {...}, "metrics": {...}}``
+``cancel``     ``{"ok": true, "cancelled": bool}``
+``drain``      ``{"ok": true, "drained": true}`` once all admitted work
+               has resolved (new submissions are rejected meanwhile).
+``shutdown``   drain + stop the server loop.
+=============  =============================================================
+
+Rejections are explicit backpressure signals, not broken connections:
+``{"ok": false, "error": "...", "kind": "queue_full" | "client_limit" |
+"closed" | "bad_request"}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import typing as t
+
+from repro.analysis.resultstore import config_from_dict, result_to_dict
+from repro.service.jobs import (
+    ClientLimitError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.service.service import ExperimentService
+
+#: Bumped on any incompatible change to the wire schema.
+PROTOCOL_VERSION = 1
+
+_REJECT_KINDS = (
+    (QueueFullError, "queue_full"),
+    (ClientLimitError, "client_limit"),
+    (ServiceClosedError, "closed"),
+)
+
+
+class ServiceServer:
+    """Serve one :class:`ExperimentService` over a TCP socket."""
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)`` (the
+        port is the OS choice when constructed with ``port=0``)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request arrives, then drain + stop."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.shutdown(drain=True)
+
+    # ---------------------------------------------------------------- handlers
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await self._send(writer, ok=False, error=str(exc),
+                                     kind="bad_request")
+                    continue
+                stop = await self._handle_request(request, writer)
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # client vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, request: dict[str, t.Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        op = request.get("op")
+        if op == "hello":
+            await self._send(writer, ok=True, protocol=PROTOCOL_VERSION,
+                             service=self.service.summary())
+        elif op == "submit":
+            await self._handle_submit(request, writer)
+        elif op == "status":
+            await self._send(
+                writer,
+                ok=True,
+                summary=self.service.summary(),
+                metrics=self.service.metrics.to_dict(),
+            )
+        elif op == "cancel":
+            job = self.service.jobs.get(int(request.get("job", -1)))
+            cancelled = job.cancel() if job is not None else False
+            await self._send(writer, ok=True, cancelled=cancelled)
+        elif op == "drain":
+            await self.service.drain()
+            await self._send(writer, ok=True, drained=True)
+        elif op == "shutdown":
+            await self.service.drain()
+            await self._send(writer, ok=True, drained=True, stopping=True)
+            self._shutdown.set()
+            return True
+        else:
+            await self._send(writer, ok=False, kind="bad_request",
+                             error=f"unknown op {op!r}")
+        return False
+
+    async def _handle_submit(
+        self, request: dict[str, t.Any], writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            config = config_from_dict(request["config"])
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            await self._send(writer, ok=False, kind="bad_request",
+                             error=f"bad config: {exc}")
+            return
+        priority = request.get("priority")
+        client = str(request.get("client", "remote"))
+        try:
+            job = await self.service.submit(
+                config,
+                client=client,
+                priority=None if priority is None else int(priority),
+            )
+        except tuple(exc for exc, _ in _REJECT_KINDS) as exc:
+            kind = next(k for cls, k in _REJECT_KINDS if isinstance(exc, cls))
+            await self._send(writer, ok=False, kind=kind, error=str(exc))
+            return
+        await self._send(writer, ok=True, job=job.id, key=job.key)
+        async for event in job.events():
+            payload = event.to_dict()
+            if event.kind == "done":
+                result = job.future.result()
+                payload["result"] = result_to_dict(result)
+            await self._send(writer, **payload)
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, **payload: t.Any) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+async def serve(
+    service: ExperimentService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: t.Callable[[str, int], None] | None = None,
+) -> None:
+    """Start a :class:`ServiceServer` and run it until ``shutdown``.
+
+    ``ready`` is invoked with the bound address once listening (the CLI
+    prints it; tests grab the ephemeral port from it).
+    """
+    server = ServiceServer(service, host, port)
+    bound_host, bound_port = await server.start()
+    if ready is not None:
+        ready(bound_host, bound_port)
+    await server.serve_until_shutdown()

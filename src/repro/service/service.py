@@ -1,0 +1,673 @@
+"""The asyncio experiment service.
+
+One :class:`ExperimentService` multiplexes many concurrent submitters
+onto one shared worker pool — the long-lived form of the one-shot
+campaign runner.  Where a campaign plans a *known* point set up front
+(cache pass → dedup → capture wave → replay wave), the service makes
+the same decisions *online*, per submission:
+
+- **admission** — a bounded ready queue (``max_queue``) and a
+  per-client in-flight cap (``max_inflight_per_client``); a rejected
+  submission raises :class:`QueueFullError` / :class:`ClientLimitError`
+  immediately instead of queueing unboundedly;
+- **coalescing** — a submission whose
+  :func:`~repro.runner.hashing.config_hash` matches an in-flight job
+  attaches to that job's future (the campaign runner's ``_deduplicate``,
+  online); one whose hash is in the result cache resolves instantly;
+- **scheduling** — strict priority first, then fair share (the queued
+  client served least recently wins), then arrival order; replay-aware:
+  the first job of a behaviour class *captures* its trace while later
+  jobs of the class are held and then *replay* it (the campaign
+  runner's two-wave plan, online);
+- **events & observability** — every job streams
+  ``queued → coalesced/started → progress → done/failed`` events, and
+  the service keeps a :class:`~repro.obs.MetricsRegistry` (queue depth,
+  coalesce hits, wait/latency histograms) plus per-job spans on an
+  optional :class:`~repro.obs.Observer`.
+
+Results are bit-identical to ``api.run`` for the same config: jobs
+execute through the same worker entry point as campaign points
+(:func:`repro.runner.campaign._execute_point`), and the scheduler only
+ever changes *when* work runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import tempfile
+import time
+import typing as t
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import count
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig
+from repro.options import RunOptions
+from repro.runner.campaign import _coerce_obs_config, _execute_point
+from repro.runner.cache import ResultCache
+from repro.runner.hashing import config_hash
+from repro.service.jobs import (
+    CANCELLED,
+    COALESCED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    ClientLimitError,
+    Job,
+    JobCancelledError,
+    QueueFullError,
+    ServiceClosedError,
+)
+
+#: A client name used when submitters do not identify themselves.
+DEFAULT_CLIENT = "default"
+
+
+class ExperimentService:
+    """Long-lived async front end over one shared experiment pool.
+
+    Parameters
+    ----------
+    options:
+        The :class:`repro.RunOptions` every job executes under —
+        ``workers`` sizes the shared pool, ``cache_dir`` backs instant
+        answers for already-computed points, ``reuse_traces`` /
+        ``trace_dir`` enable capture-lead/replay-follow scheduling,
+        ``observe`` adds per-job spans and artifact export, and
+        ``priority`` is the default submission priority.
+    max_queue:
+        Backpressure bound on jobs admitted but not yet running.
+        Submissions beyond it raise :class:`QueueFullError`.
+    max_inflight_per_client:
+        Per-client bound on non-terminal jobs (queued, running *and*
+        coalesced); beyond it submissions raise
+        :class:`ClientLimitError`.
+    heartbeat:
+        Seconds between ``progress`` events for running jobs
+        (``0`` disables the heartbeat task).
+    execute:
+        Worker entry point override for tests: a callable
+        ``(config, trace_root, obs_dir) -> (result, status)``.  The
+        default is the campaign runner's ``_execute_point`` — the
+        bit-identity guarantee.  Overrides require a serial/thread pool
+        unless picklable.
+
+    Lifecycle: ``await service.start()`` … ``await service.shutdown()``,
+    or ``async with ExperimentService(...) as service:`` which drains
+    gracefully on exit.
+    """
+
+    def __init__(
+        self,
+        options: RunOptions | None = None,
+        *,
+        max_queue: int = 64,
+        max_inflight_per_client: int = 16,
+        heartbeat: float = 0.5,
+        execute: t.Callable[..., t.Any] | None = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_inflight_per_client < 1:
+            raise ValueError("max_inflight_per_client must be >= 1")
+        self.options = options if options is not None else RunOptions()
+        self.max_queue = max_queue
+        self.max_inflight_per_client = max_inflight_per_client
+        self.heartbeat = heartbeat
+        self._execute = execute if execute is not None else _execute_point
+        #: Span timestamps are offsets from service construction, so
+        #: exported traces start near zero.
+        self._t0 = time.monotonic()
+        self._started = False
+        self._closed = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: Executor | None = None
+        self._slots = max(1, self.options.workers or 1)
+        self._job_ids = count(1)
+        self._seq = count()
+        self._dispatch_seq = count()
+        # Scheduling state -----------------------------------------------------
+        #: client → heap of (-priority, seq, job) — best job first.
+        self._ready: dict[str, list[tuple[int, int, Job]]] = {}
+        #: client → dispatch counter of its most recent dispatch.
+        self._last_served: dict[str, int] = {}
+        self._running: set[Job] = set()
+        #: config_hash → in-flight primary (coalescing identity map).
+        self._primary: dict[str, Job] = {}
+        #: trace_key → job currently capturing that behaviour class.
+        self._capturing: dict[str, Job] = {}
+        #: trace_key → jobs held until the capture lands.
+        self._held: dict[str, list[Job]] = {}
+        #: every non-terminal job (drain waits for this to empty).
+        self._active: set[Job] = set()
+        self.jobs: dict[int, Job] = {}
+        self._state_changed: asyncio.Event | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        # Execution resources --------------------------------------------------
+        self._cache: ResultCache | None = None
+        self._trace_tmp: tempfile.TemporaryDirectory | None = None
+        self._trace_root: Path | None = None
+        self._obs_tmp: tempfile.TemporaryDirectory | None = None
+        self._obs_dir: Path | None = None
+        # Observability --------------------------------------------------------
+        from repro.obs import MetricsRegistry, Observer
+
+        obs_config = _coerce_obs_config(self.options.observe)
+        self.observer: "Observer | None" = (
+            Observer(obs_config) if obs_config is not None else None
+        )
+        #: Always-on service metrics (the observer's registry when
+        #: observation is enabled, a private one otherwise).
+        self.metrics: MetricsRegistry = (
+            self.observer.registry if self.observer else MetricsRegistry()
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self) -> "ExperimentService":
+        """Bind to the running loop and stand up the shared resources."""
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._state_changed = asyncio.Event()
+        workers = self.options.workers or 0
+        if workers > 1:
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+        else:
+            # Serial options still need the loop to stay responsive
+            # while an experiment runs, so "serial" means one worker
+            # thread, not in-loop execution.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-service"
+            )
+        if self.options.cache_dir is not None:
+            self._cache = ResultCache(self.options.cache_dir)
+            if self.options.resume:
+                self._cache.load()
+            else:
+                self._cache.clear()
+        if self.options.reuse_traces:
+            root = self.options.trace_root()
+            if root is None:
+                self._trace_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-service-traces-"
+                )
+                root = Path(self._trace_tmp.name)
+            self._trace_root = root
+        if self.observer is not None:
+            if self.observer.config.artifact_dir is not None:
+                self._obs_dir = Path(self.observer.config.artifact_dir)
+            elif self.options.cache_dir is not None:
+                self._obs_dir = Path(self.options.cache_dir) / "obs"
+            else:
+                self._obs_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-service-obs-"
+                )
+                self._obs_dir = Path(self._obs_tmp.name)
+        if self.heartbeat > 0:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+        self._started = True
+        self._closed = False
+        self._set_gauges()
+        return self
+
+    async def drain(self) -> None:
+        """Stop admitting; wait for every queued and running job.
+
+        After a drain the service holds no pending futures — each
+        admitted job has resolved (done, failed or cancelled) — and new
+        submissions raise :class:`ServiceClosedError`.
+        """
+        self._closed = True
+        assert self._state_changed is not None
+        while self._active:
+            await self._state_changed.wait()
+            self._state_changed.clear()
+
+    async def shutdown(
+        self, *, drain: bool = True, cancel_queued: bool = False
+    ) -> None:
+        """Tear the service down.
+
+        ``drain=True`` (default) finishes all admitted work first;
+        ``cancel_queued=True`` cancels jobs that have not started
+        instead of running them (running jobs always complete — a
+        process-pool slot cannot be reclaimed mid-experiment).
+        """
+        self._closed = True
+        if cancel_queued:
+            for job in list(self._active):
+                if job.state in (QUEUED, COALESCED):
+                    self._cancel_job(job)
+        if drain:
+            await self.drain()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for tmp in (self._trace_tmp, self._obs_tmp):
+            if tmp is not None:
+                tmp.cleanup()
+        self._trace_tmp = self._obs_tmp = None
+        self._started = False
+
+    async def __aenter__(self) -> "ExperimentService":
+        return await self.start()
+
+    async def __aexit__(self, *exc: t.Any) -> None:
+        await self.shutdown(drain=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ submit
+    async def submit(
+        self,
+        config: ExperimentConfig,
+        *,
+        client: str = DEFAULT_CLIENT,
+        priority: int | None = None,
+    ) -> Job:
+        """Admit one experiment; returns its :class:`Job` handle.
+
+        Raises :class:`ServiceClosedError` after :meth:`drain`,
+        :class:`ClientLimitError` when ``client`` is at its in-flight
+        cap, and :class:`QueueFullError` when the ready queue is at
+        ``max_queue``.  A submission matching an in-flight config
+        coalesces (consumes no queue slot); one matching the result
+        cache resolves immediately.
+        """
+        if not self._started:
+            await self.start()
+        if self._closed:
+            self.metrics.inc("service.rejected.closed")
+            raise ServiceClosedError("service is draining; no new submissions")
+        self.metrics.inc("service.submitted")
+        if priority is None:
+            priority = self.options.priority
+        if self._client_inflight(client) >= self.max_inflight_per_client:
+            self.metrics.inc("service.rejected.client_limit")
+            raise ClientLimitError(
+                f"client {client!r} already has "
+                f"{self.max_inflight_per_client} jobs in flight"
+            )
+        key = config_hash(config)
+        job = Job(
+            job_id=next(self._job_ids),
+            config=config,
+            key=key,
+            client=client,
+            priority=priority,
+            seq=next(self._seq),
+            service=self,
+        )
+        self.jobs[job.id] = job
+        primary = self._primary.get(key)
+        if primary is not None:
+            self._attach_follower(job, primary)
+            return job
+        cached = self._cache.get(config) if self._cache is not None else None
+        if cached is not None:
+            self.metrics.inc("service.cache_hits")
+            job._emit("queued", client=client, priority=priority, key=key)
+            self._resolve(job, cached, "cached")
+            return job
+        if self._queue_depth() >= self.max_queue:
+            self.metrics.inc("service.rejected.queue_full")
+            raise QueueFullError(
+                f"ready queue is at max_queue={self.max_queue}"
+            )
+        self._primary[key] = job
+        self._active.add(job)
+        heapq.heappush(
+            self._ready.setdefault(client, []), (-priority, job.seq, job)
+        )
+        job._emit(
+            "queued",
+            client=client,
+            priority=priority,
+            key=key,
+            position=self._queue_depth(),
+        )
+        self._set_gauges()
+        self._dispatch()
+        return job
+
+    async def run(
+        self,
+        config: ExperimentConfig,
+        *,
+        client: str = DEFAULT_CLIENT,
+        priority: int | None = None,
+    ) -> "t.Any":
+        """Submit and await in one call (the blocking-client shape)."""
+        job = await self.submit(config, client=client, priority=priority)
+        return await job.result()
+
+    # ------------------------------------------------------------------ queries
+    def summary(self) -> dict[str, float]:
+        """Point-in-time service counters (mirrors the metrics names)."""
+        get = self.metrics.counter
+        return {
+            "submitted": get("service.submitted"),
+            "completed": get("service.completed"),
+            "failed": get("service.failed"),
+            "cancelled": get("service.cancelled"),
+            "coalesce_hits": get("service.coalesce_hits"),
+            "cache_hits": get("service.cache_hits"),
+            "rejected_queue_full": get("service.rejected.queue_full"),
+            "rejected_client_limit": get("service.rejected.client_limit"),
+            "queued": float(self._queue_depth()),
+            "running": float(len(self._running)),
+            "active": float(len(self._active)),
+        }
+
+    def export_metrics(self, path: str | Path) -> None:
+        """Write the service metrics registry as flat JSON."""
+        from repro.obs import export_metrics_json
+
+        export_metrics_json(self.metrics, path, extra={"label": "service"})
+
+    # ------------------------------------------------------------------ internals
+    def _client_inflight(self, client: str) -> int:
+        return sum(job.client == client for job in self._active)
+
+    def _queue_depth(self) -> int:
+        return len(self._active) - len(self._running) - sum(
+            job.state == COALESCED for job in self._active
+        )
+
+    def _set_gauges(self) -> None:
+        self.metrics.set_gauge("service.queue_depth", self._queue_depth())
+        self.metrics.set_gauge("service.running", len(self._running))
+        self.metrics.set_gauge("service.active", len(self._active))
+
+    def _notify(self) -> None:
+        if self._state_changed is not None:
+            self._state_changed.set()
+
+    # -- coalescing ------------------------------------------------------------
+    def _attach_follower(self, job: Job, primary: Job) -> None:
+        while primary.primary is not None:  # collapse chains defensively
+            primary = primary.primary
+        job.state = COALESCED
+        job.primary = primary
+        primary.followers.append(job)
+        self._active.add(job)
+        self.metrics.inc("service.coalesce_hits")
+        job._emit("queued", client=job.client, priority=job.priority,
+                  key=job.key)
+        job._emit("coalesced", onto=primary.id, key=job.key)
+        self._set_gauges()
+
+    # -- scheduling ------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Fill free pool slots with the best eligible queued jobs."""
+        if self._executor is None:
+            return
+        while len(self._running) < self._slots:
+            job = self._pick()
+            if job is None:
+                return
+            self._start_job(job)
+
+    def _pick(self) -> Job | None:
+        """Highest priority; ties to the least-recently-served client;
+        FIFO within a client.  Jobs whose behaviour class is mid-capture
+        are held aside rather than occupying a slot to recompute work a
+        landing trace is about to make replayable."""
+        while True:
+            best_client: str | None = None
+            best_rank: tuple[int, int, int] | None = None
+            for client, heap in self._ready.items():
+                while heap and heap[0][2].state != QUEUED:
+                    heapq.heappop(heap)  # lazily drop cancelled entries
+                if not heap:
+                    continue
+                neg_priority, seq, _ = heap[0]
+                rank = (neg_priority, self._last_served.get(client, -1), seq)
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best_client = client
+            if best_client is None:
+                return None
+            job = heapq.heappop(self._ready[best_client])[2]
+            if not self._hold_for_capture(job):
+                return job
+
+    def _hold_for_capture(self, job: Job) -> bool:
+        """True if ``job`` must wait for an in-flight trace capture.
+
+        The online form of the campaign runner's two-wave plan: the
+        first job of a behaviour class captures while it runs; jobs of
+        the same class arriving before the capture lands are parked and
+        re-queued to replay it the moment it does.
+        """
+        if self._trace_root is None:
+            return False
+        from repro.trace import TraceStore, is_replayable_config, trace_key
+
+        replayable, _ = is_replayable_config(job.config)
+        if not replayable:
+            return False
+        tkey = trace_key(job.config)
+        capturing = self._capturing.get(tkey)
+        if capturing is not None and capturing is not job:
+            self._held.setdefault(tkey, []).append(job)
+            job._emit("progress", phase="awaiting-capture",
+                      capture_job=capturing.id)
+            return True
+        if not TraceStore(self._trace_root).exists(job.config):
+            self._capturing[tkey] = job
+        return False
+
+    def _release_capture(self, job: Job) -> None:
+        """Re-queue jobs that were parked behind ``job``'s capture."""
+        if self._trace_root is None:
+            return
+        from repro.trace import is_replayable_config, trace_key
+
+        replayable, _ = is_replayable_config(job.config)
+        if not replayable:
+            return
+        tkey = trace_key(job.config)
+        if self._capturing.get(tkey) is job:
+            del self._capturing[tkey]
+        for held in self._held.pop(tkey, []):
+            if held.state == QUEUED:
+                heapq.heappush(
+                    self._ready.setdefault(held.client, []),
+                    (-held.priority, held.seq, held),
+                )
+
+    def _start_job(self, job: Job) -> None:
+        assert self._loop is not None and self._executor is not None
+        job.state = RUNNING
+        job.started_at = time.monotonic()
+        self._running.add(job)
+        self._last_served[job.client] = next(self._dispatch_seq)
+        self.metrics.observe("service.queue_wait_s", job.queue_wait or 0.0)
+        job._emit("started", client=job.client,
+                  queue_wait_s=round(job.queue_wait or 0.0, 6))
+        trace_root = None if self._trace_root is None else str(self._trace_root)
+        obs_dir = None if self._obs_dir is None else str(self._obs_dir)
+        pool_future = self._loop.run_in_executor(
+            self._executor, self._execute, job.config, trace_root, obs_dir
+        )
+        asyncio.ensure_future(self._finish(job, pool_future))
+        self._set_gauges()
+
+    async def _finish(self, job: Job, pool_future: "asyncio.Future") -> None:
+        try:
+            result, status = await pool_future
+        except Exception as exc:  # noqa: BLE001 - per-job isolation
+            self._fail(job, exc)
+        else:
+            if self._cache is not None:
+                self._cache.put(job.config, result)
+            self._resolve(job, result, status)
+        finally:
+            self._running.discard(job)
+            self._release_capture(job)
+            self._set_gauges()
+            self._dispatch()
+            self._notify()
+
+    # -- completion ------------------------------------------------------------
+    def _resolve(self, job: Job, result: t.Any, status: str) -> None:
+        job.state = DONE
+        job.status = status
+        job.finished_at = time.monotonic()
+        self._primary.pop(job.key, None)
+        self._active.discard(job)
+        self.metrics.inc("service.completed")
+        self.metrics.inc(f"service.status.{status}")
+        if job.latency is not None:
+            self.metrics.observe("service.latency_s", job.latency)
+        if job.started_at is not None and job.finished_at is not None:
+            self.metrics.observe(
+                "service.exec_s", job.finished_at - job.started_at
+            )
+        job._emit("done", status=status,
+                  latency_s=round(job.latency or 0.0, 6))
+        if not job.future.done():
+            job.future.set_result(result)
+        self._emit_span(job)
+        for follower in job.followers:
+            if follower.state != COALESCED:
+                continue  # cancelled followers stay cancelled
+            follower.state = DONE
+            follower.status = "coalesced"
+            follower.finished_at = job.finished_at
+            self._active.discard(follower)
+            self.metrics.inc("service.completed")
+            self.metrics.inc("service.status.coalesced")
+            if follower.latency is not None:
+                self.metrics.observe("service.latency_s", follower.latency)
+            follower._emit("done", status="coalesced", onto=job.id,
+                           latency_s=round(follower.latency or 0.0, 6))
+            if not follower.future.done():
+                follower.future.set_result(result)
+            self._emit_span(follower)
+        job.followers.clear()
+        self._notify()
+
+    def _fail(self, job: Job, exc: BaseException) -> None:
+        job.state = FAILED
+        job.status = "failed"
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.finished_at = time.monotonic()
+        self._primary.pop(job.key, None)
+        self._active.discard(job)
+        self.metrics.inc("service.failed")
+        job._emit("failed", error=job.error)
+        if not job.future.done():
+            job.future.set_exception(exc)
+        self._emit_span(job)
+        for follower in job.followers:
+            if follower.state != COALESCED:
+                continue
+            follower.state = FAILED
+            follower.status = "failed"
+            follower.error = job.error
+            follower.finished_at = job.finished_at
+            self._active.discard(follower)
+            self.metrics.inc("service.failed")
+            follower._emit("failed", error=job.error, onto=job.id)
+            if not follower.future.done():
+                follower.future.set_exception(exc)
+            self._emit_span(follower)
+        job.followers.clear()
+        self._notify()
+
+    def _cancel_job(self, job: Job) -> bool:
+        if job.done:
+            return False
+        if job.state == RUNNING:
+            return False
+        if job.state == COALESCED:
+            if job.primary is not None and job in job.primary.followers:
+                job.primary.followers.remove(job)
+            self._terminate_cancelled(job)
+            return True
+        # Queued primary: a waiting follower (if any) inherits the slot
+        # so coalesced callers still get their result.
+        self._primary.pop(job.key, None)
+        promoted = next(
+            (f for f in job.followers if f.state == COALESCED), None
+        )
+        if promoted is not None:
+            job.followers.remove(promoted)
+            promoted.state = QUEUED
+            promoted.primary = None
+            promoted.followers = [
+                f for f in job.followers if f.state == COALESCED
+            ]
+            for follower in promoted.followers:
+                follower.primary = promoted
+            self._primary[promoted.key] = promoted
+            heapq.heappush(
+                self._ready.setdefault(promoted.client, []),
+                (-promoted.priority, promoted.seq, promoted),
+            )
+            promoted._emit("progress", phase="promoted",
+                           cancelled_primary=job.id)
+        job.followers = []
+        self._terminate_cancelled(job)
+        self._dispatch()
+        return True
+
+    def _terminate_cancelled(self, job: Job) -> None:
+        job.state = CANCELLED
+        job.status = "cancelled"
+        job.finished_at = time.monotonic()
+        self._active.discard(job)
+        self.metrics.inc("service.cancelled")
+        job._emit("cancelled")
+        if not job.future.done():
+            job.future.set_exception(
+                JobCancelledError(f"job {job.id} was cancelled")
+            )
+        self._emit_span(job)
+        self._set_gauges()
+        self._notify()
+
+    # -- observability ---------------------------------------------------------
+    def _emit_span(self, job: Job) -> None:
+        """Record one retrospective wall-clock span per finished job."""
+        if self.observer is None:
+            return
+        begin = job.submitted_at - self._t0
+        end = (
+            job.finished_at - self._t0
+            if job.finished_at is not None
+            else begin
+        )
+        self.observer.tracer.emit(
+            job.config.describe(),
+            cat="service.job",
+            begin=begin,
+            end=end,
+            parent=None,
+            track=f"client:{job.client}",
+            state=job.state,
+            status=job.status or "",
+            priority=job.priority,
+            client=job.client,
+            queue_wait_s=job.queue_wait or 0.0,
+        )
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat)
+            now = time.monotonic()
+            for job in list(self._running):
+                job._emit(
+                    "progress",
+                    phase="executing",
+                    elapsed_s=round(now - (job.started_at or now), 3),
+                )

@@ -1,0 +1,111 @@
+"""Property: N concurrent clients ≡ serial submission.
+
+Whatever interleaving of clients, priorities and duplicate configs the
+scheduler sees, every submitter must get exactly the result its config
+computes — coalescing, fair-share reordering and capture/replay may
+change *when* and *how often* work runs, never *what* a caller receives.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.options import RunOptions
+from repro.service import ExperimentService
+
+#: Small pool of distinct configs; duplicates across clients exercise
+#: coalescing under every generated interleaving.
+CONFIG_POOL = [
+    api.config("sort", size="tiny", tier=t, mba_percent=m)
+    for t in (0, 2)
+    for m in (50, 100)
+]
+
+
+def value_of(config) -> str:
+    return f"value:{config.describe()}"
+
+
+def stub_execute(config, trace_root, obs_dir):
+    return value_of(config), "executed"
+
+
+submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # client index
+        st.integers(min_value=0, max_value=len(CONFIG_POOL) - 1),
+        st.integers(min_value=0, max_value=5),  # priority
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def fresh_service() -> ExperimentService:
+    return ExperimentService(
+        RunOptions(reuse_traces=False),
+        heartbeat=0,
+        max_queue=64,
+        max_inflight_per_client=64,
+        execute=stub_execute,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(subs=submissions)
+def test_concurrent_clients_equivalent_to_serial(subs):
+    async def concurrent():
+        async with fresh_service() as service:
+            return await asyncio.gather(*(
+                service.run(
+                    CONFIG_POOL[c], client=f"client-{k}", priority=p
+                )
+                for k, c, p in subs
+            ))
+
+    async def serial():
+        async with fresh_service() as service:
+            results = []
+            for k, c, p in subs:
+                results.append(await service.run(
+                    CONFIG_POOL[c], client=f"client-{k}", priority=p
+                ))
+            return results
+
+    expected = [value_of(CONFIG_POOL[c]) for _, c, _ in subs]
+    assert asyncio.run(concurrent()) == expected
+    assert asyncio.run(serial()) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(subs=submissions)
+def test_every_submission_is_accounted_for(subs):
+    """completed == submitted after the dust settles; at most one
+    execution per distinct config is *required* only when submissions
+    overlap, but executions never exceed submissions."""
+
+    async def go():
+        async with fresh_service() as service:
+            jobs = [
+                await service.submit(
+                    CONFIG_POOL[c], client=f"client-{k}", priority=p
+                )
+                for k, c, p in subs
+            ]
+            for job in jobs:
+                await job.result()
+            return service, jobs
+
+    service, jobs = asyncio.run(go())
+    summary = service.summary()
+    assert summary["submitted"] == len(subs)
+    assert summary["completed"] == len(subs)
+    assert summary["failed"] == 0
+    assert summary["active"] == 0
+    executed = sum(job.status == "executed" for job in jobs)
+    coalesced = sum(job.status == "coalesced" for job in jobs)
+    assert executed + coalesced == len(jobs)
+    assert executed >= len({c for _, c, _ in subs}) if coalesced else True
+    assert summary["coalesce_hits"] == coalesced

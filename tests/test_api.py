@@ -68,9 +68,12 @@ def test_sweep_raises_on_point_failure():
 def test_campaign_smoke_with_cache(tmp_path):
     base = api.config(workload="repartition", size="tiny")
     configs = [base.with_options(tier=t) for t in (0, 2)]
-    report = api.campaign(configs, workers=2, cache_dir=tmp_path / "c")
+    # The legacy per-function keywords still work, with a deprecation nudge.
+    with pytest.warns(DeprecationWarning, match="options=RunOptions"):
+        report = api.campaign(configs, workers=2, cache_dir=tmp_path / "c")
     assert report.executed == 2 and not report.failures
-    rerun = api.campaign(configs, cache_dir=tmp_path / "c")
+    with pytest.warns(DeprecationWarning, match="options=RunOptions"):
+        rerun = api.campaign(configs, cache_dir=tmp_path / "c")
     assert rerun.executed == 0 and rerun.cache_hits == 2
 
 

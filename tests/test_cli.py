@@ -141,6 +141,99 @@ def test_campaign_command_merges_observability(tmp_path, capsys):
     assert merged["counters"]["campaign.points_merged"] == 2.0
 
 
+def test_serve_and_submit_round_trip(tmp_path, capsys):
+    """`repro serve` in a subprocess, `repro submit` in-process: the
+    full TCP path, including a cache hit on resubmission."""
+    import asyncio
+    import os
+    import re
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", str(tmp_path / "cache"),
+         "--service-metrics", str(tmp_path / "service-metrics.json")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.match(r"serving on (\S+):(\d+)", banner)
+        assert match, banner
+        host, port = match.group(1), int(match.group(2))
+
+        submit = ["submit", "sort", "--size", "tiny", "--tier", "1",
+                  "--connect", f"{host}:{port}", "--quiet"]
+        assert main(submit) == 0
+        first = capsys.readouterr().out
+        assert "verified      : True" in first
+        assert main(submit) == 0  # identical point: served from cache
+        assert "verified      : True" in capsys.readouterr().out
+
+        async def stop():
+            from repro.service import ServiceClient
+
+            async with ServiceClient(host, port) as client:
+                status = await client.status()
+                await client.shutdown_server()
+            return status
+
+        status = asyncio.run(stop())
+        assert status["summary"]["completed"] == 2
+        assert status["summary"]["cache_hits"] == 1
+        tail = proc.communicate(timeout=30)[0]
+        assert "completed    : 2" in tail
+        assert (tmp_path / "service-metrics.json").exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+
+def test_submit_rejects_bad_connect_address(capsys):
+    assert main(["submit", "sort", "--connect", "nonsense"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_generated_flags_match_run_options_fields():
+    """The CLI execution flags are generated from RunOptions — every
+    flaggable field must be accepted by every runner-backed command."""
+    from repro.options import OPTION_FIELDS
+
+    parser = build_parser()
+    flaggable = [f for f in OPTION_FIELDS if f not in ("observe", "priority")]
+    for command in ("tiers", "grid", "mba", "campaign"):
+        sub = next(
+            a for a in parser._subparsers._group_actions[0].choices.items()
+            if a[0] == command
+        )[1]
+        dests = {action.dest for action in sub._actions}
+        for field in flaggable:
+            assert field in dests, (command, field)
+
+
+def test_campaign_no_resume_clears_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["campaign", "repartition", "--sizes", "tiny", "--tiers", "0",
+            "--cache-dir", cache_dir, "--quiet"]
+    assert main(args) == 0
+    capsys.readouterr()
+    # resume is now the default: the second run is all cache hits
+    assert main(args) == 0
+    assert "cache_hits   : 1" in capsys.readouterr().out
+    # --no-resume clears the cache first and re-executes
+    assert main(args + ["--no-resume"]) == 0
+    out = capsys.readouterr().out
+    assert "cache_hits   : 0" in out  # the cache really was cleared
+    assert "replayed     : 1" in out  # trace artifacts survive the clear
+
+
 def test_unified_shuffle_flag_speeds_up_shuffles():
     """The discussion-section engine extension must help, not hurt."""
     from repro.spark.conf import SparkConf

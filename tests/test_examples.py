@@ -53,6 +53,15 @@ def test_campaign_runner():
     assert "failure isolation" in out
 
 
+def test_experiment_service():
+    out = run_example("experiment_service.py")
+    assert "coalesce_hits=4" in out
+    assert "duplicate submissions share one result object: True" in out
+    assert "bit-identical to api.run: True" in out
+    assert "resubmitted point resolved from cache: True" in out
+    assert "drained: every admitted job resolved" in out
+
+
 def test_fault_tolerance():
     out = run_example("fault_tolerance.py")
     assert "executors_lost" in out
