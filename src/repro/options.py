@@ -56,6 +56,12 @@ class RunOptions:
     #: Compute each behaviour class once and replay the captured trace
     #: for every other tier/MBA/socket point (bit-identical, faster).
     reuse_traces: bool = True
+    #: Serve trace hits through the vectorized fast-path re-timer
+    #: (:mod:`repro.trace.fastreplay`) instead of event-by-event DES
+    #: replay — bit-identical, several times faster; ineligible points
+    #: fall back to DES replay automatically.  ``False`` forces DES
+    #: replay for every hit (observed runs always use DES replay).
+    fast_replay: bool = True
     #: Trace-artifact directory (default ``<cache_dir>/traces``).
     trace_dir: str | Path | None = None
     #: With a cache: reuse results already present (``False`` clears the
@@ -99,6 +105,7 @@ class RunOptions:
             "cache_dir": self.cache_dir,
             "resume": self.resume,
             "reuse_traces": self.reuse_traces,
+            "fast_replay": self.fast_replay,
             "trace_dir": self.trace_dir,
             "observe": self.observe,
         }
@@ -177,6 +184,9 @@ def add_options_args(
         "cache_dir": "content-addressed result cache directory",
         "reuse_traces": "replay captured workload traces instead of "
                         "simulating every point in full",
+        "fast_replay": "serve trace hits through the vectorized "
+                       "fast-path re-timer (bit-identical; --no-fast-replay "
+                       "forces event-by-event DES replay)",
         "trace_dir": "trace-artifact directory (default: CACHE_DIR/traces)",
         "resume": "reuse results already in the cache; --no-resume "
                   "clears cached results first (traces are kept)",

@@ -48,8 +48,15 @@ _TARGETS: tuple[tuple[str, str | None, str, str], ...] = (
     ("repro.trace.replay", None, "replay_experiment", "trace.replay"),
     ("repro.trace", None, "capture_experiment", "trace.capture"),
     ("repro.trace", None, "replay_experiment", "trace.replay"),
+    # Vectorized fast path: ``run_with_trace`` resolves the function as
+    # a module attribute at call time, so patching the defining module
+    # (plus the package re-export) covers every route into it.
+    ("repro.trace.fastreplay", None, "fast_replay_experiment", "trace.fastreplay"),
+    ("repro.trace", None, "fast_replay_experiment", "trace.fastreplay"),
     ("repro.trace.store", "TraceStore", "save", "trace.store"),
     ("repro.trace.store", "TraceStore", "load", "trace.store"),
+    ("repro.trace.shm", "SharedTraceCache", "publish", "trace.shm"),
+    ("repro.trace.shm", None, "attach", "trace.shm"),
 )
 
 #: The active profile, if any (one at a time keeps the span stack sane).

@@ -21,10 +21,19 @@ this module exploits:
 - **trace reuse** — the sweep axes (tier, MBA level, CPU socket) change
   *timing*, not behaviour, so the expensive workload computation runs
   once per behaviour class (:mod:`repro.trace` captures it) and every
-  other grid point replays the captured trace through the DES
-  scheduling + memory timing model — bit-identical to direct
-  simulation, several times faster.  Trace artifacts live beside the
-  result cache (``<cache_dir>/traces/``).
+  other grid point replays the captured trace — by default through the
+  vectorized fast-path re-timer (:mod:`repro.trace.fastreplay`), with
+  automatic fallback to event-by-event DES replay and from there to
+  direct simulation — bit-identical to direct simulation, several
+  times faster.  Trace artifacts live beside the result cache
+  (``<cache_dir>/traces/``);
+- **zero-copy transport** — with a process pool, the runner keeps its
+  workers alive across waves and campaigns, decompresses each trace
+  artifact once in the parent, and publishes the columnar arrays to
+  ``multiprocessing.shared_memory`` (:mod:`repro.trace.shm`); replay
+  workers attach numpy views instead of re-inflating gzip + pickle per
+  point.  Segments are unlinked by :meth:`CampaignRunner.close` (or a
+  GC/exit finalizer), so a crashed or cancelled campaign leaks nothing.
 """
 
 from __future__ import annotations
@@ -33,7 +42,9 @@ import tempfile
 import time
 import traceback
 import typing as t
+import weakref
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -68,13 +79,22 @@ def _execute_point(
     config: ExperimentConfig,
     trace_root: str | None = None,
     obs_dir: str | None = None,
+    shm_manifest: "dict[str, t.Any] | None" = None,
+    fast_replay: bool = True,
 ) -> tuple[ExperimentResult, str]:
     """Worker entry point (module-level so it pickles into the pool).
 
     With a trace root, resolves the point through the trace store —
-    replaying an existing artifact, capturing a new one, or falling back
-    to direct simulation when the config's behaviour is timing-dependent
-    (faults, speculation) or a replay diverges.
+    replaying an existing artifact (vectorized fast path first, DES
+    replay on fallback), capturing a new one, or falling back to direct
+    simulation when the config's behaviour is timing-dependent (faults,
+    speculation) or a replay diverges.
+
+    ``shm_manifest`` maps behaviour keys to shared-memory segment
+    descriptors published by the parent; installing it lets the trace
+    store resolve those keys zero-copy instead of re-reading the
+    artifact file (keys are content-addressed, so repeated installs
+    across a persistent worker's lifetime are cumulative and safe).
 
     With an observation directory, the worker builds its own
     :class:`repro.obs.Observer` and writes this point's artifacts as
@@ -95,13 +115,20 @@ def _execute_point(
                 metrics_path=str(root / f"{key}.metrics.json"),
             )
         )
+    if shm_manifest:
+        from repro.trace.store import install_shared_view
+
+        install_shared_view(shm_manifest)
     if trace_root is None:
         result, status = run_experiment(config, observer=observer), STATUS_EXECUTED
     else:
         from repro.trace import TraceStore, run_with_trace
 
         result, how = run_with_trace(
-            config, TraceStore(trace_root), observer=observer
+            config,
+            TraceStore(trace_root),
+            observer=observer,
+            fast_replay=fast_replay,
         )
         status = _TRACE_STATUS[how]
     if observer is not None:
@@ -259,8 +286,31 @@ class CampaignError(RuntimeError):
     """A campaign point failed and the caller demanded completeness."""
 
 
+def _close_resources(resources: dict) -> None:
+    """Tear down a runner's persistent pool and shared segments.
+
+    Module-level so ``weakref.finalize`` can invoke it after the runner
+    is gone: the pool shuts down first (workers detach their mappings),
+    then every published segment is unlinked — zero leaked ``/dev/shm``
+    entries even when ``close()`` was never called.
+    """
+    pool = resources.pop("pool", None)
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+    shm_cache = resources.pop("shm", None)
+    if shm_cache is not None:
+        shm_cache.close()
+
+
 class CampaignRunner:
     """Supervises one pool of workers across any number of campaigns.
+
+    The pool is created lazily on the first parallel wave and *persists*
+    across waves and across :meth:`run` calls — replay-heavy campaigns
+    stop paying process spawn + interpreter warmup per wave.  Call
+    :meth:`close` (or use the runner as a context manager) to release
+    the pool and any shared-memory trace segments; a finalizer does the
+    same on garbage collection or interpreter exit.
 
     Parameters
     ----------
@@ -286,6 +336,11 @@ class CampaignRunner:
         the full engine once and replays the captured trace for every
         other tier/MBA/socket point — value-identical, much faster.
         ``False`` simulates every point in full.
+    fast_replay:
+        ``True`` (default) serves trace hits through the vectorized
+        fast-path re-timer (bit-identical to DES replay, with automatic
+        fallback for points it cannot express).  ``False`` forces
+        event-by-event DES replay for every hit.
     trace_dir:
         Override for the trace-artifact directory.  Defaults to
         ``<cache_dir>/traces``; without a cache, a private temporary
@@ -314,6 +369,7 @@ class CampaignRunner:
         trace_dir: str | Path | None = None,
         observe: t.Any = None,
         options: RunOptions | None = None,
+        fast_replay: bool = True,
     ) -> None:
         if options is not None:
             # One RunOptions overrides the individual knobs — the path
@@ -323,11 +379,21 @@ class CampaignRunner:
             cache_dir = kw["cache_dir"]
             resume = kw["resume"]
             reuse_traces = kw["reuse_traces"]
+            fast_replay = kw["fast_replay"]
             trace_dir = kw["trace_dir"]
             observe = kw["observe"]
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers or 0
+        self.fast_replay = fast_replay
+        #: Lazily-created persistent resources: "pool" (the process
+        #: pool) and "shm" (the shared-trace cache).  Held in a plain
+        #: dict so the exit finalizer can release them without keeping
+        #: the runner itself alive.
+        self._resources: dict[str, t.Any] = {}
+        self._closer = weakref.finalize(
+            self, _close_resources, self._resources
+        )
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         if self.cache is not None:
             if resume:
@@ -380,7 +446,8 @@ class CampaignRunner:
         if primaries:
             for wave in self._plan_waves(primaries):
                 if self.workers > 1:
-                    self._run_pool(wave, report, started)
+                    manifest = self._publish_wave_traces(wave)
+                    self._run_pool(wave, report, started, manifest)
                 else:
                     self._run_serial(wave, report, started)
             self._resolve_aliases(aliases, report, started)
@@ -388,6 +455,23 @@ class CampaignRunner:
         self._export_observability(report)
         report.elapsed = time.monotonic() - started
         return report
+
+    def close(self) -> None:
+        """Release the persistent pool and unlink published segments.
+
+        Idempotent, and the runner stays usable — the pool and the
+        shared-trace cache are recreated lazily on the next parallel
+        campaign.  ``run_campaign`` calls this automatically; long-lived
+        runners (sessions, notebooks) should call it when done or use
+        the runner as a context manager.
+        """
+        _close_resources(self._resources)
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- phases
     def _resolve_cached(self, points: list[CampaignPoint]) -> list[CampaignPoint]:
@@ -454,6 +538,53 @@ class CampaignRunner:
                 lead.append(point)
         return [wave for wave in (lead, follow) if wave]
 
+    def _publish_wave_traces(
+        self, wave: list[CampaignPoint]
+    ) -> "dict[str, t.Any] | None":
+        """Decompress-once, map-many: publish the wave's trace artifacts.
+
+        Every artifact a pooled wave will replay is loaded once here in
+        the parent (through the store's own load cache) and its columnar
+        arrays are copied into shared memory; workers then attach
+        zero-copy views instead of paying gzip + unpickle per point.
+        Keys already published — earlier waves, earlier campaigns on
+        this runner — are skipped.  Returns the cumulative manifest, or
+        ``None`` when the wave has nothing to replay.
+        """
+        if self.trace_root is None or not wave:
+            return None
+        from repro.trace import TraceStore, is_replayable_config, trace_key
+
+        store = TraceStore(self.trace_root)
+        for point in wave:
+            replayable, _ = is_replayable_config(point.config)
+            if not replayable:
+                continue
+            key = trace_key(point.config)
+            shm_cache = self._resources.get("shm")
+            if shm_cache is not None and key in shm_cache:
+                continue
+            trace = store.load(point.config)
+            if trace is None:
+                continue  # capture point — nothing to publish yet
+            if shm_cache is None:
+                from repro.trace.shm import SharedTraceCache
+
+                shm_cache = SharedTraceCache()
+                self._resources["shm"] = shm_cache
+            shm_cache.publish(key, trace)
+        shm_cache = self._resources.get("shm")
+        if shm_cache is None or len(shm_cache) == 0:
+            return None
+        return shm_cache.manifest()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        pool = self._resources.get("pool")
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._resources["pool"] = pool
+        return pool
+
     def _run_serial(
         self,
         primaries: list[CampaignPoint],
@@ -465,7 +596,7 @@ class CampaignRunner:
         for point in primaries:
             try:
                 result, status = _execute_point(
-                    point.config, trace_root, obs_dir
+                    point.config, trace_root, obs_dir, None, self.fast_replay
                 )
                 self._record(point, result, status)
             except Exception as exc:  # noqa: BLE001 - point isolation
@@ -478,30 +609,44 @@ class CampaignRunner:
         primaries: list[CampaignPoint],
         report: CampaignReport,
         started: float,
+        shm_manifest: "dict[str, t.Any] | None" = None,
     ) -> None:
-        width = min(self.workers, len(primaries))
         trace_root = None if self.trace_root is None else str(self.trace_root)
         obs_dir = None if self.obs_dir is None else str(self.obs_dir)
-        with ProcessPoolExecutor(max_workers=width) as pool:
-            futures: dict[Future, CampaignPoint] = {
-                pool.submit(
-                    _execute_point, point.config, trace_root, obs_dir
-                ): point
-                for point in primaries
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    point = futures[future]
-                    exc = future.exception()
-                    if exc is not None:
-                        point.error = self._format_error(exc)
-                        point.status = STATUS_FAILED
-                    else:
-                        result, status = future.result()
-                        self._record(point, result, status)
-                    self._emit_progress(report, started)
+        pool = self._ensure_pool()
+        broken = False
+        futures: dict[Future, CampaignPoint] = {
+            pool.submit(
+                _execute_point,
+                point.config,
+                trace_root,
+                obs_dir,
+                shm_manifest,
+                self.fast_replay,
+            ): point
+            for point in primaries
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                point = futures[future]
+                exc = future.exception()
+                if exc is not None:
+                    broken = broken or isinstance(exc, BrokenProcessPool)
+                    point.error = self._format_error(exc)
+                    point.status = STATUS_FAILED
+                else:
+                    result, status = future.result()
+                    self._record(point, result, status)
+                self._emit_progress(report, started)
+        if broken:
+            # A worker died hard; the executor is permanently broken.
+            # Drop it so the next wave gets a fresh pool instead of
+            # failing every submission.
+            pool = self._resources.pop("pool", None)
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     def _resolve_aliases(
         self,
@@ -627,8 +772,15 @@ def run_campaign(
     trace_dir: str | Path | None = None,
     observe: t.Any = None,
     options: RunOptions | None = None,
+    fast_replay: bool = True,
 ) -> CampaignReport:
-    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    """One-shot convenience wrapper around :class:`CampaignRunner`.
+
+    The runner (and with it the worker pool and any shared-memory
+    segments) is closed before returning — one-shot callers never leak;
+    reuse a :class:`CampaignRunner` directly to amortize pool spawn
+    across campaigns.
+    """
     runner = CampaignRunner(
         workers=workers,
         cache_dir=cache_dir,
@@ -638,5 +790,9 @@ def run_campaign(
         trace_dir=trace_dir,
         observe=observe,
         options=options,
+        fast_replay=fast_replay,
     )
-    return runner.run(configs)
+    try:
+        return runner.run(configs)
+    finally:
+        runner.close()

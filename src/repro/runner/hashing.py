@@ -14,6 +14,13 @@ change makes every cached row stale even though the configs are
 unchanged.  Folding the version into the key turns "stale" into "miss"
 — an upgraded engine re-executes instead of silently serving numbers
 the current code would never produce.
+
+The digest is memoized on the config instance: campaign planning, cache
+lookup and service coalescing all hash the same object per submission,
+and the fields are frozen so the cached digest can never go stale.  The
+memo carries the engine version it was computed under, so an instance
+that somehow crosses an engine boundary (a pickled config resurrected
+by a different build) re-hashes instead of replaying the old key.
 """
 
 from __future__ import annotations
@@ -34,9 +41,16 @@ def config_hash(config: ExperimentConfig) -> str:
     cache hit is safe to substitute for re-execution: experiments are
     pure functions of their config under a fixed engine.
     """
+    memo = config.__dict__.get("_config_hash_memo")
+    if memo is not None and memo[0] == ENGINE_VERSION:
+        return memo[1]
     canonical = json.dumps(
         {"engine": ENGINE_VERSION, "config": config_to_dict(config)},
         sort_keys=True,
         separators=(",", ":"),
     )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    # The dataclass is frozen; bypassing its setattr guard is safe
+    # because the memo is derived purely from the frozen fields.
+    object.__setattr__(config, "_config_hash_memo", (ENGINE_VERSION, digest))
+    return digest

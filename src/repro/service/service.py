@@ -18,7 +18,10 @@ the same decisions *online*, per submission:
   client served least recently wins), then arrival order; replay-aware:
   the first job of a behaviour class *captures* its trace while later
   jobs of the class are held and then *replay* it (the campaign
-  runner's two-wave plan, online);
+  runner's two-wave plan, online) — by default through the vectorized
+  fast-path re-timer, with the captured artifact published once to
+  shared memory so pooled replay workers attach zero-copy views
+  instead of re-inflating gzip + pickle per job;
 - **events & observability** — every job streams
   ``queued → coalesced/started → progress → done/failed`` events, and
   the service keeps a :class:`~repro.obs.MetricsRegistry` (queue depth,
@@ -149,6 +152,9 @@ class ExperimentService:
         self._cache: ResultCache | None = None
         self._trace_tmp: tempfile.TemporaryDirectory | None = None
         self._trace_root: Path | None = None
+        #: Shared-memory trace segments published to pool workers
+        #: (created lazily on the first replayable dispatch).
+        self._shm_cache: t.Any | None = None
         self._obs_tmp: tempfile.TemporaryDirectory | None = None
         self._obs_dir: Path | None = None
         # Observability --------------------------------------------------------
@@ -248,6 +254,11 @@ class ExperimentService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._shm_cache is not None:
+            # After the pool is gone no worker holds a mapping; unlink
+            # every published segment so a drained service leaks none.
+            self._shm_cache.close()
+            self._shm_cache = None
         for tmp in (self._trace_tmp, self._obs_tmp):
             if tmp is not None:
                 tmp.cleanup()
@@ -495,11 +506,57 @@ class ExperimentService:
                   queue_wait_s=round(job.queue_wait or 0.0, 6))
         trace_root = None if self._trace_root is None else str(self._trace_root)
         obs_dir = None if self._obs_dir is None else str(self._obs_dir)
-        pool_future = self._loop.run_in_executor(
-            self._executor, self._execute, job.config, trace_root, obs_dir
-        )
+        if self._execute is _execute_point:
+            # The stock entry point understands the shared-memory
+            # manifest and the fast-replay switch; ``execute=``
+            # overrides keep the documented 3-argument contract.
+            pool_future = self._loop.run_in_executor(
+                self._executor,
+                self._execute,
+                job.config,
+                trace_root,
+                obs_dir,
+                self._publish_trace(job),
+                self.options.fast_replay,
+            )
+        else:
+            pool_future = self._loop.run_in_executor(
+                self._executor, self._execute, job.config, trace_root, obs_dir
+            )
         asyncio.ensure_future(self._finish(job, pool_future))
         self._set_gauges()
+
+    def _publish_trace(self, job: Job) -> "dict[str, t.Any] | None":
+        """Decompress-once for the pool: publish ``job``'s trace artifact.
+
+        With a process pool and an on-disk artifact for the job's
+        behaviour class, the parent loads it once (through the store's
+        load cache) and publishes the columnar arrays to shared memory;
+        the dispatched worker — and every later worker replaying the
+        class — attaches a zero-copy view.  Returns the cumulative
+        manifest for the dispatch, or ``None`` when there is nothing to
+        share (serial pool, capture jobs, non-replayable configs).
+        """
+        if self._trace_root is None or (self.options.workers or 0) <= 1:
+            return None
+        from repro.trace import TraceStore, is_replayable_config, trace_key
+
+        replayable, _ = is_replayable_config(job.config)
+        if not replayable:
+            return None
+        key = trace_key(job.config)
+        if self._shm_cache is None or key not in self._shm_cache:
+            trace = TraceStore(self._trace_root).load(job.config)
+            if trace is not None:
+                if self._shm_cache is None:
+                    from repro.trace.shm import SharedTraceCache
+
+                    self._shm_cache = SharedTraceCache()
+                self._shm_cache.publish(key, trace)
+                self.metrics.inc("service.shm_published")
+        if self._shm_cache is None or len(self._shm_cache) == 0:
+            return None
+        return self._shm_cache.manifest()
 
     async def _finish(self, job: Job, pool_future: "asyncio.Future") -> None:
         try:

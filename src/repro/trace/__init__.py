@@ -11,15 +11,29 @@ This package splits the engine accordingly:
 - :mod:`repro.trace.replay` — Phase 2: re-run only the DES scheduling
   and memory timing/energy model over the captured residues for any
   tier/MBA/socket configuration, bit-identical to direct simulation;
+- :mod:`repro.trace.fastreplay` — Phase 2, vectorized: a micro-kernel
+  re-timer that batch-prepares the residues with numpy and walks a
+  specialized event loop, bit-identical to DES replay at a fraction of
+  the cost; gated by :func:`fast_replay_eligibility` with automatic
+  fallback to DES replay;
 - :mod:`repro.trace.store` — content-addressed gzipped artifacts stored
-  beside the campaign result cache.
+  beside the campaign result cache;
+- :mod:`repro.trace.shm` — zero-copy shared-memory transport: the
+  campaign/service parent decompresses each artifact once and pool
+  workers attach numpy views instead of re-inflating it per point.
 
 Entry points: :func:`capture_experiment`, :func:`replay_experiment`,
-:func:`run_with_trace` (store-mediated capture-or-replay with automatic
-fallback to full simulation on divergence).
+:func:`fast_replay_experiment`, :func:`run_with_trace` (store-mediated
+capture-or-replay with the fastreplay → DES replay → direct simulation
+fallback chain).
 """
 
 from repro.trace.capture import TraceRecorder, behavior_dict, capture_experiment
+from repro.trace.fastreplay import (
+    FastReplayUnsupported,
+    fast_replay_eligibility,
+    fast_replay_experiment,
+)
 from repro.trace.records import JobTrace, TaskSetTrace, WorkloadTrace
 from repro.trace.replay import (
     ReplayDivergence,
@@ -30,12 +44,21 @@ from repro.trace.replay import (
     replay_experiment,
     run_with_trace,
 )
-from repro.trace.store import TraceStore, trace_key
+from repro.trace.shm import SegmentDescriptor, SharedTraceCache
+from repro.trace.store import (
+    TraceStore,
+    clear_shared_view,
+    install_shared_view,
+    trace_key,
+)
 
 __all__ = [
+    "FastReplayUnsupported",
     "JobTrace",
     "ReplayDivergence",
     "ReplayRDD",
+    "SegmentDescriptor",
+    "SharedTraceCache",
     "TracePlayer",
     "TraceRecorder",
     "TraceStore",
@@ -44,6 +67,10 @@ __all__ = [
     "behavior_dict",
     "capture_experiment",
     "check_compatible",
+    "clear_shared_view",
+    "fast_replay_eligibility",
+    "fast_replay_experiment",
+    "install_shared_view",
     "is_replayable_config",
     "replay_experiment",
     "run_with_trace",

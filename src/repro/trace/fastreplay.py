@@ -1,0 +1,781 @@
+"""Fast-path replay: re-time a trace without the generic DES kernel.
+
+DES replay (:mod:`repro.trace.replay`) drives the *real* scheduler,
+executors and resources through the generic simulation kernel — every
+task pays for Event objects, condition churn and Process bookkeeping it
+never observes.  Fast replay exploits the fact that a replayable trace
+has a **fixed, fault-free workload shape**: round-robin placement, one
+attempt per task, no retries, no speculation, no injected losses.  Under
+that shape the event graph is known up front, so this module walks it
+with a specialised micro-kernel (a bare heap of ``(time, priority, seq)``
+entries driving plain generators) while calling the *unchanged* model
+arithmetic — :meth:`MemoryDevice.service_time`/:meth:`~MemoryDevice.record`,
+:meth:`CpuSpec.compute_seconds`, the datanode share formula, the RAPL/
+ipmctl readers and the derived-event formulas — against real
+:class:`MemoryDevice` instances.  Because both kernels schedule the same
+state-mutating events in the same relative order and every quantity is
+produced by the same code, every simulated time, counter and energy
+value is **bit-identical** to DES replay (and hence to direct
+simulation, which PR 4 pinned).
+
+Residue preparation is numpy-vectorized: chunk counts, per-chunk
+profiles and HDFS output sizes are computed in batch straight from the
+columnar :class:`~repro.trace.records.TaskSetTrace` arrays before the
+walk starts.
+
+Geometries the micro-kernel cannot express raise
+:class:`FastReplayUnsupported`; :func:`repro.trace.replay.run_with_trace`
+falls back to DES replay (and from there to direct simulation), so the
+fast path is a pure optimisation with no behaviour change.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
+
+import numpy as np
+
+from repro.cluster.numactl import NumactlBinding
+from repro.cluster.topology import paper_testbed
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.hdfs.filesystem import HdfsClient
+from repro.memory.allocator import MembindAllocator
+from repro.memory.device import AccessProfile
+from repro.memory.mba import BandwidthAllocator
+from repro.memory.tiers import tier_by_id
+from repro.sim import Environment
+from repro.spark.executor import (
+    GC_WRITES_PER_CONCURRENT_TASK,
+    STAGE_BROADCAST_BYTES,
+    STAGE_BROADCAST_WRITES,
+    STAGE_SETUP_OVERHEAD,
+    STARTUP_CPU_SECONDS,
+    STARTUP_RANDOM_READS,
+    STARTUP_RANDOM_WRITES,
+    STARTUP_STREAM_BYTES,
+    TASK_CONTROL_BYTES,
+)
+from repro.spark.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.telemetry.collector import TelemetryCollector
+from repro.trace.records import JobTrace, TaskSetTrace, WorkloadTrace
+from repro.trace.replay import ReplayDivergence, check_compatible, is_replayable_config
+
+__all__ = [
+    "FastReplayUnsupported",
+    "fast_replay_eligibility",
+    "fast_replay_experiment",
+]
+
+
+class FastReplayUnsupported(RuntimeError):
+    """The micro-kernel cannot express this config/trace; use DES replay."""
+
+
+# -- micro-kernel ----------------------------------------------------------------
+#
+# Generators yield ``(op, arg)`` tuples:
+#
+#   (_TIMEOUT, delay)    suspend for ``delay`` simulated seconds
+#   (_ACQUIRE, res)      claim one unit of a _FastResource (FIFO queue)
+#   (_WAIT, ev)          wait for a _FastEvent (inline continue when done)
+#
+# Releases are synchronous (like ``Resource.release``) and go through
+# ``_MicroKernel.release`` directly.  Priorities mirror the real kernel:
+# process starts are URGENT (0) like ``Initialize``; timeouts, resource
+# grants and completion events are NORMAL (1).  A monotonically
+# increasing sequence number preserves relative scheduling order, which
+# is exactly what the real kernel's event ids provide for the events
+# that mutate model state.
+
+_TIMEOUT = 0
+_ACQUIRE = 1
+_WAIT = 2
+
+
+class _Proc:
+    """One live generator plus its completion callback."""
+
+    __slots__ = ("gen", "on_done")
+
+    def __init__(self, gen: t.Generator, on_done: t.Callable[[], None] | None) -> None:
+        self.gen = gen
+        self.on_done = on_done
+
+
+class _FastResource:
+    """Counting FIFO resource with the real ``Resource`` grant semantics.
+
+    ``count`` mirrors ``len(Resource._users)``: it rises when a request
+    is granted (immediately at request time if capacity is free,
+    otherwise inline during the releasing process's execution) and the
+    granted process resumes via a scheduled event at the current time.
+    """
+
+    __slots__ = ("capacity", "count", "queue")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.count = 0
+        self.queue: deque[_Proc] = deque()
+
+
+class _FastEvent:
+    """One-shot event: ``done`` flips when its completion entry pops."""
+
+    __slots__ = ("done", "waiters")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.waiters: list[_Proc] = []
+
+
+class _MicroKernel:
+    """Heap-driven trampoline over plain generators.
+
+    Keeps ``env._now`` in lock-step with its own clock so the real model
+    objects hanging off the environment (devices, RAPL/ipmctl readers,
+    the telemetry collector) observe exactly the times the generic
+    kernel would have shown them.
+    """
+
+    __slots__ = ("now", "env", "_heap", "_seq")
+
+    def __init__(self, env: Environment) -> None:
+        self.now = env.now
+        self.env = env
+        self._heap: list[tuple[float, int, int, int, t.Any]] = []
+        self._seq = count()
+
+    def spawn(self, gen: t.Generator, on_done: t.Callable[[], None] | None = None) -> None:
+        """Schedule a new process start (URGENT, like ``Initialize``)."""
+        heappush(self._heap, (self.now, 0, next(self._seq), 0, _Proc(gen, on_done)))
+
+    def fire(self, ev: _FastEvent) -> None:
+        """Schedule an event completion (NORMAL, like ``Event.succeed``)."""
+        heappush(self._heap, (self.now, 1, next(self._seq), 1, ev))
+
+    def release(self, res: _FastResource) -> None:
+        """Inline release + FIFO grant, like ``Resource.release``."""
+        res.count -= 1
+        queue = res.queue
+        while queue and res.count < res.capacity:
+            proc = queue.popleft()
+            res.count += 1
+            heappush(self._heap, (self.now, 1, next(self._seq), 0, proc))
+
+    def _step(self, proc: _Proc) -> None:
+        gen = proc.gen
+        heap = self._heap
+        while True:
+            try:
+                op, arg = next(gen)
+            except StopIteration:
+                if proc.on_done is not None:
+                    proc.on_done()
+                return
+            if op == _TIMEOUT:
+                heappush(heap, (self.now + arg, 1, next(self._seq), 0, proc))
+                return
+            if op == _ACQUIRE:
+                if arg.count < arg.capacity:
+                    arg.count += 1
+                    heappush(heap, (self.now, 1, next(self._seq), 0, proc))
+                else:
+                    arg.queue.append(proc)
+                return
+            # _WAIT: continue inline when already done (the real kernel
+            # resumes inline on already-processed events).
+            if arg.done:
+                continue
+            arg.waiters.append(proc)
+            return
+
+    def run_until(self, remaining: list[int]) -> None:
+        """Pop events until the counter cell hits zero."""
+        heap = self._heap
+        env = self.env
+        while remaining[0]:
+            time, _, _, kind, payload = heappop(heap)
+            self.now = time
+            env._now = time
+            if kind == 0:
+                self._step(payload)
+            else:  # event completion: resume waiters in subscription order
+                payload.done = True
+                waiters = payload.waiters
+                payload.waiters = []
+                for proc in waiters:
+                    self._step(proc)
+
+
+# -- model state -----------------------------------------------------------------
+
+
+class _FastExecutor:
+    """Mirror of one :class:`~repro.spark.executor.Executor`'s DES state.
+
+    Holds fast resources for its slots/dispatch plus references to the
+    shared socket threads, the bound device's queue and the *real*
+    device/path/CPU objects whose arithmetic produces every number.
+    """
+
+    __slots__ = (
+        "executor_id",
+        "slots",
+        "dispatch",
+        "threads",
+        "queue",
+        "device",
+        "path",
+        "core_bw",
+        "cpu",
+        "dispatch_overhead",
+        "control_writes",
+        "allocator",
+        "_heap",
+        "startup_ev",
+    )
+
+    def __init__(
+        self,
+        executor_id: int,
+        conf: t.Any,
+        socket: t.Any,
+        memory: t.Any,
+        threads: _FastResource,
+        queue: _FastResource,
+    ) -> None:
+        self.executor_id = executor_id
+        self.slots = _FastResource(conf.executor_cores)
+        self.dispatch = _FastResource(1)
+        self.threads = threads
+        self.queue = queue
+        self.device = memory.device
+        self.path = memory.path
+        self.core_bw = socket.cpu.core_stream_bandwidth
+        self.cpu = socket.cpu
+        self.dispatch_overhead = conf.task_dispatch_overhead
+        self.control_writes = conf.task_control_writes
+        # Strict membind, in executor order — an oversubscribed tier
+        # raises the identical MemoryError a DES run would.
+        self.allocator = MembindAllocator(memory.device)
+        self._heap = self.allocator.allocate(conf.executor_memory)
+        self.startup_ev: _FastEvent | None = None
+
+    def startup_event(self, kernel: _MicroKernel) -> _FastEvent:
+        """Lazily launch the JVM startup process (``ensure_started``)."""
+        ev = self.startup_ev
+        if ev is None:
+            self.startup_ev = ev = _FastEvent()
+            event = ev
+            kernel.spawn(_startup(kernel, self), on_done=lambda: kernel.fire(event))
+        return ev
+
+
+class _FastDataNode:
+    """Datanode stream pool + the real node for constants and counters."""
+
+    __slots__ = ("streams", "bandwidth", "request_overhead", "node", "replication")
+
+    def __init__(self, hdfs: HdfsClient) -> None:
+        node = hdfs.datanode
+        self.streams = _FastResource(node.streams.capacity)
+        self.bandwidth = node.bandwidth
+        self.request_overhead = node.request_overhead
+        self.node = node
+        self.replication = hdfs.replication
+
+
+class _TaskData:
+    """Everything one replayed task attempt needs, prepared in batch."""
+
+    __slots__ = (
+        "task_id",
+        "partition",
+        "metrics",
+        "m_bytes_read",
+        "m_bytes_written",
+        "m_records_read",
+        "m_records_written",
+        "m_shuffle_bytes_read",
+        "m_shuffle_bytes_written",
+        "m_shuffle_records_read",
+        "m_shuffle_records_written",
+        "m_local_fetches",
+        "m_remote_fetches",
+        "m_spill_bytes",
+        "m_cache_hits",
+        "m_cache_misses",
+        "ops",
+        "random_reads",
+        "random_writes",
+        "n_chunks",
+        "ops_chunk",
+        "chunk_profile",
+        "chunk_empty",
+        "hdfs_io",
+        "disk_io",
+        "out_nbytes",
+    )
+
+
+class _JobsView:
+    """Minimal ``SparkContext`` stand-in for the telemetry collector."""
+
+    __slots__ = ("jobs",)
+
+    def __init__(self) -> None:
+        self.jobs: list[JobMetrics] = []
+
+
+# -- process generators ----------------------------------------------------------
+#
+# These replicate Executor._startup / stage_broadcast / _control_traffic /
+# run_task and DataNode.transfer / Socket.compute operation for
+# operation; every arithmetic step calls the real model objects.
+
+
+def _access(kernel: _MicroKernel, ex: _FastExecutor, profile: AccessProfile) -> t.Generator:
+    """``MemoryDevice.access`` against the real device."""
+    if profile.is_empty:
+        return
+    yield (_ACQUIRE, ex.queue)
+    device = ex.device
+    device._stream_started()
+    service = device.service_time(profile, path=ex.path, core_stream_bw=ex.core_bw)
+    yield (_TIMEOUT, service)
+    device._stream_finished()
+    kernel.release(ex.queue)
+    device.record(profile)
+
+
+def _compute(ex: _FastExecutor, ops: float) -> t.Generator:
+    """``Socket.compute`` — rate sampled at current thread occupancy."""
+    duration = ex.cpu.compute_seconds(ops, busy_threads=ex.threads.count)
+    yield (_TIMEOUT, duration)
+
+
+def _transfer(kernel: _MicroKernel, dn: _FastDataNode, nbytes: int, write: bool) -> t.Generator:
+    """``DataNode.transfer`` — share sampled at admission."""
+    yield (_ACQUIRE, dn.streams)
+    share = dn.bandwidth / max(1, dn.streams.count)
+    yield (_TIMEOUT, dn.request_overhead + nbytes / share)
+    kernel.release(dn.streams)
+    if write:
+        dn.node.bytes_written += nbytes
+    else:
+        dn.node.bytes_read += nbytes
+
+
+def _startup(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
+    """``Executor._startup``: JVM launch cost on the bound tier."""
+    yield (_TIMEOUT, STARTUP_CPU_SECONDS)
+    profile = AccessProfile(
+        bytes_read=STARTUP_STREAM_BYTES,
+        bytes_written=STARTUP_STREAM_BYTES,
+        random_reads=STARTUP_RANDOM_READS,
+        random_writes=STARTUP_RANDOM_WRITES,
+    )
+    yield from _access(kernel, ex, profile)
+
+
+def _control_traffic(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
+    """``Executor._control_traffic``: churn sampled at live slot count."""
+    concurrent = max(1, ex.slots.count)
+    churn = ex.control_writes + GC_WRITES_PER_CONCURRENT_TASK * concurrent
+    profile = AccessProfile(
+        bytes_written=TASK_CONTROL_BYTES,
+        random_reads=0.7 * churn,
+        random_writes=0.3 * churn,
+    )
+    yield from _access(kernel, ex, profile)
+
+
+def _broadcast(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
+    """``Executor.stage_broadcast``: closure fetch behind the dispatcher."""
+    yield (_WAIT, ex.startup_event(kernel))
+    yield (_ACQUIRE, ex.dispatch)
+    yield (_TIMEOUT, STAGE_SETUP_OVERHEAD)
+    profile = AccessProfile(
+        bytes_read=STAGE_BROADCAST_BYTES,
+        bytes_written=STAGE_BROADCAST_BYTES,
+        random_reads=0.7 * STAGE_BROADCAST_WRITES,
+        random_writes=0.3 * STAGE_BROADCAST_WRITES,
+    )
+    yield from _access(kernel, ex, profile)
+    kernel.release(ex.dispatch)
+
+
+def _run_task(
+    kernel: _MicroKernel,
+    ex: _FastExecutor,
+    dn: _FastDataNode,
+    td: _TaskData,
+) -> t.Generator:
+    """One task attempt, op-for-op like ``Executor.run_task`` on replay."""
+    m = td.metrics
+    m.task_id = td.task_id
+    m.partition = td.partition
+    m.executor_id = ex.executor_id
+    m.launch_time = kernel.now
+
+    yield (_WAIT, ex.startup_event(kernel))
+    yield (_ACQUIRE, ex.slots)
+
+    dispatch_started = kernel.now
+    yield (_ACQUIRE, ex.dispatch)
+    yield (_TIMEOUT, ex.dispatch_overhead)
+    kernel.release(ex.dispatch)
+    m.dispatch_wait = kernel.now - dispatch_started
+
+    yield from _control_traffic(kernel, ex)
+
+    cpu_wait_started = kernel.now
+    yield (_ACQUIRE, ex.threads)
+    m.cpu_wait = kernel.now - cpu_wait_started
+
+    # Evaluation: inject the recorded residue (ReplayRDD.iterator +
+    # TaskContext.drain_profile, collapsed).
+    m.bytes_read += td.m_bytes_read
+    m.bytes_written += td.m_bytes_written
+    m.records_read += td.m_records_read
+    m.records_written += td.m_records_written
+    m.shuffle_bytes_read += td.m_shuffle_bytes_read
+    m.shuffle_bytes_written += td.m_shuffle_bytes_written
+    m.shuffle_records_read += td.m_shuffle_records_read
+    m.shuffle_records_written += td.m_shuffle_records_written
+    m.local_fetches += td.m_local_fetches
+    m.remote_fetches += td.m_remote_fetches
+    m.spill_bytes += td.m_spill_bytes
+    m.cache_hits += td.m_cache_hits
+    m.cache_misses += td.m_cache_misses
+    m.random_reads += td.random_reads
+    m.random_writes += td.random_writes
+    m.compute_ops += td.ops
+
+    # Timed HDFS reads: disk transfer + page-cache pass on the tier.
+    for nbytes_int, page in td.hdfs_io:
+        yield from _transfer(kernel, dn, nbytes_int, False)
+        yield from _access(kernel, ex, page)
+
+    # Disk-backed block cache traffic.
+    for nbytes_int, write, page in td.disk_io:
+        yield from _transfer(kernel, dn, nbytes_int, write)
+        yield from _access(kernel, ex, page)
+
+    # Chunked compute/memory payment (Executor._pay): the same chunk
+    # profile object is served repeatedly, so the device's identity-keyed
+    # record cache replays identical integer deltas.
+    ops_chunk = td.ops_chunk
+    chunk_profile = td.chunk_profile
+    chunk_busy = not td.chunk_empty
+    for _ in range(td.n_chunks):
+        if ops_chunk > 0:
+            yield from _compute(ex, ops_chunk)
+        if chunk_busy:
+            yield from _access(kernel, ex, chunk_profile)
+
+    # Spill traffic discovered during evaluation.
+    if m.spill_bytes > 0:
+        spill = AccessProfile(bytes_read=m.spill_bytes, bytes_written=m.spill_bytes)
+        yield from _access(kernel, ex, spill)
+
+    # Timed HDFS output write (page-cache staging + disk transfer).
+    out_nbytes = td.out_nbytes
+    if out_nbytes is not None:
+        page = AccessProfile(bytes_read=out_nbytes, bytes_written=out_nbytes)
+        yield from _access(kernel, ex, page)
+        yield from _transfer(kernel, dn, out_nbytes * dn.replication, True)
+
+    kernel.release(ex.threads)
+    yield from _control_traffic(kernel, ex)
+    kernel.release(ex.slots)
+
+    m.finish_time = kernel.now
+
+
+# -- batched residue preparation -------------------------------------------------
+
+
+def _prepare_tasks(ts: TaskSetTrace, chunk_bytes: int) -> list[_TaskData]:
+    """Vectorized prep of one stage's residues from the columnar arrays.
+
+    Chunk counts, per-chunk profile fields and HDFS output sizes follow
+    the exact scalar arithmetic of ``Executor._pay`` / ``run_task``
+    (same float64 operations, same truncation), evaluated in batch.
+    """
+    f = ts.floats
+    ops = f["compute_ops"]
+    br = f["bytes_read"]
+    bw = f["bytes_written"]
+    rr = f["random_reads"]
+    rw = f["random_writes"]
+
+    # n_chunks = max(1, min(8, int(total_bytes / chunk_bytes) + 1)); the
+    # truncated quotient is >= 0, so the +1 already enforces the floor.
+    n_chunks = np.minimum(8, ((br + bw) / chunk_bytes).astype(np.int64) + 1)
+    factor = 1.0 / n_chunks
+    ops_chunk = ops / n_chunks
+    chunk_br = br * factor
+    chunk_bw = bw * factor
+    chunk_rr = rr * factor
+    chunk_rw = rw * factor
+    chunk_empty = (br == 0) & (bw == 0) & (rr == 0) & (rw == 0)
+
+    ints = ts.ints
+    record_bytes = f["record_bytes"]
+    result_len = ints["result_len"]
+    truthy = ints["result_truthy"] != 0
+    if ts.hdfs_path is not None:
+        out_nbytes = (result_len * record_bytes).astype(np.int64).tolist()
+        out_mask = truthy.tolist()
+    else:
+        out_nbytes = None
+        out_mask = None
+
+    cols = {
+        name: arr.tolist()
+        for name, arr in (*f.items(), *ints.items())
+        if name not in ("record_bytes", "result_len", "result_truthy", "weight")
+    }
+    n_chunks_l = n_chunks.tolist()
+    ops_chunk_l = ops_chunk.tolist()
+    chunk_br_l = chunk_br.tolist()
+    chunk_bw_l = chunk_bw.tolist()
+    chunk_rr_l = chunk_rr.tolist()
+    chunk_rw_l = chunk_rw.tolist()
+    chunk_empty_l = chunk_empty.tolist()
+
+    io: dict[str, list[list[float]]] = {}
+    for kind, (offsets, values) in ts.io.items():
+        flat = values.tolist()
+        flat_int = values.astype(np.int64).tolist()
+        bounds = offsets.tolist()
+        io[kind] = [
+            list(zip(flat_int[bounds[i] : bounds[i + 1]], flat[bounds[i] : bounds[i + 1]]))
+            for i in range(len(bounds) - 1)
+        ]
+
+    stage_id = ts.stage_id
+    out: list[_TaskData] = []
+    for i in range(ts.num_tasks):
+        td = _TaskData()
+        td.task_id = cols["task_id"][i]
+        td.partition = cols["partition"][i]
+        metrics = TaskMetrics()
+        metrics.stage_id = stage_id
+        td.metrics = metrics
+        td.m_bytes_read = cols["m_bytes_read"][i]
+        td.m_bytes_written = cols["m_bytes_written"][i]
+        td.m_records_read = cols["m_records_read"][i]
+        td.m_records_written = cols["m_records_written"][i]
+        td.m_shuffle_bytes_read = cols["m_shuffle_bytes_read"][i]
+        td.m_shuffle_bytes_written = cols["m_shuffle_bytes_written"][i]
+        td.m_shuffle_records_read = cols["m_shuffle_records_read"][i]
+        td.m_shuffle_records_written = cols["m_shuffle_records_written"][i]
+        td.m_local_fetches = cols["m_local_fetches"][i]
+        td.m_remote_fetches = cols["m_remote_fetches"][i]
+        td.m_spill_bytes = cols["m_spill_bytes"][i]
+        td.m_cache_hits = cols["m_cache_hits"][i]
+        td.m_cache_misses = cols["m_cache_misses"][i]
+        td.ops = cols["compute_ops"][i]
+        td.random_reads = cols["random_reads"][i]
+        td.random_writes = cols["random_writes"][i]
+        td.n_chunks = n_chunks_l[i]
+        td.ops_chunk = ops_chunk_l[i]
+        td.chunk_profile = AccessProfile(
+            bytes_read=chunk_br_l[i],
+            bytes_written=chunk_bw_l[i],
+            random_reads=chunk_rr_l[i],
+            random_writes=chunk_rw_l[i],
+        )
+        td.chunk_empty = chunk_empty_l[i]
+        td.hdfs_io = [
+            (nb, AccessProfile(bytes_read=raw, bytes_written=raw))
+            for nb, raw in io["hdfs_reads"][i]
+        ]
+        td.disk_io = [
+            *(
+                (nb, False, AccessProfile(bytes_read=raw, bytes_written=raw))
+                for nb, raw in io["disk_reads"][i]
+            ),
+            *(
+                (nb, True, AccessProfile(bytes_read=raw, bytes_written=raw))
+                for nb, raw in io["disk_writes"][i]
+            ),
+        ]
+        td.out_nbytes = out_nbytes[i] if out_mask is not None and out_mask[i] else None
+        out.append(td)
+    return out
+
+
+# -- stage/job walk --------------------------------------------------------------
+
+
+def _run_task_set(
+    kernel: _MicroKernel,
+    executors: list[_FastExecutor],
+    dn: _FastDataNode,
+    tasks: list[_TaskData],
+) -> None:
+    """One ``run_task_set``: broadcasts first, then round-robin tasks."""
+    remaining = [len(executors) + len(tasks)]
+
+    def done() -> None:
+        remaining[0] -= 1
+
+    for ex in executors:
+        kernel.spawn(_broadcast(kernel, ex), on_done=done)
+    pool_size = len(executors)
+    for i, td in enumerate(tasks):
+        ex = executors[i % pool_size]
+        kernel.spawn(_run_task(kernel, ex, dn, td), on_done=done)
+    kernel.run_until(remaining)
+
+
+def _replay_job(
+    kernel: _MicroKernel,
+    executors: list[_FastExecutor],
+    dn: _FastDataNode,
+    jobs: list[JobMetrics],
+    job_trace: JobTrace,
+    chunk_bytes: int,
+) -> None:
+    """Mirror of ``TracePlayer._replay_job`` metric bookkeeping."""
+    job = JobMetrics(
+        job_id=job_trace.job_id,
+        name=job_trace.name,
+        submit_time=kernel.now,
+    )
+    for ts in job_trace.task_sets:
+        if ts.attempt > 0:
+            job.resubmitted_stages += 1
+        metrics = StageMetrics(
+            stage_id=ts.stage_id,
+            name=ts.name,
+            num_tasks=ts.num_tasks,
+            submit_time=kernel.now,
+            attempt=ts.attempt,
+        )
+        tasks = _prepare_tasks(ts, chunk_bytes)
+        _run_task_set(kernel, executors, dn, tasks)
+        winners = [td.metrics for td in tasks]
+        metrics.tasks = winners
+        metrics.attempts = list(winners)
+        metrics.complete_time = kernel.now
+        job.stages.append(metrics)
+    job.complete_time = kernel.now
+    jobs.append(job)
+
+
+# -- eligibility gate ------------------------------------------------------------
+
+
+def fast_replay_eligibility(
+    config: ExperimentConfig, trace: WorkloadTrace
+) -> tuple[bool, str]:
+    """Static gate: can the micro-kernel express this point exactly?
+
+    Anything the fixed fault-free workload shape cannot cover — faults,
+    speculation, non-round-robin placement, or the unsized-result HDFS
+    write edge whose ``TypeError`` drives DES replay's own divergence
+    path — is rejected so the caller falls back to DES replay.
+    """
+    replayable, reason = is_replayable_config(config)
+    if not replayable:
+        return False, reason
+    policy = config.spark_conf().extra.get("scheduler_policy", "round_robin")
+    if policy != "round_robin":
+        return False, f"scheduler policy {policy!r} is not expressible"
+    for job in trace.jobs:
+        for ts in job.task_sets:
+            if ts.hdfs_path is None:
+                continue
+            unsized_truthy = (ts.ints["result_truthy"] != 0) & (
+                ts.ints["result_len"] < 0
+            )
+            if bool(np.any(unsized_truthy)):
+                return False, (
+                    f"stage {ts.stage_id}: unsized truthy result feeding an "
+                    "HDFS write (diverges under DES replay)"
+                )
+    return True, ""
+
+
+# -- entry point -----------------------------------------------------------------
+
+
+def fast_replay_experiment(
+    config: ExperimentConfig, trace: WorkloadTrace
+) -> ExperimentResult:
+    """Re-time ``trace`` under ``config``; bit-identical to DES replay.
+
+    Raises :class:`~repro.trace.replay.ReplayDivergence` for trace/config
+    mismatches (same contract as ``replay_experiment``) and
+    :class:`FastReplayUnsupported` for geometries the micro-kernel cannot
+    express; callers fall back to DES replay for the latter.  An
+    oversubscribed memory tier raises the identical ``MemoryError`` the
+    DES path produces.
+    """
+    check_compatible(trace, config)
+    if not trace.intact:
+        raise ReplayDivergence("trace artifact failed its checksum")
+    eligible, reason = fast_replay_eligibility(config, trace)
+    if not eligible:
+        raise FastReplayUnsupported(reason)
+
+    env = Environment()
+    machine = paper_testbed(env)
+    conf = config.spark_conf()
+    binding = NumactlBinding(conf.cpu_socket, tier_by_id(conf.memory_tier))
+    socket, memory = binding.resolve(machine)
+    hdfs = HdfsClient(env)
+    kernel = _MicroKernel(env)
+    threads = _FastResource(socket.cpu.hyperthreads)
+    queue = _FastResource(
+        memory.device.dimm_count * memory.device.technology.queue_depth_per_dimm
+    )
+    # Executor heap reservations in executor order: a tier too small for
+    # the fleet raises MemoryError exactly like TaskScheduler.__init__.
+    executors = [
+        _FastExecutor(i, conf, socket, memory, threads, queue)
+        for i in range(conf.num_executors)
+    ]
+    dn = _FastDataNode(hdfs)
+    view = _JobsView()
+    chunk_bytes = conf.shuffle_chunk_bytes
+
+    try:
+        for job_trace in trace.jobs[: trace.measured_from]:
+            _replay_job(kernel, executors, dn, view.jobs, job_trace, chunk_bytes)
+        collector = TelemetryCollector(env, machine, metrics=None)
+        with BandwidthAllocator(machine.devices(), percent=config.mba_percent):
+            collector.start(view)
+            run_started = kernel.now
+            for job_trace in trace.jobs[trace.measured_from :]:
+                _replay_job(kernel, executors, dn, view.jobs, job_trace, chunk_bytes)
+            execution_time = kernel.now - run_started
+            sample = collector.stop(view)
+    except (ReplayDivergence, FastReplayUnsupported):
+        raise
+    except Exception as exc:  # pragma: no cover - defensive fallback
+        raise FastReplayUnsupported(f"fast replay failed: {exc}") from exc
+    finally:
+        for ex in executors:
+            ex.allocator.free_all()
+
+    mitigation: dict[str, float] = {}
+    for job in view.jobs:
+        for key, value in job.mitigation_summary().items():
+            mitigation[key] = mitigation.get(key, 0) + value
+    return ExperimentResult(
+        config=config,
+        execution_time=execution_time,
+        verified=trace.verified,
+        telemetry=sample,
+        records_processed=trace.records_processed,
+        mitigation=mitigation,
+    )

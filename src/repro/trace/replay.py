@@ -412,6 +412,7 @@ def run_with_trace(
     config: ExperimentConfig,
     store: "TraceStore",
     observer: t.Any | None = None,
+    fast_replay: bool = True,
 ) -> tuple[ExperimentResult, str]:
     """Resolve one point through the trace store.
 
@@ -419,12 +420,34 @@ def run_with_trace(
     hit), ``"captured"`` (trace miss — ran the full engine and saved a
     new artifact) or ``"direct"`` (not replayable, or replay diverged
     and fell back to full simulation).
+
+    Trace hits try the vectorized fast path first
+    (:func:`repro.trace.fastreplay.fast_replay_experiment` — bit-
+    identical, several times faster) and fall back to DES replay when
+    the micro-kernel cannot express the point
+    (:class:`~repro.trace.fastreplay.FastReplayUnsupported`) — and from
+    there to direct simulation on :class:`ReplayDivergence`, the full
+    three-stage chain.  Observed runs go straight to DES replay, whose
+    span instrumentation the fast path deliberately omits;
+    ``fast_replay=False`` forces DES replay for every hit.
     """
     replayable, _ = is_replayable_config(config)
     if not replayable:
         return run_experiment(config, observer=observer), "direct"
     trace = store.load(config)
     if trace is not None:
+        if fast_replay and observer is None:
+            from repro.trace import fastreplay as _fastreplay
+
+            try:
+                return (
+                    _fastreplay.fast_replay_experiment(config, trace),
+                    "replayed",
+                )
+            except _fastreplay.FastReplayUnsupported:
+                pass  # inexpressible point: DES replay below
+            except ReplayDivergence:
+                pass  # DES replay below reproduces the verdict
         try:
             return (
                 replay_experiment(config, trace, observer=observer),

@@ -13,10 +13,20 @@ same artifact and artifacts from older engines simply miss.
 
 Writes are atomic (temp file + rename): two campaign workers capturing
 the same behaviour key race harmlessly — both write identical content.
-Loads go through a small per-process LRU keyed on the artifact's stat
-signature, so a serial campaign replaying one behaviour class across
-twelve tier/MBA points decompresses its artifact once, not twelve
-times (a rewritten artifact changes the signature and misses).
+Loads go through a small per-process LRU keyed on the artifact's size,
+``mtime_ns`` *and* a SHA-256 prefix of its bytes, so a serial campaign
+replaying one behaviour class across twelve tier/MBA points
+decompresses its artifact once, not twelve times — and a same-mtime
+overwrite (two captures landing within the filesystem's timestamp
+granularity) can never serve the stale content, because the content
+digest disagrees even when the stat signature does not.
+
+Campaign and service workers can additionally hold a *shared-memory
+view*: :func:`install_shared_view` registers a manifest of
+behaviour-key → :class:`~repro.trace.shm.SegmentDescriptor` published
+by the parent, and :meth:`TraceStore.load` resolves those keys by
+zero-copy attachment (no disk read, no decompression) before falling
+back to the artifact file.
 """
 
 from __future__ import annotations
@@ -44,9 +54,34 @@ _SUFFIX = ".trace.pkl.gz"
 #: so cheap level-1 deflate beats spending capture time on ratio.
 _GZIP_LEVEL = 1
 
-#: Per-process load cache: (path, mtime_ns, size) -> WorkloadTrace.
-_LOAD_CACHE: "OrderedDict[tuple[str, int, int], WorkloadTrace]" = OrderedDict()
+#: Per-process load cache:
+#: (path, size, mtime_ns, sha256 prefix) -> WorkloadTrace.
+_LOAD_CACHE: "OrderedDict[tuple[str, int, int, str], WorkloadTrace]" = (
+    OrderedDict()
+)
 _LOAD_CACHE_LIMIT = 8
+
+#: Process-local manifest of shared-memory-published artifacts
+#: (trace_key → :class:`repro.trace.shm.SegmentDescriptor`), installed
+#: into pool workers by the campaign runner / service parent.
+_SHARED_VIEW: dict[str, t.Any] = {}
+
+
+def install_shared_view(manifest: "dict[str, t.Any] | None") -> None:
+    """Register published segments for this process's trace loads.
+
+    Keys are content-addressed (:func:`trace_key` folds in the engine
+    and format versions), so installing is cumulative and idempotent —
+    a manifest can only ever add segments for keys this process has not
+    seen, never redefine one.
+    """
+    if manifest:
+        _SHARED_VIEW.update(manifest)
+
+
+def clear_shared_view() -> None:
+    """Drop every registered segment descriptor (tests, shutdown)."""
+    _SHARED_VIEW.clear()
 
 
 def trace_key(config: "ExperimentConfig") -> str:
@@ -114,18 +149,31 @@ class TraceStore:
         checksum-failing artifacts all resolve to a miss — the caller
         captures (or simulates) instead of trusting a stale trace.
         """
-        path = self.path_for(config)
+        key = trace_key(config)
+        descriptor = _SHARED_VIEW.get(key)
+        if descriptor is not None:
+            from repro.trace import shm as _shm
+
+            shared = _shm.attach(descriptor)
+            if shared is not None:
+                # Published traces were version-checked and intact when
+                # the parent loaded them; the segment bytes are those
+                # exact arrays.
+                return shared
+        path = self.root / f"{key}{_SUFFIX}"
         try:
             stat = path.stat()
+            payload = path.read_bytes()
         except OSError:
             return None
-        cache_key = (str(path), stat.st_mtime_ns, stat.st_size)
+        digest = hashlib.sha256(payload).hexdigest()[:16]
+        cache_key = (str(path), stat.st_size, stat.st_mtime_ns, digest)
         cached = _LOAD_CACHE.get(cache_key)
         if cached is not None:
             _LOAD_CACHE.move_to_end(cache_key)
             return cached
         try:
-            trace = pickle.loads(gzip.decompress(path.read_bytes()))
+            trace = pickle.loads(gzip.decompress(payload))
         except Exception:  # noqa: BLE001 - corrupt artifact == miss
             return None
         if not isinstance(trace, WorkloadTrace):

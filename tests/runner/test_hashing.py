@@ -108,3 +108,37 @@ def test_result_round_trip_value_identical():
     for name, report in result.telemetry.energy.items():
         assert restored.telemetry.energy[name] == report
     assert result_to_dict(restored) == result_to_dict(result)
+
+
+# -------------------------------------------------------------- memoization
+def test_hash_memoizes_on_the_instance():
+    """The PR-8 satellite: campaigns hash the same frozen config at
+    resume filtering, trace keying and result caching — the digest is
+    computed once per instance and then served from the memo."""
+    config = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    assert "_config_hash_memo" not in config.__dict__
+    first = config_hash(config)
+    assert "_config_hash_memo" in config.__dict__
+    assert config_hash(config) is first  # the memoized string itself
+
+
+def test_memo_is_engine_version_sensitive(monkeypatch):
+    """A memo recorded under one engine version must not be served
+    under another — the version is part of the memo, not assumed."""
+    import repro.runner.hashing as hashing
+
+    config = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    before = config_hash(config)
+    monkeypatch.setattr(
+        hashing, "ENGINE_VERSION", hashing.ENGINE_VERSION + "-next"
+    )
+    assert config_hash(config) != before
+
+
+def test_memo_does_not_leak_into_equality_or_serialization():
+    a = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    b = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    config_hash(a)  # memoize on ``a`` only
+    assert a == b and hash(a) == hash(b)
+    assert config_to_dict(a) == config_to_dict(b)
+    assert config_hash(a) == config_hash(b)

@@ -1,0 +1,65 @@
+"""Service-side shared-memory transport: pooled replays attach the
+parent's published segments, and a drained service leaks none."""
+
+import asyncio
+from pathlib import Path
+
+from repro import api
+from repro.analysis.resultstore import result_to_dict
+from repro.core.experiment import run_experiment
+from repro.options import RunOptions
+from repro.service import ExperimentService
+from repro.trace.shm import _SEGMENT_PREFIX
+
+DEV_SHM = Path("/dev/shm")
+
+
+def our_segments() -> set[str]:
+    if not DEV_SHM.exists():  # pragma: no cover - non-tmpfs platforms
+        return set()
+    return {p.name for p in DEV_SHM.iterdir() if _SEGMENT_PREFIX in p.name}
+
+
+def test_pooled_service_publishes_and_drains_cleanly(tmp_path):
+    """Two behaviour classes × two tiers through a 2-process pool: the
+    replay jobs resolve through published segments, results stay
+    bit-identical to direct runs, and shutdown unlinks every segment."""
+    points = [
+        api.config(workload, size="tiny", tier=tier)
+        for workload in ("sort", "repartition")
+        for tier in (0, 2)
+    ]
+    before = our_segments()
+
+    async def main():
+        options = RunOptions(workers=2, trace_dir=tmp_path)
+        async with ExperimentService(options, heartbeat=0) as service:
+            jobs = [await service.submit(c) for c in points]
+            results = [await job.result() for job in jobs]
+            published = service.metrics.counter("service.shm_published")
+            statuses = [job.status for job in jobs]
+        return results, statuses, published
+
+    results, statuses, published = asyncio.run(main())
+    # First job per class captures; the second replays its artifact.
+    assert statuses.count("captured") == 2
+    assert statuses.count("replayed") == 2
+    assert published >= 2  # each class published once for its replay
+    for point, result in zip(points, results):
+        assert result_to_dict(result) == result_to_dict(run_experiment(point))
+    assert our_segments() == before  # drained: zero leaked segments
+
+
+def test_serial_service_skips_publication(tmp_path):
+    """A serial (thread-pool) service shares a process with its worker,
+    so it must not pay the copy into shared memory at all."""
+    point = api.config("sort", size="tiny", tier=1)
+
+    async def main():
+        options = RunOptions(workers=None, trace_dir=tmp_path)
+        async with ExperimentService(options, heartbeat=0) as service:
+            await service.run(point)
+            await service.run(point.with_options(tier=3))
+            return service.metrics.counter("service.shm_published")
+
+    assert asyncio.run(main()) == 0

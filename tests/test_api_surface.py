@@ -84,13 +84,14 @@ def test_session_surface_is_pinned():
 def test_run_options_fields_are_pinned():
     assert OPTION_FIELDS == (
         "workers", "cache_dir", "observe", "reuse_traces",
-        "trace_dir", "resume", "priority",
+        "fast_replay", "trace_dir", "resume", "priority",
     )
     options = RunOptions()
     assert options.workers is None
     assert options.cache_dir is None
     assert options.observe is None
     assert options.reuse_traces is True
+    assert options.fast_replay is True
     assert options.trace_dir is None
     assert options.resume is True
     assert options.priority == 0

@@ -1,0 +1,249 @@
+"""Vectorized fast-path replay: bit-identical to DES replay, with the
+fastreplay → DES replay → direct simulation fallback chain intact."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resultstore import result_to_dict
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.faults import FaultConfig
+from repro.trace import (
+    FastReplayUnsupported,
+    ReplayDivergence,
+    TraceStore,
+    capture_experiment,
+    fast_replay_eligibility,
+    fast_replay_experiment,
+    replay_experiment,
+    run_with_trace,
+    trace_key,
+)
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+#: Captures are the expensive half; share them across hypothesis
+#: examples, keyed by behaviour (the same key the on-disk store uses).
+#: The behaviour key folds in executor geometry, so every geometry gets
+#: its own capture and replays vary only the timing axes.
+_CAPTURES: dict[str, object] = {}
+
+
+def capture_for(config: ExperimentConfig):
+    key = trace_key(config)
+    trace = _CAPTURES.get(key)
+    if trace is None:
+        base = config.with_options(tier=0, mba_percent=100, cpu_socket=1)
+        _, trace = capture_experiment(base)
+        assert trace is not None
+        _CAPTURES[key] = trace
+    return trace
+
+
+# ------------------------------------------------------------------ property
+
+@given(
+    workload=st.sampled_from(["sort", "repartition", "wordcount"]),
+    tier=st.integers(0, 3),
+    mba=st.sampled_from([10, 30, 50, 70, 90, 100]),
+    socket=st.sampled_from([0, 1]),
+    geometry=st.sampled_from([(1, 40), (2, 4), (3, 8), (4, 2)]),
+)
+@SETTINGS
+def test_fastreplay_equals_des_replay(workload, tier, mba, socket, geometry):
+    """The tentpole guarantee: for any tier/MBA/socket/executor geometry
+    the micro-kernel re-timer returns the byte-identical result dict
+    DES replay does — simulated time, telemetry counters, energy,
+    mitigation, outputs."""
+    executors, cores = geometry
+    config = ExperimentConfig(
+        workload=workload,
+        size="tiny",
+        tier=tier,
+        mba_percent=mba,
+        cpu_socket=socket,
+        num_executors=executors,
+        executor_cores=cores,
+    )
+    trace = capture_for(config)
+    fast = fast_replay_experiment(config, trace)
+    des = replay_experiment(config, trace)
+    assert result_to_dict(fast) == result_to_dict(des)
+
+
+# ------------------------------------------------------------ explicit grid
+
+def test_one_capture_serves_every_tier_and_matches_direct():
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    _, trace = capture_experiment(config)
+    assert trace is not None
+    for tier in range(4):
+        target = config.with_options(tier=tier)
+        assert result_to_dict(
+            fast_replay_experiment(target, trace)
+        ) == result_to_dict(run_experiment(target))
+
+
+def test_golden_pin_sort_tiny():
+    """Absolute pin: fast replay reproduces the exact simulated seconds
+    of a from-scratch run, not merely something close."""
+    config = ExperimentConfig(workload="sort", size="tiny", tier=2)
+    _, trace = capture_experiment(config)
+    fast = fast_replay_experiment(config, trace)
+    direct = run_experiment(config)
+    assert fast.execution_time == direct.execution_time
+    assert fast.telemetry.events == direct.telemetry.events
+    assert fast.telemetry.energy == direct.telemetry.energy
+    assert result_to_dict(fast) == result_to_dict(direct)
+
+
+# ----------------------------------------------------------------- the gate
+
+def test_eligibility_accepts_plain_configs():
+    config = ExperimentConfig(workload="repartition", size="tiny")
+    trace = capture_for(config)
+    eligible, reason = fast_replay_eligibility(config, trace)
+    assert eligible and not reason
+
+
+def test_eligibility_rejects_faulted_and_speculative_configs():
+    config = ExperimentConfig(workload="sort", size="tiny")
+    trace = capture_for(config)
+    for override in (
+        {"faults": FaultConfig(seed=1, task_crash_prob=0.1)},
+        {"speculation": True},
+    ):
+        eligible, reason = fast_replay_eligibility(
+            config.with_options(**override), trace
+        )
+        assert not eligible and reason
+
+
+def test_speculation_raises_replaydivergence_like_des_replay():
+    """Speculation changes *behaviour*, so ``check_compatible`` rejects
+    it before the eligibility gate — same verdict as DES replay."""
+    config = ExperimentConfig(workload="sort", size="tiny")
+    trace = capture_for(config)
+    with pytest.raises(ReplayDivergence):
+        fast_replay_experiment(config.with_options(speculation=True), trace)
+
+
+def test_unsized_truthy_hdfs_write_raises_fastreplayunsupported():
+    """The one residue shape the micro-kernel refuses: a truthy but
+    unsized result feeding an HDFS write (its ``TypeError`` drives DES
+    replay's own divergence path, so the fast path defers)."""
+    config = ExperimentConfig(workload="sort", size="tiny")
+    _, trace = capture_experiment(config)
+    ts = trace.jobs[-1].task_sets[-1]
+    ts.hdfs_path = ts.hdfs_path or "/forced/out"
+    ts.ints["result_truthy"][:] = 1
+    ts.ints["result_len"][:] = -1
+    trace.seal()
+    eligible, reason = fast_replay_eligibility(config, trace)
+    assert not eligible and "unsized" in reason
+    with pytest.raises(FastReplayUnsupported):
+        fast_replay_experiment(config, trace)
+
+
+def test_behaviour_skew_raises_replaydivergence():
+    config = ExperimentConfig(workload="sort", size="tiny")
+    trace = capture_for(config)
+    with pytest.raises(ReplayDivergence):
+        fast_replay_experiment(config.with_options(num_executors=2), trace)
+
+
+# --------------------------------------------------------- fallback chain
+
+def _store_with_capture(tmp_path, config):
+    store = TraceStore(tmp_path)
+    _, trace = capture_experiment(config)
+    store.save(config, trace)
+    return store
+
+
+def test_run_with_trace_uses_fast_path(tmp_path, monkeypatch):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=1)
+    store = _store_with_capture(tmp_path, config)
+    calls = []
+    from repro.trace import fastreplay as fr
+
+    real = fr.fast_replay_experiment
+    monkeypatch.setattr(
+        fr, "fast_replay_experiment",
+        lambda *a, **k: calls.append("fast") or real(*a, **k),
+    )
+    result, how = run_with_trace(config, store)
+    assert how == "replayed" and calls == ["fast"]
+    assert result_to_dict(result) == result_to_dict(run_experiment(config))
+
+
+def test_fastreplayunsupported_falls_back_to_des_replay(tmp_path, monkeypatch):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=1)
+    store = _store_with_capture(tmp_path, config)
+    from repro.trace import fastreplay as fr
+    from repro.trace import replay as replay_mod
+
+    def _unsupported(*a, **k):
+        raise FastReplayUnsupported("forced")
+
+    calls = []
+    real_des = replay_mod.replay_experiment
+    monkeypatch.setattr(fr, "fast_replay_experiment", _unsupported)
+    monkeypatch.setattr(
+        replay_mod, "replay_experiment",
+        lambda *a, **k: calls.append("des") or real_des(*a, **k),
+    )
+    result, how = run_with_trace(config, store)
+    assert how == "replayed" and calls == ["des"]
+    assert result_to_dict(result) == result_to_dict(run_experiment(config))
+
+
+def test_double_divergence_falls_back_to_direct(tmp_path, monkeypatch):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=1)
+    store = _store_with_capture(tmp_path, config)
+    from repro.trace import fastreplay as fr
+    from repro.trace import replay as replay_mod
+
+    def _diverge(*a, **k):
+        raise ReplayDivergence("forced")
+
+    monkeypatch.setattr(fr, "fast_replay_experiment", _diverge)
+    monkeypatch.setattr(replay_mod, "replay_experiment", _diverge)
+    result, how = run_with_trace(config, store)
+    assert how == "direct"
+    assert result_to_dict(result) == result_to_dict(run_experiment(config))
+
+
+def test_fast_replay_false_forces_des_replay(tmp_path, monkeypatch):
+    config = ExperimentConfig(workload="sort", size="tiny", tier=1)
+    store = _store_with_capture(tmp_path, config)
+    from repro.trace import fastreplay as fr
+
+    def _must_not_run(*a, **k):  # pragma: no cover - guard
+        raise AssertionError("fast path must be disabled")
+
+    monkeypatch.setattr(fr, "fast_replay_experiment", _must_not_run)
+    result, how = run_with_trace(config, store, fast_replay=False)
+    assert how == "replayed"
+    assert result_to_dict(result) == result_to_dict(run_experiment(config))
+
+
+def test_observed_runs_go_through_des_replay(tmp_path, monkeypatch):
+    """Fast replay skips span instrumentation, so observed points must
+    resolve through DES replay (whose spans are complete)."""
+    from repro.obs import ObsConfig, Observer
+    from repro.trace import fastreplay as fr
+
+    config = ExperimentConfig(workload="sort", size="tiny", tier=1)
+    store = _store_with_capture(tmp_path, config)
+
+    def _must_not_run(*a, **k):  # pragma: no cover - guard
+        raise AssertionError("observed runs must not use the fast path")
+
+    monkeypatch.setattr(fr, "fast_replay_experiment", _must_not_run)
+    observer = Observer(ObsConfig())
+    result, how = run_with_trace(config, store, observer=observer)
+    assert how == "replayed"
+    assert result_to_dict(result) == result_to_dict(run_experiment(config))

@@ -118,3 +118,38 @@ def test_load_cache_returns_same_object_until_rewrite(tmp_path):
     os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
     fresh = store.load(config)
     assert fresh is not None and fresh is not first
+
+
+def test_same_mtime_overwrite_is_not_served_stale(tmp_path):
+    """The PR-8 satellite: the load cache folds a content digest into
+    its key, so an artifact overwritten in-place with the *same* size
+    and mtime_ns (rsync-style restores, coarse filesystem timestamps)
+    must serve the new bytes instead of the cached trace."""
+    config = ExperimentConfig(workload="sort", size="tiny", tier=0)
+    store = TraceStore(tmp_path)
+    original = make_trace(config)
+    replacement = make_trace(config)
+    replacement.jobs[-1].task_sets[0].floats["compute_ops"][0] += 1.0
+    replacement.seal()  # recompute the checksum over the mutated residue
+
+    # compresslevel=0 stores the pickles verbatim, so equal-length
+    # pickles give equal-length artifacts — size cannot tell them apart.
+    payload_a = gzip.compress(pickle.dumps(original), compresslevel=0)
+    payload_b = gzip.compress(pickle.dumps(replacement), compresslevel=0)
+    assert len(payload_a) == len(payload_b)
+
+    path = store.path_for(config)
+    path.write_bytes(payload_a)
+    stat = path.stat()
+    first = store.load(config)
+    assert first is not None
+    assert store.load(config) is first  # cached under the digest key
+
+    path.write_bytes(payload_b)
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+    after = path.stat()
+    assert (after.st_size, after.st_mtime_ns) == (stat.st_size, stat.st_mtime_ns)
+
+    fresh = store.load(config)
+    assert fresh is not None and fresh is not first
+    assert fresh.checksum == replacement.checksum != original.checksum
