@@ -60,10 +60,18 @@ class RunOptions:
     #: (:mod:`repro.trace.fastreplay`) instead of event-by-event DES
     #: replay — bit-identical, several times faster; ineligible points
     #: fall back to DES replay automatically.  ``False`` forces DES
-    #: replay for every hit (observed runs always use DES replay).
+    #: replay for every hit (observed runs take the fast path too; the
+    #: re-timer emits the same spans DES replay does).
     fast_replay: bool = True
+    #: Persist generated input datasets as memory-mapped artifacts
+    #: (:mod:`repro.workloads.datacache`) so capture/direct points skip
+    #: regeneration — value-identical, keyed on generator version and
+    #: parameters.  ``False`` regenerates every dataset from its seed.
+    dataset_cache: bool = True
     #: Trace-artifact directory (default ``<cache_dir>/traces``).
     trace_dir: str | Path | None = None
+    #: Dataset-artifact directory (default ``<cache_dir>/datasets``).
+    dataset_dir: str | Path | None = None
     #: With a cache: reuse results already present (``False`` clears the
     #: cache first; trace artifacts are kept either way).
     resume: bool = True
@@ -98,6 +106,22 @@ class RunOptions:
             return Path(self.cache_dir) / "traces"
         return None
 
+    def dataset_root(self) -> Path | None:
+        """Where dataset artifacts live, or ``None`` when caching is off.
+
+        ``dataset_dir`` wins; otherwise ``<cache_dir>/datasets``; with
+        neither configured there is no durable location and callers
+        fall back to their own scoping (the campaign runner uses a
+        private temporary directory).
+        """
+        if not self.dataset_cache:
+            return None
+        if self.dataset_dir is not None:
+            return Path(self.dataset_dir)
+        if self.cache_dir is not None:
+            return Path(self.cache_dir) / "datasets"
+        return None
+
     def runner_kwargs(self) -> dict[str, t.Any]:
         """The :class:`repro.runner.CampaignRunner` constructor view."""
         return {
@@ -106,7 +130,9 @@ class RunOptions:
             "resume": self.resume,
             "reuse_traces": self.reuse_traces,
             "fast_replay": self.fast_replay,
+            "dataset_cache": self.dataset_cache,
             "trace_dir": self.trace_dir,
+            "dataset_dir": self.dataset_dir,
             "observe": self.observe,
         }
 
@@ -187,7 +213,13 @@ def add_options_args(
         "fast_replay": "serve trace hits through the vectorized "
                        "fast-path re-timer (bit-identical; --no-fast-replay "
                        "forces event-by-event DES replay)",
+        "dataset_cache": "reuse generated input datasets as memory-mapped "
+                         "artifacts under CACHE_DIR/datasets "
+                         "(value-identical; --no-dataset-cache regenerates "
+                         "every dataset)",
         "trace_dir": "trace-artifact directory (default: CACHE_DIR/traces)",
+        "dataset_dir": "dataset-artifact directory "
+                       "(default: CACHE_DIR/datasets)",
         "resume": "reuse results already in the cache; --no-resume "
                   "clears cached results first (traces are kept)",
         "priority": "service scheduling priority (higher runs first)",

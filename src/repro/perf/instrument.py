@@ -23,6 +23,11 @@ from repro.perf.profiler import PerfProfile
 #: their call sites see the wrapper too.
 _TARGETS: tuple[tuple[str, str | None, str, str], ...] = (
     ("repro.sim.core", "Environment", "step", "sim.kernel"),
+    # Patching ``step`` disables the batched drain (``run`` detects the
+    # wrapper and falls back to one-step-per-event), so under a profile
+    # ``run``'s exclusive time is the dispatch-loop overhead the batch
+    # path exists to remove.
+    ("repro.sim.core", "Environment", "run", "sim.dispatch"),
     ("repro.spark.executor", "Executor", "_evaluate", "rdd.compute"),
     ("repro.spark.executor", "Executor", "_write_shuffle_output", "spark.shuffle"),
     ("repro.spark.shuffle", "ShuffleManager", "add_map_output", "spark.shuffle"),
@@ -38,6 +43,11 @@ _TARGETS: tuple[tuple[str, str | None, str, str], ...] = (
     ("repro.workloads.datagen", None, "labeled_vectors", "workload.datagen"),
     ("repro.workloads.datagen", None, "bag_of_words_docs", "workload.datagen"),
     ("repro.workloads.datagen", None, "web_graph", "workload.datagen"),
+    # Dataset artifact cache: loads/stores nest inside the datagen spans
+    # above only on a memo miss, so exclusive attribution shows how much
+    # of the prepare phase the cache absorbs versus regeneration.
+    ("repro.workloads.datacache", "DatasetCache", "load", "datagen.cache"),
+    ("repro.workloads.datacache", "DatasetCache", "store", "datagen.cache"),
     # Trace-once/replay-many engine: the capture pass nests the real
     # engine spans above (exclusive attribution separates them); the
     # replay pass is pure DES re-timing, so its span *is* the replay

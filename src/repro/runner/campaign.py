@@ -38,6 +38,7 @@ this module exploits:
 
 from __future__ import annotations
 
+import gc
 import tempfile
 import time
 import traceback
@@ -45,6 +46,7 @@ import typing as t
 import weakref
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -75,12 +77,37 @@ _TRACE_STATUS = {
 }
 
 
+@contextmanager
+def _paused_gc() -> t.Iterator[None]:
+    """Suspend the cyclic collector across a hot execution region.
+
+    Campaign points allocate millions of short-lived tuples, lists and
+    event records that die by refcount alone; generational collections
+    triggered mid-point only re-scan the live heap over and over.  No
+    simulated value depends on allocation timing, so pausing collection
+    is a pure wall-clock win.  Reentrant-safe: an inner pause inside an
+    already-paused region is a no-op, and only the frame that disabled
+    the collector restores it — with one catch-up collection so cyclic
+    garbage from the region cannot outlive it.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+        gc.collect()
+
+
 def _execute_point(
     config: ExperimentConfig,
     trace_root: str | None = None,
     obs_dir: str | None = None,
     shm_manifest: "dict[str, t.Any] | None" = None,
     fast_replay: bool = True,
+    dataset_root: str | None = None,
 ) -> tuple[ExperimentResult, str]:
     """Worker entry point (module-level so it pickles into the pool).
 
@@ -96,12 +123,26 @@ def _execute_point(
     artifact file (keys are content-addressed, so repeated installs
     across a persistent worker's lifetime are cumulative and safe).
 
+    ``dataset_root`` activates the process-wide dataset artifact cache
+    (:mod:`repro.workloads.datacache`) so capture/direct points load
+    generated inputs from memory-mapped artifacts instead of
+    regenerating them — value-identical, keyed on generator version and
+    parameters.  Activation is idempotent per root, so a persistent
+    pool worker configures once and keeps its in-process load cache
+    warm across points.
+
     With an observation directory, the worker builds its own
     :class:`repro.obs.Observer` and writes this point's artifacts as
     ``<obs_dir>/<config_hash>.trace.json`` / ``.metrics.json`` — keyed
     by content hash, so a resumed campaign's cached points never re-emit
     and re-executed points overwrite with identical content.
     """
+    if dataset_root is not None:
+        from repro.workloads import datacache
+
+        cache = datacache.active()
+        if cache is None or str(cache.root) != str(dataset_root):
+            datacache.configure(dataset_root)
     observer = None
     key = None
     if obs_dir is not None:
@@ -119,18 +160,22 @@ def _execute_point(
         from repro.trace.store import install_shared_view
 
         install_shared_view(shm_manifest)
-    if trace_root is None:
-        result, status = run_experiment(config, observer=observer), STATUS_EXECUTED
-    else:
-        from repro.trace import TraceStore, run_with_trace
+    with _paused_gc():
+        if trace_root is None:
+            result, status = (
+                run_experiment(config, observer=observer),
+                STATUS_EXECUTED,
+            )
+        else:
+            from repro.trace import TraceStore, run_with_trace
 
-        result, how = run_with_trace(
-            config,
-            TraceStore(trace_root),
-            observer=observer,
-            fast_replay=fast_replay,
-        )
-        status = _TRACE_STATUS[how]
+            result, how = run_with_trace(
+                config,
+                TraceStore(trace_root),
+                observer=observer,
+                fast_replay=fast_replay,
+            )
+            status = _TRACE_STATUS[how]
     if observer is not None:
         observer.export(
             {
@@ -339,8 +384,19 @@ class CampaignRunner:
     fast_replay:
         ``True`` (default) serves trace hits through the vectorized
         fast-path re-timer (bit-identical to DES replay, with automatic
-        fallback for points it cannot express).  ``False`` forces
-        event-by-event DES replay for every hit.
+        fallback for points it cannot express; observed points take the
+        fast path too).  ``False`` forces event-by-event DES replay for
+        every hit.
+    dataset_cache:
+        ``True`` (default) persists generated input datasets as
+        memory-mapped artifacts under ``dataset_dir`` (default
+        ``<cache_dir>/datasets``, or a runner-scoped temporary
+        directory without either) so capture and direct points skip
+        dataset regeneration — value-identical, keyed on generator
+        version and parameters.  ``False`` regenerates every dataset
+        from its seed.
+    dataset_dir:
+        Override for the dataset-artifact directory.
     trace_dir:
         Override for the trace-artifact directory.  Defaults to
         ``<cache_dir>/traces``; without a cache, a private temporary
@@ -370,6 +426,8 @@ class CampaignRunner:
         observe: t.Any = None,
         options: RunOptions | None = None,
         fast_replay: bool = True,
+        dataset_cache: bool = True,
+        dataset_dir: str | Path | None = None,
     ) -> None:
         if options is not None:
             # One RunOptions overrides the individual knobs — the path
@@ -380,7 +438,9 @@ class CampaignRunner:
             resume = kw["resume"]
             reuse_traces = kw["reuse_traces"]
             fast_replay = kw["fast_replay"]
+            dataset_cache = kw["dataset_cache"]
             trace_dir = kw["trace_dir"]
+            dataset_dir = kw["dataset_dir"]
             observe = kw["observe"]
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
@@ -413,6 +473,18 @@ class CampaignRunner:
                 prefix="repro-traces-"
             )
             self.trace_root = Path(self._trace_tmp.name)
+        self._dataset_tmp: tempfile.TemporaryDirectory | None = None
+        if not dataset_cache:
+            self.dataset_root: Path | None = None
+        elif dataset_dir is not None:
+            self.dataset_root = Path(dataset_dir)
+        elif cache_dir is not None:
+            self.dataset_root = Path(cache_dir) / "datasets"
+        else:
+            self._dataset_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-datasets-"
+            )
+            self.dataset_root = Path(self._dataset_tmp.name)
         self.obs = _coerce_obs_config(observe)
         self._obs_tmp: tempfile.TemporaryDirectory | None = None
         if self.obs is None:
@@ -593,16 +665,41 @@ class CampaignRunner:
     ) -> None:
         trace_root = None if self.trace_root is None else str(self.trace_root)
         obs_dir = None if self.obs_dir is None else str(self.obs_dir)
-        for point in primaries:
-            try:
-                result, status = _execute_point(
-                    point.config, trace_root, obs_dir, None, self.fast_replay
+        dataset_root = (
+            None if self.dataset_root is None else str(self.dataset_root)
+        )
+        # Serial points execute in *this* process; remember the caller's
+        # dataset cache (if any) so running a campaign never leaves the
+        # runner's — possibly temporary — cache installed afterwards.
+        from repro.workloads import datacache
+
+        prev_cache = datacache.active()
+        try:
+            # One collector pause spans the whole wave: serial points run
+            # back to back in this process, so the per-point pause inside
+            # ``_execute_point`` would re-enable (and catch-up collect)
+            # between every pair of points for no benefit.
+            with _paused_gc():
+                for point in primaries:
+                    try:
+                        result, status = _execute_point(
+                            point.config,
+                            trace_root,
+                            obs_dir,
+                            None,
+                            self.fast_replay,
+                            dataset_root,
+                        )
+                        self._record(point, result, status)
+                    except Exception as exc:  # noqa: BLE001 - point isolation
+                        point.error = f"{type(exc).__name__}: {exc}"
+                        point.status = STATUS_FAILED
+                    self._emit_progress(report, started)
+        finally:
+            if dataset_root is not None:
+                datacache.configure(
+                    None if prev_cache is None else prev_cache.root
                 )
-                self._record(point, result, status)
-            except Exception as exc:  # noqa: BLE001 - point isolation
-                point.error = f"{type(exc).__name__}: {exc}"
-                point.status = STATUS_FAILED
-            self._emit_progress(report, started)
 
     def _run_pool(
         self,
@@ -613,6 +710,9 @@ class CampaignRunner:
     ) -> None:
         trace_root = None if self.trace_root is None else str(self.trace_root)
         obs_dir = None if self.obs_dir is None else str(self.obs_dir)
+        dataset_root = (
+            None if self.dataset_root is None else str(self.dataset_root)
+        )
         pool = self._ensure_pool()
         broken = False
         futures: dict[Future, CampaignPoint] = {
@@ -623,6 +723,7 @@ class CampaignRunner:
                 obs_dir,
                 shm_manifest,
                 self.fast_replay,
+                dataset_root,
             ): point
             for point in primaries
         }
@@ -773,6 +874,8 @@ def run_campaign(
     observe: t.Any = None,
     options: RunOptions | None = None,
     fast_replay: bool = True,
+    dataset_cache: bool = True,
+    dataset_dir: str | Path | None = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`.
 
@@ -791,6 +894,8 @@ def run_campaign(
         observe=observe,
         options=options,
         fast_replay=fast_replay,
+        dataset_cache=dataset_cache,
+        dataset_dir=dataset_dir,
     )
     try:
         return runner.run(configs)

@@ -90,6 +90,14 @@ class ExperimentService:
     heartbeat:
         Seconds between ``progress`` events for running jobs
         (``0`` disables the heartbeat task).
+    max_shm_bytes:
+        Bound on the total payload the service's *one*
+        :class:`~repro.trace.shm.SharedTraceCache` may hold in
+        ``/dev/shm`` across every behaviour class it publishes.
+        Publishing past the bound evicts least-recently-dispatched
+        segments (workers already attached keep their mappings; later
+        replays of an evicted class fall back to the on-disk artifact).
+        ``None`` disables the bound.
     execute:
         Worker entry point override for tests: a callable
         ``(config, trace_root, obs_dir) -> (result, status)``.  The
@@ -109,12 +117,14 @@ class ExperimentService:
         max_queue: int = 64,
         max_inflight_per_client: int = 16,
         heartbeat: float = 0.5,
+        max_shm_bytes: int | None = 256 * 1024 * 1024,
         execute: t.Callable[..., t.Any] | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_inflight_per_client < 1:
             raise ValueError("max_inflight_per_client must be >= 1")
+        self.max_shm_bytes = max_shm_bytes
         self.options = options if options is not None else RunOptions()
         self.max_queue = max_queue
         self.max_inflight_per_client = max_inflight_per_client
@@ -152,11 +162,15 @@ class ExperimentService:
         self._cache: ResultCache | None = None
         self._trace_tmp: tempfile.TemporaryDirectory | None = None
         self._trace_root: Path | None = None
-        #: Shared-memory trace segments published to pool workers
-        #: (created lazily on the first replayable dispatch).
+        #: The service's one shared-memory trace cache: every behaviour
+        #: class publishes into it (created lazily on the first
+        #: replayable dispatch), and ``max_shm_bytes`` caps its total
+        #: ``/dev/shm`` footprint via LRU eviction.
         self._shm_cache: t.Any | None = None
         self._obs_tmp: tempfile.TemporaryDirectory | None = None
         self._obs_dir: Path | None = None
+        self._dataset_tmp: tempfile.TemporaryDirectory | None = None
+        self._dataset_root: Path | None = None
         # Observability --------------------------------------------------------
         from repro.obs import MetricsRegistry, Observer
 
@@ -201,6 +215,14 @@ class ExperimentService:
                 )
                 root = Path(self._trace_tmp.name)
             self._trace_root = root
+        if self.options.dataset_cache:
+            dataset_root = self.options.dataset_root()
+            if dataset_root is None:
+                self._dataset_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-service-datasets-"
+                )
+                dataset_root = Path(self._dataset_tmp.name)
+            self._dataset_root = dataset_root
         if self.observer is not None:
             if self.observer.config.artifact_dir is not None:
                 self._obs_dir = Path(self.observer.config.artifact_dir)
@@ -259,10 +281,23 @@ class ExperimentService:
             # every published segment so a drained service leaks none.
             self._shm_cache.close()
             self._shm_cache = None
-        for tmp in (self._trace_tmp, self._obs_tmp):
+        if self._dataset_root is not None:
+            # Serial jobs execute in this process through a worker
+            # thread, so the process-wide dataset cache may point at
+            # the service's (possibly temporary) root — detach it
+            # before the directory goes away.
+            from repro.workloads import datacache
+
+            active = datacache.active()
+            if active is not None and str(active.root) == str(
+                self._dataset_root
+            ):
+                datacache.deactivate()
+            self._dataset_root = None
+        for tmp in (self._trace_tmp, self._obs_tmp, self._dataset_tmp):
             if tmp is not None:
                 tmp.cleanup()
-        self._trace_tmp = self._obs_tmp = None
+        self._trace_tmp = self._obs_tmp = self._dataset_tmp = None
         self._started = False
 
     async def __aenter__(self) -> "ExperimentService":
@@ -508,8 +543,9 @@ class ExperimentService:
         obs_dir = None if self._obs_dir is None else str(self._obs_dir)
         if self._execute is _execute_point:
             # The stock entry point understands the shared-memory
-            # manifest and the fast-replay switch; ``execute=``
-            # overrides keep the documented 3-argument contract.
+            # manifest, the fast-replay switch and the dataset-artifact
+            # root; ``execute=`` overrides keep the documented
+            # 3-argument contract.
             pool_future = self._loop.run_in_executor(
                 self._executor,
                 self._execute,
@@ -518,6 +554,7 @@ class ExperimentService:
                 obs_dir,
                 self._publish_trace(job),
                 self.options.fast_replay,
+                None if self._dataset_root is None else str(self._dataset_root),
             )
         else:
             pool_future = self._loop.run_in_executor(
@@ -545,15 +582,30 @@ class ExperimentService:
         if not replayable:
             return None
         key = trace_key(job.config)
-        if self._shm_cache is None or key not in self._shm_cache:
+        if self._shm_cache is not None and key in self._shm_cache:
+            # Dispatching this class again makes it the most recently
+            # used — eviction under ``max_shm_bytes`` takes idle
+            # classes first.
+            self._shm_cache.touch(key)
+        else:
             trace = TraceStore(self._trace_root).load(job.config)
             if trace is not None:
                 if self._shm_cache is None:
                     from repro.trace.shm import SharedTraceCache
 
-                    self._shm_cache = SharedTraceCache()
+                    self._shm_cache = SharedTraceCache(
+                        max_bytes=self.max_shm_bytes
+                    )
                 self._shm_cache.publish(key, trace)
                 self.metrics.inc("service.shm_published")
+                self.metrics.set_gauge(
+                    "service.shm_bytes", float(self._shm_cache.nbytes)
+                )
+                if self._shm_cache.evictions:
+                    self.metrics.set_gauge(
+                        "service.shm_evictions",
+                        float(self._shm_cache.evictions),
+                    )
         if self._shm_cache is None or len(self._shm_cache) == 0:
             return None
         return self._shm_cache.manifest()

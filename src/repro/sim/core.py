@@ -9,6 +9,7 @@ hot path untouched.
 from __future__ import annotations
 
 import heapq
+import sys
 import typing as t
 from itertools import count
 
@@ -17,6 +18,11 @@ from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 Infinity = float("inf")
+
+#: Upper bound on recycled Timeout objects kept per environment.  Events
+#: are created and processed roughly 1:1, so the slab stays small; the
+#: cap only guards against pathological bursts pinning memory.
+_SLAB_LIMIT = 128
 
 
 class Environment:
@@ -27,13 +33,16 @@ class Environment:
     which makes simulations fully deterministic.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_timeout_slab")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Process | None = None
+        #: Processed Timeout objects proven unreferenced by :meth:`run`,
+        #: reinitialised by :meth:`timeout` instead of allocated fresh.
+        self._timeout_slab: list[Timeout] = []
 
     # -- introspection -------------------------------------------------------
     @property
@@ -59,8 +68,28 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
-        """Create an event that triggers ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event that triggers ``delay`` time units from now.
+
+        Timeouts are the kernel's dominant allocation (device and
+        channel models yield one per modelled step), so :meth:`run`
+        recycles processed ones it can prove nobody references into a
+        per-environment slab and this constructor reinitialises them —
+        field for field what ``Timeout(self, delay, value)`` produces —
+        instead of allocating fresh objects.
+        """
+        slab = self._timeout_slab
+        if not slab:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        timeout = slab.pop()
+        timeout.callbacks = []
+        timeout._value = value
+        timeout._ok = True
+        timeout._defused = False
+        timeout._delay = delay
+        self.schedule(timeout, delay=delay)
+        return timeout
 
     def process(self, generator: ProcessGenerator) -> Process:
         """Start a new :class:`Process` from ``generator``."""
@@ -123,9 +152,65 @@ class Environment:
                 return until.value
             until.callbacks.append(_stop_simulation)
 
+        if type(self).step is not _BASELINE_STEP:
+            # Instrumented kernels hook the single-event entry point —
+            # ObservedEnvironment overrides ``step`` and repro.perf
+            # swaps a timed wrapper onto this class — and the batched
+            # drain below would bypass them, so any kernel whose
+            # ``step`` is not the pristine function runs the classic
+            # one-step-per-event loop.
+            try:
+                while True:
+                    self.step()
+            except StopSimulation as stop:
+                return stop.value
+            except EmptySchedule:
+                if isinstance(until, Event) and not until.triggered:
+                    raise SimulationError(
+                        "no scheduled events left but until event was not triggered"
+                    ) from None
+                return None
+
+        # Batched dispatch: drain each same-timestamp cohort in one heap
+        # pass with locally-bound pop/queue instead of re-entering
+        # :meth:`step` per event.  Every event still comes off the heap
+        # individually, so the ``(time, priority, insertion order)``
+        # tie-break — and with it every simulated value — is identical
+        # to the single-step loop; events a callback schedules at the
+        # current timestamp join their cohort exactly where the heap
+        # orders them.  Processed Timeouts whose refcount proves them
+        # kernel-owned (the local binding plus the getrefcount argument,
+        # and Event declares no __weakref__ slot) are recycled into the
+        # slab that :meth:`timeout` draws from.
+        queue = self._queue
+        pop = heapq.heappop
+        getrefcount = sys.getrefcount
+        slab = self._timeout_slab
         try:
             while True:
-                self.step()
+                try:
+                    now, _, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule("no scheduled events remain") from None
+                self._now = now
+                while True:
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        # An unhandled failure crashes the simulation,
+                        # like an exception escaping a thread would.
+                        raise t.cast(BaseException, event._value)
+                    if (
+                        type(event) is Timeout
+                        and len(slab) < _SLAB_LIMIT
+                        and getrefcount(event) == 2
+                    ):
+                        slab.append(event)
+                    if queue and queue[0][0] == now:
+                        now, _, _, event = pop(queue)
+                    else:
+                        break
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -134,6 +219,13 @@ class Environment:
                     "no scheduled events left but until event was not triggered"
                 ) from None
             return None
+
+
+#: The pristine single-event dispatcher, captured at import time so
+#: :meth:`Environment.run` can tell when ``step`` has been overridden or
+#: wrapped (observability subclasses, perf instrumentation) and fall
+#: back to the loop that honours those hooks.
+_BASELINE_STEP = Environment.step
 
 
 def _stop_simulation(event: Event) -> None:

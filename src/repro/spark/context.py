@@ -164,11 +164,23 @@ class SparkContext:
         return merge_job_metrics(self.jobs)
 
     def stop(self) -> None:
-        """Release executor heaps and refuse further work."""
+        """Release executor heaps and refuse further work.
+
+        Also severs the context's reference cycle — ``sc → dag →
+        shuffle-stage cache → Stage → RDD → sc`` — so a finished
+        testbed (and the cached partitions, shuffle segments and HDFS
+        blocks hanging off it) is freed by reference counting the
+        moment the caller drops it, instead of lingering for the cyclic
+        collector.  Campaigns pause that collector across whole waves
+        (:mod:`repro.runner.campaign`), which this makes nearly free.
+        """
         if self._stopped:
             return
         for executor in self.task_scheduler.executors:
             executor.allocator.free_all()
+        self.dag._shuffle_stages.clear()
+        self.dag._stage_submissions.clear()
+        self.dag.sc = None  # type: ignore[assignment]
         self._stopped = True
 
     def _check_active(self) -> None:

@@ -81,6 +81,19 @@ class HashPartitioner(Partitioner):
             if kinds == {bytes}:
                 crc32 = zlib.crc32
                 return [crc32(key) % n for key in keys]
+            if kinds == {tuple}:
+                # Token keys like bayes' (class, word): inline the tuple
+                # accumulator once per key instead of re-entering
+                # _portable_hash (same arithmetic, same indices).
+                ph = _portable_hash
+                out = []
+                append = out.append
+                for key in keys:
+                    acc = 0x345678
+                    for item in key:
+                        acc = (acc * 1000003) ^ ph(item)
+                    append((acc & 0x7FFFFFFF) % n)
+                return out
         portable_hash = _portable_hash
         return [portable_hash(key) % n for key in keys]
 

@@ -20,6 +20,7 @@ first action); ``zipWithIndex`` likewise runs its counting job eagerly
 
 from __future__ import annotations
 
+import operator
 import typing as t
 from collections import defaultdict
 
@@ -137,8 +138,10 @@ class RDD(t.Generic[T]):
     def map(
         self, func: t.Callable[[T], U], cost: CostSpec = cost_lib.MAP_COST
     ) -> "RDD[U]":
+        # list(map(...)) applies func element-for-element like the
+        # listcomp did, but drives the loop in C.
         return MapPartitionsRDD(
-            self, lambda part: [func(x) for x in part], cost, name="map"
+            self, lambda part: list(map(func, part)), cost, name="map"
         )
 
     def filter(
@@ -282,19 +285,25 @@ class RDD(t.Generic[T]):
             reduce_cost=reduce_cost,
         )
 
+        missing = object()
+
         def finalize(part: list[tuple[K, t.Any]]) -> list[tuple[K, U]]:
             merged: dict[K, U] = {}
-            for key, value in part:
-                if key in merged:
-                    if map_side_combine:
-                        merged[key] = merge_combiners(merged[key], value)
-                    else:
-                        merged[key] = merge_value(merged[key], value)
-                else:
-                    if map_side_combine:
-                        merged[key] = value
-                    else:
-                        merged[key] = create_combiner(value)
+            get = merged.get
+            if map_side_combine:
+                for key, value in part:
+                    existing = get(key, missing)
+                    merged[key] = (
+                        value if existing is missing
+                        else merge_combiners(existing, value)
+                    )
+            else:
+                for key, value in part:
+                    existing = get(key, missing)
+                    merged[key] = (
+                        create_combiner(value) if existing is missing
+                        else merge_value(existing, value)
+                    )
             return list(merged.items())
 
         return MapPartitionsRDD(
@@ -312,7 +321,7 @@ class RDD(t.Generic[T]):
         reduce_cost: CostSpec = cost_lib.AGGREGATE_COST,
     ) -> "RDD[tuple[K, V]]":
         return self.combine_by_key(
-            lambda v: v, func, func, num_partitions, reduce_cost=reduce_cost
+            _identity, func, func, num_partitions, reduce_cost=reduce_cost
         )
 
     def group_by_key(
@@ -538,11 +547,11 @@ class RDD(t.Generic[T]):
         return heapq.nlargest(n, merged, key=key)
 
     def count_by_key(self) -> dict[K, int]:
-        counted = self.map_values(lambda _v: 1).reduce_by_key(lambda a, b: a + b)
+        counted = self.map_values(lambda _v: 1).reduce_by_key(operator.add)
         return dict(counted.collect())
 
     def count_by_value(self) -> dict[T, int]:
-        counted = self.map(lambda x: (x, 1)).reduce_by_key(lambda a, b: a + b)
+        counted = self.map(lambda x: (x, 1)).reduce_by_key(operator.add)
         return dict(counted.collect())
 
     def sum(self) -> float:
@@ -585,6 +594,11 @@ class RDD(t.Generic[T]):
         )
 
 
+def _identity(value: t.Any) -> t.Any:
+    """Marker combiner for reduce_by_key: the value *is* the combiner."""
+    return value
+
+
 def _make_map_side_combiner(
     create_combiner: t.Callable,
     merge_value: t.Callable,
@@ -593,6 +607,23 @@ def _make_map_side_combiner(
     """Build the map-side pre-aggregation function for a shuffle."""
 
     missing = object()
+
+    if create_combiner is _identity:
+        # reduce_by_key's combiner is the raw value: skip one Python
+        # call per first-seen key in the hot aggregation loop.
+        def combine_identity(
+            records: list[tuple[t.Any, t.Any]]
+        ) -> list[tuple[t.Any, t.Any]]:
+            table: dict[t.Any, t.Any] = {}
+            get = table.get
+            for key, value in records:
+                existing = get(key, missing)
+                table[key] = (
+                    value if existing is missing else merge_value(existing, value)
+                )
+            return list(table.items())
+
+        return combine_identity
 
     def combine(records: list[tuple[t.Any, t.Any]]) -> list[tuple[t.Any, t.Any]]:
         table: dict[t.Any, t.Any] = {}

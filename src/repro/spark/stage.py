@@ -41,17 +41,30 @@ class Stage:
 
 
 def topological_order(final_stage: Stage) -> list[Stage]:
-    """Parents-first ordering of the stage DAG (deterministic)."""
+    """Parents-first ordering of the stage DAG (deterministic).
+
+    Iterative post-order DFS, visiting parents in ascending stage id —
+    the same order a recursive walk would produce.  A recursive closure
+    would close over its own cell, and that reference cycle (kept per
+    job) pins the stage list — and every RDD and cached partition
+    reachable from it — until a cyclic collection; the explicit stack
+    keeps job bookkeeping refcount-collectable.
+    """
     order: list[Stage] = []
     seen: set[int] = set()
-
-    def visit(stage: Stage) -> None:
+    stack: list[tuple[Stage, bool]] = [(final_stage, False)]
+    while stack:
+        stage, expanded = stack.pop()
+        if expanded:
+            order.append(stage)
+            continue
         if stage.stage_id in seen:
-            return
+            continue
         seen.add(stage.stage_id)
-        for parent in sorted(stage.parents, key=lambda s: s.stage_id):
-            visit(parent)
-        order.append(stage)
-
-    visit(final_stage)
+        stack.append((stage, True))
+        # Reverse-sorted push → ascending-id pop, matching recursion.
+        for parent in sorted(
+            stage.parents, key=lambda s: s.stage_id, reverse=True
+        ):
+            stack.append((parent, False))
     return order

@@ -27,6 +27,17 @@ Geometries the micro-kernel cannot express raise
 :class:`FastReplayUnsupported`; :func:`repro.trace.replay.run_with_trace`
 falls back to DES replay (and from there to direct simulation), so the
 fast path is a pure optimisation with no behaviour change.
+
+Observed runs (``observe=``) take this path too: given an observer the
+re-timer emits the same span shapes DES replay produces — the
+experiment/phase/job/stage stack spans, retrospective task spans with
+their intra-task phases via :func:`repro.obs.hooks.emit_task_set_spans`,
+per-executor jvm-startup/stage-broadcast spans and per-stage device
+counter samples — stamped with the identical simulated times, plus the
+``job.*`` / ``experiment.*`` / ``mitigation.*`` registry metrics.  The
+``sim.events_*`` counters count micro-kernel events (the walk never
+schedules through the generic kernel), which is the honest number for
+what actually ran.
 """
 
 from __future__ import annotations
@@ -46,6 +57,8 @@ from repro.memory.allocator import MembindAllocator
 from repro.memory.device import AccessProfile
 from repro.memory.mba import BandwidthAllocator
 from repro.memory.tiers import tier_by_id
+from repro.obs.hooks import emit_task_set_spans, sample_device_counters
+from repro.obs.simhooks import EVENTS_PROCESSED, EVENTS_SCHEDULED, FINAL_TIME
 from repro.sim import Environment
 from repro.spark.executor import (
     GC_WRITES_PER_CONCURRENT_TASK,
@@ -141,13 +154,16 @@ class _MicroKernel:
     kernel would have shown them.
     """
 
-    __slots__ = ("now", "env", "_heap", "_seq")
+    __slots__ = ("now", "env", "_heap", "_seq", "processed")
 
     def __init__(self, env: Environment) -> None:
         self.now = env.now
         self.env = env
         self._heap: list[tuple[float, int, int, int, t.Any]] = []
         self._seq = count()
+        #: Heap entries popped so far (observed runs report this as
+        #: ``sim.events_processed`` — the micro-kernel's honest count).
+        self.processed = 0
 
     def spawn(self, gen: t.Generator, on_done: t.Callable[[], None] | None = None) -> None:
         """Schedule a new process start (URGENT, like ``Initialize``)."""
@@ -197,18 +213,23 @@ class _MicroKernel:
         """Pop events until the counter cell hits zero."""
         heap = self._heap
         env = self.env
-        while remaining[0]:
-            time, _, _, kind, payload = heappop(heap)
-            self.now = time
-            env._now = time
-            if kind == 0:
-                self._step(payload)
-            else:  # event completion: resume waiters in subscription order
-                payload.done = True
-                waiters = payload.waiters
-                payload.waiters = []
-                for proc in waiters:
-                    self._step(proc)
+        popped = 0
+        try:
+            while remaining[0]:
+                time, _, _, kind, payload = heappop(heap)
+                popped += 1
+                self.now = time
+                env._now = time
+                if kind == 0:
+                    self._step(payload)
+                else:  # event completion: resume waiters in subscription order
+                    payload.done = True
+                    waiters = payload.waiters
+                    payload.waiters = []
+                    for proc in waiters:
+                        self._step(proc)
+        finally:
+            self.processed += popped
 
 
 # -- model state -----------------------------------------------------------------
@@ -237,6 +258,8 @@ class _FastExecutor:
         "allocator",
         "_heap",
         "startup_ev",
+        "tier_id",
+        "tracer",
     )
 
     def __init__(
@@ -264,6 +287,10 @@ class _FastExecutor:
         self.allocator = MembindAllocator(memory.device)
         self._heap = self.allocator.allocate(conf.executor_memory)
         self.startup_ev: _FastEvent | None = None
+        self.tier_id = memory.tier.tier_id
+        #: Set by :func:`fast_replay_experiment` on observed runs; the
+        #: process generators emit executor-track spans when present.
+        self.tracer: t.Any | None = None
 
     def startup_event(self, kernel: _MicroKernel) -> _FastEvent:
         """Lazily launch the JVM startup process (``ensure_started``)."""
@@ -372,6 +399,7 @@ def _transfer(kernel: _MicroKernel, dn: _FastDataNode, nbytes: int, write: bool)
 
 def _startup(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
     """``Executor._startup``: JVM launch cost on the bound tier."""
+    started = kernel.now
     yield (_TIMEOUT, STARTUP_CPU_SECONDS)
     profile = AccessProfile(
         bytes_read=STARTUP_STREAM_BYTES,
@@ -380,6 +408,16 @@ def _startup(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
         random_writes=STARTUP_RANDOM_WRITES,
     )
     yield from _access(kernel, ex, profile)
+    if ex.tracer is not None:
+        ex.tracer.emit(
+            "jvm-startup",
+            cat="phase",
+            begin=started,
+            end=kernel.now,
+            track=f"executor-{ex.executor_id}",
+            tier=ex.tier_id,
+            executor=ex.executor_id,
+        )
 
 
 def _control_traffic(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
@@ -397,6 +435,7 @@ def _control_traffic(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
 def _broadcast(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
     """``Executor.stage_broadcast``: closure fetch behind the dispatcher."""
     yield (_WAIT, ex.startup_event(kernel))
+    started = kernel.now
     yield (_ACQUIRE, ex.dispatch)
     yield (_TIMEOUT, STAGE_SETUP_OVERHEAD)
     profile = AccessProfile(
@@ -407,6 +446,16 @@ def _broadcast(kernel: _MicroKernel, ex: _FastExecutor) -> t.Generator:
     )
     yield from _access(kernel, ex, profile)
     kernel.release(ex.dispatch)
+    if ex.tracer is not None:
+        ex.tracer.emit(
+            "stage-broadcast",
+            cat="phase",
+            begin=started,
+            end=kernel.now,
+            track=f"executor-{ex.executor_id}",
+            tier=ex.tier_id,
+            executor=ex.executor_id,
+        )
 
 
 def _run_task(
@@ -421,6 +470,9 @@ def _run_task(
     m.partition = td.partition
     m.executor_id = ex.executor_id
     m.launch_time = kernel.now
+    # Phase stamps accumulate only under observation, mirroring
+    # ``Executor.run_task`` boundary for boundary.
+    phases = m.phases if ex.tracer is not None else None
 
     yield (_WAIT, ex.startup_event(kernel))
     yield (_ACQUIRE, ex.slots)
@@ -430,8 +482,13 @@ def _run_task(
     yield (_TIMEOUT, ex.dispatch_overhead)
     kernel.release(ex.dispatch)
     m.dispatch_wait = kernel.now - dispatch_started
+    if phases is not None:
+        phases.append(("dispatch", dispatch_started, kernel.now))
 
+    work_started = kernel.now
     yield from _control_traffic(kernel, ex)
+    if phases is not None:
+        phases.append(("control", work_started, kernel.now))
 
     cpu_wait_started = kernel.now
     yield (_ACQUIRE, ex.threads)
@@ -457,6 +514,8 @@ def _run_task(
     m.compute_ops += td.ops
 
     # Timed HDFS reads: disk transfer + page-cache pass on the tier.
+    fetch_started = kernel.now
+    had_fetch = bool(td.hdfs_io or td.disk_io)
     for nbytes_int, page in td.hdfs_io:
         yield from _transfer(kernel, dn, nbytes_int, False)
         yield from _access(kernel, ex, page)
@@ -465,10 +524,13 @@ def _run_task(
     for nbytes_int, write, page in td.disk_io:
         yield from _transfer(kernel, dn, nbytes_int, write)
         yield from _access(kernel, ex, page)
+    if phases is not None and had_fetch:
+        phases.append(("fetch", fetch_started, kernel.now))
 
     # Chunked compute/memory payment (Executor._pay): the same chunk
     # profile object is served repeatedly, so the device's identity-keyed
     # record cache replays identical integer deltas.
+    pay_started = kernel.now
     ops_chunk = td.ops_chunk
     chunk_profile = td.chunk_profile
     chunk_busy = not td.chunk_empty
@@ -477,21 +539,40 @@ def _run_task(
             yield from _compute(ex, ops_chunk)
         if chunk_busy:
             yield from _access(kernel, ex, chunk_profile)
+    if phases is not None:
+        # Replay tasks are all result-style (shuffle output was already
+        # registered at capture), so the payment phase is "compute".
+        phases.append(("compute", pay_started, kernel.now))
 
     # Spill traffic discovered during evaluation.
     if m.spill_bytes > 0:
+        spill_started = kernel.now
         spill = AccessProfile(bytes_read=m.spill_bytes, bytes_written=m.spill_bytes)
         yield from _access(kernel, ex, spill)
+        if phases is not None:
+            phases.append(("spill", spill_started, kernel.now))
 
     # Timed HDFS output write (page-cache staging + disk transfer).
     out_nbytes = td.out_nbytes
     if out_nbytes is not None:
+        if out_nbytes < 0:
+            # A truthy result that had no len(): DES replay's output
+            # branch raises TypeError inside the executor, which
+            # ``replay_experiment`` wraps — reproduce that exact verdict
+            # so the caller falls straight to direct simulation.
+            raise ReplayDivergence("replay failed: recorded result had no len()")
+        output_started = kernel.now
         page = AccessProfile(bytes_read=out_nbytes, bytes_written=out_nbytes)
         yield from _access(kernel, ex, page)
         yield from _transfer(kernel, dn, out_nbytes * dn.replication, True)
+        if phases is not None:
+            phases.append(("output", output_started, kernel.now))
 
     kernel.release(ex.threads)
+    teardown_started = kernel.now
     yield from _control_traffic(kernel, ex)
+    if phases is not None:
+        phases.append(("teardown", teardown_started, kernel.now))
     kernel.release(ex.slots)
 
     m.finish_time = kernel.now
@@ -530,7 +611,12 @@ def _prepare_tasks(ts: TaskSetTrace, chunk_bytes: int) -> list[_TaskData]:
     result_len = ints["result_len"]
     truthy = ints["result_truthy"] != 0
     if ts.hdfs_path is not None:
-        out_nbytes = (result_len * record_bytes).astype(np.int64).tolist()
+        out_sizes = (result_len * record_bytes).astype(np.int64)
+        # Unsized results (recorded len of -1) keep a negative sentinel
+        # regardless of record_bytes; the walk turns a truthy one into
+        # the same divergence verdict DES replay produces.
+        out_sizes[result_len < 0] = -1
+        out_nbytes = out_sizes.tolist()
         out_mask = truthy.tolist()
     else:
         out_nbytes = None
@@ -643,13 +729,30 @@ def _replay_job(
     jobs: list[JobMetrics],
     job_trace: JobTrace,
     chunk_bytes: int,
+    tracer: t.Any | None = None,
+    conf: t.Any | None = None,
+    machine: t.Any | None = None,
+    registry: t.Any | None = None,
 ) -> None:
-    """Mirror of ``TracePlayer._replay_job`` metric bookkeeping."""
+    """Mirror of ``TracePlayer._replay_job`` metric bookkeeping.
+
+    Observed runs pass tracer/conf/machine/registry and get the same
+    job/stage stack spans, retrospective task spans, device-counter
+    samples and ``job.*`` metrics DES replay records.
+    """
     job = JobMetrics(
         job_id=job_trace.job_id,
         name=job_trace.name,
         submit_time=kernel.now,
     )
+    job_span = None
+    if tracer is not None:
+        job_span = tracer.begin(
+            job_trace.name or f"job-{job_trace.job_id}",
+            cat="job",
+            job_id=job_trace.job_id,
+            replayed=True,
+        )
     for ts in job_trace.task_sets:
         if ts.attempt > 0:
             job.resubmitted_stages += 1
@@ -661,13 +764,36 @@ def _replay_job(
             attempt=ts.attempt,
         )
         tasks = _prepare_tasks(ts, chunk_bytes)
+        stage_span = None
+        if tracer is not None:
+            stage_span = tracer.begin(
+                ts.name or f"stage-{ts.stage_id}",
+                cat="stage",
+                stage_id=ts.stage_id,
+                attempt=ts.attempt,
+                num_tasks=ts.num_tasks,
+                replayed=True,
+            )
+        if registry is not None:
+            # One launch per task, as the scheduler counts them.
+            registry.inc("scheduler.attempts_launched", float(len(tasks)))
         _run_task_set(kernel, executors, dn, tasks)
         winners = [td.metrics for td in tasks]
+        if tracer is not None:
+            # The scheduler emits task spans before the stage span
+            # closes; keep that nesting.
+            emit_task_set_spans(tracer, conf, winners)
+            tracer.end(stage_span)
+            sample_device_counters(tracer, machine)
         metrics.tasks = winners
         metrics.attempts = list(winners)
         metrics.complete_time = kernel.now
         job.stages.append(metrics)
     job.complete_time = kernel.now
+    if tracer is not None:
+        tracer.end(job_span)
+    if registry is not None:
+        registry.inc_many(job.summary(), prefix="job.")
     jobs.append(job)
 
 
@@ -680,9 +806,11 @@ def fast_replay_eligibility(
     """Static gate: can the micro-kernel express this point exactly?
 
     Anything the fixed fault-free workload shape cannot cover — faults,
-    speculation, non-round-robin placement, or the unsized-result HDFS
-    write edge whose ``TypeError`` drives DES replay's own divergence
-    path — is rejected so the caller falls back to DES replay.
+    speculation, non-round-robin placement — is rejected so the caller
+    falls back to DES replay.  The unsized-result HDFS write residue is
+    expressible: the walk raises the same
+    :class:`~repro.trace.replay.ReplayDivergence` verdict DES replay
+    produces, without paying for a second doomed replay.
     """
     replayable, reason = is_replayable_config(config)
     if not replayable:
@@ -690,18 +818,6 @@ def fast_replay_eligibility(
     policy = config.spark_conf().extra.get("scheduler_policy", "round_robin")
     if policy != "round_robin":
         return False, f"scheduler policy {policy!r} is not expressible"
-    for job in trace.jobs:
-        for ts in job.task_sets:
-            if ts.hdfs_path is None:
-                continue
-            unsized_truthy = (ts.ints["result_truthy"] != 0) & (
-                ts.ints["result_len"] < 0
-            )
-            if bool(np.any(unsized_truthy)):
-                return False, (
-                    f"stage {ts.stage_id}: unsized truthy result feeding an "
-                    "HDFS write (diverges under DES replay)"
-                )
     return True, ""
 
 
@@ -709,7 +825,9 @@ def fast_replay_eligibility(
 
 
 def fast_replay_experiment(
-    config: ExperimentConfig, trace: WorkloadTrace
+    config: ExperimentConfig,
+    trace: WorkloadTrace,
+    observer: t.Any | None = None,
 ) -> ExperimentResult:
     """Re-time ``trace`` under ``config``; bit-identical to DES replay.
 
@@ -718,7 +836,9 @@ def fast_replay_experiment(
     :class:`FastReplayUnsupported` for geometries the micro-kernel cannot
     express; callers fall back to DES replay for the latter.  An
     oversubscribed memory tier raises the identical ``MemoryError`` the
-    DES path produces.
+    DES path produces.  An attached :class:`repro.obs.Observer` records
+    the replayed jobs with the same span shapes and registry metrics DES
+    replay emits, stamped with the identical simulated times.
     """
     check_compatible(trace, config)
     if not trace.intact:
@@ -727,7 +847,11 @@ def fast_replay_experiment(
     if not eligible:
         raise FastReplayUnsupported(reason)
 
-    env = Environment()
+    env = (
+        observer.make_environment()
+        if observer is not None
+        else Environment()
+    )
     machine = paper_testbed(env)
     conf = config.spark_conf()
     binding = NumactlBinding(conf.cpu_socket, tier_by_id(conf.memory_tier))
@@ -748,20 +872,67 @@ def fast_replay_experiment(
     view = _JobsView()
     chunk_bytes = conf.shuffle_chunk_bytes
 
+    tracer = registry = None
+    exp_span = None
+    if observer is not None:
+        observer.bind(env)
+        tracer = observer.tracer
+        registry = observer.registry
+        for ex in executors:
+            ex.tracer = tracer
+        exp_span = tracer.begin(
+            config.describe(),
+            cat="experiment",
+            workload=config.workload,
+            size=config.size,
+            tier=config.tier,
+            socket=config.cpu_socket,
+            executors=config.num_executors,
+            cores=config.executor_cores,
+            mba_percent=config.mba_percent,
+            replayed=True,
+        )
+
+    def replay_jobs(jobs: list[JobTrace]) -> None:
+        for job_trace in jobs:
+            _replay_job(
+                kernel,
+                executors,
+                dn,
+                view.jobs,
+                job_trace,
+                chunk_bytes,
+                tracer=tracer,
+                conf=conf,
+                machine=machine,
+                registry=registry,
+            )
+
     try:
-        for job_trace in trace.jobs[: trace.measured_from]:
-            _replay_job(kernel, executors, dn, view.jobs, job_trace, chunk_bytes)
-        collector = TelemetryCollector(env, machine, metrics=None)
+        # Prepare-phase jobs ran before MBA throttling and telemetry.
+        if tracer is not None:
+            with tracer.span("prepare", cat="phase"):
+                replay_jobs(trace.jobs[: trace.measured_from])
+        else:
+            replay_jobs(trace.jobs[: trace.measured_from])
+        collector = TelemetryCollector(env, machine, metrics=registry)
         with BandwidthAllocator(machine.devices(), percent=config.mba_percent):
             collector.start(view)
             run_started = kernel.now
-            for job_trace in trace.jobs[trace.measured_from :]:
-                _replay_job(kernel, executors, dn, view.jobs, job_trace, chunk_bytes)
+            if tracer is not None:
+                with tracer.span("measure", cat="phase"):
+                    replay_jobs(trace.jobs[trace.measured_from :])
+            else:
+                replay_jobs(trace.jobs[trace.measured_from :])
             execution_time = kernel.now - run_started
             sample = collector.stop(view)
     except (ReplayDivergence, FastReplayUnsupported):
+        if tracer is not None:
+            tracer.finish()
         raise
     except Exception as exc:  # pragma: no cover - defensive fallback
+        if tracer is not None:
+            tracer.finish()
         raise FastReplayUnsupported(f"fast replay failed: {exc}") from exc
     finally:
         for ex in executors:
@@ -771,6 +942,22 @@ def fast_replay_experiment(
     for job in view.jobs:
         for key, value in job.mitigation_summary().items():
             mitigation[key] = mitigation.get(key, 0) + value
+    if tracer is not None:
+        tracer.end(exp_span)
+    if registry is not None:
+        registry.set_gauge("experiment.execution_time", execution_time)
+        registry.set_gauge(
+            "experiment.records_processed", float(trace.records_processed)
+        )
+        registry.set_gauge("experiment.verified", float(trace.verified))
+        registry.inc_many(mitigation, prefix="mitigation.")
+        if observer.config.sim_events:
+            # The walk never schedules through the generic kernel, so
+            # report the micro-kernel's own activity: sequence draws are
+            # heap pushes (scheduled), pops were counted (processed).
+            registry.inc(EVENTS_SCHEDULED, float(next(kernel._seq)))
+            registry.inc(EVENTS_PROCESSED, float(kernel.processed))
+            registry.set_gauge(FINAL_TIME, env.now)
     return ExperimentResult(
         config=config,
         execution_time=execution_time,

@@ -425,29 +425,38 @@ def run_with_trace(
     (:func:`repro.trace.fastreplay.fast_replay_experiment` — bit-
     identical, several times faster) and fall back to DES replay when
     the micro-kernel cannot express the point
-    (:class:`~repro.trace.fastreplay.FastReplayUnsupported`) — and from
-    there to direct simulation on :class:`ReplayDivergence`, the full
-    three-stage chain.  Observed runs go straight to DES replay, whose
-    span instrumentation the fast path deliberately omits;
-    ``fast_replay=False`` forces DES replay for every hit.
+    (:class:`~repro.trace.fastreplay.FastReplayUnsupported`).  Observed
+    runs take the fast path too — it emits the same span shapes and
+    registry metrics DES replay records.  A fast-path
+    :class:`ReplayDivergence` is the same verdict DES replay would
+    reach (compatibility, checksum, unsized-result writes), so it goes
+    straight to direct simulation instead of paying for a second doomed
+    replay.  ``fast_replay=False`` forces DES replay for every hit.
     """
     replayable, _ = is_replayable_config(config)
     if not replayable:
         return run_experiment(config, observer=observer), "direct"
     trace = store.load(config)
     if trace is not None:
-        if fast_replay and observer is None:
+        if fast_replay:
             from repro.trace import fastreplay as _fastreplay
 
             try:
                 return (
-                    _fastreplay.fast_replay_experiment(config, trace),
+                    _fastreplay.fast_replay_experiment(
+                        config, trace, observer=observer
+                    ),
                     "replayed",
                 )
             except _fastreplay.FastReplayUnsupported:
-                pass  # inexpressible point: DES replay below
+                # Inexpressible point: DES replay below.  Drop any spans
+                # the abandoned attempt recorded.
+                if observer is not None:
+                    observer.reset()
             except ReplayDivergence:
-                pass  # DES replay below reproduces the verdict
+                if observer is not None:
+                    observer.reset()
+                return run_experiment(config, observer=observer), "direct"
         try:
             return (
                 replay_experiment(config, trace, observer=observer),

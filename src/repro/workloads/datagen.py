@@ -22,10 +22,13 @@ live here, both value-identical by construction:
 from __future__ import annotations
 
 import functools
+import inspect
 import string
 import typing as t
 
 import numpy as np
+
+from repro.workloads import datacache
 
 _ALPHABET = np.array(list(string.ascii_lowercase + string.digits))
 _ALPHABET_BYTES = np.frombuffer(
@@ -37,8 +40,14 @@ _CACHE: dict[tuple, list] = {}
 
 
 def clear_cache() -> None:
-    """Drop all memoized datasets (tests; bounding long-lived processes)."""
+    """Drop all memoized datasets (tests; bounding long-lived processes).
+
+    Also drops the dataset artifact cache's decoded-object LRU so the
+    next generation goes back to disk (or the generator) — on-disk
+    artifacts themselves survive, which is their entire point.
+    """
     _CACHE.clear()
+    datacache.clear_load_cache()
 
 
 def _memoized(func: t.Callable[..., list]) -> t.Callable[..., list]:
@@ -46,15 +55,28 @@ def _memoized(func: t.Callable[..., list]) -> t.Callable[..., list]:
 
     The shallow copy keeps callers free to slice/extend their list
     without corrupting the cache; records themselves are shared.
+
+    A miss consults the dataset artifact cache
+    (:mod:`repro.workloads.datacache`) before running the generator:
+    when a campaign configures one, generation happens once per machine
+    instead of once per process, and decoded artifacts are verified
+    value-identical by the codec round-trip property tests.
     """
     name = func.__name__
+    signature = inspect.signature(func)
 
     @functools.wraps(func)
     def wrapper(*args, **kwargs):
         key = (name, args, tuple(sorted(kwargs.items())))
         hit = _CACHE.get(key)
         if hit is None:
-            hit = _CACHE[key] = func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            hit = _CACHE[key] = datacache.fetch(
+                name, dict(bound.arguments), lambda: func(*args, **kwargs)
+            )
+        else:
+            datacache.note_memo_hit()
         return list(hit)
 
     return wrapper

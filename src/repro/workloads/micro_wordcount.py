@@ -9,6 +9,7 @@ benchmarks (those reproduce Table II exactly).
 
 from __future__ import annotations
 
+import operator
 import typing as t
 from collections import Counter
 
@@ -63,7 +64,7 @@ class WordCountWorkload(Workload):
                 str.split, cost=COUNT_COST.with_pressure(profile.llc_pressure)
             )
             .map(lambda w: (w, 1))
-            .reduce_by_key(lambda a, b: a + b, profile.partitions)
+            .reduce_by_key(operator.add, profile.partitions)
             .collect()
         )
         tokens = profile.param("lines") * WORDS_PER_LINE

@@ -17,6 +17,7 @@ import numpy as np
 from repro.spark.context import SparkContext
 from repro.spark.costs import CostSpec
 from repro.workloads import datagen
+from repro.workloads._exact import pairwise_sum, replicas_match
 from repro.workloads.base import SizeProfile, Workload
 
 #: Gibbs token update: read 4 counters + theta/phi rows, write 4 counters.
@@ -97,6 +98,109 @@ class LdaWorkload(Workload):
 
         beta_vocab = BETA * vocabulary
 
+        # The sampler touches 5–15-element rows per token; Python-float
+        # arithmetic beats per-token ufunc dispatch severalfold, and the
+        # rewrite is bit-exact (see repro.workloads._exact).  Gate on the
+        # self-check so a numpy build with different reduction grouping
+        # falls back to the reference loop below.
+        use_fast = replicas_match()
+        if use_fast:
+            word_topic_rows = word_topic.tolist()
+            topic_totals_row = topic_totals.tolist()
+            doc_topic_rows = doc_topic.tolist()
+            # Incremental mirrors of the conditional's three per-element
+            # adds.  Only two entries change per token, so maintaining
+            # ``count + BETA`` / ``total + beta_vocab`` / ``count +
+            # ALPHA`` alongside the raw counts turns five float ops per
+            # topic in the inner listcomp into two.  Each mirror update
+            # performs the very add the listcomp used to, on the same
+            # operands — every element stays bit-identical.
+            word_topic_beta = [
+                [v + BETA for v in row] for row in word_topic_rows
+            ]
+            totals_denom = [v + beta_vocab for v in topic_totals_row]
+            doc_topic_alpha = [
+                [v + ALPHA for v in row] for row in doc_topic_rows
+            ]
+
+        def gibbs_pass_fast(
+            part: list[tuple[int, list[int]]], seed: int
+        ) -> list[tuple[int, float]]:
+            """``gibbs_pass`` with the per-token numpy ops unrolled.
+
+            Every float op mirrors the reference loop operation-for-
+            operation: the conditional is the same ``(+ / *)`` chain per
+            topic, the normalizing total replays ``np.add.reduce``'s
+            pairwise grouping, the cdf is the same sequential fold, the
+            draw is ``searchsorted(side="right")`` as a binary search
+            over identical quotients, and the log-likelihood batches
+            ``np.log`` per document while keeping the per-token
+            accumulation order.
+            """
+            local_rng = np.random.default_rng(seed)
+            uniform = local_rng.random
+            log = np.log
+            counts = word_topic_rows
+            counts_beta = word_topic_beta
+            totals = topic_totals_row
+            denom = totals_denom
+            n = n_topics
+            out = []
+            for doc_id, words in part:
+                topics = assignments[doc_id].tolist()
+                dt_row = doc_topic_rows[doc_id]
+                dt_alpha = doc_topic_alpha[doc_id]
+                draws = uniform(len(words)).tolist()
+                chosen: list[float] = []
+                keep = chosen.append
+                for i, word in enumerate(words):
+                    k_old = topics[i]
+                    row = counts[word]
+                    row_beta = counts_beta[word]
+                    v = row[k_old] - 1.0
+                    row[k_old] = v
+                    row_beta[k_old] = v + BETA
+                    v = totals[k_old] - 1.0
+                    totals[k_old] = v
+                    denom[k_old] = v + beta_vocab
+                    v = dt_row[k_old] - 1.0
+                    dt_row[k_old] = v
+                    dt_alpha[k_old] = v + ALPHA
+                    p = [
+                        rb / td * da
+                        for rb, td, da in zip(row_beta, denom, dt_alpha)
+                    ]
+                    s = pairwise_sum(p)
+                    acc = 0.0
+                    cdf = [acc := acc + v / s for v in p]
+                    last = cdf[-1]
+                    u = draws[i]
+                    lo, hi = 0, n
+                    while lo < hi:
+                        mid = (lo + hi) >> 1
+                        if u < cdf[mid] / last:
+                            hi = mid
+                        else:
+                            lo = mid + 1
+                    k_new = lo
+                    topics[i] = k_new
+                    v = row[k_new] + 1.0
+                    row[k_new] = v
+                    row_beta[k_new] = v + BETA
+                    v = totals[k_new] + 1.0
+                    totals[k_new] = v
+                    denom[k_new] = v + beta_vocab
+                    v = dt_row[k_new] + 1.0
+                    dt_row[k_new] = v
+                    dt_alpha[k_new] = v + ALPHA
+                    keep(p[k_new] / s)
+                assignments[doc_id] = np.asarray(topics)
+                loglik = 0.0
+                for v in log(np.asarray(chosen)).tolist():
+                    loglik += v
+                out.append((doc_id, loglik))
+            return out
+
         def gibbs_pass(
             part: list[tuple[int, list[int]]], seed: int
         ) -> list[tuple[int, float]]:
@@ -145,16 +249,21 @@ class LdaWorkload(Workload):
                 out.append((doc_id, loglik))
             return out
 
+        sampler = gibbs_pass_fast if use_fast else gibbs_pass
         logliks = []
         for iteration in range(ITERATIONS):
             results = corpus.map_partitions(
-                lambda part, s=iteration: gibbs_pass(part, seed=1000 + s),
+                lambda part, s=iteration: sampler(part, seed=1000 + s),
                 cost=GIBBS_COST.scaled(profile.param("words_per_doc")).with_pressure(
                     profile.llc_pressure
                 ),
             ).collect()
             logliks.append(sum(ll for _, ll in results))
 
+        if use_fast:
+            # Counts stayed exact integers (±1.0 updates), so the list
+            # mirror round-trips to the identical float64 matrix.
+            word_topic = np.asarray(word_topic_rows)
         coherence = self._top_word_concentration(word_topic.T)
         return (
             {"loglik": logliks, "concentration": coherence},

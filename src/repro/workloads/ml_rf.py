@@ -18,6 +18,7 @@ import numpy as np
 from repro.spark.context import SparkContext
 from repro.spark.costs import CostSpec
 from repro.workloads import datagen
+from repro.workloads._exact import pairwise_sum
 from repro.workloads.base import SizeProfile, Workload
 
 #: Split search over feature histograms: compute-heavy, some pointer work.
@@ -46,35 +47,63 @@ class _Node:
         return self.left is None
 
 
+def _gini_from_counts(counts: t.Sequence[int], size: int) -> float:
+    """Gini impurity from a label histogram.
+
+    Rounds exactly like the sorted-unique formulation it replaced
+    (``1 - np.sum((np.unique counts / size) ** 2)``): each squared
+    probability is the same two IEEE ops, absent-label zeros contribute
+    exactly ``0.0`` to the fold, and :func:`pairwise_sum` replays
+    ``np.sum``'s reduction grouping.
+    """
+    squares = []
+    for c in counts:
+        p = c / size
+        squares.append(p * p)
+    return 1.0 - pairwise_sum(squares)
+
+
 def _gini(labels: np.ndarray) -> float:
     if labels.size == 0:
         return 0.0
-    _, counts = np.unique(labels, return_counts=True)
-    p = counts / labels.size
-    return 1.0 - float(np.sum(p * p))
+    return _gini_from_counts(np.bincount(labels).tolist(), labels.size)
 
 
 def _build_tree(
     x: np.ndarray, y: np.ndarray, rng: np.random.Generator, depth: int = 0
 ) -> _Node:
-    node = _Node(prediction=int(np.bincount(y).argmax()) if y.size else 0)
-    if depth >= MAX_DEPTH or y.size < 2 * MIN_LEAF or len(np.unique(y)) == 1:
+    # One histogram per node feeds the prediction, the single-class
+    # early-out, the parent impurity, and every split's right-side
+    # counts — replacing the per-candidate sort in np.unique.
+    label_counts = np.bincount(y) if y.size else None
+    node = _Node(prediction=int(label_counts.argmax()) if y.size else 0)
+    if (
+        depth >= MAX_DEPTH
+        or y.size < 2 * MIN_LEAF
+        or int(np.count_nonzero(label_counts)) == 1
+    ):
         return node
     n_features = x.shape[1]
     candidates = rng.choice(
         n_features, size=max(1, int(np.sqrt(n_features))), replace=False
     )
     best_gain, best_feature, best_threshold = 0.0, -1, 0.0
-    parent_impurity = _gini(y)
+    n_labels = len(label_counts)
+    total_counts = label_counts.tolist()
+    parent_impurity = _gini_from_counts(total_counts, y.size)
     for feature in candidates:
         values = x[:, feature]
         for threshold in np.quantile(values, [0.25, 0.5, 0.75]):
             mask = values <= threshold
-            left_n, right_n = int(mask.sum()), int((~mask).sum())
+            left_n = int(mask.sum())
+            right_n = y.size - left_n
             if left_n < MIN_LEAF or right_n < MIN_LEAF:
                 continue
+            left_counts = np.bincount(y[mask], minlength=n_labels).tolist()
+            right_counts = [t - l for t, l in zip(total_counts, left_counts)]
             gain = parent_impurity - (
-                left_n * _gini(y[mask]) + right_n * _gini(y[~mask])
+                left_n * _gini_from_counts(left_counts, left_n)
+                + right_n * _gini_from_counts(right_counts, right_n)
             ) / y.size
             if gain > best_gain:
                 best_gain, best_feature, best_threshold = gain, int(feature), float(threshold)
@@ -85,6 +114,24 @@ def _build_tree(
     node.left = _build_tree(x[mask], y[mask], rng, depth + 1)
     node.right = _build_tree(x[~mask], y[~mask], rng, depth + 1)
     return node
+
+
+#: Flattened tree cell: ``(prediction,)`` for leaves, else
+#: ``(feature, threshold, left_cell, right_cell)`` — tuple hops are
+#: several times cheaper than dataclass attribute walks in the scoring
+#: loop, and the comparisons are unchanged.
+_Cell = tuple
+
+
+def _flatten_tree(node: _Node) -> _Cell:
+    if node.is_leaf:
+        return (node.prediction,)
+    return (
+        node.feature,
+        node.threshold,
+        _flatten_tree(node.left),  # type: ignore[arg-type]
+        _flatten_tree(node.right),  # type: ignore[arg-type]
+    )
 
 
 def _predict_tree(node: _Node, row: np.ndarray) -> int:
@@ -145,13 +192,23 @@ class RandomForestWorkload(Workload):
             ),
         ).collect()
 
+        flat_forest = [_flatten_tree(tree) for tree in forests]
+        n_classes = profile.param("classes")
+
         def vote(example: tuple[int, np.ndarray]) -> tuple[int, int]:
             label, row = example
-            votes = np.bincount(
-                [_predict_tree(tree, row) for tree in forests],
-                minlength=profile.param("classes"),
-            )
-            return label, int(votes.argmax())
+            # Same ballots as bincount(...).argmax(): integer tallies
+            # with the first maximal class winning ties.
+            counts = [0] * n_classes
+            for cell in flat_forest:
+                while len(cell) > 1:
+                    cell = cell[2] if row[cell[0]] <= cell[1] else cell[3]
+                counts[cell[0]] += 1
+            best = 0
+            for k in range(1, n_classes):
+                if counts[k] > counts[best]:
+                    best = k
+            return label, best
 
         scored = data.map(vote, cost=SCORE_COST.with_pressure(profile.llc_pressure))
         correct = scored.filter(lambda lp: lp[0] == lp[1]).count()

@@ -10,6 +10,7 @@ to executor-count tuning (Fig. 4 d/h).
 
 from __future__ import annotations
 
+import operator
 import typing as t
 
 from repro.spark.context import SparkContext
@@ -76,8 +77,10 @@ class PageRankWorkload(Workload):
                 _contributions,
                 cost=CONTRIB_COST.with_pressure(profile.llc_pressure),
             )
+            # operator.add merges duplicate keys in C — same float adds,
+            # same left-to-right merge order as the lambda it replaces.
             ranks = contributions.reduce_by_key(
-                lambda a, b: a + b, profile.partitions
+                operator.add, profile.partitions
             ).map_values(lambda s: (1 - DAMPING) + DAMPING * s)
 
         final = dict(ranks.collect())

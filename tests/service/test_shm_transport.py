@@ -50,6 +50,39 @@ def test_pooled_service_publishes_and_drains_cleanly(tmp_path):
     assert our_segments() == before  # drained: zero leaked segments
 
 
+def test_shm_bound_evicts_but_stays_correct(tmp_path):
+    """A service bounded to one byte of shared memory evicts every
+    previously published class, yet every replay stays bit-identical —
+    evicted classes simply fall back to the on-disk artifact."""
+    points = [
+        api.config(workload, size="tiny", tier=tier)
+        for workload in ("sort", "repartition")
+        for tier in (0, 2)
+    ]
+    before = our_segments()
+
+    async def main():
+        options = RunOptions(workers=2, trace_dir=tmp_path)
+        async with ExperimentService(
+            options, heartbeat=0, max_shm_bytes=1
+        ) as service:
+            results = []
+            for point in points:  # sequential: force capture-then-replay
+                results.append(await service.run(point))
+            # The bound keeps at most the most recently dispatched
+            # segment alive (it is never evicted, whatever its size).
+            segments = (
+                0 if service._shm_cache is None else len(service._shm_cache)
+            )
+        return results, segments
+
+    results, segments = asyncio.run(main())
+    assert segments <= 1
+    for point, result in zip(points, results):
+        assert result_to_dict(result) == result_to_dict(run_experiment(point))
+    assert our_segments() == before
+
+
 def test_serial_service_skips_publication(tmp_path):
     """A serial (thread-pool) service shares a process with its worker,
     so it must not pay the copy into shared memory at all."""

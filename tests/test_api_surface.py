@@ -84,7 +84,8 @@ def test_session_surface_is_pinned():
 def test_run_options_fields_are_pinned():
     assert OPTION_FIELDS == (
         "workers", "cache_dir", "observe", "reuse_traces",
-        "fast_replay", "trace_dir", "resume", "priority",
+        "fast_replay", "dataset_cache", "trace_dir", "dataset_dir",
+        "resume", "priority",
     )
     options = RunOptions()
     assert options.workers is None
@@ -92,7 +93,9 @@ def test_run_options_fields_are_pinned():
     assert options.observe is None
     assert options.reuse_traces is True
     assert options.fast_replay is True
+    assert options.dataset_cache is True
     assert options.trace_dir is None
+    assert options.dataset_dir is None
     assert options.resume is True
     assert options.priority == 0
 
@@ -114,6 +117,15 @@ def test_run_options_trace_root_derivation(tmp_path):
     assert RunOptions(
         cache_dir=tmp_path, trace_dir=tmp_path / "elsewhere"
     ).trace_root() == tmp_path / "elsewhere"
+
+
+def test_run_options_dataset_root_derivation(tmp_path):
+    assert RunOptions().dataset_root() is None
+    assert RunOptions(dataset_cache=False, cache_dir=tmp_path).dataset_root() is None
+    assert RunOptions(cache_dir=tmp_path).dataset_root() == tmp_path / "datasets"
+    assert RunOptions(
+        cache_dir=tmp_path, dataset_dir=tmp_path / "elsewhere"
+    ).dataset_root() == tmp_path / "elsewhere"
 
 
 # ---------------------------------------------------------------- shims

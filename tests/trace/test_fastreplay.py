@@ -130,10 +130,11 @@ def test_speculation_raises_replaydivergence_like_des_replay():
         fast_replay_experiment(config.with_options(speculation=True), trace)
 
 
-def test_unsized_truthy_hdfs_write_raises_fastreplayunsupported():
-    """The one residue shape the micro-kernel refuses: a truthy but
-    unsized result feeding an HDFS write (its ``TypeError`` drives DES
-    replay's own divergence path, so the fast path defers)."""
+def test_unsized_truthy_hdfs_write_raises_replaydivergence():
+    """A truthy but unsized result feeding an HDFS write is eligible:
+    the walk reproduces DES replay's exact divergence verdict (the
+    wrapped ``TypeError``) itself, so the caller can skip the second
+    doomed replay and go straight to direct simulation."""
     config = ExperimentConfig(workload="sort", size="tiny")
     _, trace = capture_experiment(config)
     ts = trace.jobs[-1].task_sets[-1]
@@ -142,9 +143,13 @@ def test_unsized_truthy_hdfs_write_raises_fastreplayunsupported():
     ts.ints["result_len"][:] = -1
     trace.seal()
     eligible, reason = fast_replay_eligibility(config, trace)
-    assert not eligible and "unsized" in reason
-    with pytest.raises(FastReplayUnsupported):
+    assert eligible and not reason
+    with pytest.raises(ReplayDivergence, match="no len"):
         fast_replay_experiment(config, trace)
+    # The same trace under DES replay reaches the identical verdict
+    # (via the scheduler's retry machinery rather than a direct raise).
+    with pytest.raises(ReplayDivergence):
+        replay_experiment(config, trace)
 
 
 def test_behaviour_skew_raises_replaydivergence():
@@ -230,20 +235,61 @@ def test_fast_replay_false_forces_des_replay(tmp_path, monkeypatch):
     assert result_to_dict(result) == result_to_dict(run_experiment(config))
 
 
-def test_observed_runs_go_through_des_replay(tmp_path, monkeypatch):
-    """Fast replay skips span instrumentation, so observed points must
-    resolve through DES replay (whose spans are complete)."""
+def test_observed_runs_use_fast_path(tmp_path, monkeypatch):
+    """The fast re-timer emits spans, so observed points take it too."""
     from repro.obs import ObsConfig, Observer
     from repro.trace import fastreplay as fr
 
     config = ExperimentConfig(workload="sort", size="tiny", tier=1)
     store = _store_with_capture(tmp_path, config)
 
-    def _must_not_run(*a, **k):  # pragma: no cover - guard
-        raise AssertionError("observed runs must not use the fast path")
-
-    monkeypatch.setattr(fr, "fast_replay_experiment", _must_not_run)
+    calls = []
+    real = fr.fast_replay_experiment
+    monkeypatch.setattr(
+        fr, "fast_replay_experiment",
+        lambda *a, **k: calls.append("fast") or real(*a, **k),
+    )
     observer = Observer(ObsConfig())
     result, how = run_with_trace(config, store, observer=observer)
-    assert how == "replayed"
+    assert how == "replayed" and calls == ["fast"]
     assert result_to_dict(result) == result_to_dict(run_experiment(config))
+    assert observer.tracer.spans, "observed fast replay recorded no spans"
+
+
+def _span_shapes(tracer):
+    return sorted(
+        (s.name, s.cat, s.begin, s.end, s.track) for s in tracer.spans
+    )
+
+
+def test_observed_fast_replay_matches_des_replay_spans():
+    """Span parity: the fast re-timer's spans carry the same names,
+    categories, tracks and (bit-identical) simulated times DES replay
+    records, and the registry metrics agree."""
+    from repro.obs import ObsConfig, Observer
+
+    config = ExperimentConfig(workload="wordcount", size="tiny", tier=2)
+    _, trace = capture_experiment(config)
+    assert trace is not None
+
+    obs_fast = Observer(ObsConfig())
+    fast = fast_replay_experiment(config, trace, observer=obs_fast)
+    obs_des = Observer(ObsConfig())
+    des = replay_experiment(config, trace, observer=obs_des)
+
+    assert result_to_dict(fast) == result_to_dict(des)
+    assert _span_shapes(obs_fast.tracer) == _span_shapes(obs_des.tracer)
+    # Registry parity outside the kernel counters (the fast path counts
+    # micro-kernel events, DES counts generic-kernel events).
+    skip = {"sim.events_scheduled", "sim.events_processed"}
+    fast_counters = {
+        k: v for k, v in obs_fast.registry.counters.items() if k not in skip
+    }
+    des_counters = {
+        k: v for k, v in obs_des.registry.counters.items() if k not in skip
+    }
+    assert fast_counters == des_counters
+    assert obs_fast.registry.gauges["sim.final_time"] == obs_des.registry.gauges[
+        "sim.final_time"
+    ]
+    assert obs_fast.registry.counters["sim.events_processed"] > 0

@@ -126,6 +126,65 @@ def test_stale_manifest_falls_back_to_disk(tmp_path, captured):
     assert loaded is not None and loaded.checksum == trace.checksum
 
 
+# ------------------------------------------------------------ LRU bound
+
+def test_lru_eviction_bounds_dev_shm(captured):
+    """Publishing past ``max_bytes`` unlinks the least-recently-used
+    segment; ``touch`` refreshes recency so hot classes survive."""
+    _, trace = captured
+    probe = SharedTraceCache()
+    size = probe.publish("probe", trace).size
+    probe.close()
+    cache = SharedTraceCache(max_bytes=2 * size)
+    try:
+        first = cache.publish("a", trace)
+        second = cache.publish("b", trace)
+        assert cache.nbytes <= 2 * size and cache.evictions == 0
+        cache.touch("a")  # "b" becomes the LRU entry
+        cache.publish("c", trace)  # over bound — evicts "b" only
+        assert sorted(cache.manifest()) == ["a", "c"]
+        assert cache.evictions == 1
+        assert cache.nbytes <= 2 * size
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=second.segment)
+        assert attach(first) is not None  # survivor still attaches
+    finally:
+        cache.close()
+
+
+def test_most_recent_segment_survives_any_bound(captured):
+    """The entry just published is never evicted, even when it alone
+    exceeds the bound — the caller is about to hand it to a worker."""
+    _, trace = captured
+    cache = SharedTraceCache(max_bytes=1)
+    try:
+        only = cache.publish("only", trace)
+        assert len(cache) == 1
+        assert attach(only) is not None
+        cache.publish("next", trace)
+        assert list(cache.manifest()) == ["next"]
+    finally:
+        cache.close()
+
+
+def test_evicted_key_falls_back_to_disk(tmp_path, captured):
+    """A worker holding a manifest for an evicted class must resolve
+    the artifact from disk, not fail."""
+    config, trace = captured
+    key = trace_key(config)
+    store = TraceStore(tmp_path)
+    store.save(config, trace)
+    cache = SharedTraceCache(max_bytes=1)
+    try:
+        descriptor = cache.publish(key, trace)
+        cache.publish("displacer", trace)  # evicts ``key``
+        install_shared_view({key: descriptor})
+        loaded = store.load(config)
+        assert loaded is not None and loaded.checksum == trace.checksum
+    finally:
+        cache.close()
+
+
 # -------------------------------------------------------------- lifecycle
 
 def test_close_unlinks_exactly_once(captured):

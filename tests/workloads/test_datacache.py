@@ -1,0 +1,306 @@
+"""Dataset artifact cache: codec round trips, corruption tolerance,
+LRU eviction, concurrent writers, and the headline property — a capture
+served from cached dataset artifacts is bit-identical to one that
+regenerated every dataset from its seed."""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resultstore import result_to_dict
+from repro.core.experiment import ExperimentConfig
+from repro.trace import capture_experiment
+from repro.workloads import datacache, datagen
+from repro.workloads.datacache import DatasetCache, dataset_key
+
+#: One small parameter set per registered codec.
+GENERATOR_PARAMS = [
+    ("random_text_records", dict(n=64, record_len=16, seed=3)),
+    ("zipf_words", dict(n=128, vocabulary=50, exponent=1.3, seed=5)),
+    ("rating_triples", dict(n_users=10, n_products=8, n_ratings=64, seed=7)),
+    (
+        "labeled_documents",
+        dict(n_docs=12, n_classes=3, vocabulary=40, words_per_doc=8, seed=9),
+    ),
+    ("labeled_vectors", dict(n_examples=20, n_features=5, n_classes=2, seed=11)),
+    (
+        "bag_of_words_docs",
+        dict(n_docs=10, vocabulary=30, n_topics=3, words_per_doc=12, seed=13),
+    ),
+    ("web_graph", dict(n_pages=25, out_degree=4, seed=15)),
+]
+
+
+def generate(name: str, params: dict) -> list:
+    """Run the raw generator (bypassing the in-process memo)."""
+    return getattr(datagen, name).__wrapped__(**params)
+
+
+def assert_same_dataset(a: list, b: list) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if isinstance(x, tuple) and isinstance(x[-1], np.ndarray):
+            assert x[0] == y[0]
+            np.testing.assert_array_equal(x[-1], y[-1])
+        else:
+            assert x == y
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    """No test leaks an active cache, decoded LRU entries or stats."""
+    previous = datacache.active()
+    datagen.clear_cache()
+    datacache.reset_stats()
+    yield
+    datacache.configure(None if previous is None else previous.root)
+    datagen.clear_cache()
+    datacache.reset_stats()
+
+
+# ------------------------------------------------------------- round trips
+
+@pytest.mark.parametrize("name,params", GENERATOR_PARAMS)
+def test_store_load_roundtrip_is_value_identical(tmp_path, name, params):
+    cache = DatasetCache(tmp_path)
+    value = generate(name, params)
+    path = cache.store(name, params, value)
+    assert path is not None and path.exists()
+    datacache.clear_load_cache()  # force the disk decode path
+    loaded = cache.load(name, params)
+    assert loaded is not None
+    assert_same_dataset(loaded, value)
+
+
+def test_unknown_generator_has_no_codec(tmp_path):
+    cache = DatasetCache(tmp_path)
+    assert cache.store("not_a_generator", {}, [1, 2]) is None
+    assert cache.load("not_a_generator", {}) is None
+
+
+def test_keys_lists_stored_artifacts(tmp_path):
+    cache = DatasetCache(tmp_path)
+    name, params = GENERATOR_PARAMS[0]
+    cache.store(name, params, generate(name, params))
+    assert cache.keys() == [dataset_key(name, params)]
+
+
+# -------------------------------------------------------------- corruption
+
+@pytest.fixture
+def sealed_artifact(tmp_path):
+    name, params = ("bag_of_words_docs", GENERATOR_PARAMS[5][1])
+    cache = DatasetCache(tmp_path)
+    value = generate(name, params)
+    path = cache.store(name, params, value)
+    datacache.clear_load_cache()
+    return cache, name, params, path, value
+
+
+def _flip_byte(path: Path, offset: int) -> None:
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+def test_flipped_payload_byte_fails_the_seal(sealed_artifact):
+    cache, name, params, path, _ = sealed_artifact
+    _flip_byte(path, path.stat().st_size - 1)
+    assert cache.load(name, params) is None
+
+
+def test_corrupted_header_is_a_miss(sealed_artifact):
+    cache, name, params, path, _ = sealed_artifact
+    _flip_byte(path, 20)  # inside the JSON header
+    assert cache.load(name, params) is None
+
+
+def test_bad_magic_is_a_miss(sealed_artifact):
+    cache, name, params, path, _ = sealed_artifact
+    _flip_byte(path, 0)
+    assert cache.load(name, params) is None
+
+
+def test_truncated_artifact_is_a_miss(sealed_artifact):
+    cache, name, params, path, _ = sealed_artifact
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    assert cache.load(name, params) is None
+    path.write_bytes(raw[:8])  # shorter than the fixed header
+    assert cache.load(name, params) is None
+
+
+def test_corrupt_artifact_is_regenerated_and_healed(sealed_artifact):
+    """``fetch`` on a corrupt artifact regenerates — and the store-back
+    overwrites the bad file, so the *next* pass hits again."""
+    cache, name, params, path, value = sealed_artifact
+    _flip_byte(path, path.stat().st_size - 1)
+    datacache.configure(cache.root)
+    datacache.reset_stats()
+    fetched = datacache.fetch(name, params, lambda: generate(name, params))
+    assert_same_dataset(fetched, value)
+    assert datacache.stats() == {
+        "hits": 0, "misses": 1, "stores": 1, "memo_hits": 0,
+    }
+    datacache.clear_load_cache()
+    assert cache.load(name, params) is not None  # healed on disk
+
+
+def test_version_skew_is_a_miss(sealed_artifact, monkeypatch):
+    cache, name, params, _, _ = sealed_artifact
+    monkeypatch.setattr(datacache, "DATACACHE_VERSION", 999)
+    # A version bump changes the key (different artifact path) *and*
+    # rejects an old payload force-fed under the new expectations.
+    assert cache.load(name, params) is None
+
+
+def test_store_failure_never_breaks_generation(tmp_path, monkeypatch):
+    datacache.configure(tmp_path)
+    monkeypatch.setattr(
+        DatasetCache, "store",
+        lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+    )
+    name, params = GENERATOR_PARAMS[0]
+    value = datacache.fetch(name, params, lambda: generate(name, params))
+    assert_same_dataset(value, generate(name, params))
+
+
+# ---------------------------------------------------------------- eviction
+
+def test_decoded_lru_is_bounded_and_reloads_after_eviction(tmp_path):
+    cache = DatasetCache(tmp_path)
+    name = "random_text_records"
+    param_sets = [
+        dict(n=8, record_len=4, seed=seed)
+        for seed in range(datacache._LOAD_CACHE_LIMIT + 2)
+    ]
+    for params in param_sets:
+        cache.store(name, params, generate(name, params))
+    datacache.clear_load_cache()
+    for params in param_sets:
+        assert cache.load(name, params) is not None
+    assert len(datacache._LOAD_CACHE) == datacache._LOAD_CACHE_LIMIT
+    # The evicted (oldest) entry decodes again from disk, identically.
+    first = cache.load(name, param_sets[0])
+    assert first is not None
+    assert_same_dataset(first, generate(name, param_sets[0]))
+
+
+def test_repeated_loads_hit_the_decoded_lru(tmp_path):
+    cache = DatasetCache(tmp_path)
+    name, params = GENERATOR_PARAMS[0]
+    cache.store(name, params, generate(name, params))
+    datacache.clear_load_cache()
+    first = cache.load(name, params)
+    assert cache.load(name, params) is first  # same decoded object
+
+
+# ------------------------------------------------------------- concurrency
+
+def _store_in_subprocess(root, name, params, value):  # pragma: no cover
+    from repro.workloads.datacache import DatasetCache
+
+    DatasetCache(root).store(name, params, value)
+
+
+def test_concurrent_writers_race_harmlessly(tmp_path):
+    """Several processes storing the same key produce one intact
+    artifact — atomic rename means readers never observe a torn file."""
+    name, params = ("web_graph", GENERATOR_PARAMS[6][1])
+    value = generate(name, params)
+    procs = [
+        multiprocessing.Process(
+            target=_store_in_subprocess,
+            args=(str(tmp_path), name, params, value),
+        )
+        for _ in range(4)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60)
+        assert proc.exitcode == 0
+    cache = DatasetCache(tmp_path)
+    assert cache.keys() == [dataset_key(name, params)]
+    assert not list(tmp_path.glob(".tmp-*"))  # no leaked temp files
+    loaded = cache.load(name, params)
+    assert loaded is not None
+    assert_same_dataset(loaded, generate(name, params))
+
+
+# ------------------------------------------------------------ fetch + memo
+
+def test_fetch_counts_miss_then_hit(tmp_path):
+    datacache.configure(tmp_path)
+    name, params = GENERATOR_PARAMS[0]
+    datacache.fetch(name, params, lambda: generate(name, params))
+    datacache.clear_load_cache()
+    datacache.fetch(name, params, lambda: generate(name, params))
+    assert datacache.stats() == {
+        "hits": 1, "misses": 1, "stores": 1, "memo_hits": 0,
+    }
+
+
+def test_fetch_without_active_cache_just_generates():
+    datacache.deactivate()
+    name, params = GENERATOR_PARAMS[0]
+    value = datacache.fetch(name, params, lambda: generate(name, params))
+    assert_same_dataset(value, generate(name, params))
+    assert datacache.stats() == {
+        "hits": 0, "misses": 0, "stores": 0, "memo_hits": 0,
+    }
+
+
+def test_datagen_memo_answers_before_the_artifact_cache(tmp_path):
+    datacache.configure(tmp_path)
+    datagen.random_text_records(8, record_len=4, seed=41)
+    datagen.random_text_records(8, record_len=4, seed=41)
+    stats = datacache.stats()
+    assert stats["memo_hits"] == 1
+    assert stats["misses"] == 1 and stats["stores"] == 1
+
+
+# ------------------------------------------------------- headline property
+
+#: Workloads whose prepare phase flows through a ``datagen`` generator
+#: (kmeans builds its points inline and never touches the cache).
+@given(
+    workload=st.sampled_from(
+        ["sort", "wordcount", "pagerank", "als", "rf", "lda"]
+    )
+)
+@settings(max_examples=6, deadline=None)
+def test_cached_dataset_capture_equals_fresh_datagen_capture(workload):
+    """The cache never changes what an experiment computes: a capture
+    whose prepare phase was served entirely from dataset artifacts is
+    bit-identical — result dict and trace checksum — to one that
+    regenerated every dataset from its seed."""
+    config = ExperimentConfig(workload=workload, size="tiny", tier=1)
+
+    datacache.deactivate()
+    datagen.clear_cache()
+    fresh_result, fresh_trace = capture_experiment(config)
+
+    with tempfile.TemporaryDirectory(prefix="repro-dataset-prop-") as root:
+        datacache.configure(root)
+        try:
+            datagen.clear_cache()
+            capture_experiment(config)  # first pass stores artifacts
+            datagen.clear_cache()  # drop the memo → second pass hits disk
+            datacache.reset_stats()
+            cached_result, cached_trace = capture_experiment(config)
+            assert datacache.stats()["hits"] > 0
+            assert datacache.stats()["misses"] == 0
+        finally:
+            datacache.deactivate()
+
+    assert result_to_dict(cached_result) == result_to_dict(fresh_result)
+    assert fresh_trace is not None and cached_trace is not None
+    assert cached_trace.checksum == fresh_trace.checksum
