@@ -15,12 +15,15 @@ Commands
 ``campaign WORKLOAD [WORKLOAD ...]``
     Run the cross-product of workloads × sizes × tiers (× executors ×
     cores × MBA levels) through the parallel cached campaign runner.
-``serve`` / ``submit WORKLOAD``
+``serve`` / ``submit WORKLOAD`` / ``top``
     Long-lived async experiment service (:mod:`repro.service`) and its
-    client: ``serve`` multiplexes submissions from many concurrent
+    clients: ``serve`` multiplexes submissions from many concurrent
     clients onto one shared pool (coalescing duplicates, priority +
-    fair-share scheduling, bounded queues); ``submit --connect
-    HOST:PORT`` sends one configuration and streams its job events.
+    fair-share scheduling, bounded queues) and drains gracefully on
+    SIGINT/SIGTERM; ``submit --connect HOST:PORT`` sends one
+    configuration and streams its job events; ``top --connect
+    HOST:PORT`` is a live terminal dashboard (queue depth, in-flight
+    per client, coalesce hit-rate, latency quantiles).
 ``list``
     List the registered workloads and their size profiles.
 
@@ -275,13 +278,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the async experiment service until a client sends ``shutdown``."""
+    """Run the async experiment service until a client sends ``shutdown``
+    (or the process receives SIGINT/SIGTERM — both drain gracefully)."""
     import asyncio
 
     from repro.service import ExperimentService, serve
 
+    observe = None
+    if (args.trace_out or args.metrics_json or args.flight_dir
+            or args.log_json):
+        from repro.obs import ObsConfig
+
+        observe = ObsConfig(
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_json,
+            flight_dir=args.flight_dir,
+            log_path=args.log_json,
+        )
+    if args.log_json:
+        # Install the process-wide structured log (and export
+        # REPRO_LOG_PATH so pool workers append to the same file).
+        from repro.obs.log import configure
+
+        configure(args.log_json)
     service = ExperimentService(
-        options_from_args(args, observe=_build_observer(args)),
+        options_from_args(args, observe=observe),
         max_queue=args.max_queue,
         max_inflight_per_client=args.max_inflight,
         heartbeat=args.heartbeat,
@@ -290,8 +311,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def ready(host: str, port: int) -> None:
         print(f"serving on {host}:{port}", flush=True)
 
+    def ready_metrics(host: str, port: int) -> None:
+        print(f"metrics on http://{host}:{port}/metrics", flush=True)
+
     try:
-        asyncio.run(serve(service, args.host, args.port, ready=ready))
+        asyncio.run(serve(service, args.host, args.port, ready=ready,
+                          ready_metrics=ready_metrics))
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
     summary = service.summary()
@@ -349,6 +374,56 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1
     _print_result(config, result)
     return 0 if result.verified else 1
+
+
+def _parse_connect(connect: str) -> tuple[str, int] | None:
+    host, _, port = connect.rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return host, int(port)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running ``repro serve`` instance."""
+    import asyncio
+    import time
+
+    from repro.obs.live import format_top
+    from repro.service import ServiceClient
+
+    address = _parse_connect(args.connect)
+    if address is None:
+        print(f"--connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    host, port = address
+
+    async def snapshot() -> tuple[dict, dict]:
+        async with ServiceClient(host, port, client="top") as client:
+            status = await client.status()
+            scrape = await client.metrics()
+        return status, scrape
+
+    while True:
+        try:
+            status, scrape = asyncio.run(snapshot())
+        except (ConnectionError, OSError) as exc:
+            print(f"connection failed: {exc}", file=sys.stderr)
+            return 2
+        frame = format_top(
+            status.get("summary", {}),
+            scrape.get("summary", {}),
+            clients=scrape.get("clients") or None,
+        )
+        if not args.once:
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+        print(frame, flush=True)
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -527,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--metrics-json", default=None, metavar="PATH",
                               help="write the observer metrics registry as "
                                    "flat JSON on shutdown")
+    serve_parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                              help="write flight-recorder post-mortem dumps "
+                                   "for failed/cancelled jobs into DIR")
+    serve_parser.add_argument("--log-json", default=None, metavar="PATH",
+                              help="append structured JSON log lines "
+                                   "(job/span correlated) to PATH")
     add_options_args(serve_parser).set_defaults(fn=_cmd_serve)
 
     submit_parser = with_workload(
@@ -546,6 +627,18 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--quiet", action="store_true",
                                help="suppress job event lines on stderr")
     submit_parser.set_defaults(fn=_cmd_submit)
+
+    top_parser = sub.add_parser(
+        "top", help="live terminal dashboard over a running 'repro serve'"
+    )
+    top_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                            help="address printed by 'repro serve'")
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            help="seconds between dashboard refreshes")
+    top_parser.add_argument("--once", action="store_true",
+                            help="print a single snapshot and exit "
+                                 "(no screen clearing)")
+    top_parser.set_defaults(fn=_cmd_top)
 
     report_parser = sub.add_parser(
         "report", help="generate a markdown characterization report"

@@ -34,31 +34,56 @@ from repro.obs.export import (
     merge_chrome_traces,
     trace_payload,
 )
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder, load_flight_dump
 from repro.obs.hooks import emit_task_set_spans, sample_device_counters
-from repro.obs.registry import METRICS_SCHEMA, HistogramSummary, MetricsRegistry
+from repro.obs.live import MetricsListener, format_top
+from repro.obs.log import StructuredLog, configure, get_log, read_log
+from repro.obs.prom import parse_prometheus, render_prometheus
+from repro.obs.registry import (
+    METRICS_SCHEMA,
+    HistogramSummary,
+    MetricsRegistry,
+    labeled_name,
+    split_labels,
+)
+from repro.obs.sketch import QuantileSketch
 from repro.obs.span import CounterSample, Instant, Span, Tracer
 from repro.version import OBS_SCHEMA_VERSION
 
 __all__ = [
     "CounterSample",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "HistogramSummary",
     "Instant",
     "METRICS_SCHEMA",
+    "MetricsListener",
     "MetricsRegistry",
     "OBS_SCHEMA_VERSION",
     "ObsConfig",
     "Observer",
+    "QuantileSketch",
     "Span",
+    "StructuredLog",
     "TRACE_SCHEMA",
     "Tracer",
     "build_trace_events",
     "coerce_observer",
+    "configure",
     "emit_task_set_spans",
     "export_chrome_trace",
     "export_metrics_json",
     "format_stage_timeline",
+    "format_top",
+    "get_log",
+    "labeled_name",
+    "load_flight_dump",
     "load_metrics_json",
     "merge_chrome_traces",
+    "parse_prometheus",
+    "read_log",
+    "render_prometheus",
     "sample_device_counters",
+    "split_labels",
     "trace_payload",
 ]

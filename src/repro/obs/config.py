@@ -15,6 +15,7 @@ wall clock is within noise of the unobserved build.
 
 from __future__ import annotations
 
+import dataclasses
 import typing as t
 from dataclasses import dataclass
 from pathlib import Path
@@ -24,6 +25,7 @@ from repro.obs.export import (
     export_metrics_json,
     format_stage_timeline,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.span import Tracer
 
@@ -54,6 +56,15 @@ class ObsConfig:
     #: (``<config_hash>.trace.json`` / ``.metrics.json``).  Defaults to
     #: ``<cache_dir>/obs`` when the campaign has a cache.
     artifact_dir: str | None = None
+    #: Directory for flight-recorder post-mortem dumps
+    #: (``flight-<key>.json``).  None disables dumping — the in-memory
+    #: ring still records when a recorder is attached.
+    flight_dir: str | None = None
+    #: Events retained per key by the flight recorder.
+    flight_depth: int = 256
+    #: Structured JSON log file (newline-delimited records,
+    #: :mod:`repro.obs.log`).  None keeps the log in-memory only.
+    log_path: str | None = None
 
 
 class Observer:
@@ -63,6 +74,11 @@ class Observer:
         self.config = config if config is not None else ObsConfig()
         self.tracer = Tracer()
         self.registry = MetricsRegistry()
+        self.flight: FlightRecorder | None = None
+        if self.config.flight_dir is not None:
+            self.flight = FlightRecorder(
+                self.config.flight_dir, depth=self.config.flight_depth
+            )
 
     # -- engine wiring ---------------------------------------------------------
     def make_environment(self, initial_time: float = 0.0) -> "Environment":
@@ -88,6 +104,39 @@ class Observer:
         """
         self.tracer = Tracer()
         self.registry.reset()
+
+    # -- post-mortem -----------------------------------------------------------
+    def span_dicts(self, limit: int | None = None) -> list[dict[str, t.Any]]:
+        """The recorded spans as plain dicts (most recent ``limit``)."""
+        spans = self.tracer.spans[-limit:] if limit else self.tracer.spans
+        return [dataclasses.asdict(span) for span in spans]
+
+    def note_divergence(
+        self, key: str, reason: str, *, label: str | None = None
+    ) -> "Path | None":
+        """Dump a flight-recorder post-mortem for an abandoned attempt.
+
+        Called *before* :meth:`reset` when an attempt is thrown away
+        (replay divergence, job failure), so the artifact captures the
+        spans and metrics of the run that went wrong.  Returns the dump
+        path, or None when no flight recorder / dump dir is configured.
+        """
+        from repro.obs.log import get_log
+
+        get_log().warning(
+            "obs.divergence", key=key, reason=reason, label=label
+        )
+        if self.flight is None:
+            return None
+        self.flight.record(key, {"event": "divergence", "reason": reason})
+        return self.flight.dump(
+            key,
+            reason=reason,
+            label=label,
+            metrics=self.registry.to_dict(),
+            spans=self.span_dicts(limit=self.flight.depth),
+            log_tail=get_log().tail(64),
+        )
 
     # -- output ---------------------------------------------------------------
     def export(

@@ -1,0 +1,138 @@
+"""Bounded ring-buffer flight recorder with atomic post-mortem dumps.
+
+A :class:`FlightRecorder` retains the last ``depth`` events per key
+(typically one key per service job) in a bounded deque — recording is a
+dict-append, cheap enough to sit on the event hot path.  When something
+goes wrong (job failure, :class:`ReplayDivergence`, cancellation) the
+owner calls :meth:`dump`, which freezes that key's ring plus whatever
+context the caller supplies — a metrics snapshot, recent spans, the
+structured-log tail — into one schema-versioned JSON artifact, written
+atomically (temp file + ``os.replace``) so a crash mid-dump never
+leaves a truncated post-mortem.
+
+Dumps are loadable with :func:`load_flight_dump`, which validates the
+schema so stale or foreign files fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import typing as t
+from collections import deque
+from pathlib import Path
+
+from repro.version import OBS_SCHEMA_VERSION
+
+#: ``schema`` field of every flight-recorder dump.
+FLIGHT_SCHEMA = "repro.obs.flight"
+
+#: Default events retained per key.
+DEFAULT_DEPTH = 256
+
+
+class FlightRecorder:
+    """Last-``depth`` events per key, dumpable as a post-mortem artifact."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        *,
+        depth: int = DEFAULT_DEPTH,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"flight-recorder depth must be >= 1, got {depth}")
+        self.directory = Path(directory) if directory is not None else None
+        self.depth = depth
+        self._rings: dict[str, deque[dict[str, t.Any]]] = {}
+        self._dropped: dict[str, int] = {}
+
+    # -- recording -------------------------------------------------------------
+    def record(self, key: str, event: t.Mapping[str, t.Any]) -> None:
+        """Append one event to ``key``'s ring (evicting the oldest when
+        full; evictions are counted and reported in dumps)."""
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = deque(maxlen=self.depth)
+        if len(ring) == ring.maxlen:
+            self._dropped[key] = self._dropped.get(key, 0) + 1
+        ring.append(dict(event))
+
+    def events(self, key: str) -> list[dict[str, t.Any]]:
+        return list(self._rings.get(key, ()))
+
+    def dropped(self, key: str) -> int:
+        return self._dropped.get(key, 0)
+
+    def discard(self, key: str) -> None:
+        """Forget a key (e.g. after a job completes successfully)."""
+        self._rings.pop(key, None)
+        self._dropped.pop(key, None)
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self._rings)
+
+    # -- post-mortem -----------------------------------------------------------
+    def dump(
+        self,
+        key: str,
+        *,
+        reason: str,
+        label: str | None = None,
+        metrics: t.Mapping[str, t.Any] | None = None,
+        spans: t.Sequence[t.Mapping[str, t.Any]] | None = None,
+        log_tail: t.Sequence[t.Mapping[str, t.Any]] | None = None,
+        directory: str | os.PathLike[str] | None = None,
+    ) -> Path | None:
+        """Write ``key``'s post-mortem artifact; returns its path.
+
+        Returns None when no dump directory is configured (recording
+        without a sink is legal — the ring still serves ``events()``).
+        The write is atomic: the payload lands in a ``.tmp`` sibling
+        and is ``os.replace``d into place.
+        """
+        target_dir = Path(directory) if directory is not None else self.directory
+        if target_dir is None:
+            return None
+        target_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": FLIGHT_SCHEMA,
+            "version": OBS_SCHEMA_VERSION,
+            "key": key,
+            "reason": reason,
+            "label": label,
+            "ts": round(time.time(), 6),
+            "depth": self.depth,
+            "dropped": self._dropped.get(key, 0),
+            "events": self.events(key),
+            "metrics": dict(metrics) if metrics is not None else None,
+            "spans": [dict(span) for span in spans] if spans is not None
+            else None,
+            "log_tail": [dict(rec) for rec in log_tail]
+            if log_tail is not None else None,
+        }
+        path = target_dir / f"flight-{_safe(key)}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+
+def _safe(key: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+
+
+def load_flight_dump(path: str | os.PathLike[str]) -> dict[str, t.Any]:
+    """Load and validate one flight-recorder dump."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"not a {FLIGHT_SCHEMA} artifact: {path}")
+    if not isinstance(payload.get("events"), list):
+        raise ValueError(f"flight dump missing events list: {path}")
+    return payload

@@ -1,0 +1,162 @@
+"""Live monitoring surface: plain-HTTP metrics listener and `repro top`.
+
+:class:`MetricsListener` is a dependency-free asyncio HTTP/1.0 server
+good enough for a Prometheus scraper: ``GET /metrics`` returns whatever
+the render callback produces (exposition text), ``GET /healthz``
+returns ``ok``.  It deliberately implements nothing else — no keepalive,
+no chunking — because a scrape is one request per connection.
+
+:func:`format_top` is the pure renderer behind the ``repro top`` CLI
+dashboard: given the service's status/metrics payloads it draws a
+terminal snapshot of queue depth, in-flight jobs per client, coalesce
+hit-rate, and latency quantiles.  Keeping it pure (dict in, string out)
+makes the dashboard testable without a terminal or a live server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as t
+
+from repro.obs.prom import CONTENT_TYPE
+
+
+class MetricsListener:
+    """Minimal asyncio HTTP listener exposing ``/metrics`` and ``/healthz``."""
+
+    def __init__(
+        self,
+        render: t.Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.render = render
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # Drain (ignore) request headers up to the blank line.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if parts and parts[0] != "GET":
+                await self._respond(writer, 405, "method not allowed\n",
+                                    "text/plain")
+            elif path in ("/metrics", "/metrics/"):
+                await self._respond(writer, 200, self.render(), CONTENT_TYPE)
+            elif path in ("/healthz", "/healthz/"):
+                await self._respond(writer, 200, "ok\n", "text/plain")
+            else:
+                await self._respond(writer, 404, "not found\n", "text/plain")
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer reset
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, body: str, ctype: str
+    ) -> None:
+        reasons = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+def format_top(
+    status: t.Mapping[str, t.Any],
+    summary: t.Mapping[str, t.Any],
+    *,
+    clients: t.Mapping[str, t.Any] | None = None,
+    width: int = 72,
+) -> str:
+    """Render one ``repro top`` dashboard frame from service payloads.
+
+    ``status`` is the server's ``status`` op payload (counts by state),
+    ``summary`` the flat metrics summary (``service.*`` counters,
+    gauges, and ``jobs.execution_time_s.p50``-style quantiles), and
+    ``clients`` the per-client in-flight map.
+    """
+    lines = []
+    title = " repro top "
+    pad = max(0, width - len(title))
+    lines.append("=" * (pad // 2) + title + "=" * (pad - pad // 2))
+
+    def num(key: str, default: float = 0.0) -> float:
+        value = summary.get(key, default)
+        return float(value) if value is not None else default
+
+    queued = int(num("service.queue_depth", float(status.get("queued", 0))))
+    running = int(num("service.running", float(status.get("running", 0))))
+    submitted = num("service.submitted")
+    completed = num("service.completed")
+    failed = num("service.failed")
+    cancelled = num("service.cancelled")
+    lines.append(
+        f"jobs     queued={queued} running={running} "
+        f"done={int(completed)} failed={int(failed)} "
+        f"cancelled={int(cancelled)}"
+    )
+
+    coalesced = num("service.coalesce_hits")
+    cache_hits = num("service.cache_hits")
+    hit_rate = (coalesced / submitted * 100.0) if submitted else 0.0
+    lines.append(
+        f"admission submitted={int(submitted)} coalesced={int(coalesced)} "
+        f"({hit_rate:.1f}%) cache_hits={int(cache_hits)} "
+        f"rejected={int(num('service.rejected'))}"
+    )
+
+    dropped = num("service.events_dropped")
+    if dropped:
+        lines.append(f"events   dropped={int(dropped)}")
+
+    p50 = num("jobs.execution_time_s.p50")
+    p90 = num("jobs.execution_time_s.p90")
+    p99 = num("jobs.execution_time_s.p99")
+    if p50 or p90 or p99:
+        lines.append(
+            f"latency  p50={p50:.4f}s p90={p90:.4f}s p99={p99:.4f}s"
+        )
+
+    if clients:
+        lines.append("clients  (in-flight)")
+        for name in sorted(clients):
+            lines.append(f"  {name:<24} {clients[name]}")
+
+    lines.append("=" * width)
+    return "\n".join(lines)

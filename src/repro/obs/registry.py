@@ -12,8 +12,15 @@ Three instrument kinds:
 
 - **counters** — monotonically accumulated floats (:meth:`inc`);
 - **gauges** — last-written values (:meth:`set_gauge`);
-- **histograms** — observed samples, summarized on export
-  (:meth:`observe`).
+- **histograms** — streaming quantile sketches
+  (:class:`~repro.obs.sketch.QuantileSketch`): bounded memory,
+  p50/p90/p99 on demand, exact merge semantics (:meth:`observe`).
+
+Every instrument takes an optional ``labels=`` mapping — the label set
+is folded into the metric key with a canonical encoding
+(``name{k="v",...}``, keys sorted), so labelled series merge, reset and
+round-trip exactly like plain ones, and the Prometheus exposition
+(:mod:`repro.obs.prom`) splits them back into label pairs.
 
 Registries merge (campaign-level roll-ups sum per-point registries) and
 round-trip through a schema-versioned dict (:meth:`to_dict` /
@@ -25,10 +32,66 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass
 
+from repro.obs.sketch import QuantileSketch
 from repro.version import OBS_SCHEMA_VERSION
 
 #: ``schema`` field of every exported metrics payload.
 METRICS_SCHEMA = "repro.obs.metrics"
+
+
+def labeled_name(name: str, labels: t.Mapping[str, t.Any] | None) -> str:
+    """Canonical metric key for ``name`` + ``labels``.
+
+    ``labeled_name("x", {"tier": 2})`` → ``'x{tier="2"}'``; keys are
+    sorted so equal label sets always produce equal keys, and values are
+    escaped so the encoding is unambiguous.
+    """
+    if not labels:
+        return name
+    encoded = ",".join(
+        f'{key}="{_escape(str(labels[key]))}"' for key in sorted(labels)
+    )
+    return f"{name}{{{encoded}}}"
+
+
+def split_labels(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`labeled_name`: ``'x{tier="2"}'`` → ``("x", {...})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, body = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in _split_pairs(body[:-1]):
+        label, _, value = pair.partition("=")
+        labels[label] = _unescape(value.strip('"'))
+    return name, labels
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _unescape(value: str) -> str:
+    return value.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _split_pairs(body: str) -> list[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    pairs, depth, start = [], False, 0
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char == "\\":
+            i += 2
+            continue
+        if char == '"':
+            depth = not depth
+        elif char == "," and not depth:
+            pairs.append(body[start:i])
+            start = i + 1
+        i += 1
+    if body[start:]:
+        pairs.append(body[start:])
+    return pairs
 
 
 @dataclass(frozen=True)
@@ -39,6 +102,9 @@ class HistogramSummary:
     sum: float
     min: float
     max: float
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -51,29 +117,52 @@ class HistogramSummary:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
         }
 
 
 class MetricsRegistry:
-    """Counters, gauges and histograms under dotted metric names."""
+    """Counters, gauges and quantile sketches under dotted metric names."""
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
-        self._histograms: dict[str, list[float]] = {}
+        self._histograms: dict[str, QuantileSketch] = {}
 
     # -- instruments ---------------------------------------------------------
-    def inc(self, name: str, value: float = 1.0) -> float:
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: t.Mapping[str, t.Any] | None = None,
+    ) -> float:
         """Add ``value`` to counter ``name``; returns the new total."""
-        total = self.counters.get(name, 0.0) + value
-        self.counters[name] = total
+        key = labeled_name(name, labels)
+        total = self.counters.get(key, 0.0) + value
+        self.counters[key] = total
         return total
 
-    def set_gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: t.Mapping[str, t.Any] | None = None,
+    ) -> None:
+        self.gauges[labeled_name(name, labels)] = float(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self._histograms.setdefault(name, []).append(float(value))
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: t.Mapping[str, t.Any] | None = None,
+    ) -> None:
+        key = labeled_name(name, labels)
+        sketch = self._histograms.get(key)
+        if sketch is None:
+            sketch = self._histograms[key] = QuantileSketch()
+        sketch.observe(float(value))
 
     def inc_many(self, values: t.Mapping[str, float], prefix: str = "") -> None:
         """Bulk counter increment (``prefix`` is prepended to each key)."""
@@ -81,26 +170,47 @@ class MetricsRegistry:
             self.inc(f"{prefix}{key}", float(value))
 
     # -- reads ---------------------------------------------------------------
-    def counter(self, name: str) -> float:
-        return self.counters.get(name, 0.0)
+    def counter(
+        self, name: str, labels: t.Mapping[str, t.Any] | None = None
+    ) -> float:
+        return self.counters.get(labeled_name(name, labels), 0.0)
 
-    def gauge(self, name: str) -> float | None:
-        return self.gauges.get(name)
+    def gauge(
+        self, name: str, labels: t.Mapping[str, t.Any] | None = None
+    ) -> float | None:
+        return self.gauges.get(labeled_name(name, labels))
 
-    def histogram(self, name: str) -> HistogramSummary:
-        samples = self._histograms.get(name, [])
-        if not samples:
+    def histogram(
+        self, name: str, labels: t.Mapping[str, t.Any] | None = None
+    ) -> HistogramSummary:
+        sketch = self._histograms.get(labeled_name(name, labels))
+        if sketch is None or sketch.count == 0:
             return HistogramSummary(count=0, sum=0.0, min=0.0, max=0.0)
         return HistogramSummary(
-            count=len(samples),
-            sum=float(sum(samples)),
-            min=min(samples),
-            max=max(samples),
+            count=sketch.count,
+            sum=sketch.sum,
+            min=sketch.min,
+            max=sketch.max,
+            p50=sketch.quantile(0.50),
+            p90=sketch.quantile(0.90),
+            p99=sketch.quantile(0.99),
         )
 
-    def samples(self, name: str) -> list[float]:
-        """Raw observed values of one histogram (copy)."""
-        return list(self._histograms.get(name, []))
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        labels: t.Mapping[str, t.Any] | None = None,
+    ) -> float:
+        """Streaming quantile of one histogram (0.0 when empty)."""
+        sketch = self._histograms.get(labeled_name(name, labels))
+        return sketch.quantile(q) if sketch is not None else 0.0
+
+    def sketch(
+        self, name: str, labels: t.Mapping[str, t.Any] | None = None
+    ) -> QuantileSketch | None:
+        """The raw sketch behind one histogram (None when never observed)."""
+        return self._histograms.get(labeled_name(name, labels))
 
     @property
     def names(self) -> list[str]:
@@ -118,15 +228,21 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other`` into this registry (in place; returns self).
 
-        Counters sum, histograms concatenate, and gauges take ``other``'s
-        value (last writer wins — a gauge is a point-in-time reading).
+        Counters sum, histogram sketches merge exactly (equal to one
+        registry fed the union of observations), and gauges take
+        ``other``'s value (last writer wins — a gauge is a point-in-time
+        reading).
         """
         for name, value in other.counters.items():
             self.inc(name, value)
         for name, value in other.gauges.items():
             self.gauges[name] = value
-        for name, samples in other._histograms.items():
-            self._histograms.setdefault(name, []).extend(samples)
+        for name, sketch in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = QuantileSketch().merge(sketch)
+            else:
+                mine.merge(sketch)
         return self
 
     # -- (de)serialization -----------------------------------------------------
@@ -141,9 +257,9 @@ class MetricsRegistry:
                 name: self.histogram(name).to_dict()
                 for name in sorted(self._histograms)
             },
-            "samples": {
-                name: list(values)
-                for name, values in sorted(self._histograms.items())
+            "sketches": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
             },
         }
 
@@ -152,7 +268,9 @@ class MetricsRegistry:
         """Rebuild a registry from :meth:`to_dict` output.
 
         Raises :class:`ValueError` on an unknown schema so stale or
-        foreign files fail loudly instead of merging garbage.
+        foreign files fail loudly instead of merging garbage.  Payloads
+        from the pre-sketch schema (raw ``samples`` lists) are accepted
+        by re-observing the samples.
         """
         if payload.get("schema") != METRICS_SCHEMA:
             raise ValueError(
@@ -163,6 +281,11 @@ class MetricsRegistry:
             registry.counters[name] = float(value)
         for name, value in payload.get("gauges", {}).items():
             registry.gauges[name] = float(value)
-        for name, values in payload.get("samples", {}).items():
-            registry._histograms[name] = [float(v) for v in values]
+        if "sketches" in payload:
+            for name, sketch in payload["sketches"].items():
+                registry._histograms[name] = QuantileSketch.from_dict(sketch)
+        else:  # schema-1 payload: raw sample lists
+            for name, values in payload.get("samples", {}).items():
+                for value in values:
+                    registry.observe(name, float(value))
         return registry

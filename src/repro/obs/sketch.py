@@ -1,0 +1,213 @@
+"""Mergeable streaming quantile sketch (log-bucketed histogram).
+
+The registry's histograms used to retain every observed sample, which is
+fine for a single short run but unbounded for a long-lived service
+observing one value per job.  :class:`QuantileSketch` replaces the raw
+sample list with a DDSketch-style log-bucket layout:
+
+- a positive value ``v`` lands in bucket ``i = ceil(log_gamma(v))``, so
+  bucket ``i`` covers ``(gamma**(i-1), gamma**i]``; with
+  ``gamma = 2**(1/8)`` any quantile estimate is within ~4.4% relative
+  error of the true sample;
+- zero and negative values get their own stores (negatives are bucketed
+  on their magnitude), so the sketch is total over floats;
+- ``count`` / ``sum`` / ``min`` / ``max`` are tracked exactly.
+
+Bucketing is a pure function of the value, which is what makes the
+merge *exact*: merging shard sketches adds bucket counts, so a merge of
+shards is indistinguishable from one sketch fed the union of the
+observations — the property the campaign roll-up and service restarts
+rely on (pinned by hypothesis in ``tests/obs/test_sketch.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+#: Bucket growth factor; relative quantile error is ``(gamma-1)/(gamma+1)``.
+GAMMA = 2.0 ** 0.125
+
+_LOG_GAMMA = math.log(GAMMA)
+#: Tolerance for values sitting numerically on a bucket boundary.
+_EDGE = 1e-9
+
+
+def bucket_index(value: float) -> int:
+    """Deterministic bucket of a positive value: ``ceil(log_gamma(v))``.
+
+    Values within floating-point slop of an exact boundary ``gamma**i``
+    map to ``i`` — the same answer on every shard, which the exact-merge
+    property requires.
+    """
+    lg = math.log(value) / _LOG_GAMMA
+    nearest = round(lg)
+    if abs(lg - nearest) < _EDGE:
+        return int(nearest)
+    return int(math.ceil(lg))
+
+
+def bucket_upper(index: int) -> float:
+    """Upper bound of bucket ``index`` (``gamma**index``)."""
+    return GAMMA ** index
+
+
+class QuantileSketch:
+    """Bounded-memory quantile estimator with exact merge semantics."""
+
+    __slots__ = ("count", "sum", "min", "max", "zeros",
+                 "_buckets", "_negatives")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0
+        #: bucket index → count, positive values.
+        self._buckets: dict[int, int] = {}
+        #: bucket index of ``-value`` → count, negative values.
+        self._negatives: dict[int, int] = {}
+
+    # -- ingest ----------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value > 0.0:
+            index = bucket_index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        elif value < 0.0:
+            index = bucket_index(-value)
+            self._negatives[index] = self._negatives.get(index, 0) + 1
+        else:
+            self.zeros += 1
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` in (in place; returns self).  Exact: equal to a
+        single sketch fed both observation streams."""
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.zeros += other.zeros
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        for index, n in other._negatives.items():
+            self._negatives[index] = self._negatives.get(index, 0) + n
+        return self
+
+    # -- reads -----------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value estimate at quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Walks the buckets in value order (negatives, zeros, positives)
+        to the bucket containing rank ``ceil(q * count)`` and returns
+        that bucket's representative point, clamped into the exact
+        ``[min, max]`` envelope so extreme quantiles never escape the
+        observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        estimate = self.max
+        for index in sorted(self._negatives, reverse=True):
+            cumulative += self._negatives[index]
+            if cumulative >= rank:
+                estimate = -self._representative(index)
+                break
+        else:
+            cumulative += self.zeros
+            if cumulative >= rank:
+                estimate = 0.0
+            else:
+                for index in sorted(self._buckets):
+                    cumulative += self._buckets[index]
+                    if cumulative >= rank:
+                        estimate = self._representative(index)
+                        break
+        return min(max(estimate, self.min), self.max)
+
+    @staticmethod
+    def _representative(index: int) -> float:
+        """Point estimate for one bucket: the value minimizing worst-case
+        relative error over ``(gamma**(i-1), gamma**i]``."""
+        return bucket_upper(index) * 2.0 / (1.0 + GAMMA)
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Monotone ``(upper_bound, cumulative_count)`` pairs over every
+        occupied bucket — the Prometheus ``le`` bucket series (callers
+        append the implicit ``+Inf`` = ``count``)."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for index in sorted(self._negatives, reverse=True):
+            running += self._negatives[index]
+            # A negative bucket holds values in [-gamma**i, -gamma**(i-1)).
+            pairs.append((-bucket_upper(index - 1), running))
+        if self.zeros:
+            running += self.zeros
+            pairs.append((0.0, running))
+        for index in sorted(self._buckets):
+            running += self._buckets[index]
+            pairs.append((bucket_upper(index), running))
+        return pairs
+
+    # -- (de)serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, t.Any]:
+        """JSON-stable payload (bucket indices as sorted string keys)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "zeros": self.zeros,
+            "buckets": {str(i): self._buckets[i]
+                        for i in sorted(self._buckets)},
+            "negatives": {str(i): self._negatives[i]
+                          for i in sorted(self._negatives)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "QuantileSketch":
+        sketch = cls()
+        sketch.count = int(payload.get("count", 0))
+        sketch.sum = float(payload.get("sum", 0.0))
+        if sketch.count:
+            sketch.min = float(payload.get("min", 0.0))
+            sketch.max = float(payload.get("max", 0.0))
+        sketch.zeros = int(payload.get("zeros", 0))
+        sketch._buckets = {
+            int(i): int(n) for i, n in payload.get("buckets", {}).items()
+        }
+        sketch._negatives = {
+            int(i): int(n) for i, n in payload.get("negatives", {}).items()
+        }
+        return sketch
+
+    @classmethod
+    def of(cls, values: t.Iterable[float]) -> "QuantileSketch":
+        sketch = cls()
+        for value in values:
+            sketch.observe(value)
+        return sketch
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"QuantileSketch(count={self.count}, mean={self.mean:.6g}, "
+                f"p50={self.quantile(0.5):.6g}, p99={self.quantile(0.99):.6g})")

@@ -141,6 +141,23 @@ class Tracer:
             )
         top.end = self._clock()
 
+    def unwind_to(self, span: Span) -> None:
+        """Close ``span`` and everything still open inside it.
+
+        Error-path counterpart of :meth:`end`: an exception can escape
+        from arbitrarily deep in the scheduler while job/stage spans are
+        still open.  Closing them all at the current clock keeps the
+        trace loadable without raising a nesting violation over the
+        exception that is already propagating.
+        """
+        if span not in self._stack:
+            return
+        while self._stack:
+            top = self._stack.pop()
+            top.end = self._clock()
+            if top is span:
+                return
+
     @contextmanager
     def span(
         self,
@@ -152,7 +169,10 @@ class Tracer:
         opened = self.begin(name, cat, track=track, **attrs)
         try:
             yield opened
-        finally:
+        except BaseException:
+            self.unwind_to(opened)
+            raise
+        else:
             self.end(opened)
 
     # -- retrospective spans -------------------------------------------------

@@ -78,12 +78,21 @@ class RunOptions:
     #: Default scheduling priority for service submissions (higher runs
     #: first; ties are fair-shared across clients).  Inert locally.
     priority: int = 0
+    #: Service-only: bind a plain-HTTP ``/metrics`` listener (Prometheus
+    #: text format) on this port (``0`` picks a free port).  ``None``
+    #: disables the listener; the JSON-lines ``metrics`` op is always
+    #: available.  Inert locally.
+    metrics_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be >= 0")
         if not isinstance(self.priority, int):
             raise TypeError("priority must be an int")
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ValueError("metrics_port must be in [0, 65535]")
 
     def with_options(self, **changes: t.Any) -> "RunOptions":
         """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""
@@ -223,6 +232,8 @@ def add_options_args(
         "resume": "reuse results already in the cache; --no-resume "
                   "clears cached results first (traces are kept)",
         "priority": "service scheduling priority (higher runs first)",
+        "metrics_port": "bind a plain-HTTP /metrics listener on this "
+                        "port (0 picks a free port; service only)",
     }
     for f in fields(RunOptions):
         if f.name in skip:
@@ -236,7 +247,9 @@ def add_options_args(
                 default=f.default,
                 help=help_text.get(f.name),
             )
-        elif f.name == "workers" or isinstance(f.default, int):
+        elif f.name in ("workers", "metrics_port") or isinstance(
+            f.default, int
+        ):
             group.add_argument(
                 flag, dest=f.name, type=int, default=f.default,
                 help=help_text.get(f.name),

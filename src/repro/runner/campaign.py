@@ -516,13 +516,29 @@ class CampaignRunner:
         self._emit_progress(report, started)
 
         if primaries:
-            for wave in self._plan_waves(primaries):
+            from repro.obs.log import get_log
+
+            log = get_log().bind(component="campaign")
+            for number, wave in enumerate(self._plan_waves(primaries), 1):
+                log.info(
+                    "campaign.wave",
+                    wave=number,
+                    points=len(wave),
+                    workers=self.workers,
+                )
                 if self.workers > 1:
                     manifest = self._publish_wave_traces(wave)
                     self._run_pool(wave, report, started, manifest)
                 else:
                     self._run_serial(wave, report, started)
             self._resolve_aliases(aliases, report, started)
+            for point in report.failures:
+                log.error(
+                    "campaign.point_failed",
+                    point=point.index,
+                    config=point.config.describe(),
+                    error=point.error,
+                )
 
         self._export_observability(report)
         report.elapsed = time.monotonic() - started

@@ -31,6 +31,7 @@ processes, and :meth:`repro.api.Session.service`.  See docs/SERVICE.md.
 
 from repro.service.client import RemoteJobFailed, ServiceClient, submit_and_stream
 from repro.service.jobs import (
+    DEFAULT_EVENT_HISTORY,
     EVENT_KINDS,
     TERMINAL_EVENTS,
     TERMINAL_STATES,
@@ -47,6 +48,7 @@ from repro.service.service import DEFAULT_CLIENT, ExperimentService
 
 __all__ = [
     "DEFAULT_CLIENT",
+    "DEFAULT_EVENT_HISTORY",
     "EVENT_KINDS",
     "ExperimentService",
     "Job",

@@ -104,6 +104,11 @@ class ServiceClient:
     async def status(self) -> dict[str, t.Any]:
         return await self._request(op="status")
 
+    async def metrics(self) -> dict[str, t.Any]:
+        """The live monitoring scrape: ``prometheus`` exposition text,
+        the flat ``summary`` map, and per-client in-flight counts."""
+        return await self._request(op="metrics")
+
     async def drain(self) -> dict[str, t.Any]:
         return await self._request(op="drain")
 

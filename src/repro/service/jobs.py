@@ -41,6 +41,17 @@ EVENT_KINDS = ("queued", "coalesced", "started", "progress",
 #: Event kinds that end a job's stream.
 TERMINAL_EVENTS = ("done", "failed", "cancelled")
 
+#: Event kinds the bounded history may drop under pressure.  Lifecycle
+#: events (admission, dispatch, terminal) are never dropped — only the
+#: unbounded ``progress`` heartbeats are.
+DROPPABLE_EVENTS = ("progress",)
+
+#: Default per-job event-history cap (and subscriber queue bound).
+DEFAULT_EVENT_HISTORY = 256
+
+#: Floor for the configured cap: lifecycle events must always fit.
+MIN_EVENT_HISTORY = 8
+
 
 class ServiceError(RuntimeError):
     """Base class for every service-level signal."""
@@ -104,6 +115,7 @@ class Job:
         priority: int,
         seq: int,
         service: "t.Any",
+        history: int = DEFAULT_EVENT_HISTORY,
     ) -> None:
         self.id = job_id
         self.config = config
@@ -131,6 +143,11 @@ class Job:
         # "exception was never retrieved" at interpreter exit.
         self.future.add_done_callback(Job._consume_exception)
         self._service = service
+        #: Event-history cap; see docs/SERVICE.md "Event backpressure".
+        self.history = max(MIN_EVENT_HISTORY, history)
+        #: Events evicted from history or subscriber queues under
+        #: pressure (surfaced as the ``service.events_dropped`` metric).
+        self.events_dropped = 0
         self._log: list[JobEvent] = []
         self._subscribers: list[asyncio.Queue] = []
 
@@ -142,8 +159,15 @@ class Job:
 
     async def events(self) -> t.AsyncIterator[JobEvent]:
         """Stream this job's events; replays history, ends at a terminal
-        event.  Any number of concurrent subscribers is fine."""
-        queue: asyncio.Queue = asyncio.Queue()
+        event.  Any number of concurrent subscribers is fine.
+
+        Both the history and each subscriber queue are bounded at
+        ``self.history`` entries: a slow consumer loses ``progress``
+        heartbeats (counted in :attr:`events_dropped`, surfaced as the
+        ``service.events_dropped`` metric) but is always delivered the
+        terminal event.
+        """
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.history + 1)
         for event in self._log:
             queue.put_nowait(event)
         if not self.done:
@@ -193,11 +217,45 @@ class Job:
             kind=kind, job_id=self.id, time=time.time(), payload=payload
         )
         self._log.append(event)
+        if len(self._log) > self.history:
+            self._trim_history()
         for queue in list(self._subscribers):
-            queue.put_nowait(event)
+            self._offer(queue, event)
         if event.terminal:
             self._subscribers.clear()
+        notify = getattr(self._service, "_on_job_event", None)
+        if notify is not None:
+            notify(self, event)
         return event
+
+    def _trim_history(self) -> None:
+        """Evict the oldest droppable (``progress``) event from history.
+
+        Lifecycle events are never evicted; with ``history`` at least
+        :data:`MIN_EVENT_HISTORY` they always fit, so a full history of
+        undroppable events (impossible in practice) is left intact.
+        """
+        for i, event in enumerate(self._log):
+            if event.kind in DROPPABLE_EVENTS:
+                del self._log[i]
+                self.events_dropped += 1
+                return
+
+    def _offer(self, queue: asyncio.Queue, event: JobEvent) -> None:
+        """Deliver to one subscriber; on a full queue drop the event
+        (terminal events instead evict the queue head so the stream
+        always terminates).  Every loss increments ``events_dropped``."""
+        try:
+            queue.put_nowait(event)
+            return
+        except asyncio.QueueFull:
+            self.events_dropped += 1
+        if event.terminal:
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - racy full→empty
+                pass
+            queue.put_nowait(event)
 
     @staticmethod
     def _consume_exception(future: asyncio.Future) -> None:

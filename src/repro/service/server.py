@@ -12,12 +12,23 @@ request                         response
 ``submit``     ``{"ok": true, "job": id}`` then one line per
                :class:`~repro.service.jobs.JobEvent`; the terminal
                ``done`` line carries the serialized result.
-``status``     ``{"ok": true, "summary": {...}, "metrics": {...}}``
+``status``     ``{"ok": true, "summary": {...}, "metrics": {...},
+               "clients": {...}}``
+``metrics``    ``{"ok": true, "prometheus": "<exposition text>",
+               "summary": {...flat}, "clients": {...}}`` — the live
+               monitoring scrape (see docs/OBSERVABILITY.md).
 ``cancel``     ``{"ok": true, "cancelled": bool}``
 ``drain``      ``{"ok": true, "drained": true}`` once all admitted work
                has resolved (new submissions are rejected meanwhile).
 ``shutdown``   drain + stop the server loop.
 =============  =============================================================
+
+The server also drains gracefully on SIGINT/SIGTERM (see
+:func:`serve`): admissions stop, in-flight jobs finish, the final
+metrics snapshot and flight-recorder artifacts are flushed, then the
+process exits.  An optional plain-HTTP ``/metrics`` listener
+(``RunOptions.metrics_port``) serves the same exposition text to a
+Prometheus scraper.
 
 Rejections are explicit backpressure signals, not broken connections:
 ``{"ok": false, "error": "...", "kind": "queue_full" | "client_limit" |
@@ -56,10 +67,21 @@ class ServiceServer:
         service: ExperimentService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        metrics_port: int | None = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Port for the optional plain-HTTP ``/metrics`` listener
+        #: (``0`` = ephemeral); defaults to ``options.metrics_port``.
+        self.metrics_port = (
+            metrics_port
+            if metrics_port is not None
+            else service.options.metrics_port
+        )
+        self.metrics_address: tuple[str, int] | None = None
+        self._metrics_listener: "t.Any | None" = None
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
 
@@ -72,20 +94,40 @@ class ServiceServer:
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        if self.metrics_port is not None and self._metrics_listener is None:
+            from repro.obs.live import MetricsListener
+
+            self._metrics_listener = MetricsListener(
+                self.service.render_prometheus,
+                host=self.host,
+                port=self.metrics_port,
+            )
+            self.metrics_address = await self._metrics_listener.start()
         return self.host, self.port
 
     async def serve_until_shutdown(self) -> None:
-        """Run until a ``shutdown`` request arrives, then drain + stop."""
+        """Run until a ``shutdown`` request (or :meth:`request_shutdown`
+        — the SIGINT/SIGTERM path) arrives, then drain + stop."""
         if self._server is None:
             await self.start()
         await self._shutdown.wait()
         await self.close()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to drain and exit (signal-handler safe:
+        just sets the shutdown event; the loop does the graceful part).
+        Admissions stop immediately."""
+        self.service._closed = True
+        self._shutdown.set()
 
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_listener is not None:
+            await self._metrics_listener.close()
+            self._metrics_listener = None
         await self.service.shutdown(drain=True)
 
     # ---------------------------------------------------------------- handlers
@@ -132,6 +174,15 @@ class ServiceServer:
                 ok=True,
                 summary=self.service.summary(),
                 metrics=self.service.metrics.to_dict(),
+                clients=self.service.client_inflight(),
+            )
+        elif op == "metrics":
+            await self._send(
+                writer,
+                ok=True,
+                prometheus=self.service.render_prometheus(),
+                summary=self.service.flat_summary(),
+                clients=self.service.client_inflight(),
             )
         elif op == "cancel":
             job = self.service.jobs.get(int(request.get("job", -1)))
@@ -191,14 +242,42 @@ async def serve(
     port: int = 0,
     *,
     ready: t.Callable[[str, int], None] | None = None,
+    ready_metrics: t.Callable[[str, int], None] | None = None,
+    install_signal_handlers: bool = True,
 ) -> None:
     """Start a :class:`ServiceServer` and run it until ``shutdown``.
 
     ``ready`` is invoked with the bound address once listening (the CLI
-    prints it; tests grab the ephemeral port from it).
+    prints it; tests grab the ephemeral port from it); ``ready_metrics``
+    likewise with the HTTP ``/metrics`` address when
+    ``options.metrics_port`` asked for a listener.
+
+    With ``install_signal_handlers`` (the default), SIGINT and SIGTERM
+    trigger a graceful drain instead of killing the process mid-job:
+    admissions stop, in-flight jobs finish, and the final metrics
+    snapshot / flight-recorder artifacts are flushed on the way out.
     """
     server = ServiceServer(service, host, port)
     bound_host, bound_port = await server.start()
     if ready is not None:
         ready(bound_host, bound_port)
-    await server.serve_until_shutdown()
+    if ready_metrics is not None and server.metrics_address is not None:
+        ready_metrics(*server.metrics_address)
+    removed: list[int] = []
+    if install_signal_handlers:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+                removed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break  # non-POSIX loop: fall back to default handling
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        if removed:
+            loop = asyncio.get_running_loop()
+            for signum in removed:
+                loop.remove_signal_handler(signum)

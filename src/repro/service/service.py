@@ -53,6 +53,7 @@ from repro.runner.hashing import config_hash
 from repro.service.jobs import (
     CANCELLED,
     COALESCED,
+    DEFAULT_EVENT_HISTORY,
     DONE,
     FAILED,
     QUEUED,
@@ -60,6 +61,7 @@ from repro.service.jobs import (
     ClientLimitError,
     Job,
     JobCancelledError,
+    JobEvent,
     QueueFullError,
     ServiceClosedError,
 )
@@ -104,6 +106,18 @@ class ExperimentService:
         default is the campaign runner's ``_execute_point`` — the
         bit-identity guarantee.  Overrides require a serial/thread pool
         unless picklable.
+    event_history:
+        Per-job event-history cap (and subscriber queue bound): a slow
+        ``events()`` consumer loses ``progress`` heartbeats past this
+        depth — counted in the ``service.events_dropped`` metric —
+        instead of growing memory without bound.
+    flight_dir:
+        Directory for flight-recorder post-mortem dumps.  Every job's
+        recent events are ring-buffered regardless; with a directory
+        configured (here or via ``ObsConfig.flight_dir``) a failed or
+        cancelled job additionally writes a loadable
+        ``flight-job-<id>.json`` artifact (events + metrics snapshot +
+        spans + structured-log tail).
 
     Lifecycle: ``await service.start()`` … ``await service.shutdown()``,
     or ``async with ExperimentService(...) as service:`` which drains
@@ -119,11 +133,15 @@ class ExperimentService:
         heartbeat: float = 0.5,
         max_shm_bytes: int | None = 256 * 1024 * 1024,
         execute: t.Callable[..., t.Any] | None = None,
+        event_history: int = DEFAULT_EVENT_HISTORY,
+        flight_dir: "str | Path | None" = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_inflight_per_client < 1:
             raise ValueError("max_inflight_per_client must be >= 1")
+        if event_history < 1:
+            raise ValueError("event_history must be >= 1")
         self.max_shm_bytes = max_shm_bytes
         self.options = options if options is not None else RunOptions()
         self.max_queue = max_queue
@@ -172,7 +190,8 @@ class ExperimentService:
         self._dataset_tmp: tempfile.TemporaryDirectory | None = None
         self._dataset_root: Path | None = None
         # Observability --------------------------------------------------------
-        from repro.obs import MetricsRegistry, Observer
+        from repro.obs import FlightRecorder, MetricsRegistry, Observer
+        from repro.obs.log import get_log
 
         obs_config = _coerce_obs_config(self.options.observe)
         self.observer: "Observer | None" = (
@@ -183,6 +202,17 @@ class ExperimentService:
         self.metrics: MetricsRegistry = (
             self.observer.registry if self.observer else MetricsRegistry()
         )
+        self.event_history = event_history
+        if flight_dir is None and obs_config is not None:
+            flight_dir = obs_config.flight_dir
+        depth = obs_config.flight_depth if obs_config is not None else None
+        #: Always-on bounded ring of recent events per job; dumps
+        #: post-mortems when ``flight_dir`` is configured.
+        self.flight = FlightRecorder(
+            flight_dir, depth=depth or max(event_history, 1)
+        )
+        #: Structured log bound with service-level correlation fields.
+        self.log = get_log().bind(component="service")
 
     # ------------------------------------------------------------------ lifecycle
     async def start(self) -> "ExperimentService":
@@ -248,6 +278,8 @@ class ExperimentService:
         submissions raise :class:`ServiceClosedError`.
         """
         self._closed = True
+        if self._active:
+            self.log.info("service.drain", active=len(self._active))
         assert self._state_changed is not None
         while self._active:
             await self._state_changed.wait()
@@ -298,6 +330,13 @@ class ExperimentService:
             if tmp is not None:
                 tmp.cleanup()
         self._trace_tmp = self._obs_tmp = self._dataset_tmp = None
+        if self._started and self.observer is not None:
+            # Final flush: whatever artifacts the ObsConfig asks for
+            # (trace/metrics paths) are written exactly once, at the
+            # end of the service's life — the graceful-drain snapshot.
+            self.observer.export(run_info={"label": "service"})
+        if self._started:
+            self.log.info("service.shutdown", **self.summary())
         self._started = False
 
     async def __aenter__(self) -> "ExperimentService":
@@ -331,12 +370,16 @@ class ExperimentService:
             await self.start()
         if self._closed:
             self.metrics.inc("service.rejected.closed")
+            self.log.warning("service.reject", reason="closed", client=client)
             raise ServiceClosedError("service is draining; no new submissions")
         self.metrics.inc("service.submitted")
         if priority is None:
             priority = self.options.priority
         if self._client_inflight(client) >= self.max_inflight_per_client:
             self.metrics.inc("service.rejected.client_limit")
+            self.log.warning(
+                "service.reject", reason="client_limit", client=client
+            )
             raise ClientLimitError(
                 f"client {client!r} already has "
                 f"{self.max_inflight_per_client} jobs in flight"
@@ -350,6 +393,7 @@ class ExperimentService:
             priority=priority,
             seq=next(self._seq),
             service=self,
+            history=self.event_history,
         )
         self.jobs[job.id] = job
         primary = self._primary.get(key)
@@ -364,6 +408,9 @@ class ExperimentService:
             return job
         if self._queue_depth() >= self.max_queue:
             self.metrics.inc("service.rejected.queue_full")
+            self.log.warning(
+                "service.reject", reason="queue_full", client=client
+            )
             raise QueueFullError(
                 f"ready queue is at max_queue={self.max_queue}"
             )
@@ -407,10 +454,41 @@ class ExperimentService:
             "cache_hits": get("service.cache_hits"),
             "rejected_queue_full": get("service.rejected.queue_full"),
             "rejected_client_limit": get("service.rejected.client_limit"),
+            "events_dropped": get("service.events_dropped"),
             "queued": float(self._queue_depth()),
             "running": float(len(self._running)),
             "active": float(len(self._active)),
         }
+
+    def flat_summary(self) -> dict[str, float]:
+        """Every metric as one flat name→value map (the ``repro top``
+        payload): counters and gauges verbatim (labelled keys included),
+        plus ``<histogram>.p50/p90/p99`` streaming quantiles and an
+        aggregated ``service.rejected``."""
+        flat: dict[str, float] = dict(self.metrics.counters)
+        flat.update(self.metrics.gauges)
+        flat["service.rejected"] = (
+            flat.get("service.rejected.queue_full", 0.0)
+            + flat.get("service.rejected.client_limit", 0.0)
+            + flat.get("service.rejected.closed", 0.0)
+        )
+        for name in list(self.metrics._histograms):
+            for q, suffix in ((0.50, "p50"), (0.90, "p90"), (0.99, "p99")):
+                flat[f"{name}.{suffix}"] = self.metrics.quantile(name, q)
+        return flat
+
+    def client_inflight(self) -> dict[str, int]:
+        """Non-terminal job count per client (the ``repro top`` view)."""
+        counts: dict[str, int] = {}
+        for job in self._active:
+            counts[job.client] = counts.get(job.client, 0) + 1
+        return counts
+
+    def render_prometheus(self) -> str:
+        """The service registry in Prometheus text exposition format."""
+        from repro.obs.prom import render_prometheus
+
+        return render_prometheus(self.metrics)
 
     def export_metrics(self, path: str | Path) -> None:
         """Write the service metrics registry as flat JSON."""
@@ -641,11 +719,12 @@ class ExperimentService:
             self.metrics.observe(
                 "service.exec_s", job.finished_at - job.started_at
             )
+        self._fold_result_metrics(job, result)
+        self._emit_span(job)
         job._emit("done", status=status,
                   latency_s=round(job.latency or 0.0, 6))
         if not job.future.done():
             job.future.set_result(result)
-        self._emit_span(job)
         for follower in job.followers:
             if follower.state != COALESCED:
                 continue  # cancelled followers stay cancelled
@@ -657,11 +736,11 @@ class ExperimentService:
             self.metrics.inc("service.status.coalesced")
             if follower.latency is not None:
                 self.metrics.observe("service.latency_s", follower.latency)
+            self._emit_span(follower)
             follower._emit("done", status="coalesced", onto=job.id,
                            latency_s=round(follower.latency or 0.0, 6))
             if not follower.future.done():
                 follower.future.set_result(result)
-            self._emit_span(follower)
         job.followers.clear()
         self._notify()
 
@@ -673,10 +752,10 @@ class ExperimentService:
         self._primary.pop(job.key, None)
         self._active.discard(job)
         self.metrics.inc("service.failed")
+        self._emit_span(job)
         job._emit("failed", error=job.error)
         if not job.future.done():
             job.future.set_exception(exc)
-        self._emit_span(job)
         for follower in job.followers:
             if follower.state != COALESCED:
                 continue
@@ -686,10 +765,10 @@ class ExperimentService:
             follower.finished_at = job.finished_at
             self._active.discard(follower)
             self.metrics.inc("service.failed")
+            self._emit_span(follower)
             follower._emit("failed", error=job.error, onto=job.id)
             if not follower.future.done():
                 follower.future.set_exception(exc)
-            self._emit_span(follower)
         job.followers.clear()
         self._notify()
 
@@ -736,16 +815,92 @@ class ExperimentService:
         job.finished_at = time.monotonic()
         self._active.discard(job)
         self.metrics.inc("service.cancelled")
+        self._emit_span(job)
         job._emit("cancelled")
         if not job.future.done():
             job.future.set_exception(
                 JobCancelledError(f"job {job.id} was cancelled")
             )
-        self._emit_span(job)
         self._set_gauges()
         self._notify()
 
     # -- observability ---------------------------------------------------------
+    def _on_job_event(self, job: Job, event: JobEvent) -> None:
+        """Per-event hook (called by :meth:`Job._emit`): flight-record
+        the event, mirror it on the structured log with job/client
+        correlation, and settle drop accounting at terminal events."""
+        self.flight.record(f"job-{job.id}", event.to_dict())
+        fields: dict[str, t.Any] = {
+            "job": job.id, "client": job.client, "key": job.key,
+        }
+        fields.update(event.payload)
+        level = "error" if event.kind == "failed" else "info"
+        self.log.write(f"job.{event.kind}", level=level, **fields)
+        if not event.terminal:
+            return
+        if job.events_dropped:
+            self.metrics.inc("service.events_dropped", job.events_dropped)
+        if event.kind == "done":
+            self.flight.discard(f"job-{job.id}")
+        else:
+            self._dump_flight(job, reason=event.kind)
+
+    def _dump_flight(self, job: Job, reason: str) -> "Path | None":
+        """Freeze ``job``'s ring into a post-mortem artifact (no-op
+        without a configured flight directory)."""
+        spans = (
+            self.observer.span_dicts(limit=self.flight.depth)
+            if self.observer is not None
+            else None
+        )
+        path = self.flight.dump(
+            f"job-{job.id}",
+            reason=reason,
+            label=job.config.describe(),
+            metrics=self.metrics.to_dict(),
+            spans=spans,
+            log_tail=self.log.tail(64),
+        )
+        if path is not None:
+            self.log.info("service.flight_dump", job=job.id, path=str(path))
+        return path
+
+    def _fold_result_metrics(self, job: Job, result: t.Any) -> None:
+        """Fold one resolved result's telemetry into the live registry.
+
+        This is what makes per-tier device counters scrapeable: workers
+        observe into their own per-point registries (exported as
+        artifacts), so the service labels and accumulates the result's
+        telemetry itself — ``device.*`` counters labelled by tier,
+        socket, workload, client and DIMM.
+        """
+        exec_time = getattr(result, "execution_time", None)
+        if exec_time is not None:
+            self.metrics.observe("jobs.execution_time_s", float(exec_time))
+        config = job.config
+        base = {
+            "tier": getattr(config, "tier", ""),
+            "socket": getattr(config, "cpu_socket", ""),
+            "workload": getattr(config, "workload", ""),
+            "client": job.client,
+        }
+        telemetry = getattr(result, "telemetry", None)
+        for dimm in getattr(telemetry, "dimm_performance", None) or ():
+            labels = {**base, "device": dimm.dimm_id}
+            self.metrics.inc(
+                "device.media_reads", float(dimm.media_reads), labels=labels
+            )
+            self.metrics.inc(
+                "device.media_writes", float(dimm.media_writes), labels=labels
+            )
+            self.metrics.inc(
+                "device.bytes_read", float(dimm.bytes_read), labels=labels
+            )
+            self.metrics.inc(
+                "device.bytes_written", float(dimm.bytes_written),
+                labels=labels,
+            )
+
     def _emit_span(self, job: Job) -> None:
         """Record one retrospective wall-clock span per finished job."""
         if self.observer is None:

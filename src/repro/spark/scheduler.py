@@ -38,6 +38,7 @@ from repro.faults.errors import (
 )
 from repro.memory.tiers import tier_by_id
 from repro.obs.hooks import emit_task_set_spans
+from repro.obs.log import get_log
 from repro.sim import Environment, Interrupt, Process
 from repro.sim.events import Initialize
 from repro.spark.conf import SparkConf
@@ -316,6 +317,11 @@ class TaskScheduler:
             )
         if self.metrics is not None:
             self.metrics.inc("scheduler.executors_lost")
+        get_log().warning(
+            "scheduler.executor_lost",
+            executor=executor.executor_id,
+            sim_time=self.env.now,
+        )
         # Its shuffle map outputs are gone; downstream fetches will see
         # the shuffles as incomplete and trigger recomputation.
         self.shuffle_manager.remove_executor_outputs(executor.executor_id)
@@ -363,6 +369,12 @@ class TaskScheduler:
             result.speculative_launched += 1
             if self.metrics is not None:
                 self.metrics.inc("scheduler.speculative_launched")
+            get_log().info(
+                "scheduler.speculative_launch",
+                task=rec.task.task_id,
+                executor=rec.executor.executor_id,
+                sim_time=self.env.now,
+            )
             launch(
                 rec.index,
                 self._pick_executor(live, exclude=rec.executor),
@@ -485,6 +497,12 @@ class TaskScheduler:
                     result.fetch_failures += 1
                     if self.metrics is not None:
                         self.metrics.inc("scheduler.fetch_failures")
+                    get_log().warning(
+                        "scheduler.fetch_failure",
+                        stage=rec.task.metrics.stage_id,
+                        partition=rec.task.metrics.partition,
+                        sim_time=env.now,
+                    )
                     if self.tracer is not None:
                         self.tracer.instant(
                             "fetch-failure",
@@ -503,6 +521,14 @@ class TaskScheduler:
                     result.task_failures += 1
                     if self.metrics is not None:
                         self.metrics.inc("scheduler.task_failures")
+                    get_log().warning(
+                        "scheduler.task_failure",
+                        task=rec.task.task_id,
+                        executor=rec.executor.executor_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                        failures=failures[index] + 1,
+                        sim_time=env.now,
+                    )
                     failures[index] += 1
                     if not isinstance(exc, ExecutorLostError):
                         self._note_executor_failure(rec.executor)

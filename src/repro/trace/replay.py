@@ -408,6 +408,39 @@ def replay_experiment(
     )
 
 
+def _note_divergence(
+    observer: t.Any | None,
+    config: ExperimentConfig,
+    exc: Exception,
+    *,
+    phase: str,
+) -> None:
+    """Post-mortem an abandoned replay: structured-log the divergence
+    and (with a flight recorder configured) dump the attempt's spans and
+    metrics *before* the observer is reset for the fallback run."""
+    if observer is not None and hasattr(observer, "note_divergence"):
+        observer.note_divergence(
+            f"replay-{config_hash_short(config)}",
+            f"{phase}: {exc}",
+            label=config.describe(),
+        )
+    else:
+        from repro.obs.log import get_log
+
+        get_log().warning(
+            "replay.divergence",
+            phase=phase,
+            config=config.describe(),
+            error=str(exc),
+        )
+
+
+def config_hash_short(config: ExperimentConfig) -> str:
+    from repro.runner.hashing import config_hash
+
+    return config_hash(config)[:12]
+
+
 def run_with_trace(
     config: ExperimentConfig,
     store: "TraceStore",
@@ -453,7 +486,8 @@ def run_with_trace(
                 # the abandoned attempt recorded.
                 if observer is not None:
                     observer.reset()
-            except ReplayDivergence:
+            except ReplayDivergence as exc:
+                _note_divergence(observer, config, exc, phase="fast-replay")
                 if observer is not None:
                     observer.reset()
                 return run_experiment(config, observer=observer), "direct"
@@ -462,7 +496,8 @@ def run_with_trace(
                 replay_experiment(config, trace, observer=observer),
                 "replayed",
             )
-        except ReplayDivergence:
+        except ReplayDivergence as exc:
+            _note_divergence(observer, config, exc, phase="des-replay")
             if observer is not None:
                 # The abandoned replay's spans must not pollute the
                 # fallback run's artifacts.

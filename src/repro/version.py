@@ -21,7 +21,11 @@ ENGINE_VERSION = "4"
 TRACE_FORMAT_VERSION = 1
 
 #: Bump when the observability artifact layout changes — the flat
-#: metrics JSON payload (:meth:`repro.obs.MetricsRegistry.to_dict`) or
-#: the extra fields the Chrome-trace exporter writes beside
-#: ``traceEvents``.  Readers refuse payloads from other versions.
-OBS_SCHEMA_VERSION = 1
+#: metrics JSON payload (:meth:`repro.obs.MetricsRegistry.to_dict`), the
+#: extra fields the Chrome-trace exporter writes beside ``traceEvents``,
+#: or the flight-recorder dump layout.  Readers refuse payloads from
+#: other versions (metrics readers additionally accept the version-1
+#: raw-sample histograms by re-observing them).
+#: 2: histograms became mergeable quantile sketches (``sketches`` key
+#: replaces ``samples``); flight-recorder artifacts introduced.
+OBS_SCHEMA_VERSION = 2

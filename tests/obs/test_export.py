@@ -178,7 +178,8 @@ def test_metrics_json_roundtrip(tmp_path):
     rebuilt = load_metrics_json(path)
     assert rebuilt.counter("shuffle.bytes_written") == 42.0
     assert rebuilt.gauge("experiment.execution_time") == 1.5
-    assert rebuilt.samples("h") == [3.0]
+    assert rebuilt.histogram("h").count == 1
+    assert rebuilt.histogram("h").sum == 3.0
 
 
 def test_stage_timeline_renders_bars_and_attempt_counts():

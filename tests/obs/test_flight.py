@@ -1,0 +1,96 @@
+"""Flight recorder: ring bounds, drop accounting, atomic dumps, loading."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    OBS_SCHEMA_VERSION,
+    load_flight_dump,
+)
+
+
+def test_ring_keeps_only_last_depth_events_and_counts_drops():
+    recorder = FlightRecorder(depth=3)
+    for i in range(5):
+        recorder.record("job-1", {"seq": i})
+    assert [e["seq"] for e in recorder.events("job-1")] == [2, 3, 4]
+    assert recorder.dropped("job-1") == 2
+    assert recorder.keys == ["job-1"]
+
+
+def test_keys_are_independent():
+    recorder = FlightRecorder(depth=2)
+    recorder.record("a", {"x": 1})
+    recorder.record("b", {"x": 2})
+    assert recorder.events("a") == [{"x": 1}]
+    recorder.discard("a")
+    assert recorder.events("a") == []
+    assert recorder.keys == ["b"]
+
+
+def test_depth_must_be_positive():
+    with pytest.raises(ValueError, match="depth"):
+        FlightRecorder(depth=0)
+
+
+def test_dump_without_directory_returns_none():
+    recorder = FlightRecorder()
+    recorder.record("k", {"x": 1})
+    assert recorder.dump("k", reason="failed") is None
+
+
+def test_dump_writes_loadable_schema_versioned_artifact(tmp_path):
+    recorder = FlightRecorder(tmp_path, depth=4)
+    for i in range(6):
+        recorder.record("job-7", {"seq": i, "kind": "progress"})
+    path = recorder.dump(
+        "job-7",
+        reason="failed",
+        label="tier2 · pagerank",
+        metrics={"counters": {"service.failed": 1.0}},
+        spans=[{"name": "job-7", "duration": 1.5}],
+        log_tail=[{"event": "job.failed"}],
+    )
+    assert path is not None and path.name == "flight-job-7.json"
+    payload = load_flight_dump(path)
+    assert payload["schema"] == FLIGHT_SCHEMA
+    assert payload["version"] == OBS_SCHEMA_VERSION
+    assert payload["key"] == "job-7"
+    assert payload["reason"] == "failed"
+    assert payload["label"] == "tier2 · pagerank"
+    assert payload["depth"] == 4 and payload["dropped"] == 2
+    assert [e["seq"] for e in payload["events"]] == [2, 3, 4, 5]
+    assert payload["metrics"]["counters"]["service.failed"] == 1.0
+    assert payload["spans"][0]["name"] == "job-7"
+    assert payload["log_tail"][0]["event"] == "job.failed"
+    # Atomic write: no temp sibling survives.
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_dump_sanitizes_hostile_keys(tmp_path):
+    recorder = FlightRecorder(tmp_path)
+    recorder.record("../../etc/passwd", {"x": 1})
+    path = recorder.dump("../../etc/passwd", reason="failed")
+    assert path.parent == tmp_path
+    assert "/" not in path.name.replace("flight-", "", 1)
+
+
+def test_dump_directory_override(tmp_path):
+    recorder = FlightRecorder()
+    recorder.record("k", {"x": 1})
+    path = recorder.dump("k", reason="cancelled", directory=tmp_path / "sub")
+    assert path is not None and path.parent == tmp_path / "sub"
+
+
+def test_load_rejects_foreign_or_truncated_files(tmp_path):
+    foreign = tmp_path / "foreign.json"
+    foreign.write_text(json.dumps({"schema": "something.else"}))
+    with pytest.raises(ValueError, match="not a repro.obs.flight"):
+        load_flight_dump(foreign)
+    missing_events = tmp_path / "noevents.json"
+    missing_events.write_text(json.dumps({"schema": FLIGHT_SCHEMA}))
+    with pytest.raises(ValueError, match="missing events"):
+        load_flight_dump(missing_events)

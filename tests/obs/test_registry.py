@@ -41,7 +41,8 @@ def test_histogram_summary_statistics():
     assert summary.sum == 9.0
     assert summary.min == 1.0 and summary.max == 6.0
     assert summary.mean == 3.0
-    assert registry.samples("h") == [1.0, 2.0, 6.0]
+    sketch = registry.sketch("h")
+    assert sketch is not None and sketch.count == 3
     empty = registry.histogram("missing")
     assert empty.count == 0 and empty.mean == 0.0
 
@@ -81,7 +82,9 @@ def test_merge_sums_counters_overwrites_gauges_concats_histograms():
     assert left.counter("c") == 5.0
     assert left.counter("only_right") == 1.0
     assert left.gauge("g") == 9.0
-    assert left.samples("h") == [1.0, 2.0]
+    merged_h = left.histogram("h")
+    assert merged_h.count == 2 and merged_h.sum == 3.0
+    assert merged_h.min == 1.0 and merged_h.max == 2.0
 
 
 def test_to_dict_is_schema_versioned_and_sorted():
@@ -135,3 +138,80 @@ def test_merge_counters_is_addition(a, b):
         assert left.counter(name) == pytest.approx(
             a.get(name, 0.0) + b.get(name, 0.0)
         )
+
+
+# One observation destined for a named (optionally labeled) series.
+# Integer-valued floats keep additions exact, so shard-merge equality
+# is bit-for-bit rather than approximate.
+observation = st.tuples(
+    names,
+    st.one_of(st.none(), st.dictionaries(names, names, max_size=2)),
+    st.integers(-10_000, 10_000).map(float),
+)
+
+
+@given(
+    shards=st.lists(
+        st.lists(observation, max_size=8), min_size=1, max_size=4
+    )
+)
+@SETTINGS
+def test_merged_shards_equal_single_registry_fed_union(shards):
+    """Merging per-shard registries is exact: ≡ one registry fed everything.
+
+    Pins the tentpole invariant for counters, histogram sketches, and
+    labeled series alike.  (Gauges are last-writer-wins, so only the
+    final shard's value survives either way.)
+    """
+    union = MetricsRegistry()
+    merged = MetricsRegistry()
+    for shard_obs in shards:
+        shard = MetricsRegistry()
+        for name, labels, value in shard_obs:
+            union.inc(name, value, labels=labels)
+            union.observe(name, value, labels=labels)
+            shard.inc(name, value, labels=labels)
+            shard.observe(name, value, labels=labels)
+        merged.merge(shard)
+    assert merged.to_dict() == union.to_dict()
+
+
+@given(values=st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1))
+@SETTINGS
+def test_histogram_quantiles_are_order_statistics_up_to_sketch_error(values):
+    registry = MetricsRegistry()
+    for value in values:
+        registry.observe("h", value)
+    summary = registry.histogram("h")
+    assert summary.count == len(values)
+    assert summary.min == min(values) and summary.max == max(values)
+    for q in (summary.p50, summary.p90, summary.p99):
+        assert summary.min <= q <= summary.max
+
+
+def test_labeled_series_are_distinct_and_exported():
+    registry = MetricsRegistry()
+    registry.inc("device.media_reads", 2.0, labels={"tier": "0", "dev": "a"})
+    registry.inc("device.media_reads", 5.0, labels={"tier": "2", "dev": "b"})
+    assert registry.counter(
+        "device.media_reads", labels={"tier": "0", "dev": "a"}
+    ) == 2.0
+    assert registry.counter("device.media_reads") == 0.0
+    payload = registry.to_dict()
+    labeled = [k for k in payload["counters"] if "{" in k]
+    assert len(labeled) == 2
+    rebuilt = MetricsRegistry.from_dict(payload)
+    assert rebuilt.to_dict() == payload
+
+
+def test_from_dict_accepts_legacy_sample_payloads():
+    legacy = {
+        "schema": METRICS_SCHEMA,
+        "version": 1,
+        "counters": {},
+        "gauges": {},
+        "samples": {"h": [1.0, 2.0, 6.0]},
+    }
+    rebuilt = MetricsRegistry.from_dict(legacy)
+    summary = rebuilt.histogram("h")
+    assert summary.count == 3 and summary.sum == 9.0

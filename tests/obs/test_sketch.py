@@ -1,0 +1,117 @@
+"""QuantileSketch: bucketing, exact merge, quantile error, round-trip."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import QuantileSketch
+from repro.obs.sketch import GAMMA, bucket_index, bucket_upper
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+positive = st.floats(min_value=1e-9, max_value=1e12, allow_nan=False)
+
+#: Worst-case relative error of one bucket's representative point.
+REL_ERROR = (GAMMA - 1.0) / (GAMMA + 1.0)
+
+
+def test_empty_sketch_reads_as_zero():
+    sketch = QuantileSketch()
+    assert sketch.count == 0
+    assert sketch.mean == 0.0
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.cumulative() == []
+
+
+def test_exact_statistics_track_every_value():
+    sketch = QuantileSketch.of([3.0, -1.0, 0.0, 7.5])
+    assert sketch.count == 4
+    assert sketch.sum == 9.5
+    assert sketch.min == -1.0 and sketch.max == 7.5
+    assert sketch.zeros == 1
+    assert sketch.mean == 9.5 / 4
+
+
+@given(value=positive)
+@SETTINGS
+def test_bucket_contains_its_value(value):
+    index = bucket_index(value)
+    # Bucket i covers (gamma**(i-1), gamma**i]; allow boundary slop on
+    # the closed upper edge (the index snap handles exact powers).
+    assert value <= bucket_upper(index) * (1.0 + 1e-9)
+    assert value > bucket_upper(index - 1) * (1.0 - 1e-9)
+
+
+def test_boundary_values_snap_deterministically():
+    for i in (-3, 0, 1, 8, 40):
+        assert bucket_index(GAMMA**i) == i
+
+
+@given(values=st.lists(finite, min_size=1, max_size=50))
+@SETTINGS
+def test_quantiles_stay_inside_observed_range(values):
+    sketch = QuantileSketch.of(values)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert min(values) <= sketch.quantile(q) <= max(values)
+
+
+@given(values=st.lists(positive, min_size=1, max_size=60), q=st.floats(0, 1))
+@SETTINGS
+def test_quantile_relative_error_is_bounded(values, q):
+    sketch = QuantileSketch.of(values)
+    rank = max(1, math.ceil(q * len(values)))
+    exact = sorted(values)[rank - 1]
+    estimate = sketch.quantile(q)
+    assert abs(estimate - exact) <= exact * (REL_ERROR + 1e-9)
+
+
+# Integer-valued observations keep float sums exact (well under 2**53),
+# so the shard-merge identity is bit-for-bit, not approximate.
+exact_values = st.integers(-(10**12), 10**12).map(float)
+
+
+@given(
+    shards=st.lists(
+        st.lists(exact_values, max_size=20), min_size=1, max_size=5
+    )
+)
+@SETTINGS
+def test_merge_of_shards_equals_sketch_fed_union(shards):
+    """The exact-merge pin: shard merge ≡ one sketch fed everything."""
+    union = QuantileSketch.of(v for shard in shards for v in shard)
+    merged = QuantileSketch()
+    for shard in shards:
+        merged.merge(QuantileSketch.of(shard))
+    assert merged == union
+    assert merged.to_dict() == union.to_dict()
+
+
+@given(values=st.lists(finite, max_size=40))
+@SETTINGS
+def test_roundtrip_through_dict(values):
+    sketch = QuantileSketch.of(values)
+    rebuilt = QuantileSketch.from_dict(sketch.to_dict())
+    assert rebuilt == sketch
+    assert rebuilt.to_dict() == sketch.to_dict()
+
+
+@given(values=st.lists(finite, min_size=1, max_size=40))
+@SETTINGS
+def test_cumulative_is_monotone_and_ends_at_count(values):
+    sketch = QuantileSketch.of(values)
+    pairs = sketch.cumulative()
+    uppers = [upper for upper, _ in pairs]
+    counts = [count for _, count in pairs]
+    assert uppers == sorted(uppers)
+    assert counts == sorted(counts)
+    assert counts[-1] == sketch.count
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError, match="quantile"):
+        QuantileSketch.of([1.0]).quantile(1.5)

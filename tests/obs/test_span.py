@@ -69,6 +69,31 @@ def test_span_context_manager_closes_on_exception():
     assert span.end == 1.0
 
 
+def test_span_context_manager_unwinds_abandoned_children_on_exception():
+    # An error escaping from deep inside the scheduler leaves job/stage
+    # spans open; the enclosing span() must close them and re-raise the
+    # ORIGINAL exception, not a nesting violation that masks it.
+    tracer, clock = make_tracer()
+    with pytest.raises(ValueError, match="boom"):
+        with tracer.span("measure"):
+            tracer.begin("job", cat="job")
+            tracer.begin("stage", cat="stage")
+            clock.tick(4.0)
+            raise ValueError("boom")
+    assert tracer.current is None
+    assert [span.name for span in tracer.spans] == ["measure", "job", "stage"]
+    assert all(span.end == 4.0 for span in tracer.spans)
+
+
+def test_unwind_to_ignores_foreign_spans():
+    tracer, _ = make_tracer()
+    closed = tracer.begin("a")
+    tracer.end(closed)
+    open_span = tracer.begin("b")
+    tracer.unwind_to(closed)  # not on the stack: no-op
+    assert tracer.current is open_span
+
+
 def test_finish_closes_all_open_spans_at_current_clock():
     tracer, clock = make_tracer()
     tracer.begin("a")

@@ -85,7 +85,7 @@ def test_run_options_fields_are_pinned():
     assert OPTION_FIELDS == (
         "workers", "cache_dir", "observe", "reuse_traces",
         "fast_replay", "dataset_cache", "trace_dir", "dataset_dir",
-        "resume", "priority",
+        "resume", "priority", "metrics_port",
     )
     options = RunOptions()
     assert options.workers is None
@@ -98,6 +98,7 @@ def test_run_options_fields_are_pinned():
     assert options.dataset_dir is None
     assert options.resume is True
     assert options.priority == 0
+    assert options.metrics_port is None
 
 
 def test_run_options_is_frozen_and_validates():
@@ -108,6 +109,8 @@ def test_run_options_is_frozen_and_validates():
         RunOptions(workers=-1)
     with pytest.raises(TypeError):
         RunOptions(priority="high")  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        RunOptions(metrics_port=70000)
 
 
 def test_run_options_trace_root_derivation(tmp_path):

@@ -62,6 +62,15 @@ def test_experiment_service():
     assert "drained: every admitted job resolved" in out
 
 
+def test_live_monitoring():
+    out = run_example("live_monitoring.py")
+    assert "all well-formed" in out
+    assert "per-tier device series for tiers: 0, 1, 2" in out
+    assert "repro top" in out
+    assert "structured log:" in out and "correlating 3 jobs" in out
+    assert "post-mortem holds ['queued', 'started', 'failed']" in out
+
+
 def test_fault_tolerance():
     out = run_example("fault_tolerance.py")
     assert "executors_lost" in out
